@@ -1,0 +1,256 @@
+//! Scaling-factor scheduler-extender baselines (paper §6).
+//!
+//! Deepomatic, Aliyun gpushare and GaiaGPU all take the same structural
+//! approach: multiply the GPU resource unit by a scaling factor so users
+//! can request fractions as integers, and implement the packing logic as a
+//! kube-scheduler *extender* that monopolizes all GPUs in the cluster.
+//! They differ in isolation (none / memory-only / both) and in single- vs
+//! multi-GPU node support. None treats the GPU as a first-class entity:
+//! the physical device a pod lands on is decided by the kubelet's unit
+//! assignment, invisible to users and schedulers alike.
+
+use ks_cluster::api::pod::PodSpec;
+use ks_cluster::api::{NodeConfig, ResourceList, Uid};
+use ks_cluster::device_plugin::UnitAssignPolicy;
+use ks_cluster::latency::LatencyModel;
+use ks_cluster::scheduler::ScorePolicy;
+use ks_cluster::sim::{ClusterConfig, ClusterEmit, ClusterSim, GpuPluginKind};
+use ks_sim_core::time::SimTime;
+use ks_vgpu::{IsolationMode, ShareSpec};
+
+/// Configuration of one extender-style system.
+#[derive(Debug, Clone)]
+pub struct ExtenderConfig {
+    /// System name (for reports).
+    pub name: &'static str,
+    /// Units advertised per physical GPU.
+    pub scaling: u32,
+    /// Extended resource name.
+    pub resource: String,
+    /// GPU-level isolation the system installs in containers.
+    pub isolation: IsolationMode,
+    /// Whether nodes with more than one GPU are supported.
+    pub multi_gpu_nodes: bool,
+    /// How the kubelet assigns units to pods (implicit device binding).
+    pub assign_policy: UnitAssignPolicy,
+}
+
+/// Deepomatic's shared-GPU device plugin: fractional allocation only,
+/// no isolation, single GPU per node.
+pub fn deepomatic() -> ExtenderConfig {
+    ExtenderConfig {
+        name: "Deepomatic",
+        scaling: 10,
+        resource: "deepomatic.com/shared-gpu".to_string(),
+        isolation: IsolationMode::NONE,
+        multi_gpu_nodes: false,
+        assign_policy: UnitAssignPolicy::Sequential,
+    }
+}
+
+/// Aliyun gpushare: memory-based fractional units, memory isolation only.
+pub fn aliyun() -> ExtenderConfig {
+    ExtenderConfig {
+        name: "Aliyun",
+        scaling: 16, // one unit per GiB of a 16 GiB V100
+        resource: "aliyun.com/gpu-mem".to_string(),
+        isolation: IsolationMode::MEMORY_ONLY,
+        multi_gpu_nodes: true,
+        assign_policy: UnitAssignPolicy::Sequential,
+    }
+}
+
+/// GaiaGPU: Aliyun-style units plus LD_PRELOAD compute isolation.
+pub fn gaiagpu() -> ExtenderConfig {
+    ExtenderConfig {
+        name: "GaiaGPU",
+        scaling: 100,
+        resource: "tencent.com/vcuda-core".to_string(),
+        isolation: IsolationMode::FULL,
+        multi_gpu_nodes: true,
+        assign_policy: UnitAssignPolicy::Sequential,
+    }
+}
+
+/// Error from building or using an extender system.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExtenderError {
+    /// The system cannot manage a node with more than one GPU.
+    MultiGpuUnsupported {
+        /// Offending node.
+        node: String,
+        /// Its GPU count.
+        gpus: u32,
+    },
+}
+
+impl std::fmt::Display for ExtenderError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExtenderError::MultiGpuUnsupported { node, gpus } => {
+                write!(f, "node {node} has {gpus} GPUs; this system supports 1")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExtenderError {}
+
+/// An extender-style GPU sharing system over the simulated cluster.
+#[derive(Debug)]
+pub struct ExtenderSystem {
+    /// The underlying cluster (exclusively managed — no co-existence).
+    pub cluster: ClusterSim,
+    cfg: ExtenderConfig,
+}
+
+impl ExtenderSystem {
+    /// Builds the system, validating node shapes against its limitations.
+    pub fn new(cfg: ExtenderConfig, nodes: Vec<NodeConfig>) -> Result<Self, ExtenderError> {
+        if !cfg.multi_gpu_nodes {
+            if let Some(bad) = nodes.iter().find(|n| n.gpus > 1) {
+                return Err(ExtenderError::MultiGpuUnsupported {
+                    node: bad.name.clone(),
+                    gpus: bad.gpus,
+                });
+            }
+        }
+        let cluster = ClusterSim::new(ClusterConfig {
+            nodes,
+            latency: LatencyModel::default(),
+            gpu_plugin: GpuPluginKind::Fractional {
+                scaling: cfg.scaling,
+                resource: cfg.resource.clone(),
+            },
+            assign_policy: cfg.assign_policy,
+            score: ScorePolicy::MostAllocated, // extenders bin-pack
+        });
+        Ok(ExtenderSystem { cluster, cfg })
+    }
+
+    /// System configuration.
+    pub fn config(&self) -> &ExtenderConfig {
+        &self.cfg
+    }
+
+    /// Converts a fractional demand into this system's integer units —
+    /// the granularity loss of the scaling-factor trick.
+    pub fn units_for(&self, fraction: f64) -> u64 {
+        (fraction * self.cfg.scaling as f64).ceil() as u64
+    }
+
+    /// The demand actually reserved after integer rounding.
+    pub fn effective_fraction(&self, fraction: f64) -> f64 {
+        self.units_for(fraction) as f64 / self.cfg.scaling as f64
+    }
+
+    /// Submits a fractional-GPU job as a pod requesting integer units.
+    /// Locality is NOT expressible — there is no field for it.
+    pub fn submit_shared_job(
+        &mut self,
+        now: SimTime,
+        name: impl Into<String>,
+        share: ShareSpec,
+        out: &mut ClusterEmit,
+    ) -> Uid {
+        let units = self.units_for(share.request.max(share.mem));
+        let spec = PodSpec::new(
+            "workload:latest",
+            ResourceList::cpu_mem(1000, 1 << 30).with_extended(&self.cfg.resource, units),
+        );
+        self.cluster.submit_pod(now, name, spec, out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn single_gpu_nodes(n: usize) -> Vec<NodeConfig> {
+        (0..n)
+            .map(|i| NodeConfig {
+                name: format!("node-{i}"),
+                cpu_millis: 8_000,
+                memory_bytes: 32 << 30,
+                gpus: 1,
+                gpu_memory_bytes: 16 << 30,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn deepomatic_rejects_multi_gpu_nodes() {
+        let nodes = vec![NodeConfig::p3_8xlarge("node-0")];
+        let err = ExtenderSystem::new(deepomatic(), nodes).unwrap_err();
+        assert_eq!(
+            err,
+            ExtenderError::MultiGpuUnsupported {
+                node: "node-0".into(),
+                gpus: 4
+            }
+        );
+    }
+
+    #[test]
+    fn aliyun_accepts_multi_gpu_nodes() {
+        let nodes = vec![NodeConfig::p3_8xlarge("node-0")];
+        assert!(ExtenderSystem::new(aliyun(), nodes).is_ok());
+    }
+
+    #[test]
+    fn unit_rounding_loses_granularity() {
+        let sys = ExtenderSystem::new(deepomatic(), single_gpu_nodes(1)).unwrap();
+        // Deepomatic's scaling of 10 rounds 0.25 up to 0.3.
+        assert_eq!(sys.units_for(0.25), 3);
+        assert!((sys.effective_fraction(0.25) - 0.3).abs() < 1e-12);
+        // KubeShare would reserve exactly 0.25 — this is the "limited"
+        // fine-grained allocation row of Table 1.
+        let fine = ExtenderSystem::new(gaiagpu(), single_gpu_nodes(1)).unwrap();
+        assert!((fine.effective_fraction(0.25) - 0.25).abs() < 1e-12);
+        assert!((fine.effective_fraction(0.251) - 0.26).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shared_jobs_pack_onto_one_gpu() {
+        use ks_sim_core::prelude::*;
+        struct W {
+            sys: ExtenderSystem,
+        }
+        struct Ev(ks_cluster::sim::ClusterEvent);
+        impl SimEvent<W> for Ev {
+            fn fire(self, now: SimTime, w: &mut W, q: &mut EventQueue<Self>) {
+                let mut out = Vec::new();
+                let mut notes = Vec::new();
+                w.sys.cluster.handle(now, self.0, &mut out, &mut notes);
+                for (at, e) in out {
+                    q.schedule_at(at, Ev(e));
+                }
+            }
+        }
+        let sys = ExtenderSystem::new(aliyun(), single_gpu_nodes(1)).unwrap();
+        let mut eng = Engine::new(W { sys });
+        let mut out = Vec::new();
+        let share = ShareSpec::new(0.4, 0.5, 0.4).unwrap();
+        let a = eng
+            .world
+            .sys
+            .submit_shared_job(SimTime::ZERO, "a", share, &mut out);
+        let b = eng
+            .world
+            .sys
+            .submit_shared_job(SimTime::ZERO, "b", share, &mut out);
+        for (at, e) in out {
+            eng.queue.schedule_at(at, Ev(e));
+        }
+        eng.run_to_completion(1000);
+        assert_eq!(
+            eng.world.sys.cluster.pod(a).unwrap().status.phase,
+            ks_cluster::PodPhase::Running
+        );
+        assert_eq!(
+            eng.world.sys.cluster.pod_devices(a),
+            eng.world.sys.cluster.pod_devices(b),
+            "both fractions share the single GPU"
+        );
+    }
+}

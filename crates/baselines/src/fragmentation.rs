@@ -1,0 +1,177 @@
+//! The resource-fragmentation demonstration of paper Fig. 3.
+//!
+//! Six containers (A–F) with fractional demands are placed onto a 4-GPU
+//! node. A scheduler that is blind to device identity assigns them
+//! round-robin (Fig. 3a) — some GPUs end up over-committed while others
+//! idle. A locality-aware scheduler packs them (Fig. 3b), avoiding
+//! over-commitment *and* minimizing the number of active GPUs.
+
+use serde::Serialize;
+
+/// Placement of one container.
+#[derive(Debug, Clone, Serialize)]
+pub struct Placement {
+    /// Container name.
+    pub container: String,
+    /// GPU demand (fraction).
+    pub demand: f64,
+    /// Index of the GPU it landed on.
+    pub gpu: usize,
+}
+
+/// Result of placing a container set on a node.
+#[derive(Debug, Clone, Serialize)]
+pub struct PlacementReport {
+    /// Per-container placements.
+    pub placements: Vec<Placement>,
+    /// Total demand per GPU.
+    pub gpu_load: Vec<f64>,
+}
+
+impl PlacementReport {
+    /// GPUs with total demand > 1.0 (over-committed → interference).
+    pub fn overcommitted_gpus(&self) -> usize {
+        self.gpu_load.iter().filter(|&&l| l > 1.0 + 1e-9).count()
+    }
+
+    /// GPUs with any load (must stay powered/reserved).
+    pub fn active_gpus(&self) -> usize {
+        self.gpu_load.iter().filter(|&&l| l > 1e-9).count()
+    }
+
+    /// Largest per-GPU load.
+    pub fn max_load(&self) -> f64 {
+        self.gpu_load.iter().copied().fold(0.0, f64::max)
+    }
+}
+
+/// Round-robin placement: container *i* goes to GPU *i mod n* — what a
+/// device-identity-blind pipeline effectively does (paper Fig. 3a).
+pub fn place_round_robin(demands: &[(String, f64)], gpus: usize) -> PlacementReport {
+    assert!(gpus > 0);
+    let mut load = vec![0.0; gpus];
+    let placements = demands
+        .iter()
+        .enumerate()
+        .map(|(i, (name, d))| {
+            let gpu = i % gpus;
+            load[gpu] += d;
+            Placement {
+                container: name.clone(),
+                demand: *d,
+                gpu,
+            }
+        })
+        .collect();
+    PlacementReport {
+        placements,
+        gpu_load: load,
+    }
+}
+
+/// Locality-aware placement: best-fit decreasing without over-commitment
+/// (what KubeShare's first-class scheduling achieves, paper Fig. 3b).
+pub fn place_locality_aware(demands: &[(String, f64)], gpus: usize) -> PlacementReport {
+    assert!(gpus > 0);
+    let mut load = vec![0.0; gpus];
+    let mut order: Vec<usize> = (0..demands.len()).collect();
+    order.sort_by(|&a, &b| demands[b].1.partial_cmp(&demands[a].1).unwrap());
+    let mut placements = vec![None; demands.len()];
+    for idx in order {
+        let (name, d) = &demands[idx];
+        // Best fit: the fullest GPU that still fits without over-commit.
+        let gpu = (0..gpus)
+            .filter(|&g| load[g] + d <= 1.0 + 1e-9)
+            .max_by(|&a, &b| load[a].partial_cmp(&load[b]).unwrap())
+            // If nothing fits (total demand > capacity), fall back to the
+            // least-loaded GPU.
+            .unwrap_or_else(|| {
+                (0..gpus)
+                    .min_by(|&a, &b| load[a].partial_cmp(&load[b]).unwrap())
+                    .unwrap()
+            });
+        load[gpu] += d;
+        placements[idx] = Some(Placement {
+            container: name.clone(),
+            demand: *d,
+            gpu,
+        });
+    }
+    PlacementReport {
+        placements: placements.into_iter().map(Option::unwrap).collect(),
+        gpu_load: load,
+    }
+}
+
+/// The paper's Fig. 3 container set: six containers on four GPUs whose
+/// total demand fits in two GPUs.
+pub fn fig3_demands() -> Vec<(String, f64)> {
+    vec![
+        ("Container A".into(), 0.4),
+        ("Container B".into(), 0.6),
+        ("Container C".into(), 0.3),
+        ("Container D".into(), 0.5),
+        ("Container E".into(), 0.1),
+        ("Container F".into(), 0.1),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_fragments_fig3_set() {
+        let r = place_round_robin(&fig3_demands(), 4);
+        // All four GPUs active even though demand sums to 2.0.
+        assert_eq!(r.active_gpus(), 4);
+        // A(0.4)+E(0.1) on gpu0, B(0.6)+F(0.1) on gpu1, C on 2, D on 3:
+        // nothing over 1.0 here, but utilization is spread thin.
+        assert!(r.max_load() < 1.0);
+    }
+
+    #[test]
+    fn round_robin_can_overcommit() {
+        let demands: Vec<(String, f64)> = vec![
+            ("a".into(), 0.8),
+            ("b".into(), 0.8),
+            ("c".into(), 0.8), // lands back on gpu0 with 'a' → 1.6
+        ];
+        let r = place_round_robin(&demands, 2);
+        assert_eq!(r.overcommitted_gpus(), 1);
+        assert!(r.max_load() > 1.5);
+    }
+
+    #[test]
+    fn locality_aware_packs_without_overcommit() {
+        let r = place_locality_aware(&fig3_demands(), 4);
+        assert_eq!(r.overcommitted_gpus(), 0);
+        // Total demand 2.0 fits in exactly 2 GPUs.
+        assert_eq!(r.active_gpus(), 2);
+        let total: f64 = r.gpu_load.iter().sum();
+        assert!((total - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn locality_aware_never_overcommits_when_feasible() {
+        let demands: Vec<(String, f64)> =
+            vec![("a".into(), 0.8), ("b".into(), 0.8), ("c".into(), 0.8)];
+        let r = place_locality_aware(&demands, 3);
+        assert_eq!(r.overcommitted_gpus(), 0);
+        assert_eq!(r.active_gpus(), 3);
+    }
+
+    #[test]
+    fn reports_are_consistent() {
+        let demands = fig3_demands();
+        for report in [
+            place_round_robin(&demands, 4),
+            place_locality_aware(&demands, 4),
+        ] {
+            assert_eq!(report.placements.len(), demands.len());
+            let sum_from_placements: f64 = report.placements.iter().map(|p| p.demand).sum();
+            let sum_from_loads: f64 = report.gpu_load.iter().sum();
+            assert!((sum_from_placements - sum_from_loads).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! `ks-baselines` — the GPU-management systems KubeShare is compared
+//! against (paper Table 1 and §6).
+//!
+//! * [`native`] — unmodified Kubernetes: whole-GPU exclusive allocation;
+//! * [`extender`] — the scaling-factor scheduler-extender family:
+//!   Deepomatic (no isolation, single-GPU nodes), Aliyun gpushare
+//!   (memory-only isolation), GaiaGPU (memory + compute isolation);
+//! * [`fragmentation`] — the Fig. 3 demonstration of why device-blind
+//!   schedulers over-commit some GPUs while others idle;
+//! * [`capabilities`] — Table 1 as executable metadata, verified by the
+//!   integration tests that exercise each mechanism.
+
+#![warn(missing_docs)]
+
+pub mod capabilities;
+pub mod extender;
+pub mod fragmentation;
+pub mod native;
+
+pub use capabilities::{Capabilities, Support};
+pub use extender::{aliyun, deepomatic, gaiagpu, ExtenderConfig, ExtenderError, ExtenderSystem};
+pub use fragmentation::{
+    fig3_demands, place_locality_aware, place_round_robin, Placement, PlacementReport,
+};
+pub use native::NativeSystem;

@@ -1,0 +1,84 @@
+//! The native Kubernetes baseline: whole-GPU, exclusive allocation.
+//!
+//! This is the "Kubernetes" series in the paper's Figs. 8, 9 and 13: every
+//! GPU job requests one entire `nvidia.com/gpu` unit, so a 32-GPU cluster
+//! runs at most 32 jobs regardless of their actual GPU demand.
+
+use ks_cluster::api::pod::PodSpec;
+use ks_cluster::api::{ResourceList, Uid, NVIDIA_GPU};
+use ks_cluster::sim::{ClusterConfig, ClusterEmit, ClusterSim};
+use ks_sim_core::time::SimTime;
+
+/// Native Kubernetes GPU management.
+#[derive(Debug)]
+pub struct NativeSystem {
+    /// The cluster.
+    pub cluster: ClusterSim,
+}
+
+impl NativeSystem {
+    /// Builds the system (the cluster must run the whole-device plugin).
+    pub fn new(cfg: ClusterConfig) -> Self {
+        NativeSystem {
+            cluster: ClusterSim::new(cfg),
+        }
+    }
+
+    /// Submits a GPU job: one whole GPU, whatever the job actually needs.
+    pub fn submit_gpu_job(
+        &mut self,
+        now: SimTime,
+        name: impl Into<String>,
+        out: &mut ClusterEmit,
+    ) -> Uid {
+        let spec = PodSpec::new(
+            "workload:latest",
+            ResourceList::cpu_mem(1000, 1 << 30).with_extended(NVIDIA_GPU, 1),
+        );
+        self.cluster.submit_pod(now, name, spec, out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ks_sim_core::prelude::*;
+
+    struct W(NativeSystem);
+    struct Ev(ks_cluster::sim::ClusterEvent);
+    impl SimEvent<W> for Ev {
+        fn fire(self, now: SimTime, w: &mut W, q: &mut EventQueue<Self>) {
+            let mut out = Vec::new();
+            let mut notes = Vec::new();
+            w.0.cluster.handle(now, self.0, &mut out, &mut notes);
+            for (at, e) in out {
+                q.schedule_at(at, Ev(e));
+            }
+        }
+    }
+
+    #[test]
+    fn at_most_one_job_per_gpu() {
+        let mut eng = Engine::new(W(NativeSystem::new(ClusterConfig::paper_native())));
+        // The paper testbed has 32 GPUs; submit 40 jobs.
+        let mut out = Vec::new();
+        let uids: Vec<Uid> = (0..40)
+            .map(|i| {
+                eng.world
+                    .0
+                    .submit_gpu_job(SimTime::ZERO, format!("job-{i}"), &mut out)
+            })
+            .collect();
+        for (at, e) in out {
+            eng.queue.schedule_at(at, Ev(e));
+        }
+        eng.run_to_completion(100_000);
+        let running = uids
+            .iter()
+            .filter(|&&u| {
+                eng.world.0.cluster.pod(u).unwrap().status.phase == ks_cluster::PodPhase::Running
+            })
+            .count();
+        assert_eq!(running, 32, "exactly one job per physical GPU");
+    }
+}

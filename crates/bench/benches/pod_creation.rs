@@ -1,0 +1,62 @@
+//! Criterion bench for paper Fig. 10's machinery: simulating the three
+//! pod-creation paths (native, KubeShare reuse, KubeShare with vGPU
+//! creation). The figure's latency series itself comes from
+//! `--bin fig10`; this bench tracks the control-plane simulation cost so
+//! regressions in the scheduling/DevMgr hot paths show up in CI.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ks_bench::harness::jobs::JobSpec;
+use ks_bench::harness::ks_world::KsHarness;
+use ks_bench::harness::native_world::NativeHarness;
+use ks_sim_core::rng::SimRng;
+use ks_sim_core::time::{SimDuration, SimTime};
+use ks_vgpu::{ShareSpec, VgpuConfig};
+use ks_workloads::job::JobKind;
+use kubeshare::locality::Locality;
+use kubeshare::system::KsConfig;
+
+fn tiny(name: String) -> JobSpec {
+    JobSpec {
+        name,
+        kind: JobKind::Training {
+            steps: 1,
+            kernel: SimDuration::from_millis(10),
+            duty: 1.0,
+        },
+        share: ShareSpec::exclusive(),
+        locality: Locality::none(),
+        arrival: SimTime::ZERO,
+    }
+}
+
+fn native_path(n: u32) {
+    let mut h = NativeHarness::new(ks_bench::harness::cluster_config(8, 4));
+    let mut rng = SimRng::seed_from_u64(1);
+    for i in 0..n {
+        h.add_job(tiny(format!("p{i}")), rng.fork());
+    }
+    h.run(10_000_000);
+}
+
+fn kubeshare_path(n: u32) {
+    let mut h = KsHarness::new(
+        ks_bench::harness::cluster_config(8, 4),
+        KsConfig::default(),
+        VgpuConfig::default(),
+    );
+    let mut rng = SimRng::seed_from_u64(2);
+    for i in 0..n {
+        h.add_job(tiny(format!("sp{i}")), rng.fork());
+    }
+    h.run(50_000_000);
+}
+
+fn bench_creation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10_pod_creation_sim");
+    group.bench_function("native_8pods", |b| b.iter(|| native_path(8)));
+    group.bench_function("kubeshare_8sharepods", |b| b.iter(|| kubeshare_path(8)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_creation);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion bench for paper Fig. 7: simulated end-to-end training runtime
+//! under the vGPU device library at different token quotas. The measured
+//! quantity here is the *simulation* cost; the figure's actual series
+//! (normalized throughput) is produced by `--bin fig7`. Keeping it under
+//! `cargo bench` guards the hot path of the token machinery.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ks_bench::harness::singlegpu::{SgJob, SingleGpu};
+use ks_sim_core::rng::SimRng;
+use ks_sim_core::time::{SimDuration, SimTime};
+use ks_vgpu::{IsolationMode, ShareSpec, VgpuConfig};
+use ks_workloads::job::JobKind;
+
+fn run_once(quota_ms: u64) -> f64 {
+    let cfg = VgpuConfig {
+        quota: SimDuration::from_millis(quota_ms),
+        ..VgpuConfig::default()
+    };
+    let mut h = SingleGpu::new(cfg, IsolationMode::FULL);
+    h.add_job(
+        SgJob {
+            kind: JobKind::Training {
+                steps: 500,
+                kernel: SimDuration::from_millis(10),
+                duty: 1.0,
+            },
+            share: ShareSpec::exclusive(),
+            arrival: SimTime::ZERO,
+        },
+        SimRng::seed_from_u64(1),
+    );
+    h.run(10_000_000);
+    h.eng.world.jobs[0].runtime().expect("completes")
+}
+
+fn bench_quota(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_token_quota_sim");
+    for &q in &[30u64, 100, 160] {
+        group.bench_with_input(BenchmarkId::from_parameter(q), &q, |b, &q| {
+            b.iter(|| std::hint::black_box(run_once(q)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_quota);
+criterion_main!(benches);

@@ -1,0 +1,5 @@
+//! Runs the design-choice ablations (placement rule, pool policy).
+
+fn main() {
+    println!("{}", ks_bench::ablation::report().render());
+}

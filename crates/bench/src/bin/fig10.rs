@@ -1,0 +1,6 @@
+//! Regenerates paper Fig. 10: pod-creation overhead vs concurrency.
+
+fn main() {
+    let points = ks_bench::fig10::run(&ks_bench::fig10::default_concurrency());
+    println!("{}", ks_bench::fig10::report(&points).render());
+}

@@ -1,0 +1,6 @@
+//! Regenerates paper Fig. 11: scheduling time vs number of SharePods.
+
+fn main() {
+    let points = ks_bench::fig11::run(&ks_bench::fig11::default_sizes(), 2_000);
+    println!("{}", ks_bench::fig11::report(&points).render());
+}

@@ -1,0 +1,7 @@
+//! Regenerates paper Fig. 12: slowdown of co-located job pairs.
+
+fn main() {
+    let (combos, solo_a, solo_b) = ks_bench::fig12::run(42);
+    println!("standalone runtimes: A = {solo_a:.1}s, B = {solo_b:.1}s");
+    println!("{}", ks_bench::fig12::report(&combos).render());
+}

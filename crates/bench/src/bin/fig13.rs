@@ -1,0 +1,22 @@
+//! Regenerates paper Fig. 13: throughput vs Job-A ratio under
+//! interference, for three scheduler settings.
+
+use ks_bench::fig13::{default_ratios, report, run, Fig13Config};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let cfg = if quick {
+        // Keep jobs ≫ GPUs: sharing only pays off under scarcity.
+        Fig13Config {
+            jobs: 24,
+            duration_s: 60,
+            nodes: 2,
+            gpus_per_node: 2,
+            seed: 7,
+        }
+    } else {
+        Fig13Config::default()
+    };
+    let points = run(&cfg, &default_ratios());
+    println!("{}", report(&points).render());
+}

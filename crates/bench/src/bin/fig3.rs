@@ -1,0 +1,6 @@
+//! Regenerates paper Fig. 3: fragmentation under round-robin vs
+//! locality-aware placement.
+
+fn main() {
+    println!("{}", ks_bench::fig3::report().render());
+}

@@ -1,0 +1,6 @@
+//! Regenerates paper Fig. 5: TF-Serving GPU usage vs client request rate.
+
+fn main() {
+    let points = ks_bench::fig5::run(&ks_bench::fig5::default_rates(), 42);
+    println!("{}", ks_bench::fig5::report(&points).render());
+}

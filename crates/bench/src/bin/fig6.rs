@@ -1,0 +1,27 @@
+//! Regenerates paper Fig. 6: GPU isolation and elastic allocation among
+//! three training jobs on one shared GPU, plus the sampled timeline.
+
+fn main() {
+    let r = ks_bench::fig6::run(42);
+    println!("{}", ks_bench::fig6::report(&r).render());
+    println!("timeline (60s buckets): t  A  B  C  util");
+    let w = &r.harness.eng.world;
+    let bucket = ks_sim_core::time::SimDuration::from_secs(60);
+    let series = [&w.jobs[0].usage, &w.jobs[1].usage, &w.jobs[2].usage];
+    let util = w.util.bucket_means(bucket);
+    for b in &util {
+        let at = |s: &ks_sim_core::timeseries::TimeSeries| {
+            s.mean_in(b.start, b.start + bucket)
+                .map(|v| format!("{v:.2}"))
+                .unwrap_or_else(|| "  - ".into())
+        };
+        println!(
+            "{:>5.0}s  {}  {}  {}  {:.2}",
+            b.start.as_secs_f64(),
+            at(series[0]),
+            at(series[1]),
+            at(series[2]),
+            b.mean
+        );
+    }
+}

@@ -1,0 +1,6 @@
+//! Regenerates paper Fig. 7: normalized throughput vs token time quota.
+
+fn main() {
+    let points = ks_bench::fig7::run(&ks_bench::fig7::default_quotas(), 42);
+    println!("{}", ks_bench::fig7::report(&points).render());
+}

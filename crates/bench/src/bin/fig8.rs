@@ -1,0 +1,36 @@
+//! Regenerates paper Fig. 8 (a/b/c): throughput of KubeShare vs native
+//! Kubernetes under varied workload patterns. Pass `--quick` for a
+//! reduced-scale run.
+
+use ks_bench::fig8::{report, sweep_frequency, sweep_mean, sweep_variance, Fig8Config};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let cfg = if quick {
+        Fig8Config {
+            jobs: 150,
+            runs: 1,
+            ..Fig8Config::default()
+        }
+    } else {
+        Fig8Config::default()
+    };
+    let factors = [1.0, 2.0, 3.0, 4.0, 6.0, 9.0, 12.0];
+    let a = sweep_frequency(&cfg, &factors);
+    println!(
+        "{}",
+        report("Fig 8a — throughput vs job frequency factor", "factor", &a).render()
+    );
+    let means = [0.10, 0.20, 0.30, 0.40, 0.50, 0.60];
+    let b = sweep_mean(&cfg, &means, 7.0);
+    println!(
+        "{}",
+        report("Fig 8b — throughput vs mean GPU demand", "mean demand", &b).render()
+    );
+    let stds = [0.02, 0.06, 0.10, 0.14, 0.20];
+    let c = sweep_variance(&cfg, &stds, 7.0);
+    println!(
+        "{}",
+        report("Fig 8c — throughput vs demand std-dev", "demand std", &c).render()
+    );
+}

@@ -1,0 +1,18 @@
+//! Regenerates paper Fig. 9: GPU utilization and active GPUs over time.
+
+use ks_bench::fig8::Fig8Config;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let cfg = if quick {
+        Fig8Config {
+            jobs: 150,
+            runs: 1,
+            ..Fig8Config::default()
+        }
+    } else {
+        Fig8Config::default()
+    };
+    let r = ks_bench::fig9::run(&cfg, 7.0);
+    println!("{}", ks_bench::fig9::report(&r).render());
+}

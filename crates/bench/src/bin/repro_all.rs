@@ -1,0 +1,72 @@
+//! One-shot reproduction report: runs every experiment at reduced scale
+//! and prints the full set of tables (≈1–2 minutes in release mode).
+//!
+//! ```text
+//! cargo run --release -p ks-bench --bin repro_all
+//! ```
+
+use ks_bench::fig13::Fig13Config;
+use ks_bench::fig8::Fig8Config;
+
+fn main() {
+    println!("KubeShare (HPDC '20) — full reproduction sweep (reduced scale)\n");
+
+    println!("{}", ks_bench::table1::report().render());
+    println!("{}", ks_bench::fig3::report().render());
+
+    let f5 = ks_bench::fig5::run(&ks_bench::fig5::default_rates(), 42);
+    println!("{}", ks_bench::fig5::report(&f5).render());
+
+    let f6 = ks_bench::fig6::run(42);
+    println!("{}", ks_bench::fig6::report(&f6).render());
+
+    let f7 = ks_bench::fig7::run(&ks_bench::fig7::default_quotas(), 42);
+    println!("{}", ks_bench::fig7::report(&f7).render());
+
+    let cfg8 = Fig8Config {
+        jobs: 150,
+        runs: 1,
+        ..Fig8Config::default()
+    };
+    let a = ks_bench::fig8::sweep_frequency(&cfg8, &[1.0, 3.0, 6.0, 9.0, 12.0]);
+    println!(
+        "{}",
+        ks_bench::fig8::report("Fig 8a — throughput vs job frequency factor", "factor", &a)
+            .render()
+    );
+    let b = ks_bench::fig8::sweep_mean(&cfg8, &[0.1, 0.3, 0.5, 0.6], 7.0);
+    println!(
+        "{}",
+        ks_bench::fig8::report("Fig 8b — throughput vs mean GPU demand", "mean", &b).render()
+    );
+    let c = ks_bench::fig8::sweep_variance(&cfg8, &[0.02, 0.1, 0.2], 7.0);
+    println!(
+        "{}",
+        ks_bench::fig8::report("Fig 8c — throughput vs demand std-dev", "std", &c).render()
+    );
+
+    let f9 = ks_bench::fig9::run(&cfg8, 7.0);
+    println!("{}", ks_bench::fig9::report(&f9).render());
+
+    let f10 = ks_bench::fig10::run(&[1, 8, 32]);
+    println!("{}", ks_bench::fig10::report(&f10).render());
+
+    let f11 = ks_bench::fig11::run(&ks_bench::fig11::default_sizes(), 1_000);
+    println!("{}", ks_bench::fig11::report(&f11).render());
+
+    let (f12, solo_a, solo_b) = ks_bench::fig12::run(42);
+    println!("standalone runtimes: A = {solo_a:.1}s, B = {solo_b:.1}s");
+    println!("{}", ks_bench::fig12::report(&f12).render());
+
+    let cfg13 = Fig13Config {
+        jobs: 64,
+        duration_s: 60,
+        ..Fig13Config::default()
+    };
+    let f13 = ks_bench::fig13::run(&cfg13, &ks_bench::fig13::default_ratios());
+    println!("{}", ks_bench::fig13::report(&f13).render());
+
+    println!("{}", ks_bench::ablation::report().render());
+
+    println!("done — see EXPERIMENTS.md for paper-vs-measured discussion.");
+}

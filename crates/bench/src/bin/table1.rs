@@ -1,0 +1,5 @@
+//! Regenerates paper Table 1: the GPU-sharing feature matrix.
+
+fn main() {
+    println!("{}", ks_bench::table1::report().render());
+}

@@ -1,0 +1,117 @@
+//! Workload-trace utility: generate, inspect and replay frozen workloads.
+//!
+//! ```text
+//! cargo run --release -p ks-bench --bin trace_tool -- generate out.json \
+//!     [--jobs N] [--mean F] [--std F] [--interarrival SECS] [--seed N]
+//! cargo run --release -p ks-bench --bin trace_tool -- inspect out.json
+//! cargo run --release -p ks-bench --bin trace_tool -- replay out.json
+//! ```
+//!
+//! `replay` runs the trace through both systems (native Kubernetes and
+//! KubeShare) on the paper's 32-GPU testbed and prints throughputs —
+//! a single pinned-input data point of Fig. 8.
+
+use std::process::ExitCode;
+
+use ks_bench::fig8::{run_kubeshare, run_native, Fig8Config};
+use ks_sim_core::time::SimDuration;
+use ks_workloads::generator::{JobSizing, WorkloadParams};
+use ks_workloads::trace::Trace;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: trace_tool <generate|inspect|replay> <file.json> [options]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (Some(cmd), Some(path)) = (args.first(), args.get(1)) else {
+        return usage();
+    };
+    match cmd.as_str() {
+        "generate" => generate(path, &args[2..]),
+        "inspect" => inspect(path),
+        "replay" => replay(path),
+        _ => usage(),
+    }
+}
+
+fn flag(args: &[String], name: &str) -> Option<f64> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+fn generate(path: &str, opts: &[String]) -> ExitCode {
+    let params = WorkloadParams {
+        jobs: flag(opts, "--jobs").unwrap_or(150.0) as u32,
+        mean_interarrival: SimDuration::from_secs_f64(flag(opts, "--interarrival").unwrap_or(1.0)),
+        demand_mean: flag(opts, "--mean").unwrap_or(0.3),
+        demand_std: flag(opts, "--std").unwrap_or(0.1),
+        sizing: JobSizing::FixedDuration(SimDuration::from_secs(40)),
+        kernel: SimDuration::from_millis(20),
+        seed: flag(opts, "--seed").unwrap_or(42.0) as u64,
+    };
+    let trace = Trace::generate(
+        format!(
+            "fig8-style workload: {} jobs, demand ~N({}, {}²)",
+            params.jobs, params.demand_mean, params.demand_std
+        ),
+        &params,
+    );
+    if let Err(e) = std::fs::write(path, trace.to_json()) {
+        eprintln!("cannot write {path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {} jobs to {path}", trace.jobs.len());
+    ExitCode::SUCCESS
+}
+
+fn load(path: &str) -> Result<Trace, ExitCode> {
+    let json = std::fs::read_to_string(path).map_err(|e| {
+        eprintln!("cannot read {path}: {e}");
+        ExitCode::FAILURE
+    })?;
+    Trace::from_json(&json).map_err(|e| {
+        eprintln!("invalid trace {path}: {e}");
+        ExitCode::FAILURE
+    })
+}
+
+fn inspect(path: &str) -> ExitCode {
+    let trace = match load(path) {
+        Ok(t) => t,
+        Err(c) => return c,
+    };
+    let jobs = trace.to_generated();
+    let n = jobs.len();
+    let mean_demand: f64 = jobs.iter().map(|j| j.demand).sum::<f64>() / n.max(1) as f64;
+    let span = jobs.last().map(|j| j.arrival.as_secs_f64()).unwrap_or(0.0);
+    println!("trace: {}", trace.description);
+    println!("jobs: {n}");
+    println!("mean demand: {mean_demand:.3}");
+    println!(
+        "arrival span: {span:.1}s ({:.1} jobs/min)",
+        n as f64 / (span / 60.0).max(1e-9)
+    );
+    ExitCode::SUCCESS
+}
+
+fn replay(path: &str) -> ExitCode {
+    let trace = match load(path) {
+        Ok(t) => t,
+        Err(c) => return c,
+    };
+    let jobs = trace.to_generated();
+    let cfg = Fig8Config::default();
+    let k8s = run_native(&cfg, &jobs, 1);
+    let ks = run_kubeshare(&cfg, &jobs, 1);
+    println!(
+        "replayed {} jobs on the 8-node / 32-GPU testbed:",
+        jobs.len()
+    );
+    println!("  Kubernetes: {k8s:.1} jobs/min");
+    println!("  KubeShare:  {ks:.1} jobs/min ({:.2}x)", ks / k8s);
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,192 @@
+//! Fig. 10: pod-creation overhead of KubeShare vs native Kubernetes under
+//! concurrent creation requests (§5.4).
+//!
+//! Three series over the number of simultaneous creation requests:
+//!
+//! * native Kubernetes pods,
+//! * KubeShare sharePods **without** vGPU creation (a suitable idle vGPU
+//!   already exists in the pool) — expected ≈ +15 %,
+//! * KubeShare sharePods **with** vGPU creation (anchor pod must be
+//!   launched first) — expected ≈ 2×.
+//!
+//! The absolute KubeShare overhead stays constant as concurrency grows.
+
+use ks_sim_core::rng::SimRng;
+use ks_sim_core::time::{SimDuration, SimTime};
+use ks_vgpu::{ShareSpec, VgpuConfig};
+use ks_workloads::job::JobKind;
+use kubeshare::locality::Locality;
+use kubeshare::system::{KsConfig, PoolPolicy};
+
+use crate::harness::jobs::JobSpec;
+use crate::harness::ks_world::KsHarness;
+use crate::harness::native_world::NativeHarness;
+use crate::report::{f3, Table};
+
+/// Mean creation latencies (seconds) at one concurrency level.
+#[derive(Debug, Clone, Copy)]
+pub struct Point {
+    /// Simultaneous creation requests.
+    pub concurrency: u32,
+    /// Native Kubernetes pod creation time.
+    pub kubernetes: f64,
+    /// KubeShare without vGPU creation.
+    pub kubeshare_reuse: f64,
+    /// KubeShare with vGPU creation.
+    pub kubeshare_create: f64,
+}
+
+fn tiny_job(name: String, arrival: SimTime) -> JobSpec {
+    JobSpec {
+        name,
+        kind: JobKind::Training {
+            steps: 1,
+            kernel: SimDuration::from_millis(10),
+            duty: 1.0,
+        },
+        // Whole-GPU demand so every request needs its own vGPU.
+        share: ShareSpec::exclusive(),
+        locality: Locality::none(),
+        arrival,
+    }
+}
+
+fn mean_creation(jobs: &[crate::harness::jobs::JobRecord], from: SimTime) -> f64 {
+    let samples: Vec<f64> = jobs
+        .iter()
+        .filter(|j| j.spec.arrival >= from)
+        .map(|j| {
+            j.started
+                .expect("measured job started")
+                .saturating_since(j.spec.arrival)
+                .as_secs_f64()
+        })
+        .collect();
+    assert!(!samples.is_empty());
+    samples.iter().sum::<f64>() / samples.len() as f64
+}
+
+/// Native Kubernetes: `n` concurrent single-GPU pods on a big cluster.
+fn native_creation(n: u32) -> f64 {
+    let mut h = NativeHarness::new(crate::harness::cluster_config(8, 4));
+    let mut rng = SimRng::seed_from_u64(1);
+    for i in 0..n {
+        h.add_job(tiny_job(format!("p{i}"), SimTime::ZERO), rng.fork());
+    }
+    h.run(10_000_000);
+    mean_creation(&h.eng.world.jobs, SimTime::ZERO)
+}
+
+/// KubeShare with fresh vGPU creation for every request.
+fn kubeshare_create(n: u32) -> f64 {
+    let mut h = KsHarness::new(
+        crate::harness::cluster_config(8, 4),
+        KsConfig::default(),
+        VgpuConfig::default(),
+    );
+    let mut rng = SimRng::seed_from_u64(2);
+    for i in 0..n {
+        h.add_job(tiny_job(format!("sp{i}"), SimTime::ZERO), rng.fork());
+    }
+    h.run(50_000_000);
+    mean_creation(&h.eng.world.jobs, SimTime::ZERO)
+}
+
+/// KubeShare with idle vGPUs already in the pool: a reservation-policy
+/// warm-up wave creates (and abandons) the vGPUs, then the measured wave
+/// reuses them.
+fn kubeshare_reuse(n: u32) -> f64 {
+    let mut h = KsHarness::new(
+        crate::harness::cluster_config(8, 4),
+        KsConfig {
+            pool_policy: PoolPolicy::Reservation { max_idle: 32 },
+            ..KsConfig::default()
+        },
+        VgpuConfig::default(),
+    );
+    let mut rng = SimRng::seed_from_u64(3);
+    for i in 0..n {
+        h.add_job(tiny_job(format!("warm{i}"), SimTime::ZERO), rng.fork());
+    }
+    let measured_at = SimTime::from_secs(120);
+    for i in 0..n {
+        h.add_job(tiny_job(format!("sp{i}"), measured_at), rng.fork());
+    }
+    h.run(100_000_000);
+    mean_creation(&h.eng.world.jobs, measured_at)
+}
+
+/// Runs the concurrency sweep.
+pub fn run(concurrency: &[u32]) -> Vec<Point> {
+    concurrency
+        .iter()
+        .map(|&n| Point {
+            concurrency: n,
+            kubernetes: native_creation(n),
+            kubeshare_reuse: kubeshare_reuse(n),
+            kubeshare_create: kubeshare_create(n),
+        })
+        .collect()
+}
+
+/// The paper's sweep.
+pub fn default_concurrency() -> Vec<u32> {
+    vec![1, 2, 4, 8, 16, 32]
+}
+
+/// Renders the figure data.
+pub fn report(points: &[Point]) -> Table {
+    let mut t = Table::new(
+        "Fig 10 — pod creation time (s) vs concurrent requests",
+        &[
+            "concurrent",
+            "Kubernetes",
+            "KubeShare w/o vGPU create",
+            "KubeShare w/ vGPU create",
+            "overhead w/o (abs s)",
+        ],
+    );
+    for p in points {
+        t.row(vec![
+            p.concurrency.to_string(),
+            f3(p.kubernetes),
+            f3(p.kubeshare_reuse),
+            f3(p.kubeshare_create),
+            f3(p.kubeshare_reuse - p.kubernetes),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overhead_bands_match_paper() {
+        let pts = run(&[1, 16]);
+        for p in &pts {
+            let reuse_ratio = p.kubeshare_reuse / p.kubernetes;
+            assert!(
+                (1.05..1.35).contains(&reuse_ratio),
+                "w/o creation should be ≈ +15%: {reuse_ratio} at n={}",
+                p.concurrency
+            );
+            let create_ratio = p.kubeshare_create / p.kubernetes;
+            assert!(
+                (1.7..2.5).contains(&create_ratio),
+                "w/ creation should be ≈ 2x: {create_ratio} at n={}",
+                p.concurrency
+            );
+        }
+        // Creation time grows with concurrency for both systems…
+        assert!(pts[1].kubernetes > pts[0].kubernetes);
+        // …but KubeShare's absolute overhead stays constant.
+        let o0 = pts[0].kubeshare_reuse - pts[0].kubernetes;
+        let o1 = pts[1].kubeshare_reuse - pts[1].kubernetes;
+        assert!(
+            (o0 - o1).abs() < 0.15,
+            "overhead must not grow with concurrency: {o0} vs {o1}"
+        );
+    }
+}

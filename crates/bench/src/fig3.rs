@@ -1,0 +1,62 @@
+//! Fig. 3 (motivation): resource fragmentation under device-blind
+//! round-robin binding vs. locality-aware placement.
+
+use ks_baselines::fragmentation::{
+    fig3_demands, place_locality_aware, place_round_robin, PlacementReport,
+};
+
+use crate::report::{f3, Table};
+
+/// Both placements of the paper's six-container example on 4 GPUs.
+pub fn run() -> (PlacementReport, PlacementReport) {
+    let demands = fig3_demands();
+    (
+        place_round_robin(&demands, 4),
+        place_locality_aware(&demands, 4),
+    )
+}
+
+/// Renders the comparison.
+pub fn report() -> Table {
+    let (rr, aware) = run();
+    let mut t = Table::new(
+        "Fig 3 — GPU load per placement policy (6 containers, 4 GPUs)",
+        &["gpu", "round-robin load", "locality-aware load"],
+    );
+    for g in 0..4 {
+        t.row(vec![
+            format!("GPU {g}"),
+            f3(rr.gpu_load[g]),
+            f3(aware.gpu_load[g]),
+        ]);
+    }
+    t.row(vec![
+        "active GPUs".into(),
+        rr.active_gpus().to_string(),
+        aware.active_gpus().to_string(),
+    ]);
+    t.row(vec![
+        "over-committed".into(),
+        rr.overcommitted_gpus().to_string(),
+        aware.overcommitted_gpus().to_string(),
+    ]);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn locality_aware_uses_half_the_gpus() {
+        let (rr, aware) = run();
+        assert_eq!(rr.active_gpus(), 4);
+        assert_eq!(aware.active_gpus(), 2);
+        assert_eq!(aware.overcommitted_gpus(), 0);
+    }
+
+    #[test]
+    fn report_has_six_rows() {
+        assert_eq!(report().len(), 6);
+    }
+}

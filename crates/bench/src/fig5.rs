@@ -1,0 +1,90 @@
+//! Fig. 5: TF-Serving GPU usage is proportional to the client request
+//! rate — the property §5.3's workloads are built on.
+
+use ks_sim_core::rng::SimRng;
+use ks_sim_core::time::{SimDuration, SimTime};
+use ks_vgpu::{IsolationMode, ShareSpec, VgpuConfig};
+use ks_workloads::presets::tf_serving;
+
+use crate::harness::singlegpu::{SgJob, SingleGpu};
+use crate::report::{f1, f3, Table};
+
+/// One measured point.
+#[derive(Debug, Clone, Copy)]
+pub struct Point {
+    /// Client request rate (req/s).
+    pub rate: f64,
+    /// Mean NVML GPU utilization while serving.
+    pub utilization: f64,
+}
+
+/// Runs the rate sweep: one TF-Serving container alone on a V100.
+pub fn run(rates: &[f64], seed: u64) -> Vec<Point> {
+    rates
+        .iter()
+        .map(|&rate| {
+            let mut h = SingleGpu::new(VgpuConfig::default(), IsolationMode::FULL);
+            // Enough requests for ~120 s of serving.
+            let total = (rate * 120.0).round().max(20.0) as u32;
+            h.add_job(
+                SgJob {
+                    kind: tf_serving(rate, total),
+                    share: ShareSpec::exclusive(),
+                    arrival: SimTime::ZERO,
+                },
+                SimRng::seed_from_u64(seed),
+            );
+            h.enable_sampling(SimDuration::from_secs(5));
+            h.run(50_000_000);
+            // Skip the warm-up sample; average the rest.
+            let pts = h.eng.world.util.points();
+            let used: Vec<f64> = pts.iter().skip(1).map(|&(_, v)| v).collect();
+            let utilization = if used.is_empty() {
+                h.eng.world.util.mean()
+            } else {
+                used.iter().sum::<f64>() / used.len() as f64
+            };
+            Point { rate, utilization }
+        })
+        .collect()
+}
+
+/// The paper's qualitative sweep.
+pub fn default_rates() -> Vec<f64> {
+    vec![2.0, 5.0, 10.0, 15.0, 20.0, 25.0, 30.0, 40.0]
+}
+
+/// Renders the figure data.
+pub fn report(points: &[Point]) -> Table {
+    let mut t = Table::new(
+        "Fig 5 — TF-Serving GPU usage vs client request rate (20 ms/req forward pass)",
+        &["requests/s", "gpu util", "predicted rate*kernel"],
+    );
+    for p in points {
+        t.row(vec![f1(p.rate), f3(p.utilization), f3(p.rate * 0.020)]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilization_tracks_rate() {
+        let pts = run(&[5.0, 15.0, 30.0], 7);
+        // Monotone increasing.
+        assert!(pts[0].utilization < pts[1].utilization);
+        assert!(pts[1].utilization < pts[2].utilization);
+        // Close to rate × 20 ms (±0.08 absolute: Poisson noise + warm-up).
+        for p in &pts {
+            let predicted = p.rate * 0.020;
+            assert!(
+                (p.utilization - predicted).abs() < 0.08,
+                "rate {}: util {} vs predicted {predicted}",
+                p.rate,
+                p.utilization
+            );
+        }
+    }
+}

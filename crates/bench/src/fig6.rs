@@ -1,0 +1,170 @@
+//! Fig. 6: GPU isolation and elastic allocation among three training jobs
+//! on one shared GPU.
+//!
+//! Job A arrives at 0 s (request 0.3, limit 0.6), Job B at 200 s (0.4,
+//! 0.6), Job C at 400 s (0.3, 0.5) and completes around 660 s. The paper's
+//! expected usage phases:
+//!
+//! | window       | A    | B    | C    |
+//! |--------------|------|------|------|
+//! | 0–200 s      | 0.6  | —    | —    | (limit caps A)
+//! | 200–400 s    | 0.5  | 0.5  | —    | (fair elastic split)
+//! | 400–660 s    | ≈req | ≈req | ≈req | (fully subscribed)
+//! | after 660 s  | 0.5  | 0.5  | —    | (C's share redistributed)
+//!
+//! and overall utilization stays ≈100 % after 200 s. (In the fully
+//! subscribed phase the paper's text lists A=0.4/B=0.3; the mechanism it
+//! describes yields each job its own request — A=0.3/B=0.4 — which is what
+//! this harness measures and asserts. See EXPERIMENTS.md.)
+
+use ks_sim_core::rng::SimRng;
+use ks_sim_core::time::{SimDuration, SimTime};
+use ks_vgpu::{IsolationMode, VgpuConfig};
+use ks_workloads::presets::{fig6_job_a, fig6_job_b, fig6_job_c};
+
+use crate::harness::singlegpu::{SgJob, SingleGpu};
+use crate::report::{f3, Table};
+
+/// Mean usage of each job (and device utilization) in one phase.
+#[derive(Debug, Clone, Copy)]
+pub struct Phase {
+    /// Phase start (s).
+    pub from_s: u64,
+    /// Phase end (s).
+    pub to_s: u64,
+    /// Mean usage of job A, if present.
+    pub a: Option<f64>,
+    /// Mean usage of job B, if present.
+    pub b: Option<f64>,
+    /// Mean usage of job C, if present.
+    pub c: Option<f64>,
+    /// Mean NVML utilization of the device.
+    pub util: f64,
+}
+
+/// Full experiment output.
+pub struct Fig6Result {
+    /// Phase means.
+    pub phases: Vec<Phase>,
+    /// When job C finished.
+    pub c_finished: SimTime,
+    /// Sampled usage time series per job, for plotting.
+    pub harness: SingleGpu,
+}
+
+/// Runs the experiment.
+pub fn run(seed: u64) -> Fig6Result {
+    let mut h = SingleGpu::new(VgpuConfig::default(), IsolationMode::FULL);
+    let presets = [
+        (fig6_job_a(), 0u64),
+        (fig6_job_b(), 200),
+        (fig6_job_c(), 400),
+    ];
+    let mut rng = SimRng::seed_from_u64(seed);
+    for (preset, arrival) in presets {
+        h.add_job(
+            SgJob {
+                kind: preset.kind,
+                share: preset.share,
+                arrival: SimTime::from_secs(arrival),
+            },
+            rng.fork(),
+        );
+    }
+    h.enable_sampling(SimDuration::from_secs(10));
+    // A and B are sized to outlive the window; stop the run at 800 s.
+    h.run_until_horizon(SimTime::from_secs(800));
+
+    let c_finished = h.eng.world.jobs[2].finished.expect("C finishes");
+    let c_end_s = c_finished.as_secs_f64() as u64;
+    let windows: Vec<(u64, u64)> = vec![
+        (40, 200),
+        (240, 400),
+        (440, c_end_s.saturating_sub(10)),
+        (c_end_s + 40, 790),
+    ];
+    let mean_of = |job: usize, from: u64, to: u64| {
+        h.eng.world.jobs[job]
+            .usage
+            .mean_in(SimTime::from_secs(from), SimTime::from_secs(to))
+    };
+    let phases = windows
+        .iter()
+        .map(|&(from_s, to_s)| Phase {
+            from_s,
+            to_s,
+            a: mean_of(0, from_s, to_s),
+            b: mean_of(1, from_s, to_s),
+            c: mean_of(2, from_s, to_s),
+            util: h
+                .eng
+                .world
+                .util
+                .mean_in(SimTime::from_secs(from_s), SimTime::from_secs(to_s))
+                .unwrap_or(0.0),
+        })
+        .collect();
+    Fig6Result {
+        phases,
+        c_finished,
+        harness: h,
+    }
+}
+
+impl SingleGpu {
+    /// Runs until the horizon (helper for open-ended Fig. 6-style runs).
+    pub fn run_until_horizon(&mut self, t: SimTime) {
+        self.eng.run_until(t);
+    }
+}
+
+/// Renders phase means.
+pub fn report(r: &Fig6Result) -> Table {
+    let opt = |v: Option<f64>| v.map(f3).unwrap_or_else(|| "-".into());
+    let mut t = Table::new(
+        "Fig 6 — per-job GPU usage by phase (request, limit): A(0.3,0.6) B(0.4,0.6) C(0.3,0.5)",
+        &["phase", "job A", "job B", "job C", "device util"],
+    );
+    for p in &r.phases {
+        t.row(vec![
+            format!("{}-{}s", p.from_s, p.to_s),
+            opt(p.a),
+            opt(p.b),
+            opt(p.c),
+            f3(p.util),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phases_match_paper_shape() {
+        let r = run(11);
+        let tol = 0.07;
+        // Phase 1: A alone, capped at its 0.6 limit.
+        let p1 = &r.phases[0];
+        assert!((p1.a.unwrap() - 0.6).abs() < tol, "phase1 A {:?}", p1.a);
+        // Phase 2: A and B split elastically to 0.5 each.
+        let p2 = &r.phases[1];
+        assert!((p2.a.unwrap() - 0.5).abs() < tol, "phase2 A {:?}", p2.a);
+        assert!((p2.b.unwrap() - 0.5).abs() < tol, "phase2 B {:?}", p2.b);
+        assert!(p2.util > 0.9, "full utilization from 200s: {}", p2.util);
+        // Phase 3: fully subscribed — everyone at their gpu_request.
+        let p3 = &r.phases[2];
+        assert!((p3.a.unwrap() - 0.3).abs() < tol, "phase3 A {:?}", p3.a);
+        assert!((p3.b.unwrap() - 0.4).abs() < tol, "phase3 B {:?}", p3.b);
+        assert!((p3.c.unwrap() - 0.3).abs() < tol, "phase3 C {:?}", p3.c);
+        assert!(p3.util > 0.9);
+        // C completes in the paper's ballpark (≈660 s).
+        let c_end = r.c_finished.as_secs_f64();
+        assert!((600.0..=720.0).contains(&c_end), "C finished at {c_end}");
+        // Phase 4: C's share redistributed to A and B.
+        let p4 = &r.phases[3];
+        assert!((p4.a.unwrap() - 0.5).abs() < tol, "phase4 A {:?}", p4.a);
+        assert!((p4.b.unwrap() - 0.5).abs() < tol, "phase4 B {:?}", p4.b);
+    }
+}

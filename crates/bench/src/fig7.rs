@@ -1,0 +1,116 @@
+//! Fig. 7: performance impact of the token time-quota setting.
+//!
+//! One training job runs alone under the device library with quotas from
+//! 30 ms to 160 ms; throughput is normalized to the same job run *without*
+//! the library. The paper reports ≤5 % slowdown even at 30 ms; the cost
+//! model is one handoff round trip (≈1.5 ms) per quota expiry, i.e.
+//! slowdown ≈ handoff / (quota + handoff).
+
+use ks_sim_core::rng::SimRng;
+use ks_sim_core::time::{SimDuration, SimTime};
+use ks_vgpu::{IsolationMode, ShareSpec, VgpuConfig};
+use ks_workloads::job::JobKind;
+
+use crate::harness::singlegpu::{SgJob, SingleGpu};
+use crate::report::{f3, Table};
+
+/// One measured point.
+#[derive(Debug, Clone, Copy)]
+pub struct Point {
+    /// Token quota in ms.
+    pub quota_ms: u64,
+    /// Throughput normalized to the no-library baseline.
+    pub normalized_throughput: f64,
+}
+
+fn job() -> SgJob {
+    SgJob {
+        kind: JobKind::Training {
+            steps: 3_000,
+            kernel: SimDuration::from_millis(10),
+            duty: 1.0,
+        },
+        share: ShareSpec::exclusive(),
+        arrival: SimTime::ZERO,
+    }
+}
+
+fn runtime(cfg: VgpuConfig, mode: IsolationMode, seed: u64) -> f64 {
+    let mut h = SingleGpu::new(cfg, mode);
+    h.add_job(job(), SimRng::seed_from_u64(seed));
+    h.run(10_000_000);
+    h.eng.world.jobs[0].runtime().expect("job completes")
+}
+
+/// Runs the quota sweep.
+pub fn run(quotas_ms: &[u64], seed: u64) -> Vec<Point> {
+    let baseline = runtime(VgpuConfig::default(), IsolationMode::NONE, seed);
+    quotas_ms
+        .iter()
+        .map(|&quota_ms| {
+            let cfg = VgpuConfig {
+                quota: SimDuration::from_millis(quota_ms),
+                ..VgpuConfig::default()
+            };
+            let t = runtime(cfg, IsolationMode::FULL, seed);
+            Point {
+                quota_ms,
+                normalized_throughput: baseline / t,
+            }
+        })
+        .collect()
+}
+
+/// The paper's quota settings.
+pub fn default_quotas() -> Vec<u64> {
+    vec![30, 50, 80, 100, 130, 160]
+}
+
+/// Renders the figure data.
+pub fn report(points: &[Point]) -> Table {
+    let mut t = Table::new(
+        "Fig 7 — normalized training throughput vs token time quota (baseline: no device library)",
+        &["quota (ms)", "normalized throughput", "model: q/(q+1.5ms)"],
+    );
+    for p in points {
+        let model = p.quota_ms as f64 / (p.quota_ms as f64 + 1.5);
+        t.row(vec![
+            p.quota_ms.to_string(),
+            f3(p.normalized_throughput),
+            f3(model),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slowdown_within_5_percent_even_at_30ms() {
+        let pts = run(&[30, 100, 160], 3);
+        for p in &pts {
+            assert!(
+                p.normalized_throughput >= 0.95,
+                "quota {}ms: {}",
+                p.quota_ms,
+                p.normalized_throughput
+            );
+            assert!(p.normalized_throughput <= 1.0 + 1e-9);
+        }
+        // Larger quota → lower overhead.
+        assert!(pts[0].normalized_throughput < pts[2].normalized_throughput);
+    }
+
+    #[test]
+    fn overhead_matches_handoff_model() {
+        let pts = run(&[50], 3);
+        let model = 50.0 / 51.5;
+        assert!(
+            (pts[0].normalized_throughput - model).abs() < 0.01,
+            "measured {} vs model {model}",
+            pts[0].normalized_throughput
+        );
+    }
+}

@@ -1,0 +1,211 @@
+//! Fig. 9: average GPU utilization and number of active GPUs over time
+//! for one workload run (mean demand 30 %), KubeShare vs Kubernetes.
+//!
+//! Expected shape: KubeShare drives active GPUs to higher utilization,
+//! finishes the workload earlier, and holds *fewer* than 32 GPUs most of
+//! the time; Kubernetes keeps all 32 GPUs allocated yet less utilized and
+//! takes longer.
+
+use ks_sim_core::rng::SimRng;
+use ks_sim_core::time::{SimDuration, SimTime};
+use ks_vgpu::VgpuConfig;
+use ks_workloads::generator::{generate, JobSizing, WorkloadParams};
+use kubeshare::locality::Locality;
+use kubeshare::system::KsConfig;
+
+use crate::fig8::Fig8Config;
+use crate::harness::jobs::JobSpec;
+use crate::harness::ks_world::KsHarness;
+use crate::harness::native_world::NativeHarness;
+use crate::report::{f1, f3, Table};
+
+/// Result of one system's run.
+pub struct SystemTimeline {
+    /// `(bucket_start, mean utilization)` series.
+    pub util: Vec<(SimTime, f64)>,
+    /// `(bucket_start, active GPUs)` series.
+    pub active: Vec<(SimTime, f64)>,
+    /// Workload makespan.
+    pub makespan: SimTime,
+}
+
+/// Both timelines.
+pub struct Fig9Result {
+    /// KubeShare run.
+    pub kubeshare: SystemTimeline,
+    /// Native Kubernetes run.
+    pub kubernetes: SystemTimeline,
+}
+
+/// Runs the experiment once (the paper plots a single run on purpose, to
+/// show the fluctuations).
+pub fn run(cfg: &Fig8Config, frequency_factor: f64) -> Fig9Result {
+    let jobs = generate(&WorkloadParams {
+        jobs: cfg.jobs,
+        mean_interarrival: cfg.base_interarrival.mul_f64(1.0 / frequency_factor),
+        demand_mean: 0.30,
+        demand_std: 0.14, // the paper's "variance 2" setting
+        sizing: JobSizing::FixedDuration(cfg.duration),
+        kernel: SimDuration::from_millis(20),
+        seed: cfg.seed,
+    });
+    let to_spec = |j: &ks_workloads::generator::GeneratedJob| JobSpec {
+        name: format!("inf-{}", j.index),
+        kind: j.kind.clone(),
+        share: j.share,
+        locality: Locality::none(),
+        arrival: j.arrival,
+    };
+    let bucket = SimDuration::from_secs(30);
+
+    let mut ksh = KsHarness::new(
+        crate::harness::cluster_config(cfg.nodes, cfg.gpus_per_node),
+        KsConfig::default(),
+        VgpuConfig::default(),
+    );
+    let mut rng = SimRng::seed_from_u64(cfg.seed);
+    for j in &jobs {
+        ksh.add_job(to_spec(j), rng.fork());
+    }
+    ksh.enable_sampling(SimDuration::from_secs(5));
+    ksh.run(400_000_000);
+    let ks_summary = ksh.summary();
+    let kubeshare = SystemTimeline {
+        util: ksh
+            .eng
+            .world
+            .avg_util
+            .bucket_means(bucket)
+            .iter()
+            .map(|b| (b.start, b.mean))
+            .collect(),
+        active: ksh
+            .eng
+            .world
+            .active_gpus
+            .bucket_means(bucket)
+            .iter()
+            .map(|b| (b.start, b.mean))
+            .collect(),
+        makespan: ks_summary.makespan.expect("all jobs complete"),
+    };
+
+    let mut nat = NativeHarness::new(crate::harness::cluster_config(cfg.nodes, cfg.gpus_per_node));
+    let mut rng = SimRng::seed_from_u64(cfg.seed);
+    for j in &jobs {
+        nat.add_job(to_spec(j), rng.fork());
+    }
+    nat.enable_sampling(SimDuration::from_secs(5));
+    nat.run(400_000_000);
+    let nat_summary = nat.summary();
+    let kubernetes = SystemTimeline {
+        util: nat
+            .eng
+            .world
+            .avg_util
+            .bucket_means(bucket)
+            .iter()
+            .map(|b| (b.start, b.mean))
+            .collect(),
+        active: nat
+            .eng
+            .world
+            .active_gpus
+            .bucket_means(bucket)
+            .iter()
+            .map(|b| (b.start, b.mean))
+            .collect(),
+        makespan: nat_summary.makespan.expect("all jobs complete"),
+    };
+    Fig9Result {
+        kubeshare,
+        kubernetes,
+    }
+}
+
+/// Renders the two timelines side by side.
+pub fn report(r: &Fig9Result) -> Table {
+    let mut t = Table::new(
+        "Fig 9 — mean GPU utilization and active GPUs over time (30s buckets)",
+        &["t (s)", "KS util", "KS active", "K8s util", "K8s active"],
+    );
+    let n = r.kubeshare.util.len().max(r.kubernetes.util.len());
+    for i in 0..n {
+        let cell = |s: &[(SimTime, f64)], f: fn(f64) -> String| {
+            s.get(i).map(|&(_, v)| f(v)).unwrap_or_else(|| "-".into())
+        };
+        let time = r
+            .kubeshare
+            .util
+            .get(i)
+            .or_else(|| r.kubernetes.util.get(i))
+            .map(|&(t0, _)| t0.as_secs_f64())
+            .unwrap_or(0.0);
+        t.row(vec![
+            f1(time),
+            cell(&r.kubeshare.util, f3),
+            cell(&r.kubeshare.active, f1),
+            cell(&r.kubernetes.util, f3),
+            cell(&r.kubernetes.active, f1),
+        ]);
+    }
+    t.row(vec![
+        "makespan".into(),
+        f1(r.kubeshare.makespan.as_secs_f64()),
+        "-".into(),
+        f1(r.kubernetes.makespan.as_secs_f64()),
+        "-".into(),
+    ]);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kubeshare_finishes_earlier_with_fewer_gpus() {
+        let cfg = Fig8Config::small();
+        let r = run(&cfg, 8.0);
+        assert!(
+            r.kubeshare.makespan < r.kubernetes.makespan,
+            "KubeShare {} vs Kubernetes {}",
+            r.kubeshare.makespan,
+            r.kubernetes.makespan
+        );
+        let total = (cfg.nodes as u32 * cfg.gpus_per_node) as f64;
+        // Kubernetes holds every GPU during the saturated middle phase.
+        let k8s_peak = r
+            .kubernetes
+            .active
+            .iter()
+            .map(|&(_, v)| v)
+            .fold(0.0, f64::max);
+        assert!(k8s_peak > total - 0.5, "K8s peak active {k8s_peak}");
+        // KubeShare's mean utilization during its busy phase beats K8s'.
+        let mean = |s: &[(SimTime, f64)]| {
+            let vals: Vec<f64> = s.iter().map(|&(_, v)| v).collect();
+            vals.iter().sum::<f64>() / vals.len().max(1) as f64
+        };
+        let ks_busy: Vec<(SimTime, f64)> = r
+            .kubeshare
+            .util
+            .iter()
+            .copied()
+            .filter(|&(_, v)| v > 0.05)
+            .collect();
+        let k8s_busy: Vec<(SimTime, f64)> = r
+            .kubernetes
+            .util
+            .iter()
+            .copied()
+            .filter(|&(_, v)| v > 0.05)
+            .collect();
+        assert!(
+            mean(&ks_busy) > mean(&k8s_busy),
+            "KubeShare util {} vs {}",
+            mean(&ks_busy),
+            mean(&k8s_busy)
+        );
+    }
+}

@@ -1,0 +1,189 @@
+//! Job bookkeeping shared by the KubeShare and native harness worlds.
+
+use ks_sim_core::histogram::Histogram;
+use ks_sim_core::time::SimTime;
+use ks_vgpu::{ClientId, ShareSpec};
+use ks_workloads::job::{JobDriver, JobKind};
+use kubeshare::locality::Locality;
+
+/// Static description of one experiment job.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// Display name.
+    pub name: String,
+    /// GPU behaviour.
+    pub kind: JobKind,
+    /// Fractional GPU demand (KubeShare path) — the native path ignores it
+    /// and requests a whole GPU.
+    pub share: ShareSpec,
+    /// Locality constraints (KubeShare path only).
+    pub locality: Locality,
+    /// Submission time.
+    pub arrival: SimTime,
+}
+
+/// Runtime record of one job.
+#[derive(Debug)]
+pub struct JobRecord {
+    /// The static spec.
+    pub spec: JobSpec,
+    /// The burst-generating state machine.
+    pub driver: JobDriver,
+    /// When the job's container reached Running.
+    pub started: Option<SimTime>,
+    /// When the job finished its work.
+    pub finished: Option<SimTime>,
+    /// Device binding once running: (gpu uuid, client id).
+    pub binding: Option<(String, ClientId)>,
+}
+
+impl JobRecord {
+    /// Creates the record with a driver seeded from `rng`.
+    pub fn new(spec: JobSpec, rng: ks_sim_core::rng::SimRng) -> Self {
+        let driver = JobDriver::new(spec.kind.clone(), rng);
+        JobRecord {
+            spec,
+            driver,
+            started: None,
+            finished: None,
+            binding: None,
+        }
+    }
+
+    /// Wall-clock runtime from container start to work completion.
+    pub fn runtime(&self) -> Option<SimTime> {
+        match (self.started, self.finished) {
+            (Some(s), Some(f)) => Some(SimTime::from_micros(
+                f.as_micros().saturating_sub(s.as_micros()),
+            )),
+            _ => None,
+        }
+    }
+
+    /// End-to-end latency from submission to completion.
+    pub fn turnaround(&self) -> Option<SimTime> {
+        self.finished.map(|f| {
+            SimTime::from_micros(f.as_micros().saturating_sub(self.spec.arrival.as_micros()))
+        })
+    }
+}
+
+/// Aggregate outcome of a workload run.
+#[derive(Debug, Clone)]
+pub struct RunSummary {
+    /// Jobs that completed.
+    pub completed: usize,
+    /// Total jobs.
+    pub total: usize,
+    /// Completion time of the last job (makespan), if all completed.
+    pub makespan: Option<SimTime>,
+    /// Throughput in jobs per minute over the makespan.
+    pub jobs_per_minute: Option<f64>,
+    /// Median turnaround (submission → completion) in seconds.
+    pub turnaround_p50: Option<f64>,
+    /// 95th-percentile turnaround in seconds.
+    pub turnaround_p95: Option<f64>,
+}
+
+/// Summarizes a slice of finished job records.
+pub fn summarize(jobs: &[JobRecord]) -> RunSummary {
+    let total = jobs.len();
+    let completed = jobs.iter().filter(|j| j.finished.is_some()).count();
+    let makespan = if completed == total && total > 0 {
+        jobs.iter().filter_map(|j| j.finished).max()
+    } else {
+        None
+    };
+    let jobs_per_minute = makespan.map(|m| total as f64 / (m.as_secs_f64() / 60.0));
+    let turnarounds: Vec<f64> = jobs
+        .iter()
+        .filter_map(|j| j.turnaround())
+        .map(|t| t.as_secs_f64())
+        .collect();
+    let (turnaround_p50, turnaround_p95) = if turnarounds.is_empty() {
+        (None, None)
+    } else {
+        let hi = turnarounds.iter().copied().fold(0.0, f64::max) + 1.0;
+        let mut h = Histogram::new(0.0, hi, 512);
+        for &t in &turnarounds {
+            h.record(t);
+        }
+        (h.quantile(0.5), h.quantile(0.95))
+    };
+    RunSummary {
+        completed,
+        total,
+        makespan,
+        jobs_per_minute,
+        turnaround_p50,
+        turnaround_p95,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ks_sim_core::rng::SimRng;
+    use ks_sim_core::time::SimDuration;
+
+    fn spec(arrival_s: u64) -> JobSpec {
+        JobSpec {
+            name: "j".into(),
+            kind: JobKind::Training {
+                steps: 1,
+                kernel: SimDuration::from_millis(10),
+                duty: 1.0,
+            },
+            share: ShareSpec::exclusive(),
+            locality: Locality::none(),
+            arrival: SimTime::from_secs(arrival_s),
+        }
+    }
+
+    #[test]
+    fn runtime_and_turnaround() {
+        let mut r = JobRecord::new(spec(10), SimRng::seed_from_u64(0));
+        r.started = Some(SimTime::from_secs(12));
+        r.finished = Some(SimTime::from_secs(20));
+        assert_eq!(r.runtime().unwrap(), SimTime::from_secs(8));
+        assert_eq!(r.turnaround().unwrap(), SimTime::from_secs(10));
+    }
+
+    #[test]
+    fn summary_of_incomplete_run_has_no_makespan() {
+        let mut a = JobRecord::new(spec(0), SimRng::seed_from_u64(0));
+        a.finished = Some(SimTime::from_secs(30));
+        let b = JobRecord::new(spec(0), SimRng::seed_from_u64(1));
+        let s = summarize(&[a, b]);
+        assert_eq!(s.completed, 1);
+        assert_eq!(s.total, 2);
+        assert!(s.makespan.is_none());
+    }
+
+    #[test]
+    fn turnaround_percentiles_ordered() {
+        let mut jobs = Vec::new();
+        for i in 1..=20u64 {
+            let mut r = JobRecord::new(spec(0), SimRng::seed_from_u64(i));
+            r.started = Some(SimTime::from_secs(1));
+            r.finished = Some(SimTime::from_secs(i * 5));
+            jobs.push(r);
+        }
+        let s = summarize(&jobs);
+        let (p50, p95) = (s.turnaround_p50.unwrap(), s.turnaround_p95.unwrap());
+        assert!(p50 < p95, "p50 {p50} < p95 {p95}");
+        assert!((40.0..=60.0).contains(&p50), "p50 {p50}");
+        assert!(p95 >= 90.0, "p95 {p95}");
+    }
+
+    #[test]
+    fn throughput_from_makespan() {
+        let mut a = JobRecord::new(spec(0), SimRng::seed_from_u64(0));
+        a.finished = Some(SimTime::from_secs(30));
+        let mut b = JobRecord::new(spec(0), SimRng::seed_from_u64(1));
+        b.finished = Some(SimTime::from_secs(60));
+        let s = summarize(&[a, b]);
+        assert_eq!(s.makespan.unwrap(), SimTime::from_secs(60));
+        assert!((s.jobs_per_minute.unwrap() - 2.0).abs() < 1e-9);
+    }
+}

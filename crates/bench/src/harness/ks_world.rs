@@ -1,0 +1,453 @@
+//! The end-to-end KubeShare world: control plane + per-GPU device library
+//! + job drivers, all on one discrete-event clock.
+//!
+//! This is the harness every KubeShare-side experiment runs on. It wires
+//! together the three layers the paper deploys:
+//!
+//! * [`KubeShareSystem`] — sharePods, Algorithm 1, DevMgr, anchor pods —
+//!   over a simulated Kubernetes cluster;
+//! * one [`SharedGpu`] per physical GPU (device + token backend), fully
+//!   isolated ([`IsolationMode::FULL`]);
+//! * [`ks_workloads`] job drivers issuing kernel bursts through the
+//!   intercepted CUDA path of whichever GPU their sharePod was bound to.
+
+use std::collections::{BTreeMap, HashMap};
+
+use ks_cluster::api::pod::PodSpec;
+use ks_cluster::api::{ResourceList, Uid};
+use ks_cluster::sim::ClusterConfig;
+use ks_gpu::device::{GpuDevice, GpuSpec};
+use ks_gpu::nvml::NvmlSampler;
+use ks_sim_core::prelude::*;
+use ks_vgpu::{ClientId, IsolationMode, SharedGpu, VgpuConfig, VgpuEvent, VgpuNotice};
+use ks_workloads::job::{JobCmd, JobInput};
+use kubeshare::sharepod::SharePodSpec;
+use kubeshare::system::{KsConfig, KsEvent, KsNotice, KubeShareSystem};
+
+use super::jobs::{summarize, JobRecord, JobSpec, RunSummary};
+
+/// Events of the composed world.
+pub enum KsWorldEvent {
+    /// Control-plane event.
+    Ks(KsEvent),
+    /// Device-library event on the GPU with this UUID.
+    Gpu(String, VgpuEvent),
+    /// Submit job `i` (its arrival time came).
+    Submit(usize),
+    /// Wake job `i`'s driver (think time / next request arrival).
+    Wake(usize),
+    /// Periodic NVML sampling tick.
+    Sample,
+}
+
+/// The world state.
+pub struct KsWorld {
+    /// KubeShare + Kubernetes.
+    pub ks: KubeShareSystem,
+    /// Device layer, keyed by GPU UUID.
+    pub gpus: BTreeMap<String, SharedGpu>,
+    /// All jobs of the experiment.
+    pub jobs: Vec<JobRecord>,
+    /// Jobs rejected by Algorithm 1 (constraint conflicts).
+    pub rejected: Vec<usize>,
+    sp_job: HashMap<Uid, usize>,
+    client_job: HashMap<(String, ClientId), usize>,
+    samplers: BTreeMap<String, NvmlSampler>,
+    /// Mean NVML utilization across all GPUs, per sample tick.
+    pub avg_util: TimeSeries,
+    /// Size of the vGPU pool (GPUs held by KubeShare), per sample tick.
+    pub active_gpus: TimeSeries,
+    sample_period: SimDuration,
+    total_gpus: usize,
+}
+
+impl KsWorld {
+    fn new(
+        cluster_cfg: ClusterConfig,
+        ks_cfg: KsConfig,
+        vgpu_cfg: VgpuConfig,
+        sample_period: SimDuration,
+    ) -> Self {
+        let mut gpus = BTreeMap::new();
+        let mut samplers = BTreeMap::new();
+        for node in &cluster_cfg.nodes {
+            for i in 0..node.gpus {
+                let device = GpuDevice::new(
+                    &node.name,
+                    i,
+                    GpuSpec {
+                        name: "Tesla V100-SXM2-16GB".into(),
+                        memory_bytes: node.gpu_memory_bytes,
+                    },
+                );
+                let uuid = device.uuid().to_string();
+                gpus.insert(
+                    uuid.clone(),
+                    SharedGpu::new(device, vgpu_cfg, IsolationMode::FULL),
+                );
+                samplers.insert(uuid, NvmlSampler::new(SimTime::ZERO));
+            }
+        }
+        let total_gpus = gpus.len();
+        KsWorld {
+            ks: KubeShareSystem::new(cluster_cfg, ks_cfg),
+            gpus,
+            jobs: Vec::new(),
+            rejected: Vec::new(),
+            sp_job: HashMap::new(),
+            client_job: HashMap::new(),
+            samplers,
+            avg_util: TimeSeries::new(),
+            active_gpus: TimeSeries::new(),
+            sample_period,
+            total_gpus,
+        }
+    }
+
+    /// Number of physical GPUs in the cluster.
+    pub fn total_gpus(&self) -> usize {
+        self.total_gpus
+    }
+
+    fn on_notice(&mut self, now: SimTime, notice: KsNotice, q: &mut EventQueue<KsWorldEvent>) {
+        match notice {
+            KsNotice::SharePodRunning {
+                sp, uuid, share, ..
+            } => {
+                let Some(&j) = self.sp_job.get(&sp) else {
+                    return;
+                };
+                let gpu = self.gpus.get_mut(&uuid).expect("gpu exists");
+                let client = gpu.attach(share);
+                // The job loads its model into device memory at startup —
+                // this exercises the memory guard.
+                let quota = (share.mem * gpu.device().memory().capacity() as f64) as u64;
+                if quota > 0 {
+                    gpu.mem_alloc(client, (quota as f64 * 0.8) as u64)
+                        .expect("within quota");
+                }
+                self.client_job.insert((uuid.clone(), client), j);
+                self.jobs[j].binding = Some((uuid, client));
+                self.jobs[j].started = Some(now);
+                let cmds = self.jobs[j].driver.step(now, JobInput::Start);
+                self.exec(now, j, cmds, q);
+            }
+            KsNotice::SharePodStopped { sp, uuid, .. } => {
+                let Some(&j) = self.sp_job.get(&sp) else {
+                    return;
+                };
+                if let Some((u, client)) = self.jobs[j].binding.clone() {
+                    debug_assert_eq!(u, uuid);
+                    let mut out = Vec::new();
+                    self.gpus.get_mut(&u).unwrap().detach(now, client, &mut out);
+                    push_gpu(q, &u, out);
+                }
+            }
+            KsNotice::SharePodRejected { sp, .. } => {
+                if let Some(&j) = self.sp_job.get(&sp) {
+                    self.rejected.push(j);
+                }
+            }
+            KsNotice::VgpuCreated { .. } | KsNotice::VgpuReleased { .. } | KsNotice::Cluster(_) => {
+            }
+        }
+    }
+
+    fn exec(
+        &mut self,
+        now: SimTime,
+        j: usize,
+        cmds: Vec<JobCmd>,
+        q: &mut EventQueue<KsWorldEvent>,
+    ) {
+        for cmd in cmds {
+            match cmd {
+                JobCmd::Submit { dur, tag } => {
+                    let (uuid, client) = self.jobs[j].binding.clone().expect("job bound");
+                    let mut out = Vec::new();
+                    self.gpus
+                        .get_mut(&uuid)
+                        .unwrap()
+                        .submit_burst(now, client, dur, tag, &mut out);
+                    push_gpu(q, &uuid, out);
+                }
+                JobCmd::WakeAt(at) => {
+                    q.schedule_at(at, KsWorldEvent::Wake(j));
+                }
+                JobCmd::Finished => {
+                    self.jobs[j].finished = Some(now);
+                    let sp = *self
+                        .sp_job
+                        .iter()
+                        .find(|(_, &job)| job == j)
+                        .map(|(sp, _)| sp)
+                        .expect("sharePod known");
+                    let mut out = Vec::new();
+                    let mut notes = Vec::new();
+                    self.ks.delete_sharepod(now, sp, &mut out, &mut notes);
+                    push_ks(q, out);
+                    for n in notes {
+                        self.on_notice(now, n, q);
+                    }
+                }
+            }
+        }
+    }
+
+    fn sample(&mut self, now: SimTime) {
+        let mut sum = 0.0;
+        for (uuid, sampler) in &mut self.samplers {
+            let gpu = &self.gpus[uuid];
+            sum += sampler.poll(now, gpu.device()).unwrap_or(0.0);
+        }
+        self.avg_util.push(now, sum / self.samplers.len() as f64);
+        self.active_gpus.push(now, self.ks.pool().len() as f64);
+    }
+}
+
+fn push_ks(q: &mut EventQueue<KsWorldEvent>, out: kubeshare::system::KsEmit) {
+    for (at, ev) in out {
+        q.schedule_at(at, KsWorldEvent::Ks(ev));
+    }
+}
+
+fn push_gpu(q: &mut EventQueue<KsWorldEvent>, uuid: &str, out: ks_vgpu::VgpuEmit) {
+    for (at, ev) in out {
+        q.schedule_at(at, KsWorldEvent::Gpu(uuid.to_string(), ev));
+    }
+}
+
+impl SimEvent<KsWorld> for KsWorldEvent {
+    fn fire(self, now: SimTime, w: &mut KsWorld, q: &mut EventQueue<Self>) {
+        match self {
+            KsWorldEvent::Submit(j) => {
+                let spec = &w.jobs[j].spec;
+                let sp_spec = SharePodSpec {
+                    pod: PodSpec::new("workload:latest", ResourceList::cpu_mem(1000, 1 << 30)),
+                    share: spec.share,
+                    gpuid: None,
+                    node_name: None,
+                    locality: spec.locality.clone(),
+                };
+                let name = spec.name.clone();
+                let mut out = Vec::new();
+                let sp = w.ks.submit_sharepod(now, name, sp_spec, &mut out);
+                w.sp_job.insert(sp, j);
+                push_ks(q, out);
+            }
+            KsWorldEvent::Ks(ev) => {
+                let mut out = Vec::new();
+                let mut notes = Vec::new();
+                w.ks.handle(now, ev, &mut out, &mut notes);
+                push_ks(q, out);
+                for n in notes {
+                    w.on_notice(now, n, q);
+                }
+            }
+            KsWorldEvent::Gpu(uuid, ev) => {
+                let mut out = Vec::new();
+                let mut notes = Vec::new();
+                w.gpus
+                    .get_mut(&uuid)
+                    .expect("gpu exists")
+                    .handle(now, ev, &mut out, &mut notes);
+                push_gpu(q, &uuid, out);
+                for n in notes {
+                    let VgpuNotice::BurstDone { client, tag } = n;
+                    if let Some(&j) = w.client_job.get(&(uuid.clone(), client)) {
+                        if w.jobs[j].finished.is_none() {
+                            let cmds = w.jobs[j].driver.step(now, JobInput::BurstDone { tag });
+                            w.exec(now, j, cmds, q);
+                        }
+                    }
+                }
+            }
+            KsWorldEvent::Wake(j) => {
+                if w.jobs[j].finished.is_none() && w.jobs[j].binding.is_some() {
+                    let cmds = w.jobs[j].driver.step(now, JobInput::Wake);
+                    w.exec(now, j, cmds, q);
+                }
+            }
+            KsWorldEvent::Sample => {
+                w.sample(now);
+                if w.jobs.iter().any(|j| j.finished.is_none()) {
+                    q.schedule_in(w.sample_period, KsWorldEvent::Sample);
+                }
+            }
+        }
+    }
+}
+
+/// The engine wrapper experiments use.
+pub struct KsHarness {
+    /// The underlying engine; `eng.world` is the [`KsWorld`].
+    pub eng: Engine<KsWorld, KsWorldEvent>,
+}
+
+impl KsHarness {
+    /// Builds the harness.
+    pub fn new(cluster_cfg: ClusterConfig, ks_cfg: KsConfig, vgpu_cfg: VgpuConfig) -> Self {
+        KsHarness {
+            eng: Engine::new(KsWorld::new(
+                cluster_cfg,
+                ks_cfg,
+                vgpu_cfg,
+                SimDuration::from_secs(5),
+            )),
+        }
+    }
+
+    /// Registers a job and schedules its submission at its arrival time.
+    pub fn add_job(&mut self, spec: JobSpec, rng: SimRng) -> usize {
+        let idx = self.eng.world.jobs.len();
+        let arrival = spec.arrival;
+        self.eng.world.jobs.push(JobRecord::new(spec, rng));
+        self.eng
+            .queue
+            .schedule_at(arrival, KsWorldEvent::Submit(idx));
+        idx
+    }
+
+    /// Starts periodic NVML + pool sampling.
+    pub fn enable_sampling(&mut self, period: SimDuration) {
+        self.eng.world.sample_period = period;
+        self.eng
+            .queue
+            .schedule_at(SimTime::ZERO + period, KsWorldEvent::Sample);
+    }
+
+    /// Runs to completion (all events drained).
+    pub fn run(&mut self, max_events: u64) -> RunOutcome {
+        self.eng.run_to_completion(max_events)
+    }
+
+    /// Runs until the given horizon.
+    pub fn run_until(&mut self, t: SimTime) -> RunOutcome {
+        self.eng.run_until(t)
+    }
+
+    /// Aggregate run outcome.
+    pub fn summary(&self) -> RunSummary {
+        summarize(&self.eng.world.jobs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ks_cluster::api::NodeConfig;
+    use ks_cluster::device_plugin::UnitAssignPolicy;
+    use ks_cluster::latency::LatencyModel;
+    use ks_cluster::scheduler::ScorePolicy;
+    use ks_cluster::sim::GpuPluginKind;
+    use ks_vgpu::ShareSpec;
+    use ks_workloads::job::JobKind;
+    use kubeshare::locality::Locality;
+
+    fn cluster(nodes: usize, gpus: u32) -> ClusterConfig {
+        ClusterConfig {
+            nodes: (0..nodes)
+                .map(|i| NodeConfig {
+                    name: format!("node-{i}"),
+                    cpu_millis: 36_000,
+                    memory_bytes: 244 << 30,
+                    gpus,
+                    gpu_memory_bytes: 16 << 30,
+                })
+                .collect(),
+            latency: LatencyModel::default(),
+            gpu_plugin: GpuPluginKind::WholeDevice,
+            assign_policy: UnitAssignPolicy::Sequential,
+            score: ScorePolicy::LeastAllocated,
+        }
+    }
+
+    fn job(name: &str, arrival_s: u64, request: f64, steps: u32) -> JobSpec {
+        JobSpec {
+            name: name.into(),
+            kind: JobKind::Training {
+                steps,
+                kernel: SimDuration::from_millis(20),
+                duty: 1.0,
+            },
+            share: ShareSpec::new(request, 1.0, 0.4).unwrap(),
+            locality: Locality::none(),
+            arrival: SimTime::from_secs(arrival_s),
+        }
+    }
+
+    #[test]
+    fn single_job_end_to_end() {
+        let mut h = KsHarness::new(cluster(1, 1), KsConfig::default(), VgpuConfig::default());
+        let j = h.add_job(job("train", 0, 0.5, 100), SimRng::seed_from_u64(1));
+        let outcome = h.run(1_000_000);
+        assert_eq!(outcome, RunOutcome::Drained);
+        let rec = &h.eng.world.jobs[j];
+        assert!(rec.started.is_some(), "job started");
+        assert!(rec.finished.is_some(), "job finished");
+        // 100 × 20ms = 2s of work; creation overhead ≈ 4s (vGPU creation).
+        let runtime = rec.runtime().unwrap().as_secs_f64();
+        assert!((1.9..4.0).contains(&runtime), "runtime {runtime}s");
+        // vGPU released after completion (on-demand policy).
+        assert!(h.eng.world.ks.pool().is_empty());
+    }
+
+    #[test]
+    fn two_jobs_share_one_gpu() {
+        let mut h = KsHarness::new(cluster(1, 1), KsConfig::default(), VgpuConfig::default());
+        let a = h.add_job(job("a", 0, 0.5, 200), SimRng::seed_from_u64(1));
+        let b = h.add_job(job("b", 0, 0.5, 200), SimRng::seed_from_u64(2));
+        assert_eq!(h.run(10_000_000), RunOutcome::Drained);
+        let (ja, jb) = (&h.eng.world.jobs[a], &h.eng.world.jobs[b]);
+        assert!(ja.finished.is_some() && jb.finished.is_some());
+        // Both bound to the same physical GPU.
+        assert_eq!(
+            ja.binding.as_ref().unwrap().0,
+            jb.binding.as_ref().unwrap().0
+        );
+        // Each does 4s of kernels on a time-shared GPU: both finish in
+        // ≈ 8s of sharing + creation overhead.
+        let rt = ja.runtime().unwrap().as_secs_f64();
+        assert!((7.0..11.0).contains(&rt), "shared runtime {rt}s");
+    }
+
+    #[test]
+    fn jobs_spread_when_requests_do_not_fit() {
+        let mut h = KsHarness::new(cluster(1, 2), KsConfig::default(), VgpuConfig::default());
+        let a = h.add_job(job("a", 0, 0.8, 50), SimRng::seed_from_u64(1));
+        let b = h.add_job(job("b", 0, 0.8, 50), SimRng::seed_from_u64(2));
+        assert_eq!(h.run(10_000_000), RunOutcome::Drained);
+        let (ja, jb) = (&h.eng.world.jobs[a], &h.eng.world.jobs[b]);
+        assert_ne!(
+            ja.binding.as_ref().unwrap().0,
+            jb.binding.as_ref().unwrap().0,
+            "0.8 + 0.8 > 1.0 must use two GPUs"
+        );
+    }
+
+    #[test]
+    fn sampling_produces_series() {
+        let mut h = KsHarness::new(cluster(1, 1), KsConfig::default(), VgpuConfig::default());
+        h.add_job(job("a", 0, 1.0, 300), SimRng::seed_from_u64(1));
+        h.enable_sampling(SimDuration::from_secs(1));
+        assert_eq!(h.run(10_000_000), RunOutcome::Drained);
+        let w = &h.eng.world;
+        assert!(w.avg_util.len() >= 5);
+        // While the job ran, utilization was high on the single GPU.
+        let peak = w
+            .avg_util
+            .points()
+            .iter()
+            .map(|&(_, v)| v)
+            .fold(0.0, f64::max);
+        assert!(peak > 0.9, "peak utilization {peak}");
+        // Pool had 1 vGPU while running.
+        let max_active = w
+            .active_gpus
+            .points()
+            .iter()
+            .map(|&(_, v)| v)
+            .fold(0.0, f64::max);
+        assert_eq!(max_active, 1.0);
+    }
+}

@@ -1,0 +1,43 @@
+//! End-to-end experiment harnesses: the KubeShare world and the native
+//! Kubernetes world, sharing job bookkeeping.
+
+pub mod jobs;
+pub mod ks_world;
+pub mod native_world;
+pub mod singlegpu;
+
+pub use jobs::{summarize, JobRecord, JobSpec, RunSummary};
+pub use ks_world::{KsHarness, KsWorld, KsWorldEvent};
+pub use native_world::{NativeHarness, NativeWorld, NativeWorldEvent};
+pub use singlegpu::{SgJob, SingleGpu};
+
+use ks_cluster::api::NodeConfig;
+use ks_cluster::device_plugin::UnitAssignPolicy;
+use ks_cluster::latency::LatencyModel;
+use ks_cluster::scheduler::ScorePolicy;
+use ks_cluster::sim::{ClusterConfig, GpuPluginKind};
+
+/// A cluster config with `nodes` × `gpus_per_node` V100s and the native
+/// whole-device plugin (what both harness worlds run on).
+pub fn cluster_config(nodes: usize, gpus_per_node: u32) -> ClusterConfig {
+    ClusterConfig {
+        nodes: (0..nodes)
+            .map(|i| NodeConfig {
+                name: format!("node-{i}"),
+                cpu_millis: 36_000,
+                memory_bytes: 244 << 30,
+                gpus: gpus_per_node,
+                gpu_memory_bytes: 16 << 30,
+            })
+            .collect(),
+        latency: LatencyModel::default(),
+        gpu_plugin: GpuPluginKind::WholeDevice,
+        assign_policy: UnitAssignPolicy::Sequential,
+        score: ScorePolicy::LeastAllocated,
+    }
+}
+
+/// The paper's 8-node, 32-GPU testbed (§5.1).
+pub fn paper_cluster() -> ClusterConfig {
+    cluster_config(8, 4)
+}

@@ -1,0 +1,386 @@
+//! The native-Kubernetes world: whole-GPU exclusive jobs on the same
+//! substrate, for the "Kubernetes" series of Figs. 8, 9 and 13.
+
+use std::collections::{BTreeMap, HashMap};
+
+use ks_cluster::api::pod::PodSpec;
+use ks_cluster::api::{ResourceList, Uid, NVIDIA_GPU};
+use ks_cluster::sim::{ClusterConfig, ClusterEvent, ClusterNotice, ClusterSim};
+use ks_gpu::device::{GpuDevice, GpuSpec};
+use ks_gpu::nvml::NvmlSampler;
+use ks_sim_core::prelude::*;
+use ks_vgpu::{ClientId, IsolationMode, ShareSpec, SharedGpu, VgpuConfig, VgpuEvent, VgpuNotice};
+use ks_workloads::job::{JobCmd, JobInput};
+
+use super::jobs::{summarize, JobRecord, JobSpec, RunSummary};
+
+/// Events of the native world.
+pub enum NativeWorldEvent {
+    /// Cluster control-plane event.
+    Cluster(ClusterEvent),
+    /// Device event on the GPU with this UUID.
+    Gpu(String, VgpuEvent),
+    /// Submit job `i`.
+    Submit(usize),
+    /// Wake job `i`'s driver.
+    Wake(usize),
+    /// Periodic sampling tick.
+    Sample,
+}
+
+/// The world state.
+pub struct NativeWorld {
+    /// The Kubernetes cluster (whole-device GPU plugin).
+    pub cluster: ClusterSim,
+    /// Device layer keyed by GPU UUID. No interception: jobs own their GPU.
+    pub gpus: BTreeMap<String, SharedGpu>,
+    /// All jobs.
+    pub jobs: Vec<JobRecord>,
+    pod_job: HashMap<Uid, usize>,
+    client_job: HashMap<(String, ClientId), usize>,
+    samplers: BTreeMap<String, NvmlSampler>,
+    /// Mean NVML utilization across all GPUs, per sample tick.
+    pub avg_util: TimeSeries,
+    /// GPUs allocated by Kubernetes (requested by running/bound pods).
+    pub active_gpus: TimeSeries,
+    sample_period: SimDuration,
+    total_gpus: u64,
+}
+
+impl NativeWorld {
+    fn new(cluster_cfg: ClusterConfig, sample_period: SimDuration) -> Self {
+        let mut gpus = BTreeMap::new();
+        let mut samplers = BTreeMap::new();
+        let mut total = 0;
+        for node in &cluster_cfg.nodes {
+            for i in 0..node.gpus {
+                let device = GpuDevice::new(
+                    &node.name,
+                    i,
+                    GpuSpec {
+                        name: "Tesla V100-SXM2-16GB".into(),
+                        memory_bytes: node.gpu_memory_bytes,
+                    },
+                );
+                let uuid = device.uuid().to_string();
+                gpus.insert(
+                    uuid.clone(),
+                    SharedGpu::new(device, VgpuConfig::default(), IsolationMode::NONE),
+                );
+                samplers.insert(uuid, NvmlSampler::new(SimTime::ZERO));
+                total += 1;
+            }
+        }
+        NativeWorld {
+            cluster: ClusterSim::new(cluster_cfg),
+            gpus,
+            jobs: Vec::new(),
+            pod_job: HashMap::new(),
+            client_job: HashMap::new(),
+            samplers,
+            avg_util: TimeSeries::new(),
+            active_gpus: TimeSeries::new(),
+            sample_period,
+            total_gpus: total,
+        }
+    }
+
+    fn allocated_gpus(&self) -> u64 {
+        let free: u64 = self
+            .cluster
+            .node_names()
+            .iter()
+            .map(|n| {
+                self.cluster
+                    .node_free(n)
+                    .map(|f| f.extended_count(NVIDIA_GPU))
+                    .unwrap_or(0)
+            })
+            .sum();
+        self.total_gpus - free
+    }
+
+    fn on_notice(
+        &mut self,
+        now: SimTime,
+        notice: ClusterNotice,
+        q: &mut EventQueue<NativeWorldEvent>,
+    ) {
+        match notice {
+            ClusterNotice::PodRunning { pod } => {
+                let Some(&j) = self.pod_job.get(&pod) else {
+                    return;
+                };
+                let uuid = self
+                    .cluster
+                    .pod(pod)
+                    .and_then(|p| p.visible_devices())
+                    .expect("GPU pod has device env")
+                    .to_string();
+                let gpu = self.gpus.get_mut(&uuid).expect("gpu exists");
+                let client = gpu.attach(ShareSpec::exclusive());
+                self.client_job.insert((uuid.clone(), client), j);
+                self.jobs[j].binding = Some((uuid, client));
+                self.jobs[j].started = Some(now);
+                let cmds = self.jobs[j].driver.step(now, JobInput::Start);
+                self.exec(now, j, cmds, q);
+            }
+            ClusterNotice::PodDeleted { pod } => {
+                let Some(&j) = self.pod_job.get(&pod) else {
+                    return;
+                };
+                if let Some((uuid, client)) = self.jobs[j].binding.clone() {
+                    let mut out = Vec::new();
+                    self.gpus
+                        .get_mut(&uuid)
+                        .unwrap()
+                        .detach(now, client, &mut out);
+                    push_gpu(q, &uuid, out);
+                }
+            }
+            ClusterNotice::PodUnschedulable { .. } | ClusterNotice::PodFailed { .. } => {}
+        }
+    }
+
+    fn exec(
+        &mut self,
+        now: SimTime,
+        j: usize,
+        cmds: Vec<JobCmd>,
+        q: &mut EventQueue<NativeWorldEvent>,
+    ) {
+        for cmd in cmds {
+            match cmd {
+                JobCmd::Submit { dur, tag } => {
+                    let (uuid, client) = self.jobs[j].binding.clone().expect("job bound");
+                    let mut out = Vec::new();
+                    self.gpus
+                        .get_mut(&uuid)
+                        .unwrap()
+                        .submit_burst(now, client, dur, tag, &mut out);
+                    push_gpu(q, &uuid, out);
+                }
+                JobCmd::WakeAt(at) => {
+                    q.schedule_at(at, NativeWorldEvent::Wake(j));
+                }
+                JobCmd::Finished => {
+                    self.jobs[j].finished = Some(now);
+                    let pod = *self
+                        .pod_job
+                        .iter()
+                        .find(|(_, &job)| job == j)
+                        .map(|(p, _)| p)
+                        .expect("pod known");
+                    let mut out = Vec::new();
+                    let mut notes = Vec::new();
+                    self.cluster.delete_pod(now, pod, &mut out, &mut notes);
+                    push_cluster(q, out);
+                    for n in notes {
+                        self.on_notice(now, n, q);
+                    }
+                }
+            }
+        }
+    }
+
+    fn sample(&mut self, now: SimTime) {
+        let mut sum = 0.0;
+        for (uuid, sampler) in &mut self.samplers {
+            sum += sampler.poll(now, self.gpus[uuid].device()).unwrap_or(0.0);
+        }
+        self.avg_util.push(now, sum / self.samplers.len() as f64);
+        self.active_gpus.push(now, self.allocated_gpus() as f64);
+    }
+}
+
+fn push_cluster(q: &mut EventQueue<NativeWorldEvent>, out: ks_cluster::sim::ClusterEmit) {
+    for (at, ev) in out {
+        q.schedule_at(at, NativeWorldEvent::Cluster(ev));
+    }
+}
+
+fn push_gpu(q: &mut EventQueue<NativeWorldEvent>, uuid: &str, out: ks_vgpu::VgpuEmit) {
+    for (at, ev) in out {
+        q.schedule_at(at, NativeWorldEvent::Gpu(uuid.to_string(), ev));
+    }
+}
+
+impl SimEvent<NativeWorld> for NativeWorldEvent {
+    fn fire(self, now: SimTime, w: &mut NativeWorld, q: &mut EventQueue<Self>) {
+        match self {
+            NativeWorldEvent::Submit(j) => {
+                // Native Kubernetes: one whole GPU per job.
+                let spec = PodSpec::new(
+                    "workload:latest",
+                    ResourceList::cpu_mem(1000, 1 << 30).with_extended(NVIDIA_GPU, 1),
+                );
+                let name = w.jobs[j].spec.name.clone();
+                let mut out = Vec::new();
+                let pod = w.cluster.submit_pod(now, name, spec, &mut out);
+                w.pod_job.insert(pod, j);
+                push_cluster(q, out);
+            }
+            NativeWorldEvent::Cluster(ev) => {
+                let mut out = Vec::new();
+                let mut notes = Vec::new();
+                w.cluster.handle(now, ev, &mut out, &mut notes);
+                push_cluster(q, out);
+                for n in notes {
+                    w.on_notice(now, n, q);
+                }
+            }
+            NativeWorldEvent::Gpu(uuid, ev) => {
+                let mut out = Vec::new();
+                let mut notes = Vec::new();
+                w.gpus
+                    .get_mut(&uuid)
+                    .expect("gpu exists")
+                    .handle(now, ev, &mut out, &mut notes);
+                push_gpu(q, &uuid, out);
+                for n in notes {
+                    let VgpuNotice::BurstDone { client, tag } = n;
+                    if let Some(&j) = w.client_job.get(&(uuid.clone(), client)) {
+                        if w.jobs[j].finished.is_none() {
+                            let cmds = w.jobs[j].driver.step(now, JobInput::BurstDone { tag });
+                            w.exec(now, j, cmds, q);
+                        }
+                    }
+                }
+            }
+            NativeWorldEvent::Wake(j) => {
+                if w.jobs[j].finished.is_none() && w.jobs[j].binding.is_some() {
+                    let cmds = w.jobs[j].driver.step(now, JobInput::Wake);
+                    w.exec(now, j, cmds, q);
+                }
+            }
+            NativeWorldEvent::Sample => {
+                w.sample(now);
+                if w.jobs.iter().any(|j| j.finished.is_none()) {
+                    q.schedule_in(w.sample_period, NativeWorldEvent::Sample);
+                }
+            }
+        }
+    }
+}
+
+/// Engine wrapper for native-Kubernetes experiments.
+pub struct NativeHarness {
+    /// The underlying engine; `eng.world` is the [`NativeWorld`].
+    pub eng: Engine<NativeWorld, NativeWorldEvent>,
+}
+
+impl NativeHarness {
+    /// Builds the harness (use a whole-device GPU plugin config).
+    pub fn new(cluster_cfg: ClusterConfig) -> Self {
+        NativeHarness {
+            eng: Engine::new(NativeWorld::new(cluster_cfg, SimDuration::from_secs(5))),
+        }
+    }
+
+    /// Registers a job and schedules its submission.
+    pub fn add_job(&mut self, spec: JobSpec, rng: SimRng) -> usize {
+        let idx = self.eng.world.jobs.len();
+        let arrival = spec.arrival;
+        self.eng.world.jobs.push(JobRecord::new(spec, rng));
+        self.eng
+            .queue
+            .schedule_at(arrival, NativeWorldEvent::Submit(idx));
+        idx
+    }
+
+    /// Starts periodic sampling.
+    pub fn enable_sampling(&mut self, period: SimDuration) {
+        self.eng.world.sample_period = period;
+        self.eng
+            .queue
+            .schedule_at(SimTime::ZERO + period, NativeWorldEvent::Sample);
+    }
+
+    /// Runs to completion.
+    pub fn run(&mut self, max_events: u64) -> RunOutcome {
+        self.eng.run_to_completion(max_events)
+    }
+
+    /// Aggregate outcome.
+    pub fn summary(&self) -> RunSummary {
+        summarize(&self.eng.world.jobs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ks_cluster::api::NodeConfig;
+    use ks_cluster::device_plugin::UnitAssignPolicy;
+    use ks_cluster::latency::LatencyModel;
+    use ks_cluster::scheduler::ScorePolicy;
+    use ks_cluster::sim::GpuPluginKind;
+    use ks_vgpu::ShareSpec;
+    use ks_workloads::job::JobKind;
+    use kubeshare::locality::Locality;
+
+    fn cluster(nodes: usize, gpus: u32) -> ClusterConfig {
+        ClusterConfig {
+            nodes: (0..nodes)
+                .map(|i| NodeConfig {
+                    name: format!("node-{i}"),
+                    cpu_millis: 36_000,
+                    memory_bytes: 244 << 30,
+                    gpus,
+                    gpu_memory_bytes: 16 << 30,
+                })
+                .collect(),
+            latency: LatencyModel::default(),
+            gpu_plugin: GpuPluginKind::WholeDevice,
+            assign_policy: UnitAssignPolicy::Sequential,
+            score: ScorePolicy::LeastAllocated,
+        }
+    }
+
+    fn job(name: &str, arrival_s: u64, steps: u32) -> JobSpec {
+        JobSpec {
+            name: name.into(),
+            kind: JobKind::Training {
+                steps,
+                kernel: SimDuration::from_millis(20),
+                duty: 1.0,
+            },
+            share: ShareSpec::new(0.3, 1.0, 0.3).unwrap(),
+            locality: Locality::none(),
+            arrival: SimTime::from_secs(arrival_s),
+        }
+    }
+
+    #[test]
+    fn jobs_serialize_on_limited_gpus() {
+        let mut h = NativeHarness::new(cluster(1, 1));
+        let a = h.add_job(job("a", 0, 100), SimRng::seed_from_u64(1));
+        let b = h.add_job(job("b", 0, 100), SimRng::seed_from_u64(2));
+        assert_eq!(h.run(10_000_000), RunOutcome::Drained);
+        let (ja, jb) = (&h.eng.world.jobs[a], &h.eng.world.jobs[b]);
+        assert!(ja.finished.is_some() && jb.finished.is_some());
+        // One GPU: the second job starts only after the first completes
+        // and releases the device.
+        let first_done = ja.finished.unwrap().min(jb.finished.unwrap());
+        let second_start = ja.started.unwrap().max(jb.started.unwrap());
+        assert!(second_start > first_done, "exclusive GPU serializes jobs");
+    }
+
+    #[test]
+    fn two_gpus_run_in_parallel() {
+        let mut h = NativeHarness::new(cluster(1, 2));
+        let a = h.add_job(job("a", 0, 200), SimRng::seed_from_u64(1));
+        let b = h.add_job(job("b", 0, 200), SimRng::seed_from_u64(2));
+        assert_eq!(h.run(10_000_000), RunOutcome::Drained);
+        let (ja, jb) = (&h.eng.world.jobs[a], &h.eng.world.jobs[b]);
+        assert_ne!(
+            ja.binding.as_ref().unwrap().0,
+            jb.binding.as_ref().unwrap().0
+        );
+        // Runtime is just the 4s of work (plus kernel quantization).
+        for j in [ja, jb] {
+            let rt = j.runtime().unwrap().as_secs_f64();
+            assert!((3.9..4.3).contains(&rt), "runtime {rt}");
+        }
+    }
+}

@@ -1,0 +1,252 @@
+//! A one-GPU harness without the control plane, for the experiments that
+//! isolate the vGPU device library itself (Figs. 5, 6, 7, 12).
+
+use std::collections::HashMap;
+
+use ks_gpu::device::{GpuDevice, GpuSpec};
+use ks_gpu::nvml::NvmlSampler;
+use ks_sim_core::prelude::*;
+use ks_vgpu::{ClientId, IsolationMode, ShareSpec, SharedGpu, VgpuConfig, VgpuEvent, VgpuNotice};
+use ks_workloads::job::{JobCmd, JobDriver, JobInput, JobKind};
+
+/// One job on the single GPU.
+pub struct SgJob {
+    /// Behaviour.
+    pub kind: JobKind,
+    /// Share spec.
+    pub share: ShareSpec,
+    /// When the container starts issuing work.
+    pub arrival: SimTime,
+}
+
+/// Record of a job's run.
+pub struct SgRecord {
+    /// The driver.
+    pub driver: JobDriver,
+    /// Share spec.
+    pub share: ShareSpec,
+    /// Arrival time.
+    pub arrival: SimTime,
+    /// Completion time of the last burst.
+    pub finished: Option<SimTime>,
+    /// Attached client id (set at arrival).
+    pub client: Option<ClientId>,
+    /// Per-sample sliding-window usage, as reported by the device library
+    /// (the individual-container curves of Fig. 6).
+    pub usage: TimeSeries,
+}
+
+impl SgRecord {
+    /// Runtime from arrival to completion.
+    pub fn runtime(&self) -> Option<f64> {
+        self.finished
+            .map(|f| f.saturating_since(self.arrival).as_secs_f64())
+    }
+}
+
+/// World of the single-GPU harness.
+pub struct SgWorld {
+    /// The shared GPU.
+    pub gpu: SharedGpu,
+    /// Jobs.
+    pub jobs: Vec<SgRecord>,
+    client_job: HashMap<ClientId, usize>,
+    sampler: NvmlSampler,
+    /// NVML utilization series of the device.
+    pub util: TimeSeries,
+    sample_period: SimDuration,
+}
+
+/// Events of the single-GPU harness.
+pub enum SgEvent {
+    /// Device-library event.
+    Gpu(VgpuEvent),
+    /// Job `i` arrives (container starts).
+    Start(usize),
+    /// Job `i`'s driver wake-up.
+    Wake(usize),
+    /// Sampling tick.
+    Sample,
+}
+
+impl SgWorld {
+    fn exec(&mut self, now: SimTime, j: usize, cmds: Vec<JobCmd>, q: &mut EventQueue<SgEvent>) {
+        for cmd in cmds {
+            match cmd {
+                JobCmd::Submit { dur, tag } => {
+                    let client = self.jobs[j].client.expect("attached");
+                    let mut out = Vec::new();
+                    self.gpu.submit_burst(now, client, dur, tag, &mut out);
+                    push(q, out);
+                }
+                JobCmd::WakeAt(at) => {
+                    q.schedule_at(at, SgEvent::Wake(j));
+                }
+                JobCmd::Finished => {
+                    self.jobs[j].finished = Some(now);
+                    let client = self.jobs[j].client.expect("attached");
+                    let mut out = Vec::new();
+                    self.gpu.detach(now, client, &mut out);
+                    push(q, out);
+                }
+            }
+        }
+    }
+}
+
+fn push(q: &mut EventQueue<SgEvent>, out: ks_vgpu::VgpuEmit) {
+    for (at, ev) in out {
+        q.schedule_at(at, SgEvent::Gpu(ev));
+    }
+}
+
+impl SimEvent<SgWorld> for SgEvent {
+    fn fire(self, now: SimTime, w: &mut SgWorld, q: &mut EventQueue<Self>) {
+        match self {
+            SgEvent::Start(j) => {
+                let client = w.gpu.attach(w.jobs[j].share);
+                w.jobs[j].client = Some(client);
+                w.client_job.insert(client, j);
+                let cmds = w.jobs[j].driver.step(now, JobInput::Start);
+                w.exec(now, j, cmds, q);
+            }
+            SgEvent::Gpu(ev) => {
+                let mut out = Vec::new();
+                let mut notes = Vec::new();
+                w.gpu.handle(now, ev, &mut out, &mut notes);
+                push(q, out);
+                for n in notes {
+                    let VgpuNotice::BurstDone { client, tag } = n;
+                    if let Some(&j) = w.client_job.get(&client) {
+                        if w.jobs[j].finished.is_none() {
+                            let cmds = w.jobs[j].driver.step(now, JobInput::BurstDone { tag });
+                            w.exec(now, j, cmds, q);
+                        }
+                    }
+                }
+            }
+            SgEvent::Wake(j) => {
+                if w.jobs[j].finished.is_none() && w.jobs[j].client.is_some() {
+                    let cmds = w.jobs[j].driver.step(now, JobInput::Wake);
+                    w.exec(now, j, cmds, q);
+                }
+            }
+            SgEvent::Sample => {
+                let u = w.sampler.poll(now, w.gpu.device()).unwrap_or(0.0);
+                w.util.push(now, u);
+                for j in 0..w.jobs.len() {
+                    if let Some(c) = w.jobs[j].client {
+                        if w.jobs[j].finished.is_none() {
+                            let usage = w.gpu.client_usage(now, c);
+                            w.jobs[j].usage.push(now, usage);
+                        }
+                    }
+                }
+                if w.jobs.iter().any(|j| j.finished.is_none()) {
+                    q.schedule_in(w.sample_period, SgEvent::Sample);
+                }
+            }
+        }
+    }
+}
+
+/// Builds and runs a single-GPU experiment to completion.
+pub struct SingleGpu {
+    /// The engine.
+    pub eng: Engine<SgWorld, SgEvent>,
+}
+
+impl SingleGpu {
+    /// Creates the harness with the given library config and isolation.
+    pub fn new(cfg: VgpuConfig, mode: IsolationMode) -> Self {
+        let device = GpuDevice::new("node-0", 0, GpuSpec::v100_16gb());
+        SingleGpu {
+            eng: Engine::new(SgWorld {
+                gpu: SharedGpu::new(device, cfg, mode),
+                jobs: Vec::new(),
+                client_job: HashMap::new(),
+                sampler: NvmlSampler::new(SimTime::ZERO),
+                util: TimeSeries::new(),
+                sample_period: SimDuration::from_secs(5),
+            }),
+        }
+    }
+
+    /// Adds a job arriving at its `arrival` time.
+    pub fn add_job(&mut self, job: SgJob, rng: SimRng) -> usize {
+        let idx = self.eng.world.jobs.len();
+        self.eng.world.jobs.push(SgRecord {
+            driver: JobDriver::new(job.kind, rng),
+            share: job.share,
+            arrival: job.arrival,
+            finished: None,
+            client: None,
+            usage: TimeSeries::new(),
+        });
+        self.eng.queue.schedule_at(job.arrival, SgEvent::Start(idx));
+        idx
+    }
+
+    /// Enables periodic sampling of NVML utilization and per-job usage.
+    pub fn enable_sampling(&mut self, period: SimDuration) {
+        self.eng.world.sample_period = period;
+        self.eng
+            .queue
+            .schedule_at(SimTime::ZERO + period, SgEvent::Sample);
+    }
+
+    /// Runs to completion.
+    pub fn run(&mut self, max_events: u64) -> RunOutcome {
+        self.eng.run_to_completion(max_events)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lone_training_job_runs_to_completion() {
+        let mut h = SingleGpu::new(VgpuConfig::default(), IsolationMode::FULL);
+        h.add_job(
+            SgJob {
+                kind: JobKind::Training {
+                    steps: 100,
+                    kernel: SimDuration::from_millis(20),
+                    duty: 1.0,
+                },
+                share: ShareSpec::exclusive(),
+                arrival: SimTime::ZERO,
+            },
+            SimRng::seed_from_u64(1),
+        );
+        assert_eq!(h.run(1_000_000), RunOutcome::Drained);
+        let rt = h.eng.world.jobs[0].runtime().unwrap();
+        assert!((2.0..2.2).contains(&rt), "runtime {rt}");
+    }
+
+    #[test]
+    fn sampling_tracks_usage() {
+        let mut h = SingleGpu::new(VgpuConfig::default(), IsolationMode::FULL);
+        h.add_job(
+            SgJob {
+                kind: JobKind::Training {
+                    steps: 2_000,
+                    kernel: SimDuration::from_millis(20),
+                    duty: 1.0,
+                },
+                share: ShareSpec::new(0.3, 0.6, 0.5).unwrap(),
+                arrival: SimTime::ZERO,
+            },
+            SimRng::seed_from_u64(1),
+        );
+        h.enable_sampling(SimDuration::from_secs(5));
+        assert_eq!(h.run(10_000_000), RunOutcome::Drained);
+        let job = &h.eng.world.jobs[0];
+        // Limit 0.6: steady-state usage samples hover near 0.6.
+        let late: Vec<f64> = job.usage.points().iter().skip(3).map(|&(_, v)| v).collect();
+        assert!(!late.is_empty());
+        let mean = late.iter().sum::<f64>() / late.len() as f64;
+        assert!((0.5..=0.65).contains(&mean), "mean usage {mean}");
+    }
+}

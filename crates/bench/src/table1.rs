@@ -1,0 +1,63 @@
+//! Table 1: the feature comparison of GPU-sharing solutions.
+//!
+//! The matrix itself is metadata in `ks_baselines::capabilities`; the
+//! integration tests in `/tests/table1_features.rs` *exercise* the
+//! load-bearing rows (memory isolation, compute isolation, locality,
+//! co-existence, multi-GPU nodes) against the actual implementations.
+
+use ks_baselines::capabilities::{all, Capabilities};
+
+use crate::report::Table;
+
+/// Renders the paper's Table 1.
+pub fn report() -> Table {
+    let systems = all();
+    let headers: Vec<String> = std::iter::once("Feature".to_string())
+        .chain(systems.iter().map(|c| c.system.to_string()))
+        .collect();
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut t = Table::new(
+        "Table 1 — GPU sharing solutions for Kubernetes",
+        &header_refs,
+    );
+
+    type Getter = fn(&Capabilities) -> String;
+    let rows: Vec<(&str, Getter)> = vec![
+        ("Multi-GPUs per node", |c| c.multi_gpu_per_node.to_string()),
+        ("Fine-grained allocation", |c| {
+            c.fine_grained_allocation.to_string()
+        }),
+        ("Memory isolation", |c| c.memory_isolation.to_string()),
+        ("Computation isolation", |c| c.compute_isolation.to_string()),
+        ("First class with GPU identity", |c| {
+            c.first_class_gpu.to_string()
+        }),
+        ("Locality constraint", |c| {
+            c.locality_constraints.to_string()
+        }),
+        ("Co-exist with kube-scheduler", |c| {
+            c.coexists_with_kube_scheduler.to_string()
+        }),
+    ];
+    for (label, getter) in rows {
+        let mut cells = vec![label.to_string()];
+        cells.extend(systems.iter().map(getter));
+        t.row(cells);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_has_seven_feature_rows() {
+        let t = report();
+        assert_eq!(t.len(), 7);
+        let rendered = t.render();
+        assert!(rendered.contains("KubeShare"));
+        assert!(rendered.contains("Aliyun"));
+        assert!(rendered.contains("limited"));
+    }
+}

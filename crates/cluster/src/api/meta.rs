@@ -1,0 +1,98 @@
+//! Object metadata shared by all Kubernetes API objects.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use ks_sim_core::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// A cluster-unique object identifier (Kubernetes assigns a UUID; the
+/// simulation assigns a monotone counter which serves the same purpose).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Uid(pub u64);
+
+impl fmt::Display for Uid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "uid-{}", self.0)
+    }
+}
+
+/// Metadata carried by every API object.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ObjectMeta {
+    /// Human-readable name, unique within a namespace per kind.
+    pub name: String,
+    /// Namespace (defaults to `"default"`).
+    pub namespace: String,
+    /// Cluster-assigned unique id.
+    pub uid: Uid,
+    /// Free-form labels used by selectors and KubeShare's locality
+    /// constraints.
+    pub labels: BTreeMap<String, String>,
+    /// Creation timestamp on the simulated clock.
+    pub created_at: SimTime,
+}
+
+impl ObjectMeta {
+    /// Creates metadata in the default namespace.
+    pub fn new(name: impl Into<String>, uid: Uid, created_at: SimTime) -> Self {
+        ObjectMeta {
+            name: name.into(),
+            namespace: "default".to_string(),
+            uid,
+            labels: BTreeMap::new(),
+            created_at,
+        }
+    }
+
+    /// Adds one label (builder style).
+    pub fn with_label(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.labels.insert(key.into(), value.into());
+        self
+    }
+}
+
+/// Hands out fresh [`Uid`]s.
+#[derive(Debug, Default)]
+pub struct UidAllocator {
+    next: u64,
+}
+
+impl UidAllocator {
+    /// Creates an allocator starting at 1.
+    pub fn new() -> Self {
+        UidAllocator { next: 1 }
+    }
+
+    /// Returns a fresh uid.
+    #[allow(clippy::should_implement_trait)] // domain verb, not an Iterator
+    pub fn next(&mut self) -> Uid {
+        let u = Uid(self.next);
+        self.next += 1;
+        u
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uid_allocator_is_monotone() {
+        let mut a = UidAllocator::new();
+        let u1 = a.next();
+        let u2 = a.next();
+        assert!(u2 > u1);
+        assert_eq!(u1.to_string(), "uid-1");
+    }
+
+    #[test]
+    fn labels_builder() {
+        let m = ObjectMeta::new("pod-a", Uid(1), SimTime::ZERO)
+            .with_label("app", "train")
+            .with_label("team", "ml");
+        assert_eq!(m.labels.len(), 2);
+        assert_eq!(m.labels["app"], "train");
+        assert_eq!(m.namespace, "default");
+    }
+}

@@ -1,0 +1,11 @@
+//! The Kubernetes API object model: metadata, resources, pods, nodes.
+
+pub mod meta;
+pub mod node;
+pub mod pod;
+pub mod resources;
+
+pub use meta::{ObjectMeta, Uid, UidAllocator};
+pub use node::{paper_testbed, NodeConfig};
+pub use pod::{Pod, PodPhase, PodSpec, PodStatus};
+pub use resources::{ResourceList, NVIDIA_GPU};

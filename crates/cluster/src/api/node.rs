@@ -1,0 +1,85 @@
+//! Nodes and their GPU inventory.
+
+use ks_gpu::uuid::GpuUuid;
+use serde::{Deserialize, Serialize};
+
+use super::resources::ResourceList;
+
+/// Static description of one worker node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeConfig {
+    /// Node name (unique in the cluster).
+    pub name: String,
+    /// Allocatable CPU in millicores.
+    pub cpu_millis: u64,
+    /// Allocatable memory in bytes.
+    pub memory_bytes: u64,
+    /// Number of physical GPUs on the node.
+    pub gpus: u32,
+    /// Device memory per GPU, bytes.
+    pub gpu_memory_bytes: u64,
+}
+
+impl NodeConfig {
+    /// The paper's testbed node: AWS p3.8xlarge — 36 vCPU, 244 GB RAM,
+    /// 4 × V100 16 GB (§5.1).
+    pub fn p3_8xlarge(name: impl Into<String>) -> Self {
+        NodeConfig {
+            name: name.into(),
+            cpu_millis: 36_000,
+            memory_bytes: 244 * (1 << 30),
+            gpus: 4,
+            gpu_memory_bytes: 16 * (1 << 30),
+        }
+    }
+
+    /// Allocatable resources *excluding* extended resources (those are
+    /// advertised by device plugins at registration time).
+    pub fn base_allocatable(&self) -> ResourceList {
+        ResourceList::cpu_mem(self.cpu_millis, self.memory_bytes)
+    }
+
+    /// Driver UUIDs of this node's GPUs, by index.
+    pub fn gpu_uuids(&self) -> Vec<GpuUuid> {
+        (0..self.gpus)
+            .map(|i| GpuUuid::derive(&self.name, i))
+            .collect()
+    }
+}
+
+/// The paper's 8-node AWS cluster (§5.1): 32 V100 GPUs total.
+pub fn paper_testbed() -> Vec<NodeConfig> {
+    (0..8)
+        .map(|i| NodeConfig::p3_8xlarge(format!("node-{i}")))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn p3_shape() {
+        let n = NodeConfig::p3_8xlarge("node-0");
+        assert_eq!(n.gpus, 4);
+        assert_eq!(n.cpu_millis, 36_000);
+        assert_eq!(n.gpu_uuids().len(), 4);
+    }
+
+    #[test]
+    fn testbed_has_32_gpus() {
+        let nodes = paper_testbed();
+        assert_eq!(nodes.len(), 8);
+        let total: u32 = nodes.iter().map(|n| n.gpus).sum();
+        assert_eq!(total, 32);
+        // All GPU UUIDs distinct across the cluster.
+        let mut uuids: Vec<String> = nodes
+            .iter()
+            .flat_map(|n| n.gpu_uuids())
+            .map(|u| u.to_string())
+            .collect();
+        uuids.sort();
+        uuids.dedup();
+        assert_eq!(uuids.len(), 32);
+    }
+}

@@ -1,0 +1,150 @@
+//! Pods: the smallest deployable unit (paper §2.1 — one container per pod).
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use super::meta::ObjectMeta;
+use super::resources::ResourceList;
+
+/// The desired state of a pod, as a user writes it (YAML/JSON in real
+/// Kubernetes; a struct here, serializable to the same shape).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PodSpec {
+    /// Container image reference.
+    pub image: String,
+    /// Resource requests the scheduler must satisfy.
+    pub requests: ResourceList,
+    /// Environment variables requested by the user (the allocation pipeline
+    /// injects more, e.g. `NVIDIA_VISIBLE_DEVICES`).
+    pub env: BTreeMap<String, String>,
+    /// Pin to a node, bypassing the scheduler (used by KubeShare-DevMgr's
+    /// anchor pods, which must land on the node whose GPU they reserve).
+    pub node_name: Option<String>,
+}
+
+impl PodSpec {
+    /// A minimal spec for `image` with the given requests.
+    pub fn new(image: impl Into<String>, requests: ResourceList) -> Self {
+        PodSpec {
+            image: image.into(),
+            requests,
+            env: BTreeMap::new(),
+            node_name: None,
+        }
+    }
+}
+
+/// Observed lifecycle phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PodPhase {
+    /// Accepted by the API server, not yet bound to a node.
+    Pending,
+    /// Bound to a node; kubelet is creating the container.
+    Scheduled,
+    /// Container process started.
+    Running,
+    /// Deleted or completed; resources released.
+    Terminated,
+    /// Could not be scheduled or admitted.
+    Failed,
+}
+
+/// Current state of a pod as tracked by the control plane.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PodStatus {
+    /// Lifecycle phase.
+    pub phase: PodPhase,
+    /// Node the pod was bound to, once scheduled.
+    pub node_name: Option<String>,
+    /// Environment injected during allocation (device plugin output),
+    /// notably `NVIDIA_VISIBLE_DEVICES`.
+    pub injected_env: BTreeMap<String, String>,
+    /// Device-plugin unit ids allocated to this pod.
+    pub allocated_units: Vec<String>,
+    /// Reason for `Failed`.
+    pub message: Option<String>,
+}
+
+impl PodStatus {
+    /// Status of a freshly created pod.
+    pub fn pending() -> Self {
+        PodStatus {
+            phase: PodPhase::Pending,
+            node_name: None,
+            injected_env: BTreeMap::new(),
+            allocated_units: Vec::new(),
+            message: None,
+        }
+    }
+}
+
+/// A pod object: metadata + spec + status.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Pod {
+    /// Object metadata.
+    pub meta: ObjectMeta,
+    /// Desired state.
+    pub spec: PodSpec,
+    /// Observed state.
+    pub status: PodStatus,
+}
+
+impl Pod {
+    /// Creates a pending pod.
+    pub fn new(meta: ObjectMeta, spec: PodSpec) -> Self {
+        Pod {
+            meta,
+            spec,
+            status: PodStatus::pending(),
+        }
+    }
+
+    /// The environment variable carrying GPU visibility, as nvidia-docker2
+    /// consumes it (paper §2.2).
+    pub fn visible_devices(&self) -> Option<&str> {
+        self.status
+            .injected_env
+            .get("NVIDIA_VISIBLE_DEVICES")
+            .map(String::as_str)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::meta::Uid;
+    use crate::api::resources::NVIDIA_GPU;
+    use ks_sim_core::time::SimTime;
+
+    #[test]
+    fn new_pod_is_pending() {
+        let meta = ObjectMeta::new("p", Uid(1), SimTime::ZERO);
+        let spec = PodSpec::new(
+            "tensorflow:2.1",
+            ResourceList::cpu_mem(1000, 1 << 30).with_extended(NVIDIA_GPU, 1),
+        );
+        let pod = Pod::new(meta, spec);
+        assert_eq!(pod.status.phase, PodPhase::Pending);
+        assert!(pod.visible_devices().is_none());
+    }
+
+    #[test]
+    fn visible_devices_reads_injected_env() {
+        let meta = ObjectMeta::new("p", Uid(1), SimTime::ZERO);
+        let mut pod = Pod::new(meta, PodSpec::new("img", ResourceList::zero()));
+        pod.status
+            .injected_env
+            .insert("NVIDIA_VISIBLE_DEVICES".into(), "GPU-abc".into());
+        assert_eq!(pod.visible_devices(), Some("GPU-abc"));
+    }
+
+    #[test]
+    fn pod_spec_serializes_to_json() {
+        let spec = PodSpec::new("img", ResourceList::cpu_mem(500, 1024));
+        let json = serde_json::to_string(&spec).unwrap();
+        assert!(json.contains("\"image\":\"img\""));
+        let back: PodSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, spec);
+    }
+}

@@ -1,0 +1,275 @@
+//! The controller pattern (paper §2.1): "Controllers are control loops
+//! that continuously ensure that the current state of the cluster matches
+//! the desired state… Kubernetes is highly configurable and extensible by
+//! allowing the cluster manager to define and implement their own
+//! controllers."
+//!
+//! [`ControllerManager`] runs any number of [`Reconciler`]s against the
+//! pod store's watch stream — the same list-then-watch machinery
+//! KubeShare's own custom controllers (KubeShare-Sched / DevMgr, and the
+//! SharePod replica set in `kubeshare::replicaset`) are built on. A
+//! built-in [`RestartPolicyController`] demonstrates the pattern: it
+//! resubmits pods that failed admission, like the kubelet's restart
+//! policy.
+
+use ks_sim_core::time::SimTime;
+
+use crate::api::pod::{Pod, PodPhase, PodSpec};
+use crate::api::Uid;
+use crate::sim::{ClusterEmit, ClusterSim};
+use crate::store::{WatchEvent, Watcher};
+
+/// A control loop over pod watch events.
+pub trait Reconciler {
+    /// Reacts to one observed change, possibly mutating the cluster.
+    fn reconcile(
+        &mut self,
+        now: SimTime,
+        event: &WatchEvent<Pod>,
+        cluster: &mut ClusterSim,
+        out: &mut ClusterEmit,
+    );
+}
+
+/// Drives registered reconcilers from the pod store's change log.
+pub struct ControllerManager {
+    watcher: Watcher,
+    reconcilers: Vec<Box<dyn Reconciler + Send>>,
+}
+
+impl std::fmt::Debug for ControllerManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ControllerManager")
+            .field("reconcilers", &self.reconcilers.len())
+            .finish()
+    }
+}
+
+impl ControllerManager {
+    /// Creates a manager whose watch starts at the cluster's current state.
+    pub fn new(cluster: &ClusterSim) -> Self {
+        ControllerManager {
+            watcher: cluster.pods().watch(),
+            reconcilers: Vec::new(),
+        }
+    }
+
+    /// Registers a reconciler.
+    pub fn register(&mut self, r: Box<dyn Reconciler + Send>) {
+        self.reconcilers.push(r);
+    }
+
+    /// Number of registered reconcilers.
+    pub fn len(&self) -> usize {
+        self.reconcilers.len()
+    }
+
+    /// True when no reconcilers are registered.
+    pub fn is_empty(&self) -> bool {
+        self.reconcilers.is_empty()
+    }
+
+    /// Drains new watch events and feeds them to every reconciler. Call
+    /// this after handling cluster events (the sync loop).
+    pub fn sync(&mut self, now: SimTime, cluster: &mut ClusterSim, out: &mut ClusterEmit) {
+        loop {
+            let events = cluster.pods().poll(&mut self.watcher);
+            if events.is_empty() {
+                return;
+            }
+            for ev in &events {
+                for r in &mut self.reconcilers {
+                    r.reconcile(now, ev, cluster, out);
+                }
+            }
+            // Reconcilers may have mutated the store; loop to observe it.
+        }
+    }
+}
+
+/// Resubmits pods whose admission failed (`PodPhase::Failed`), up to a
+/// bounded number of attempts — the control-loop equivalent of
+/// `restartPolicy: OnFailure`.
+#[derive(Debug)]
+pub struct RestartPolicyController {
+    max_retries: u32,
+    retries: std::collections::HashMap<String, u32>,
+    /// (original uid → replacement uid) for observability.
+    pub replacements: Vec<(Uid, Uid)>,
+}
+
+impl RestartPolicyController {
+    /// Creates the controller with a retry budget per pod name.
+    pub fn new(max_retries: u32) -> Self {
+        RestartPolicyController {
+            max_retries,
+            retries: std::collections::HashMap::new(),
+            replacements: Vec::new(),
+        }
+    }
+}
+
+impl Reconciler for RestartPolicyController {
+    fn reconcile(
+        &mut self,
+        now: SimTime,
+        event: &WatchEvent<Pod>,
+        cluster: &mut ClusterSim,
+        out: &mut ClusterEmit,
+    ) {
+        let WatchEvent::Modified(uid, pod) = event else {
+            return;
+        };
+        if pod.status.phase != PodPhase::Failed {
+            return;
+        }
+        let attempts = self.retries.entry(pod.meta.name.clone()).or_insert(0);
+        if *attempts >= self.max_retries {
+            return;
+        }
+        *attempts += 1;
+        let spec: PodSpec = pod.spec.clone();
+        let replacement =
+            cluster.submit_pod(now, format!("{}-r{}", pod.meta.name, attempts), spec, out);
+        self.replacements.push((*uid, replacement));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::resources::ResourceList;
+    use crate::api::NodeConfig;
+    use crate::device_plugin::UnitAssignPolicy;
+    use crate::latency::LatencyModel;
+    use crate::scheduler::ScorePolicy;
+    use crate::sim::{ClusterConfig, ClusterEvent, GpuPluginKind};
+    use ks_sim_core::prelude::*;
+
+    struct World {
+        cluster: ClusterSim,
+        manager: ControllerManager,
+    }
+
+    struct Ev(ClusterEvent);
+
+    impl SimEvent<World> for Ev {
+        fn fire(self, now: SimTime, w: &mut World, q: &mut EventQueue<Self>) {
+            let mut out = Vec::new();
+            let mut notes = Vec::new();
+            w.cluster.handle(now, self.0, &mut out, &mut notes);
+            w.manager.sync(now, &mut w.cluster, &mut out);
+            for (at, e) in out {
+                q.schedule_at(at, Ev(e));
+            }
+        }
+    }
+
+    fn config() -> ClusterConfig {
+        ClusterConfig {
+            nodes: vec![NodeConfig {
+                name: "n0".into(),
+                cpu_millis: 8_000,
+                memory_bytes: 32 << 30,
+                gpus: 1,
+                gpu_memory_bytes: 16 << 30,
+            }],
+            latency: LatencyModel::default(),
+            gpu_plugin: GpuPluginKind::WholeDevice,
+            assign_policy: UnitAssignPolicy::Sequential,
+            score: ScorePolicy::LeastAllocated,
+        }
+    }
+
+    /// A reconciler that simply counts events, to test the plumbing.
+    struct AtomicCounter(std::sync::Arc<std::sync::atomic::AtomicUsize>);
+    impl Reconciler for AtomicCounter {
+        fn reconcile(
+            &mut self,
+            _now: SimTime,
+            _event: &WatchEvent<Pod>,
+            _cluster: &mut ClusterSim,
+            _out: &mut ClusterEmit,
+        ) {
+            self.0.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }
+    }
+
+    #[test]
+    fn manager_feeds_all_lifecycle_events() {
+        let cluster = ClusterSim::new(config());
+        let mut manager = ControllerManager::new(&cluster);
+        let count = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        manager.register(Box::new(AtomicCounter(std::sync::Arc::clone(&count))));
+        assert_eq!(manager.len(), 1);
+        let mut eng = Engine::new(World { cluster, manager });
+        let mut out = Vec::new();
+        eng.world.cluster.submit_pod(
+            SimTime::ZERO,
+            "p",
+            PodSpec::new("img", ResourceList::cpu_mem(100, 1 << 20)),
+            &mut out,
+        );
+        // sync once for the Added event, then run the lifecycle.
+        eng.world
+            .manager
+            .sync(SimTime::ZERO, &mut eng.world.cluster, &mut out);
+        for (at, e) in out {
+            eng.queue.schedule_at(at, Ev(e));
+        }
+        eng.run_to_completion(10_000);
+        // Added + Scheduled + env + Running modifications at minimum.
+        assert!(
+            count.load(std::sync::atomic::Ordering::Relaxed) >= 3,
+            "saw {} events",
+            count.load(std::sync::atomic::Ordering::Relaxed)
+        );
+    }
+
+    #[test]
+    fn restart_controller_resubmits_failed_pods() {
+        let cluster = ClusterSim::new(config());
+        let mut manager = ControllerManager::new(&cluster);
+        manager.register(Box::new(RestartPolicyController::new(2)));
+        let mut eng = Engine::new(World { cluster, manager });
+
+        // Force a Failed pod by marking one failed directly through the
+        // store (simulating an admission error).
+        let mut out = Vec::new();
+        let uid = eng.world.cluster.submit_pod(
+            SimTime::ZERO,
+            "fragile",
+            PodSpec::new("img", ResourceList::cpu_mem(100, 1 << 20)),
+            &mut out,
+        );
+        for (at, e) in out {
+            eng.queue.schedule_at(at, Ev(e));
+        }
+        eng.run_to_completion(10_000);
+        // Kill it via the public failure path: delete isn't failure, so
+        // emulate a crash by setting Failed through a controller-style
+        // mutation and syncing.
+        let now = eng.now();
+        let mut out = Vec::new();
+        let mut notes = Vec::new();
+        eng.world
+            .cluster
+            .crash_pod(now, uid, "container exited 137", &mut out, &mut notes);
+        eng.world
+            .manager
+            .sync(now, &mut eng.world.cluster, &mut out);
+        for (at, e) in out {
+            eng.queue.schedule_at(at, Ev(e));
+        }
+        eng.run_to_completion(10_000);
+        // A replacement pod reached Running.
+        let running = eng
+            .world
+            .cluster
+            .pods()
+            .iter()
+            .filter(|(_, p)| p.status.phase == PodPhase::Running)
+            .count();
+        assert_eq!(running, 1, "replacement pod running");
+    }
+}

@@ -1,0 +1,78 @@
+//! The control-plane latency model.
+//!
+//! Calibrated to the paper's Fig. 10, where native pod creation takes "less
+//! than a few seconds" end to end and grows with the number of concurrent
+//! creation requests, while KubeShare adds ≈15 % (scheduling + vGPU info
+//! query) or ≈2× (when an anchor pod must be launched to create a vGPU).
+
+use ks_sim_core::time::SimDuration;
+
+/// Deterministic latency constants for control-plane operations.
+#[derive(Debug, Clone, Copy)]
+pub struct LatencyModel {
+    /// API-server + etcd commit for one object write.
+    pub api_commit: SimDuration,
+    /// One kube-scheduler pass for one pod.
+    pub schedule: SimDuration,
+    /// Binding write + kubelet watch propagation.
+    pub bind: SimDuration,
+    /// Container image setup + runtime start (the dominant term).
+    pub container_create: SimDuration,
+    /// Extra start latency per container already starting on the node
+    /// (runtime serializes parts of creation).
+    pub concurrency_penalty: SimDuration,
+    /// Container stop + resource release.
+    pub container_stop: SimDuration,
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        LatencyModel {
+            api_commit: SimDuration::from_millis(25),
+            schedule: SimDuration::from_millis(40),
+            bind: SimDuration::from_millis(120),
+            container_create: SimDuration::from_millis(1_700),
+            concurrency_penalty: SimDuration::from_millis(110),
+            container_stop: SimDuration::from_millis(300),
+        }
+    }
+}
+
+impl LatencyModel {
+    /// End-to-end creation latency with no concurrency: the baseline of
+    /// Fig. 10.
+    pub fn base_creation(&self) -> SimDuration {
+        self.api_commit + self.schedule + self.bind + self.container_create
+    }
+
+    /// A model with everything scaled by `factor` (for sensitivity tests).
+    pub fn scaled(&self, factor: f64) -> LatencyModel {
+        LatencyModel {
+            api_commit: self.api_commit.mul_f64(factor),
+            schedule: self.schedule.mul_f64(factor),
+            bind: self.bind.mul_f64(factor),
+            container_create: self.container_create.mul_f64(factor),
+            concurrency_penalty: self.concurrency_penalty.mul_f64(factor),
+            container_stop: self.container_stop.mul_f64(factor),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_creation_is_a_couple_of_seconds() {
+        let m = LatencyModel::default();
+        let secs = m.base_creation().as_secs_f64();
+        assert!((1.5..3.0).contains(&secs), "base creation {secs}s");
+    }
+
+    #[test]
+    fn scaled_model() {
+        let m = LatencyModel::default().scaled(2.0);
+        assert_eq!(m.api_commit, SimDuration::from_millis(50));
+        assert_eq!(m.container_create, SimDuration::from_millis(3_400));
+    }
+}

@@ -1,0 +1,164 @@
+//! kube-scheduler: filter nodes by resource fit, score, pick one.
+//!
+//! Crucially for the paper's argument (§3.1): the scheduler sees only the
+//! node-level *aggregate* of each extended resource. It has no notion of
+//! individual devices, so it cannot prevent the kubelet's implicit unit
+//! assignment from over-committing one GPU while another idles (Fig. 3).
+
+use crate::api::resources::ResourceList;
+
+/// Node snapshot the scheduler filters and scores.
+#[derive(Debug, Clone)]
+pub struct NodeView {
+    /// Node name.
+    pub name: String,
+    /// Total allocatable resources (including extended aggregates).
+    pub allocatable: ResourceList,
+    /// Resources already requested by bound pods.
+    pub allocated: ResourceList,
+}
+
+impl NodeView {
+    /// Remaining capacity.
+    pub fn free(&self) -> ResourceList {
+        self.allocatable.checked_sub(&self.allocated)
+    }
+}
+
+/// Node scoring policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScorePolicy {
+    /// Prefer the node with the most free capacity (spreads load; the
+    /// kube-scheduler default `LeastRequestedPriority`).
+    LeastAllocated,
+    /// Prefer the node with the least free capacity that still fits
+    /// (bin-packs).
+    MostAllocated,
+}
+
+/// The scheduling core.
+#[derive(Debug, Clone)]
+pub struct KubeScheduler {
+    policy: ScorePolicy,
+}
+
+impl KubeScheduler {
+    /// Creates a scheduler with the given scoring policy.
+    pub fn new(policy: ScorePolicy) -> Self {
+        KubeScheduler { policy }
+    }
+
+    /// Picks a node for `request`, returning its index in `nodes`.
+    /// `None` means unschedulable right now.
+    pub fn pick_node(&self, request: &ResourceList, nodes: &[NodeView]) -> Option<usize> {
+        let mut best: Option<(usize, f64)> = None;
+        for (i, n) in nodes.iter().enumerate() {
+            let free = n.free();
+            if !request.fits_in(&free) {
+                continue;
+            }
+            let score = self.score(n, &free);
+            let better = match best {
+                None => true,
+                // Tie-break by node order for determinism.
+                Some((_, s)) => score > s + 1e-12,
+            };
+            if better {
+                best = Some((i, score));
+            }
+        }
+        best.map(|(i, _)| i)
+    }
+
+    fn score(&self, node: &NodeView, free: &ResourceList) -> f64 {
+        // Mean free fraction over the axes that exist on this node.
+        let mut sum = 0.0;
+        let mut n = 0.0;
+        if node.allocatable.cpu_millis > 0 {
+            sum += free.cpu_millis as f64 / node.allocatable.cpu_millis as f64;
+            n += 1.0;
+        }
+        if node.allocatable.memory_bytes > 0 {
+            sum += free.memory_bytes as f64 / node.allocatable.memory_bytes as f64;
+            n += 1.0;
+        }
+        for (k, &cap) in &node.allocatable.extended {
+            if cap > 0 {
+                sum += free.extended_count(k) as f64 / cap as f64;
+                n += 1.0;
+            }
+        }
+        let free_frac = if n > 0.0 { sum / n } else { 0.0 };
+        match self.policy {
+            ScorePolicy::LeastAllocated => free_frac,
+            ScorePolicy::MostAllocated => 1.0 - free_frac,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::resources::NVIDIA_GPU;
+
+    fn node(name: &str, gpu_cap: u64, gpu_used: u64) -> NodeView {
+        NodeView {
+            name: name.into(),
+            allocatable: ResourceList::cpu_mem(36_000, 244 << 30)
+                .with_extended(NVIDIA_GPU, gpu_cap),
+            allocated: ResourceList::cpu_mem(0, 0).with_extended(NVIDIA_GPU, gpu_used),
+        }
+    }
+
+    fn gpu_req(n: u64) -> ResourceList {
+        ResourceList::cpu_mem(1000, 1 << 30).with_extended(NVIDIA_GPU, n)
+    }
+
+    #[test]
+    fn filters_full_nodes() {
+        let s = KubeScheduler::new(ScorePolicy::LeastAllocated);
+        let nodes = vec![node("a", 4, 4), node("b", 4, 3)];
+        let picked = s.pick_node(&gpu_req(1), &nodes).unwrap();
+        assert_eq!(nodes[picked].name, "b");
+        assert!(s.pick_node(&gpu_req(2), &nodes).is_none());
+    }
+
+    #[test]
+    fn least_allocated_spreads() {
+        let s = KubeScheduler::new(ScorePolicy::LeastAllocated);
+        let nodes = vec![node("a", 4, 2), node("b", 4, 0)];
+        let picked = s.pick_node(&gpu_req(1), &nodes).unwrap();
+        assert_eq!(nodes[picked].name, "b");
+    }
+
+    #[test]
+    fn most_allocated_packs() {
+        let s = KubeScheduler::new(ScorePolicy::MostAllocated);
+        let nodes = vec![node("a", 4, 2), node("b", 4, 0)];
+        let picked = s.pick_node(&gpu_req(1), &nodes).unwrap();
+        assert_eq!(nodes[picked].name, "a");
+    }
+
+    #[test]
+    fn empty_cluster_unschedulable() {
+        let s = KubeScheduler::new(ScorePolicy::LeastAllocated);
+        assert!(s.pick_node(&gpu_req(1), &[]).is_none());
+    }
+
+    #[test]
+    fn deterministic_tie_break_by_order() {
+        let s = KubeScheduler::new(ScorePolicy::LeastAllocated);
+        let nodes = vec![node("a", 4, 1), node("b", 4, 1)];
+        assert_eq!(s.pick_node(&gpu_req(1), &nodes), Some(0));
+    }
+
+    #[test]
+    fn aggregate_blindness() {
+        // The scheduler happily places a 1-GPU-unit pod on a node whose
+        // remaining aggregate is fine, with no knowledge of which device —
+        // the §3.1 limitation KubeShare fixes.
+        let s = KubeScheduler::new(ScorePolicy::LeastAllocated);
+        let nodes = vec![node("a", 400, 399)]; // scaling-factor units
+        assert!(s.pick_node(&gpu_req(1), &nodes).is_some());
+    }
+}

@@ -1,0 +1,802 @@
+//! The simulated cluster control plane, driven by discrete events.
+//!
+//! [`ClusterSim`] wires together the API object store, kube-scheduler,
+//! per-node kubelets and device managers, and a latency model. It follows
+//! the same passive-state-machine pattern as `ks-vgpu`: calls and event
+//! handlers append `(fire_at, ClusterEvent)` pairs to an output vector and
+//! surface lifecycle transitions as [`ClusterNotice`]s, so any embedding
+//! world (native experiments, KubeShare, baselines) can route them.
+
+use ks_sim_core::time::SimTime;
+
+use crate::api::meta::{Uid, UidAllocator};
+use crate::api::node::NodeConfig;
+use crate::api::pod::{Pod, PodPhase, PodSpec};
+use crate::api::resources::ResourceList;
+use crate::api::ObjectMeta;
+use crate::device_plugin::{DeviceManager, FractionalGpuPlugin, NvidiaGpuPlugin, UnitAssignPolicy};
+use crate::latency::LatencyModel;
+use crate::scheduler::{KubeScheduler, NodeView, ScorePolicy};
+use crate::store::Store;
+
+/// Which GPU device plugin every node runs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GpuPluginKind {
+    /// Standard NVIDIA plugin: 1 unit per GPU, exclusive allocation.
+    WholeDevice,
+    /// Scaling-factor plugin: `scaling` units per GPU under `resource`.
+    Fractional {
+        /// Units per physical GPU.
+        scaling: u32,
+        /// Extended resource name.
+        resource: String,
+    },
+    /// No GPU plugin (CPU-only cluster).
+    None,
+}
+
+/// Cluster-wide configuration.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Worker nodes.
+    pub nodes: Vec<NodeConfig>,
+    /// Control-plane latency constants.
+    pub latency: LatencyModel,
+    /// GPU plugin installed on every node.
+    pub gpu_plugin: GpuPluginKind,
+    /// Kubelet unit-assignment policy (the implicit binding).
+    pub assign_policy: UnitAssignPolicy,
+    /// kube-scheduler scoring policy.
+    pub score: ScorePolicy,
+}
+
+impl ClusterConfig {
+    /// The paper's testbed with the native NVIDIA plugin.
+    pub fn paper_native() -> Self {
+        ClusterConfig {
+            nodes: crate::api::node::paper_testbed(),
+            latency: LatencyModel::default(),
+            gpu_plugin: GpuPluginKind::WholeDevice,
+            assign_policy: UnitAssignPolicy::Sequential,
+            score: ScorePolicy::LeastAllocated,
+        }
+    }
+}
+
+/// Events routed back into [`ClusterSim::handle`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClusterEvent {
+    /// kube-scheduler attempts to place the pod.
+    ScheduleAttempt {
+        /// Pod to place.
+        pod: Uid,
+    },
+    /// The binding reached the kubelet; admission + device allocation.
+    BindArrived {
+        /// Bound pod.
+        pod: Uid,
+    },
+    /// The container runtime finished starting the container.
+    ContainerStarted {
+        /// Pod whose container started.
+        pod: Uid,
+    },
+    /// The container stopped and its resources are released.
+    PodStopped {
+        /// Stopping pod.
+        pod: Uid,
+    },
+}
+
+/// Lifecycle transitions surfaced to the embedding world.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClusterNotice {
+    /// Pod entered `Running`; read its injected env from the store.
+    PodRunning {
+        /// The pod.
+        pod: Uid,
+    },
+    /// No node currently fits; pod queued and retried on releases.
+    PodUnschedulable {
+        /// The pod.
+        pod: Uid,
+    },
+    /// Admission failed (e.g. device allocation race).
+    PodFailed {
+        /// The pod.
+        pod: Uid,
+        /// Failure reason.
+        reason: String,
+    },
+    /// Pod fully terminated; resources are back.
+    PodDeleted {
+        /// The pod.
+        pod: Uid,
+    },
+}
+
+/// Scheduled cluster events: `(fire_at, event)`.
+pub type ClusterEmit = Vec<(SimTime, ClusterEvent)>;
+
+#[derive(Debug)]
+struct NodeState {
+    name: String,
+    allocatable: ResourceList,
+    allocated: ResourceList,
+    device_mgr: Option<DeviceManager>,
+    /// Containers currently in the create phase (concurrency penalty).
+    starting: u32,
+}
+
+/// The simulated control plane. See module docs.
+#[derive(Debug)]
+pub struct ClusterSim {
+    latency: LatencyModel,
+    scheduler: KubeScheduler,
+    pods: Store<Pod>,
+    uids: UidAllocator,
+    nodes: Vec<NodeState>,
+    /// Pods that found no node; retried whenever capacity frees.
+    unschedulable: Vec<Uid>,
+}
+
+impl ClusterSim {
+    /// Builds a cluster: nodes boot and device plugins register.
+    pub fn new(cfg: ClusterConfig) -> Self {
+        let nodes = cfg
+            .nodes
+            .iter()
+            .map(|nc| {
+                let device_mgr = match &cfg.gpu_plugin {
+                    GpuPluginKind::WholeDevice => Some(DeviceManager::register(
+                        Box::new(NvidiaGpuPlugin::new(nc.gpu_uuids())),
+                        cfg.assign_policy,
+                    )),
+                    GpuPluginKind::Fractional { scaling, resource } => {
+                        Some(DeviceManager::register(
+                            Box::new(FractionalGpuPlugin::new(
+                                nc.gpu_uuids(),
+                                *scaling,
+                                resource.clone(),
+                            )),
+                            cfg.assign_policy,
+                        ))
+                    }
+                    GpuPluginKind::None => None,
+                };
+                let mut allocatable = nc.base_allocatable();
+                if let Some(dm) = &device_mgr {
+                    // kubelet advertises the aggregate unit count.
+                    allocatable = allocatable.with_extended(dm.resource_name(), dm.free_count());
+                }
+                NodeState {
+                    name: nc.name.clone(),
+                    allocatable,
+                    allocated: ResourceList::zero(),
+                    device_mgr,
+                    starting: 0,
+                }
+            })
+            .collect();
+        ClusterSim {
+            latency: cfg.latency,
+            scheduler: KubeScheduler::new(cfg.score),
+            pods: Store::new(),
+            uids: UidAllocator::new(),
+            nodes,
+            unschedulable: Vec::new(),
+        }
+    }
+
+    /// Latency model in force.
+    pub fn latency(&self) -> &LatencyModel {
+        &self.latency
+    }
+
+    /// Read access to a pod.
+    pub fn pod(&self, uid: Uid) -> Option<&Pod> {
+        self.pods.get(uid)
+    }
+
+    /// The pod store (for watches and listing).
+    pub fn pods(&self) -> &Store<Pod> {
+        &self.pods
+    }
+
+    /// Node names in order.
+    pub fn node_names(&self) -> Vec<String> {
+        self.nodes.iter().map(|n| n.name.clone()).collect()
+    }
+
+    /// Free resources on a node.
+    pub fn node_free(&self, name: &str) -> Option<ResourceList> {
+        self.nodes
+            .iter()
+            .find(|n| n.name == name)
+            .map(|n| n.allocatable.checked_sub(&n.allocated))
+    }
+
+    /// Per-device allocated unit counts on a node (over-commit analysis).
+    pub fn node_allocation_by_device(
+        &self,
+        name: &str,
+    ) -> Option<std::collections::BTreeMap<String, u64>> {
+        self.nodes
+            .iter()
+            .find(|n| n.name == name)
+            .and_then(|n| n.device_mgr.as_ref())
+            .map(|dm| dm.allocation_by_device())
+    }
+
+    /// Physical devices backing a pod's allocation.
+    pub fn pod_devices(&self, uid: Uid) -> Vec<String> {
+        let Some(pod) = self.pods.get(uid) else {
+            return Vec::new();
+        };
+        let Some(node_name) = &pod.status.node_name else {
+            return Vec::new();
+        };
+        self.nodes
+            .iter()
+            .find(|n| &n.name == node_name)
+            .and_then(|n| n.device_mgr.as_ref())
+            .map(|dm| dm.devices_of_pod(uid))
+            .unwrap_or_default()
+    }
+
+    /// Creates a pod. The API commit and the scheduler pass are charged
+    /// before the first [`ClusterEvent::ScheduleAttempt`] fires.
+    pub fn submit_pod(
+        &mut self,
+        now: SimTime,
+        name: impl Into<String>,
+        spec: PodSpec,
+        out: &mut ClusterEmit,
+    ) -> Uid {
+        let uid = self.uids.next();
+        let meta = ObjectMeta::new(name, uid, now);
+        self.pods.create(uid, Pod::new(meta, spec));
+        out.push((
+            now + self.latency.api_commit + self.latency.schedule,
+            ClusterEvent::ScheduleAttempt { pod: uid },
+        ));
+        uid
+    }
+
+    /// Deletes a pod (user `kubectl delete`). Running pods stop after the
+    /// container-stop latency; queued/pending pods disappear immediately.
+    pub fn delete_pod(
+        &mut self,
+        now: SimTime,
+        uid: Uid,
+        out: &mut ClusterEmit,
+        notices: &mut Vec<ClusterNotice>,
+    ) {
+        let Some(pod) = self.pods.get(uid) else {
+            return;
+        };
+        match pod.status.phase {
+            PodPhase::Pending | PodPhase::Failed => {
+                self.unschedulable.retain(|&u| u != uid);
+                self.pods.delete(uid);
+                notices.push(ClusterNotice::PodDeleted { pod: uid });
+            }
+            PodPhase::Scheduled | PodPhase::Running => {
+                out.push((
+                    now + self.latency.container_stop,
+                    ClusterEvent::PodStopped { pod: uid },
+                ));
+            }
+            PodPhase::Terminated => {}
+        }
+    }
+
+    /// Marks a pod as failed (container crash), releasing its resources
+    /// immediately. Restart-style controllers may observe the transition
+    /// through the store watch and resubmit.
+    pub fn crash_pod(
+        &mut self,
+        now: SimTime,
+        uid: Uid,
+        reason: impl Into<String>,
+        out: &mut ClusterEmit,
+        notices: &mut Vec<ClusterNotice>,
+    ) {
+        let Some(pod) = self.pods.get(uid) else {
+            return;
+        };
+        if !matches!(pod.status.phase, PodPhase::Scheduled | PodPhase::Running) {
+            return;
+        }
+        let requests = pod.spec.requests.clone();
+        let node_name = pod.status.node_name.clone().expect("bound pod");
+        let idx = self
+            .nodes
+            .iter()
+            .position(|n| n.name == node_name)
+            .expect("node exists");
+        self.nodes[idx].allocated = self.nodes[idx].allocated.checked_sub(&requests);
+        if let Some(dm) = &mut self.nodes[idx].device_mgr {
+            dm.deallocate(uid);
+        }
+        let reason = reason.into();
+        self.pods.mutate(uid, |p| {
+            p.status.phase = PodPhase::Failed;
+            p.status.message = Some(reason.clone());
+        });
+        notices.push(ClusterNotice::PodFailed { pod: uid, reason });
+        let retry: Vec<Uid> = self.unschedulable.drain(..).collect();
+        for p in retry {
+            out.push((
+                now + self.latency.schedule,
+                ClusterEvent::ScheduleAttempt { pod: p },
+            ));
+        }
+    }
+
+    /// Routes a cluster event.
+    pub fn handle(
+        &mut self,
+        now: SimTime,
+        ev: ClusterEvent,
+        out: &mut ClusterEmit,
+        notices: &mut Vec<ClusterNotice>,
+    ) {
+        match ev {
+            ClusterEvent::ScheduleAttempt { pod } => self.on_schedule(now, pod, out, notices),
+            ClusterEvent::BindArrived { pod } => self.on_bind(now, pod, out, notices),
+            ClusterEvent::ContainerStarted { pod } => self.on_started(now, pod, notices),
+            ClusterEvent::PodStopped { pod } => self.on_stopped(now, pod, out, notices),
+        }
+    }
+
+    fn views(&self) -> Vec<NodeView> {
+        self.nodes
+            .iter()
+            .map(|n| NodeView {
+                name: n.name.clone(),
+                allocatable: n.allocatable.clone(),
+                allocated: n.allocated.clone(),
+            })
+            .collect()
+    }
+
+    fn on_schedule(
+        &mut self,
+        now: SimTime,
+        uid: Uid,
+        out: &mut ClusterEmit,
+        notices: &mut Vec<ClusterNotice>,
+    ) {
+        let Some(pod) = self.pods.get(uid) else {
+            return; // deleted while queued
+        };
+        if pod.status.phase != PodPhase::Pending {
+            return;
+        }
+        let requests = pod.spec.requests.clone();
+        let pinned = pod.spec.node_name.clone();
+
+        let node_idx = match &pinned {
+            Some(name) => {
+                let idx = self
+                    .nodes
+                    .iter()
+                    .position(|n| &n.name == name)
+                    .unwrap_or_else(|| panic!("pinned to unknown node {name}"));
+                let free = self.nodes[idx]
+                    .allocatable
+                    .checked_sub(&self.nodes[idx].allocated);
+                requests.fits_in(&free).then_some(idx)
+            }
+            None => self.scheduler.pick_node(&requests, &self.views()),
+        };
+
+        match node_idx {
+            Some(idx) => {
+                let node_name = self.nodes[idx].name.clone();
+                self.nodes[idx].allocated = self.nodes[idx].allocated.checked_add(&requests);
+                self.pods.mutate(uid, |p| {
+                    p.status.phase = PodPhase::Scheduled;
+                    p.status.node_name = Some(node_name);
+                });
+                out.push((
+                    now + self.latency.bind,
+                    ClusterEvent::BindArrived { pod: uid },
+                ));
+            }
+            None => {
+                if !self.unschedulable.contains(&uid) {
+                    self.unschedulable.push(uid);
+                }
+                notices.push(ClusterNotice::PodUnschedulable { pod: uid });
+            }
+        }
+    }
+
+    fn on_bind(
+        &mut self,
+        now: SimTime,
+        uid: Uid,
+        out: &mut ClusterEmit,
+        notices: &mut Vec<ClusterNotice>,
+    ) {
+        let Some(pod) = self.pods.get(uid) else {
+            return;
+        };
+        if pod.status.phase != PodPhase::Scheduled {
+            return; // deleted meanwhile
+        }
+        let node_name = pod
+            .status
+            .node_name
+            .clone()
+            .expect("scheduled pod has node");
+        let requests = pod.spec.requests.clone();
+        let idx = self
+            .nodes
+            .iter()
+            .position(|n| n.name == node_name)
+            .expect("node exists");
+
+        // Device allocation (paper Fig. 2b): the kubelet asks the plugin
+        // for concrete units and injects the returned env.
+        let mut injected = pod.spec.env.clone();
+        let mut units = Vec::new();
+        if let Some(dm) = &mut self.nodes[idx].device_mgr {
+            let count = requests.extended_count(dm.resource_name());
+            if count > 0 {
+                match dm.allocate(uid, count) {
+                    Ok((u, resp)) => {
+                        injected.extend(resp.env);
+                        units = u;
+                    }
+                    Err(e) => {
+                        // Cannot happen when scheduler accounting is
+                        // consistent, but surface it instead of hiding it.
+                        self.nodes[idx].allocated =
+                            self.nodes[idx].allocated.checked_sub(&requests);
+                        self.pods.mutate(uid, |p| {
+                            p.status.phase = PodPhase::Failed;
+                            p.status.message = Some(format!("device allocation failed: {e:?}"));
+                        });
+                        notices.push(ClusterNotice::PodFailed {
+                            pod: uid,
+                            reason: format!("{e:?}"),
+                        });
+                        return;
+                    }
+                }
+            }
+        }
+        self.pods.mutate(uid, |p| {
+            p.status.injected_env = injected.clone();
+            p.status.allocated_units = units.clone();
+        });
+        let ahead = self.nodes[idx].starting;
+        self.nodes[idx].starting += 1;
+        let delay = self.latency.container_create + self.latency.concurrency_penalty * ahead as u64;
+        out.push((now + delay, ClusterEvent::ContainerStarted { pod: uid }));
+    }
+
+    fn on_started(&mut self, _now: SimTime, uid: Uid, notices: &mut Vec<ClusterNotice>) {
+        let Some(pod) = self.pods.get(uid) else {
+            return;
+        };
+        let Some(node_name) = pod.status.node_name.clone() else {
+            return;
+        };
+        if let Some(n) = self.nodes.iter_mut().find(|n| n.name == node_name) {
+            n.starting = n.starting.saturating_sub(1);
+        }
+        if pod.status.phase != PodPhase::Scheduled {
+            return; // deleted during start
+        }
+        self.pods
+            .mutate(uid, |p| p.status.phase = PodPhase::Running);
+        notices.push(ClusterNotice::PodRunning { pod: uid });
+    }
+
+    fn on_stopped(
+        &mut self,
+        now: SimTime,
+        uid: Uid,
+        out: &mut ClusterEmit,
+        notices: &mut Vec<ClusterNotice>,
+    ) {
+        let Some(pod) = self.pods.get(uid) else {
+            return;
+        };
+        if pod.status.phase == PodPhase::Terminated {
+            return;
+        }
+        let requests = pod.spec.requests.clone();
+        if let Some(node_name) = pod.status.node_name.clone() {
+            let idx = self
+                .nodes
+                .iter()
+                .position(|n| n.name == node_name)
+                .expect("node exists");
+            self.nodes[idx].allocated = self.nodes[idx].allocated.checked_sub(&requests);
+            if let Some(dm) = &mut self.nodes[idx].device_mgr {
+                dm.deallocate(uid);
+            }
+        }
+        self.pods
+            .mutate(uid, |p| p.status.phase = PodPhase::Terminated);
+        notices.push(ClusterNotice::PodDeleted { pod: uid });
+
+        // Capacity freed: retry everything that was unschedulable.
+        let retry: Vec<Uid> = self.unschedulable.drain(..).collect();
+        for p in retry {
+            out.push((
+                now + self.latency.schedule,
+                ClusterEvent::ScheduleAttempt { pod: p },
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::resources::NVIDIA_GPU;
+    use ks_sim_core::prelude::*;
+
+    /// Minimal engine wrapper for driving a ClusterSim in tests.
+    struct World {
+        cluster: ClusterSim,
+        notices: Vec<(SimTime, ClusterNotice)>,
+    }
+
+    struct Ev(ClusterEvent);
+
+    impl SimEvent<World> for Ev {
+        fn fire(self, now: SimTime, w: &mut World, q: &mut EventQueue<Self>) {
+            let mut out = Vec::new();
+            let mut notes = Vec::new();
+            w.cluster.handle(now, self.0, &mut out, &mut notes);
+            for n in notes {
+                w.notices.push((now, n));
+            }
+            for (at, e) in out {
+                q.schedule_at(at, Ev(e));
+            }
+        }
+    }
+
+    fn engine(cfg: ClusterConfig) -> Engine<World, Ev> {
+        Engine::new(World {
+            cluster: ClusterSim::new(cfg),
+            notices: Vec::new(),
+        })
+    }
+
+    fn small_cluster(gpus: u32) -> ClusterConfig {
+        ClusterConfig {
+            nodes: vec![NodeConfig {
+                name: "n0".into(),
+                cpu_millis: 8_000,
+                memory_bytes: 32 << 30,
+                gpus,
+                gpu_memory_bytes: 16 << 30,
+            }],
+            latency: LatencyModel::default(),
+            gpu_plugin: GpuPluginKind::WholeDevice,
+            assign_policy: UnitAssignPolicy::Sequential,
+            score: ScorePolicy::LeastAllocated,
+        }
+    }
+
+    fn gpu_pod_spec() -> PodSpec {
+        PodSpec::new(
+            "tf:latest",
+            ResourceList::cpu_mem(1000, 1 << 30).with_extended(NVIDIA_GPU, 1),
+        )
+    }
+
+    fn seed(eng: &mut Engine<World, Ev>, out: ClusterEmit) {
+        for (at, e) in out {
+            eng.queue.schedule_at(at, Ev(e));
+        }
+    }
+
+    #[test]
+    fn pod_reaches_running_with_device_env() {
+        let mut eng = engine(small_cluster(1));
+        let mut out = Vec::new();
+        let uid = eng
+            .world
+            .cluster
+            .submit_pod(SimTime::ZERO, "train-0", gpu_pod_spec(), &mut out);
+        seed(&mut eng, out);
+        assert_eq!(eng.run_to_completion(1000), RunOutcome::Drained);
+        let pod = eng.world.cluster.pod(uid).unwrap();
+        assert_eq!(pod.status.phase, PodPhase::Running);
+        assert!(pod.visible_devices().unwrap().starts_with("GPU-"));
+        // Creation latency matches the model.
+        let (t, n) = &eng.world.notices[0];
+        assert!(matches!(n, ClusterNotice::PodRunning { .. }));
+        let expected = eng.world.cluster.latency().base_creation();
+        assert_eq!(t.saturating_since(SimTime::ZERO), expected);
+    }
+
+    #[test]
+    fn second_gpu_pod_queues_until_first_deleted() {
+        let mut eng = engine(small_cluster(1));
+        let mut out = Vec::new();
+        let a = eng
+            .world
+            .cluster
+            .submit_pod(SimTime::ZERO, "a", gpu_pod_spec(), &mut out);
+        let b = eng
+            .world
+            .cluster
+            .submit_pod(SimTime::ZERO, "b", gpu_pod_spec(), &mut out);
+        seed(&mut eng, out);
+        eng.run_to_completion(1000);
+        assert_eq!(
+            eng.world.cluster.pod(a).unwrap().status.phase,
+            PodPhase::Running
+        );
+        assert_eq!(
+            eng.world.cluster.pod(b).unwrap().status.phase,
+            PodPhase::Pending
+        );
+        assert!(eng
+            .world
+            .notices
+            .iter()
+            .any(|(_, n)| matches!(n, ClusterNotice::PodUnschedulable { pod } if *pod == b)));
+
+        // Delete a → b schedules and runs.
+        let now = eng.now();
+        let mut out = Vec::new();
+        let mut notes = Vec::new();
+        eng.world.cluster.delete_pod(now, a, &mut out, &mut notes);
+        seed(&mut eng, out);
+        eng.run_to_completion(1000);
+        assert_eq!(
+            eng.world.cluster.pod(b).unwrap().status.phase,
+            PodPhase::Running
+        );
+    }
+
+    #[test]
+    fn concurrent_starts_pay_penalty() {
+        let mut eng = engine(small_cluster(4));
+        let mut out = Vec::new();
+        for i in 0..4 {
+            eng.world
+                .cluster
+                .submit_pod(SimTime::ZERO, format!("p{i}"), gpu_pod_spec(), &mut out);
+        }
+        seed(&mut eng, out);
+        eng.run_to_completion(1000);
+        let times: Vec<f64> = eng
+            .world
+            .notices
+            .iter()
+            .filter(|(_, n)| matches!(n, ClusterNotice::PodRunning { .. }))
+            .map(|(t, _)| t.as_secs_f64())
+            .collect();
+        assert_eq!(times.len(), 4);
+        // Later pods started strictly later due to the concurrency penalty.
+        assert!(times.windows(2).all(|w| w[1] > w[0]));
+        let spread = times[3] - times[0];
+        assert!(spread > 0.2, "penalty visible: {spread}");
+    }
+
+    #[test]
+    fn pinned_pod_lands_on_named_node() {
+        let mut cfg = small_cluster(1);
+        cfg.nodes.push(NodeConfig {
+            name: "n1".into(),
+            cpu_millis: 8_000,
+            memory_bytes: 32 << 30,
+            gpus: 1,
+            gpu_memory_bytes: 16 << 30,
+        });
+        let mut eng = engine(cfg);
+        let mut spec = gpu_pod_spec();
+        spec.node_name = Some("n1".into());
+        let mut out = Vec::new();
+        let uid = eng
+            .world
+            .cluster
+            .submit_pod(SimTime::ZERO, "anchor", spec, &mut out);
+        seed(&mut eng, out);
+        eng.run_to_completion(1000);
+        assert_eq!(
+            eng.world
+                .cluster
+                .pod(uid)
+                .unwrap()
+                .status
+                .node_name
+                .as_deref(),
+            Some("n1")
+        );
+    }
+
+    #[test]
+    fn delete_pending_pod_is_immediate() {
+        let mut eng = engine(small_cluster(1));
+        let mut out = Vec::new();
+        let a = eng
+            .world
+            .cluster
+            .submit_pod(SimTime::ZERO, "a", gpu_pod_spec(), &mut out);
+        let b = eng
+            .world
+            .cluster
+            .submit_pod(SimTime::ZERO, "b", gpu_pod_spec(), &mut out);
+        seed(&mut eng, out);
+        eng.run_to_completion(1000);
+        let now = eng.now();
+        let mut out = Vec::new();
+        let mut notes = Vec::new();
+        eng.world.cluster.delete_pod(now, b, &mut out, &mut notes);
+        assert!(matches!(
+            notes.as_slice(),
+            [ClusterNotice::PodDeleted { pod }] if *pod == b
+        ));
+        assert!(eng.world.cluster.pod(b).is_none());
+        let _ = a;
+    }
+
+    #[test]
+    fn fractional_plugin_shares_a_device() {
+        let mut cfg = small_cluster(1);
+        cfg.gpu_plugin = GpuPluginKind::Fractional {
+            scaling: 100,
+            resource: "ks.example/vgpu".into(),
+        };
+        let mut eng = engine(cfg);
+        let spec = |units: u64| {
+            PodSpec::new(
+                "tf:latest",
+                ResourceList::cpu_mem(100, 1 << 20).with_extended("ks.example/vgpu", units),
+            )
+        };
+        let mut out = Vec::new();
+        let a = eng
+            .world
+            .cluster
+            .submit_pod(SimTime::ZERO, "a", spec(50), &mut out);
+        let b = eng
+            .world
+            .cluster
+            .submit_pod(SimTime::ZERO, "b", spec(50), &mut out);
+        seed(&mut eng, out);
+        eng.run_to_completion(1000);
+        assert_eq!(
+            eng.world.cluster.pod(a).unwrap().status.phase,
+            PodPhase::Running
+        );
+        assert_eq!(
+            eng.world.cluster.pod(b).unwrap().status.phase,
+            PodPhase::Running
+        );
+        // Both pods landed on the same physical device (1 GPU node).
+        assert_eq!(
+            eng.world.cluster.pod_devices(a),
+            eng.world.cluster.pod_devices(b)
+        );
+    }
+
+    #[test]
+    fn running_pods_tracked_in_store_watch() {
+        let mut eng = engine(small_cluster(1));
+        let mut w = eng.world.cluster.pods().watch();
+        let mut out = Vec::new();
+        eng.world
+            .cluster
+            .submit_pod(SimTime::ZERO, "a", gpu_pod_spec(), &mut out);
+        seed(&mut eng, out);
+        eng.run_to_completion(1000);
+        let events = eng.world.cluster.pods().poll(&mut w);
+        // Added + (scheduled, env, running) modifications.
+        assert!(events.len() >= 3, "saw {} events", events.len());
+    }
+}

@@ -1,0 +1,197 @@
+//! Property-based tests for the cluster control plane: resource accounting
+//! must be conserved under arbitrary submit/delete interleavings.
+
+use ks_cluster::api::pod::PodSpec;
+use ks_cluster::api::{NodeConfig, ResourceList, Uid, NVIDIA_GPU};
+use ks_cluster::device_plugin::UnitAssignPolicy;
+use ks_cluster::latency::LatencyModel;
+use ks_cluster::scheduler::ScorePolicy;
+use ks_cluster::sim::{ClusterConfig, ClusterEvent, ClusterNotice, ClusterSim, GpuPluginKind};
+use ks_sim_core::prelude::*;
+use proptest::prelude::*;
+
+struct World {
+    cluster: ClusterSim,
+    running: Vec<Uid>,
+    deleted: usize,
+}
+
+struct Ev(ClusterEvent);
+
+impl SimEvent<World> for Ev {
+    fn fire(self, now: SimTime, w: &mut World, q: &mut EventQueue<Self>) {
+        let mut out = Vec::new();
+        let mut notes = Vec::new();
+        w.cluster.handle(now, self.0, &mut out, &mut notes);
+        for n in notes {
+            match n {
+                ClusterNotice::PodRunning { pod } => w.running.push(pod),
+                ClusterNotice::PodDeleted { .. } => w.deleted += 1,
+                _ => {}
+            }
+        }
+        for (at, e) in out {
+            q.schedule_at(at, Ev(e));
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Submit a pod with (cpu_millis, gpus).
+    Submit(u64, u64),
+    /// Delete the i-th currently running pod (modulo the live count).
+    DeleteRunning(usize),
+    /// Let the simulation advance this many seconds.
+    Advance(u64),
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (100u64..4000, 0u64..3).prop_map(|(c, g)| Op::Submit(c, g)),
+        (0usize..8).prop_map(Op::DeleteRunning),
+        (1u64..20).prop_map(Op::Advance),
+    ]
+}
+
+fn config() -> ClusterConfig {
+    ClusterConfig {
+        nodes: (0..2)
+            .map(|i| NodeConfig {
+                name: format!("n{i}"),
+                cpu_millis: 16_000,
+                memory_bytes: 64 << 30,
+                gpus: 2,
+                gpu_memory_bytes: 16 << 30,
+            })
+            .collect(),
+        latency: LatencyModel::default(),
+        gpu_plugin: GpuPluginKind::WholeDevice,
+        assign_policy: UnitAssignPolicy::Sequential,
+        score: ScorePolicy::LeastAllocated,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Whatever the interleaving: free resources never exceed allocatable,
+    /// never go negative (checked_sub would panic), and after deleting
+    /// everything the cluster returns to full capacity.
+    #[test]
+    fn accounting_is_conserved(ops in proptest::collection::vec(op(), 1..60)) {
+        let mut eng = Engine::new(World {
+            cluster: ClusterSim::new(config()),
+            running: Vec::new(),
+            deleted: 0,
+        });
+        let mut submitted = Vec::new();
+        let mut horizon = SimTime::ZERO;
+        for o in &ops {
+            let now = eng.now().max(horizon);
+            match o {
+                Op::Submit(cpu, gpus) => {
+                    let mut requests = ResourceList::cpu_mem(*cpu, 1 << 30);
+                    if *gpus > 0 {
+                        requests = requests.with_extended(NVIDIA_GPU, *gpus);
+                    }
+                    let mut out = Vec::new();
+                    let uid = eng.world.cluster.submit_pod(
+                        now,
+                        format!("p{}", submitted.len()),
+                        PodSpec::new("img", requests),
+                        &mut out,
+                    );
+                    submitted.push(uid);
+                    for (at, e) in out {
+                        eng.queue.schedule_at(at, Ev(e));
+                    }
+                }
+                Op::DeleteRunning(i) => {
+                    if !eng.world.running.is_empty() {
+                        let idx = i % eng.world.running.len();
+                        let uid = eng.world.running.remove(idx);
+                        let mut out = Vec::new();
+                        let mut notes = Vec::new();
+                        eng.world.cluster.delete_pod(now, uid, &mut out, &mut notes);
+                        for (at, e) in out {
+                            eng.queue.schedule_at(at, Ev(e));
+                        }
+                    }
+                }
+                Op::Advance(secs) => {
+                    horizon = now + SimDuration::from_secs(*secs);
+                    eng.run_until(horizon);
+                }
+            }
+            // Invariant: free fits inside allocatable on every node.
+            for name in eng.world.cluster.node_names() {
+                let free = eng.world.cluster.node_free(&name).unwrap();
+                prop_assert!(free.cpu_millis <= 16_000);
+                prop_assert!(free.extended_count(NVIDIA_GPU) <= 2);
+            }
+        }
+        // Drain all pending control-plane work, then delete everything.
+        eng.run_to_completion(1_000_000);
+        let now = eng.now();
+        for &uid in &submitted {
+            let mut out = Vec::new();
+            let mut notes = Vec::new();
+            eng.world.cluster.delete_pod(now, uid, &mut out, &mut notes);
+            for (at, e) in out {
+                eng.queue.schedule_at(at, Ev(e));
+            }
+        }
+        eng.run_to_completion(1_000_000);
+        for name in eng.world.cluster.node_names() {
+            let free = eng.world.cluster.node_free(&name).unwrap();
+            prop_assert_eq!(free.cpu_millis, 16_000, "cpu restored on {}", name);
+            prop_assert_eq!(free.extended_count(NVIDIA_GPU), 2, "gpus restored on {}", name);
+        }
+    }
+
+    /// GPU exclusivity: at no sampled instant do more pods run than there
+    /// are GPUs, and no two running pods share a device UUID.
+    #[test]
+    fn whole_device_plugin_is_exclusive(n_pods in 1usize..12) {
+        let mut eng = Engine::new(World {
+            cluster: ClusterSim::new(config()),
+            running: Vec::new(),
+            deleted: 0,
+        });
+        let mut out = Vec::new();
+        for i in 0..n_pods {
+            eng.world.cluster.submit_pod(
+                SimTime::ZERO,
+                format!("p{i}"),
+                PodSpec::new(
+                    "img",
+                    ResourceList::cpu_mem(100, 1 << 20).with_extended(NVIDIA_GPU, 1),
+                ),
+                &mut out,
+            );
+        }
+        for (at, e) in out {
+            eng.queue.schedule_at(at, Ev(e));
+        }
+        eng.run_to_completion(1_000_000);
+        let running = &eng.world.running;
+        prop_assert!(running.len() <= 4, "only 4 GPUs exist");
+        let mut uuids: Vec<String> = running
+            .iter()
+            .map(|&u| {
+                eng.world
+                    .cluster
+                    .pod(u)
+                    .unwrap()
+                    .visible_devices()
+                    .unwrap()
+                    .to_string()
+            })
+            .collect();
+        let before = uuids.len();
+        uuids.sort();
+        uuids.dedup();
+        prop_assert_eq!(uuids.len(), before, "two pods share a GPU");
+    }
+}

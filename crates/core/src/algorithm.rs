@@ -1,0 +1,389 @@
+//! Algorithm 1: locality & resource aware scheduling (paper §4.3).
+//!
+//! Given a container's requirements `r` (gpu_request, gpu_mem, locality
+//! labels) and the vGPU pool `D`, pick the GPUID to bind:
+//!
+//! * **Step 1** — affinity: if `r` has an affinity label and a device
+//!   already carries it, the container *must* go there (reject on any
+//!   conflict with exclusion/anti-affinity/capacity). If no device carries
+//!   the label yet, prefer an idle or brand-new device so the group has
+//!   room to grow.
+//! * **Step 2** — filter: drop devices that conflict on exclusion or
+//!   anti-affinity or lack residual capacity (idle devices are clean and
+//!   always pass).
+//! * **Step 3** — placement: **best-fit** among devices *without* affinity
+//!   labels, then **worst-fit** among devices *with* affinity labels
+//!   (keeping room for their future group members), then a new device.
+
+use crate::gpuid::GpuId;
+use crate::locality::Locality;
+use crate::pool::{PoolDevice, VgpuPool};
+
+/// A container's scheduling requirements (`r` in Algorithm 1).
+#[derive(Debug, Clone)]
+pub struct SchedRequest {
+    /// `gpu_request` — minimum compute share to reserve.
+    pub util: f64,
+    /// `gpu_mem` — memory fraction to reserve.
+    pub mem: f64,
+    /// Locality labels.
+    pub locality: Locality,
+}
+
+/// The algorithm's output.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Decision {
+    /// Bind to an existing vGPU.
+    Assign(GpuId),
+    /// Create a new vGPU with this (fresh) GPUID and bind to it.
+    NewDevice(GpuId),
+    /// Constraints cannot be satisfied (paper's `return -1`).
+    Reject(RejectReason),
+}
+
+/// Why a request was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RejectReason {
+    /// Affinity target exists but carries a different exclusion label.
+    ExclusionConflict,
+    /// Affinity target already hosts the request's anti-affinity label.
+    AntiAffinityConflict,
+    /// Affinity target lacks residual capacity.
+    InsufficientCapacity,
+}
+
+fn excl_matches(req: &Option<String>, dev: &Option<String>) -> bool {
+    req == dev
+}
+
+fn anti_aff_conflicts(req: &Option<String>, dev: &PoolDevice) -> bool {
+    match req {
+        Some(label) => dev.anti_aff.contains(label),
+        None => false,
+    }
+}
+
+fn has_capacity(req: &SchedRequest, dev: &PoolDevice) -> bool {
+    req.util <= dev.util_free + 1e-9 && req.mem <= dev.mem_free + 1e-9
+}
+
+/// Fit metric: total residual after hypothetical placement. Best-fit
+/// minimizes it (pack tight); worst-fit maximizes it (keep room).
+fn residual_after(req: &SchedRequest, dev: &PoolDevice) -> f64 {
+    (dev.util_free - req.util) + (dev.mem_free - req.mem)
+}
+
+/// Runs Algorithm 1. Pure with respect to pool *contents*; only consumes a
+/// fresh id from the pool's id counter when a new device is needed.
+pub fn schedule(req: &SchedRequest, pool: &mut VgpuPool) -> Decision {
+    // ---- Step 1: affinity (lines 1–14) ----
+    if let Some(aff) = &req.locality.affinity {
+        let target = pool.devices().find(|d| !d.releasing && d.aff.contains(aff));
+        if let Some(d) = target {
+            if !excl_matches(&req.locality.exclusion, &d.excl) {
+                return Decision::Reject(RejectReason::ExclusionConflict);
+            }
+            if anti_aff_conflicts(&req.locality.anti_affinity, d) {
+                return Decision::Reject(RejectReason::AntiAffinityConflict);
+            }
+            if !has_capacity(req, d) {
+                return Decision::Reject(RejectReason::InsufficientCapacity);
+            }
+            return Decision::Assign(d.id.clone());
+        }
+        // No device carries the label yet: prefer an idle device so the
+        // affinity group has maximal room (lines 9–14).
+        if let Some(d) = pool.devices().find(|d| !d.releasing && d.is_idle()) {
+            return Decision::Assign(d.id.clone());
+        }
+        return Decision::NewDevice(pool.fresh_id());
+    }
+
+    // ---- Step 2: filter (lines 15–20) ----
+    let candidates: Vec<&PoolDevice> = pool
+        .devices()
+        .filter(|d| {
+            if d.releasing {
+                return false; // being handed back to Kubernetes
+            }
+            if d.is_idle() {
+                return true; // clean device: constraints are vacuous
+            }
+            excl_matches(&req.locality.exclusion, &d.excl)
+                && !anti_aff_conflicts(&req.locality.anti_affinity, d)
+                && has_capacity(req, d)
+        })
+        .collect();
+
+    // ---- Step 3: placement (lines 21–26) ----
+    // Best fit among devices without affinity labels…
+    let best = candidates
+        .iter()
+        .filter(|d| d.aff.is_empty())
+        .min_by(|a, b| {
+            residual_after(req, a)
+                .partial_cmp(&residual_after(req, b))
+                .unwrap()
+                .then_with(|| a.id.cmp(&b.id))
+        });
+    if let Some(d) = best {
+        return Decision::Assign(d.id.clone());
+    }
+    // …worst fit among devices with affinity labels…
+    let worst = candidates
+        .iter()
+        .filter(|d| !d.aff.is_empty())
+        .max_by(|a, b| {
+            residual_after(req, a)
+                .partial_cmp(&residual_after(req, b))
+                .unwrap()
+                .then_with(|| b.id.cmp(&a.id))
+        });
+    if let Some(d) = worst {
+        return Decision::Assign(d.id.clone());
+    }
+    // …else a brand-new vGPU.
+    Decision::NewDevice(pool.fresh_id())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ks_cluster::api::Uid;
+
+    fn req(util: f64, mem: f64) -> SchedRequest {
+        SchedRequest {
+            util,
+            mem,
+            locality: Locality::none(),
+        }
+    }
+
+    fn req_loc(util: f64, mem: f64, loc: Locality) -> SchedRequest {
+        SchedRequest {
+            util,
+            mem,
+            locality: loc,
+        }
+    }
+
+    /// Pool with `n` ready devices; returns their ids.
+    fn pool(n: usize) -> (VgpuPool, Vec<GpuId>) {
+        let mut p = VgpuPool::new();
+        let ids = (0..n)
+            .map(|i| {
+                let id = p.fresh_id();
+                p.insert_creating(id.clone());
+                p.mark_ready(&id, format!("node-{}", i / 4), format!("GPU-{i}"));
+                id
+            })
+            .collect();
+        (p, ids)
+    }
+
+    #[test]
+    fn empty_pool_creates_new_device() {
+        let mut p = VgpuPool::new();
+        match schedule(&req(0.5, 0.5), &mut p) {
+            Decision::NewDevice(_) => {}
+            d => panic!("expected NewDevice, got {d:?}"),
+        }
+    }
+
+    #[test]
+    fn best_fit_packs_tightest_device() {
+        let (mut p, ids) = pool(2);
+        p.attach(&ids[0], Uid(1), 0.6, 0.6, None, None, None); // free 0.4
+        p.attach(&ids[1], Uid(2), 0.2, 0.2, None, None, None); // free 0.8
+                                                               // 0.3 fits both; best fit picks the tighter device (ids[0]).
+        assert_eq!(
+            schedule(&req(0.3, 0.3), &mut p),
+            Decision::Assign(ids[0].clone())
+        );
+    }
+
+    #[test]
+    fn no_fit_on_busy_devices_uses_idle() {
+        let (mut p, ids) = pool(2);
+        p.attach(&ids[0], Uid(1), 0.9, 0.9, None, None, None);
+        // 0.5 doesn't fit device 0, but device 1 is idle.
+        assert_eq!(
+            schedule(&req(0.5, 0.5), &mut p),
+            Decision::Assign(ids[1].clone())
+        );
+    }
+
+    #[test]
+    fn full_pool_spawns_new_device() {
+        let (mut p, ids) = pool(1);
+        p.attach(&ids[0], Uid(1), 0.9, 0.9, None, None, None);
+        match schedule(&req(0.5, 0.5), &mut p) {
+            Decision::NewDevice(id) => assert_ne!(id, ids[0]),
+            d => panic!("expected NewDevice, got {d:?}"),
+        }
+    }
+
+    #[test]
+    fn affinity_joins_existing_group() {
+        let (mut p, ids) = pool(2);
+        p.attach(&ids[1], Uid(1), 0.3, 0.3, Some("grp"), None, None);
+        let r = req_loc(0.3, 0.3, Locality::none().with_affinity("grp"));
+        assert_eq!(schedule(&r, &mut p), Decision::Assign(ids[1].clone()));
+    }
+
+    #[test]
+    fn affinity_without_group_prefers_idle_device() {
+        let (mut p, ids) = pool(2);
+        p.attach(&ids[0], Uid(1), 0.1, 0.1, None, None, None);
+        let r = req_loc(0.3, 0.3, Locality::none().with_affinity("grp"));
+        // ids[0] has load; ids[1] is idle → pick ids[1] to leave room for
+        // future "grp" members.
+        assert_eq!(schedule(&r, &mut p), Decision::Assign(ids[1].clone()));
+    }
+
+    #[test]
+    fn affinity_with_no_idle_creates_new() {
+        let (mut p, ids) = pool(1);
+        p.attach(&ids[0], Uid(1), 0.1, 0.1, None, None, None);
+        let r = req_loc(0.3, 0.3, Locality::none().with_affinity("grp"));
+        assert!(matches!(schedule(&r, &mut p), Decision::NewDevice(_)));
+    }
+
+    #[test]
+    fn affinity_target_exclusion_conflict_rejects() {
+        let (mut p, ids) = pool(1);
+        p.attach(
+            &ids[0],
+            Uid(1),
+            0.3,
+            0.3,
+            Some("grp"),
+            None,
+            Some("tenant-a"),
+        );
+        let r = req_loc(
+            0.3,
+            0.3,
+            Locality::none()
+                .with_affinity("grp")
+                .with_exclusion("tenant-b"),
+        );
+        assert_eq!(
+            schedule(&r, &mut p),
+            Decision::Reject(RejectReason::ExclusionConflict)
+        );
+    }
+
+    #[test]
+    fn affinity_target_anti_affinity_conflict_rejects() {
+        let (mut p, ids) = pool(1);
+        p.attach(&ids[0], Uid(1), 0.3, 0.3, Some("grp"), Some("noisy"), None);
+        let r = req_loc(
+            0.3,
+            0.3,
+            Locality::none()
+                .with_affinity("grp")
+                .with_anti_affinity("noisy"),
+        );
+        assert_eq!(
+            schedule(&r, &mut p),
+            Decision::Reject(RejectReason::AntiAffinityConflict)
+        );
+    }
+
+    #[test]
+    fn affinity_target_capacity_conflict_rejects() {
+        let (mut p, ids) = pool(1);
+        p.attach(&ids[0], Uid(1), 0.8, 0.8, Some("grp"), None, None);
+        let r = req_loc(0.5, 0.1, Locality::none().with_affinity("grp"));
+        assert_eq!(
+            schedule(&r, &mut p),
+            Decision::Reject(RejectReason::InsufficientCapacity)
+        );
+    }
+
+    #[test]
+    fn anti_affinity_spreads_across_devices() {
+        let (mut p, ids) = pool(3);
+        // Three anti-affine containers: each must land on a different GPU.
+        let mut assigned = Vec::new();
+        for i in 0..3 {
+            let r = req_loc(0.3, 0.3, Locality::none().with_anti_affinity("noisy"));
+            match schedule(&r, &mut p) {
+                Decision::Assign(id) => {
+                    p.attach(&id, Uid(10 + i), 0.3, 0.3, None, Some("noisy"), None);
+                    assigned.push(id);
+                }
+                d => panic!("unexpected {d:?}"),
+            }
+        }
+        assigned.sort();
+        assigned.dedup();
+        assert_eq!(assigned.len(), 3, "anti-affinity must spread");
+        let _ = ids;
+    }
+
+    #[test]
+    fn anti_affinity_exhausted_creates_new_device() {
+        let (mut p, ids) = pool(1);
+        p.attach(&ids[0], Uid(1), 0.3, 0.3, None, Some("noisy"), None);
+        let r = req_loc(0.3, 0.3, Locality::none().with_anti_affinity("noisy"));
+        assert!(matches!(schedule(&r, &mut p), Decision::NewDevice(_)));
+    }
+
+    #[test]
+    fn exclusion_separates_tenants() {
+        let (mut p, ids) = pool(2);
+        p.attach(&ids[0], Uid(1), 0.2, 0.2, None, None, Some("tenant-a"));
+        let r = req_loc(0.2, 0.2, Locality::none().with_exclusion("tenant-b"));
+        // Device 0 belongs to tenant-a; tenant-b must go elsewhere.
+        assert_eq!(schedule(&r, &mut p), Decision::Assign(ids[1].clone()));
+    }
+
+    #[test]
+    fn same_exclusion_label_shares() {
+        let (mut p, ids) = pool(2);
+        p.attach(&ids[0], Uid(1), 0.2, 0.2, None, None, Some("tenant-a"));
+        let r = req_loc(0.2, 0.2, Locality::none().with_exclusion("tenant-a"));
+        assert_eq!(schedule(&r, &mut p), Decision::Assign(ids[0].clone()));
+    }
+
+    #[test]
+    fn unlabeled_request_avoids_exclusive_device() {
+        let (mut p, ids) = pool(2);
+        p.attach(&ids[0], Uid(1), 0.2, 0.2, None, None, Some("tenant-a"));
+        let r = req(0.2, 0.2);
+        assert_eq!(schedule(&r, &mut p), Decision::Assign(ids[1].clone()));
+    }
+
+    #[test]
+    fn worst_fit_on_affinity_devices_keeps_room() {
+        let (mut p, ids) = pool(2);
+        // Both devices carry affinity groups with different loads; a
+        // label-free request that fits neither clean rule lands on the one
+        // with MORE residual (worst fit), keeping group room balanced.
+        p.attach(&ids[0], Uid(1), 0.6, 0.6, Some("g1"), None, None); // free 0.4
+        p.attach(&ids[1], Uid(2), 0.2, 0.2, Some("g2"), None, None); // free 0.8
+        let r = req(0.3, 0.3);
+        assert_eq!(schedule(&r, &mut p), Decision::Assign(ids[1].clone()));
+    }
+
+    #[test]
+    fn best_fit_preferred_over_affinity_devices() {
+        let (mut p, ids) = pool(2);
+        p.attach(&ids[0], Uid(1), 0.2, 0.2, Some("g1"), None, None); // aff device
+        p.attach(&ids[1], Uid(2), 0.2, 0.2, None, None, None); // plain device
+        let r = req(0.3, 0.3);
+        // Plain device wins even though the affinity device has equal room.
+        assert_eq!(schedule(&r, &mut p), Decision::Assign(ids[1].clone()));
+    }
+
+    #[test]
+    fn idle_device_passes_filters_despite_stale_look() {
+        let (mut p, ids) = pool(1);
+        p.attach(&ids[0], Uid(1), 0.3, 0.3, None, None, Some("tenant-a"));
+        p.detach(&ids[0], Uid(1)); // idle again, labels cleared
+        let r = req_loc(0.5, 0.5, Locality::none().with_exclusion("tenant-b"));
+        assert_eq!(schedule(&r, &mut p), Decision::Assign(ids[0].clone()));
+    }
+}

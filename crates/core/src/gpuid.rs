@@ -1,0 +1,66 @@
+//! GPUID: the first-class virtual identity of a shared GPU.
+//!
+//! KubeShare's central idea (paper §4.1–§4.2): every vGPU carries a unique
+//! identifier that users and the scheduler can name explicitly. The GPUID
+//! is *virtual* — DevMgr maintains the mapping to the physical driver UUID
+//! (paper §4.4) — so a vGPU can be requested before a physical GPU is even
+//! acquired from Kubernetes.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A vGPU identifier, unique within the vGPU pool.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct GpuId(String);
+
+impl GpuId {
+    /// Wraps a user-specified id (users may name a vGPU explicitly to
+    /// control binding, paper §4.2).
+    pub fn named(id: impl Into<String>) -> Self {
+        GpuId(id.into())
+    }
+
+    /// Generates a fresh hashed id, as the paper's `new_dev()` does
+    /// ("generates a device variable with a new hashed id").
+    pub fn generate(counter: u64) -> Self {
+        // FNV-1a of the counter; the point is opacity, not security.
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in counter.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        GpuId(format!("vgpu-{h:016x}"))
+    }
+
+    /// String form.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for GpuId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_ids_are_unique_and_opaque() {
+        let a = GpuId::generate(1);
+        let b = GpuId::generate(2);
+        assert_ne!(a, b);
+        assert!(a.as_str().starts_with("vgpu-"));
+        assert_eq!(GpuId::generate(1), a, "deterministic");
+    }
+
+    #[test]
+    fn named_ids_round_trip() {
+        let g = GpuId::named("my-shared-gpu");
+        assert_eq!(g.to_string(), "my-shared-gpu");
+    }
+}

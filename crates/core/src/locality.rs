@@ -1,0 +1,71 @@
+//! Locality constraints on vGPU binding (paper §4.2).
+//!
+//! Three label-based constraints control the container↔GPU mapping — a
+//! capability only possible because vGPUs are first-class entities:
+//!
+//! * **exclusion** — containers with different exclusion labels never share
+//!   a GPU (dedicated resources per user/app);
+//! * **affinity** — containers with the same affinity label land on the
+//!   same GPU;
+//! * **anti-affinity** — containers with the same anti-affinity label land
+//!   on *different* GPUs (the interference-avoidance tool of §5.5).
+
+use serde::{Deserialize, Serialize};
+
+/// Locality constraint labels for one SharePod.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Locality {
+    /// `sched_affinity` label.
+    pub affinity: Option<String>,
+    /// `sched_anti-affinity` label.
+    pub anti_affinity: Option<String>,
+    /// `sched_exclusion` label.
+    pub exclusion: Option<String>,
+}
+
+impl Locality {
+    /// No constraints.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Affinity constraint (builder style).
+    pub fn with_affinity(mut self, label: impl Into<String>) -> Self {
+        self.affinity = Some(label.into());
+        self
+    }
+
+    /// Anti-affinity constraint (builder style).
+    pub fn with_anti_affinity(mut self, label: impl Into<String>) -> Self {
+        self.anti_affinity = Some(label.into());
+        self
+    }
+
+    /// Exclusion constraint (builder style).
+    pub fn with_exclusion(mut self, label: impl Into<String>) -> Self {
+        self.exclusion = Some(label.into());
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_composes() {
+        let l = Locality::none()
+            .with_affinity("job-group")
+            .with_anti_affinity("noisy")
+            .with_exclusion("tenant-a");
+        assert_eq!(l.affinity.as_deref(), Some("job-group"));
+        assert_eq!(l.anti_affinity.as_deref(), Some("noisy"));
+        assert_eq!(l.exclusion.as_deref(), Some("tenant-a"));
+    }
+
+    #[test]
+    fn default_is_unconstrained() {
+        let l = Locality::none();
+        assert!(l.affinity.is_none() && l.anti_affinity.is_none() && l.exclusion.is_none());
+    }
+}

@@ -1,0 +1,356 @@
+//! The vGPU pool: the set of shared GPUs KubeShare manages (paper §4.1,
+//! §4.4).
+//!
+//! Each vGPU has a first-class identity ([`crate::gpuid::GpuId`]), residual
+//! resource accounting (by `gpu_request`/`gpu_mem`, the quantities the
+//! scheduler packs on), accumulated locality labels, and a lifecycle:
+//! *creating* (anchor pod launching) → *active* (sharePods attached) →
+//! *idle* (none attached) → *deleted* (GPU released back to Kubernetes).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use ks_cluster::api::Uid;
+use serde::Serialize;
+
+use crate::gpuid::GpuId;
+
+/// Lifecycle phase of a vGPU (paper §4.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum VgpuPhase {
+    /// Anchor pod launched; waiting for the physical GPU's UUID.
+    Creating,
+    /// At least one sharePod attached.
+    Active,
+    /// No sharePods attached; GPU still held from Kubernetes.
+    Idle,
+}
+
+/// One vGPU in the pool.
+#[derive(Debug, Clone)]
+pub struct PoolDevice {
+    /// First-class identifier.
+    pub id: GpuId,
+    /// Lifecycle phase.
+    pub phase: VgpuPhase,
+    /// Node hosting the physical GPU (known once the anchor pod binds).
+    pub node: Option<String>,
+    /// Physical driver UUID (known once the anchor pod runs).
+    pub uuid: Option<String>,
+    /// Residual computing capacity: `1 − Σ gpu_request` of attached pods.
+    pub util_free: f64,
+    /// Residual memory fraction: `1 − Σ gpu_mem` of attached pods.
+    pub mem_free: f64,
+    /// Affinity labels present on this device.
+    pub aff: BTreeSet<String>,
+    /// Anti-affinity labels present on this device.
+    pub anti_aff: BTreeSet<String>,
+    /// Exclusion label of this device (single, overwritten on assignment).
+    pub excl: Option<String>,
+    /// Attached sharePods and their (request, mem) for release accounting.
+    pub attached: BTreeMap<Uid, (f64, f64)>,
+    /// Set once DevMgr decided to release the GPU back to Kubernetes; the
+    /// anchor pod is being torn down and no new sharePod may bind here.
+    pub releasing: bool,
+}
+
+impl PoolDevice {
+    fn fresh(id: GpuId) -> Self {
+        PoolDevice {
+            id,
+            phase: VgpuPhase::Creating,
+            node: None,
+            uuid: None,
+            util_free: 1.0,
+            mem_free: 1.0,
+            aff: BTreeSet::new(),
+            anti_aff: BTreeSet::new(),
+            excl: None,
+            attached: BTreeMap::new(),
+            releasing: false,
+        }
+    }
+
+    /// True if no sharePod is scheduled on the device (the algorithm's
+    /// `d.idle`). A *creating* device with nothing attached is also idle
+    /// in this sense.
+    pub fn is_idle(&self) -> bool {
+        self.attached.is_empty()
+    }
+}
+
+/// The pool of vGPUs.
+#[derive(Debug, Default)]
+pub struct VgpuPool {
+    devices: BTreeMap<GpuId, PoolDevice>,
+    next_id: u64,
+}
+
+impl VgpuPool {
+    /// Empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Generates a fresh GPUID (not yet in the pool).
+    pub fn fresh_id(&mut self) -> GpuId {
+        loop {
+            self.next_id += 1;
+            let id = GpuId::generate(self.next_id);
+            if !self.devices.contains_key(&id) {
+                return id;
+            }
+        }
+    }
+
+    /// Adds a new vGPU in `Creating` phase under the given id.
+    ///
+    /// # Panics
+    /// Panics if the id already exists.
+    pub fn insert_creating(&mut self, id: GpuId) -> &mut PoolDevice {
+        assert!(!self.devices.contains_key(&id), "vGPU {id} already in pool");
+        self.devices
+            .entry(id.clone())
+            .or_insert(PoolDevice::fresh(id))
+    }
+
+    /// Marks a creating vGPU ready: physical GPU acquired.
+    pub fn mark_ready(&mut self, id: &GpuId, node: String, uuid: String) {
+        let d = self.devices.get_mut(id).expect("vGPU in pool");
+        debug_assert_eq!(d.phase, VgpuPhase::Creating);
+        d.node = Some(node);
+        d.uuid = Some(uuid);
+        d.phase = if d.attached.is_empty() {
+            VgpuPhase::Idle
+        } else {
+            VgpuPhase::Active
+        };
+    }
+
+    /// Attaches a sharePod's demand to a vGPU, consuming residual capacity
+    /// and accumulating labels.
+    #[allow(clippy::too_many_arguments)] // mirrors Algorithm 1's request tuple
+    pub fn attach(
+        &mut self,
+        id: &GpuId,
+        sharepod: Uid,
+        request: f64,
+        mem: f64,
+        aff: Option<&str>,
+        anti_aff: Option<&str>,
+        excl: Option<&str>,
+    ) {
+        let d = self.devices.get_mut(id).expect("vGPU in pool");
+        assert!(
+            d.util_free + 1e-9 >= request && d.mem_free + 1e-9 >= mem,
+            "over-committing vGPU {id}: free=({:.3},{:.3}) need=({request:.3},{mem:.3})",
+            d.util_free,
+            d.mem_free
+        );
+        d.util_free = (d.util_free - request).max(0.0);
+        d.mem_free = (d.mem_free - mem).max(0.0);
+        if let Some(a) = aff {
+            d.aff.insert(a.to_string());
+        }
+        if let Some(a) = anti_aff {
+            d.anti_aff.insert(a.to_string());
+        }
+        d.excl = excl.map(str::to_string);
+        d.attached.insert(sharepod, (request, mem));
+        if d.phase != VgpuPhase::Creating {
+            d.phase = VgpuPhase::Active;
+        }
+    }
+
+    /// Detaches a sharePod, restoring capacity. Returns `true` if the vGPU
+    /// became idle (labels are cleared then, so an idle device is clean for
+    /// any future tenant).
+    pub fn detach(&mut self, id: &GpuId, sharepod: Uid) -> bool {
+        let d = self.devices.get_mut(id).expect("vGPU in pool");
+        let (request, mem) = d
+            .attached
+            .remove(&sharepod)
+            .expect("sharePod attached to vGPU");
+        d.util_free = (d.util_free + request).min(1.0);
+        d.mem_free = (d.mem_free + mem).min(1.0);
+        if d.attached.is_empty() {
+            d.aff.clear();
+            d.anti_aff.clear();
+            d.excl = None;
+            if d.phase != VgpuPhase::Creating {
+                d.phase = VgpuPhase::Idle;
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Marks a vGPU as being released: it stays in the pool (its anchor is
+    /// still terminating) but is invisible to the scheduler.
+    pub fn mark_releasing(&mut self, id: &GpuId) {
+        let d = self.devices.get_mut(id).expect("vGPU in pool");
+        debug_assert!(d.attached.is_empty(), "releasing vGPU {id} with tenants");
+        d.releasing = true;
+    }
+
+    /// Removes a vGPU entirely (GPU released back to Kubernetes).
+    ///
+    /// # Panics
+    /// Panics if sharePods are still attached.
+    pub fn remove(&mut self, id: &GpuId) -> PoolDevice {
+        let d = self.devices.remove(id).expect("vGPU in pool");
+        assert!(d.attached.is_empty(), "removing vGPU {id} with tenants");
+        d
+    }
+
+    /// Looks up a device.
+    pub fn get(&self, id: &GpuId) -> Option<&PoolDevice> {
+        self.devices.get(id)
+    }
+
+    /// All devices in deterministic id order.
+    pub fn devices(&self) -> impl Iterator<Item = &PoolDevice> {
+        self.devices.values()
+    }
+
+    /// Devices currently idle and not already being released (candidates
+    /// for release or for reuse).
+    pub fn idle_devices(&self) -> Vec<GpuId> {
+        self.devices
+            .values()
+            .filter(|d| d.phase == VgpuPhase::Idle && !d.releasing)
+            .map(|d| d.id.clone())
+            .collect()
+    }
+
+    /// Pool size.
+    pub fn len(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// True when the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.devices.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool_with_ready(n: usize) -> (VgpuPool, Vec<GpuId>) {
+        let mut p = VgpuPool::new();
+        let ids: Vec<GpuId> = (0..n)
+            .map(|i| {
+                let id = p.fresh_id();
+                p.insert_creating(id.clone());
+                p.mark_ready(&id, format!("node-{i}"), format!("GPU-{i}"));
+                id
+            })
+            .collect();
+        (p, ids)
+    }
+
+    #[test]
+    fn lifecycle_creating_to_idle_to_active() {
+        let mut p = VgpuPool::new();
+        let id = p.fresh_id();
+        p.insert_creating(id.clone());
+        assert_eq!(p.get(&id).unwrap().phase, VgpuPhase::Creating);
+        p.mark_ready(&id, "n0".into(), "GPU-x".into());
+        assert_eq!(p.get(&id).unwrap().phase, VgpuPhase::Idle);
+        p.attach(&id, Uid(1), 0.5, 0.5, None, None, None);
+        assert_eq!(p.get(&id).unwrap().phase, VgpuPhase::Active);
+        assert!(p.detach(&id, Uid(1)));
+        assert_eq!(p.get(&id).unwrap().phase, VgpuPhase::Idle);
+    }
+
+    #[test]
+    fn attach_while_creating_keeps_creating_phase() {
+        let mut p = VgpuPool::new();
+        let id = p.fresh_id();
+        p.insert_creating(id.clone());
+        p.attach(&id, Uid(1), 0.3, 0.3, None, None, None);
+        assert_eq!(p.get(&id).unwrap().phase, VgpuPhase::Creating);
+        p.mark_ready(&id, "n".into(), "GPU-x".into());
+        assert_eq!(p.get(&id).unwrap().phase, VgpuPhase::Active);
+    }
+
+    #[test]
+    fn capacity_accounting() {
+        let (mut p, ids) = pool_with_ready(1);
+        p.attach(&ids[0], Uid(1), 0.3, 0.4, None, None, None);
+        p.attach(&ids[0], Uid(2), 0.5, 0.2, None, None, None);
+        let d = p.get(&ids[0]).unwrap();
+        assert!((d.util_free - 0.2).abs() < 1e-9);
+        assert!((d.mem_free - 0.4).abs() < 1e-9);
+        p.detach(&ids[0], Uid(1));
+        let d = p.get(&ids[0]).unwrap();
+        assert!((d.util_free - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "over-committing")]
+    fn overcommit_panics() {
+        let (mut p, ids) = pool_with_ready(1);
+        p.attach(&ids[0], Uid(1), 0.8, 0.1, None, None, None);
+        p.attach(&ids[0], Uid(2), 0.3, 0.1, None, None, None);
+    }
+
+    #[test]
+    fn labels_accumulate_and_clear_on_idle() {
+        let (mut p, ids) = pool_with_ready(1);
+        p.attach(
+            &ids[0],
+            Uid(1),
+            0.2,
+            0.2,
+            Some("g1"),
+            Some("noisy"),
+            Some("tenant"),
+        );
+        p.attach(&ids[0], Uid(2), 0.2, 0.2, Some("g2"), None, Some("tenant"));
+        let d = p.get(&ids[0]).unwrap();
+        assert!(d.aff.contains("g1") && d.aff.contains("g2"));
+        assert!(d.anti_aff.contains("noisy"));
+        assert_eq!(d.excl.as_deref(), Some("tenant"));
+        p.detach(&ids[0], Uid(1));
+        assert!(p.detach(&ids[0], Uid(2)), "becomes idle");
+        let d = p.get(&ids[0]).unwrap();
+        assert!(d.aff.is_empty() && d.anti_aff.is_empty() && d.excl.is_none());
+    }
+
+    #[test]
+    fn idle_devices_listed() {
+        let (mut p, ids) = pool_with_ready(2);
+        p.attach(&ids[0], Uid(1), 0.2, 0.2, None, None, None);
+        let idle = p.idle_devices();
+        assert_eq!(
+            idle,
+            vec![ids[1].clone()]
+                .into_iter()
+                .filter(|i| idle.contains(i))
+                .collect::<Vec<_>>()
+        );
+        assert_eq!(idle.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "with tenants")]
+    fn remove_active_panics() {
+        let (mut p, ids) = pool_with_ready(1);
+        p.attach(&ids[0], Uid(1), 0.2, 0.2, None, None, None);
+        p.remove(&ids[0]);
+    }
+
+    #[test]
+    fn fresh_ids_never_collide() {
+        let mut p = VgpuPool::new();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            let id = p.fresh_id();
+            p.insert_creating(id.clone());
+            assert!(seen.insert(id));
+        }
+    }
+}

@@ -1,0 +1,1178 @@
+//! The composed KubeShare control plane: KubeShare-Sched + KubeShare-DevMgr
+//! running as custom controllers next to an (unmodified) Kubernetes cluster
+//! (paper §4.1, Fig. 4).
+//!
+//! Flow of one sharePod, exactly as in the paper:
+//!
+//! 1. a client submits a [`SharePodSpec`] through the API server;
+//! 2. **KubeShare-Sched** runs Algorithm 1 against the vGPU pool and fills
+//!    in the GPUID (or rejects);
+//! 3. **KubeShare-DevMgr** materializes the vGPU if the GPUID is new: it
+//!    launches an *anchor pod* that requests one whole `nvidia.com/gpu`
+//!    from native Kubernetes — the GPU is thereby allocated without
+//!    running any workload — and reads the device UUID from the anchor's
+//!    injected `NVIDIA_VISIBLE_DEVICES`;
+//! 4. DevMgr then creates the real pod *pinned to the vGPU's node*, with
+//!    `NVIDIA_VISIBLE_DEVICES` set to the physical UUID (explicit binding)
+//!    and the device library installed (surfaced to the embedding world in
+//!    [`KsNotice::SharePodRunning`] so it can attach the container to the
+//!    node's `SharedGpu`);
+//! 5. on deletion, the pod's demand returns to the vGPU; an idle vGPU is
+//!    released (on-demand policy) or kept (reservation policy), trading
+//!    creation latency against cluster-level utilization (paper §4.4).
+
+use std::collections::HashMap;
+
+use ks_cluster::api::pod::PodSpec;
+use ks_cluster::api::{ObjectMeta, ResourceList, Uid, UidAllocator, NVIDIA_GPU};
+use ks_cluster::sim::{ClusterConfig, ClusterEvent, ClusterNotice, ClusterSim};
+use ks_cluster::store::Store;
+use ks_sim_core::time::{SimDuration, SimTime};
+use ks_vgpu::ShareSpec;
+
+use crate::algorithm::{schedule, Decision, SchedRequest};
+use crate::gpuid::GpuId;
+use crate::pool::VgpuPool;
+use crate::sharepod::{SharePod, SharePodPhase, SharePodSpec};
+
+/// When to release idle vGPUs back to Kubernetes (paper §4.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PoolPolicy {
+    /// Release immediately when a vGPU goes idle (the paper's choice).
+    OnDemand,
+    /// Keep up to `max_idle` idle vGPUs for fast future allocation.
+    Reservation {
+        /// Maximum number of idle vGPUs retained.
+        max_idle: usize,
+    },
+    /// The paper's hybrid strategy (§4.4): keep up to `max_idle` idle
+    /// vGPUs, but release any that stay idle longer than `idle_ttl`.
+    Hybrid {
+        /// Maximum number of idle vGPUs retained at once.
+        max_idle: usize,
+        /// How long an idle vGPU is kept before release.
+        idle_ttl: SimDuration,
+    },
+}
+
+/// KubeShare configuration.
+#[derive(Debug, Clone)]
+pub struct KsConfig {
+    /// KubeShare-Sched decision latency (etcd reads + Algorithm 1 + etcd
+    /// write of the SharePodSpec).
+    pub sched_latency: SimDuration,
+    /// DevMgr's vGPU info query + container device-env setup before pod
+    /// creation. Together with `sched_latency` this is the ≈15 % overhead
+    /// of paper Fig. 10.
+    pub vgpu_query_latency: SimDuration,
+    /// Idle-vGPU management policy.
+    pub pool_policy: PoolPolicy,
+}
+
+impl Default for KsConfig {
+    fn default() -> Self {
+        KsConfig {
+            sched_latency: SimDuration::from_millis(90),
+            vgpu_query_latency: SimDuration::from_millis(190),
+            pool_policy: PoolPolicy::OnDemand,
+        }
+    }
+}
+
+/// Events routed back into [`KubeShareSystem::handle`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KsEvent {
+    /// An event for the underlying Kubernetes cluster.
+    Cluster(ClusterEvent),
+    /// KubeShare-Sched runs Algorithm 1 for this sharePod.
+    SchedDecide {
+        /// The sharePod.
+        sp: Uid,
+    },
+    /// DevMgr finished the vGPU info query; create the backing pod.
+    CreatePod {
+        /// The sharePod.
+        sp: Uid,
+    },
+    /// A hybrid-policy idle TTL ran out; release the vGPU behind this
+    /// ticket if it is still idle.
+    ReleaseIdleVgpu {
+        /// Ticket into the pending-idle table.
+        ticket: u64,
+    },
+}
+
+/// Notices surfaced to the embedding world.
+#[derive(Debug, Clone, PartialEq)]
+pub enum KsNotice {
+    /// A sharePod's container is running with the device library installed.
+    SharePodRunning {
+        /// The sharePod.
+        sp: Uid,
+        /// Bound vGPU.
+        gpuid: GpuId,
+        /// Node hosting the physical GPU.
+        node: String,
+        /// Physical device UUID.
+        uuid: String,
+        /// The container's share spec (attach it to the node's SharedGpu).
+        share: ShareSpec,
+    },
+    /// A sharePod was rejected by Algorithm 1.
+    SharePodRejected {
+        /// The sharePod.
+        sp: Uid,
+        /// Rejection reason.
+        reason: String,
+    },
+    /// A sharePod terminated; detach its container from the SharedGpu.
+    SharePodStopped {
+        /// The sharePod.
+        sp: Uid,
+        /// vGPU it was bound to.
+        gpuid: GpuId,
+        /// Node hosting the physical GPU.
+        node: String,
+        /// Physical device UUID.
+        uuid: String,
+    },
+    /// A vGPU became ready (anchor pod running, UUID known).
+    VgpuCreated {
+        /// The vGPU.
+        gpuid: GpuId,
+        /// Hosting node.
+        node: String,
+        /// Physical device UUID.
+        uuid: String,
+    },
+    /// A vGPU was released back to Kubernetes.
+    VgpuReleased {
+        /// The vGPU.
+        gpuid: GpuId,
+    },
+    /// Pass-through of a native cluster notice (for pods created outside
+    /// KubeShare — the co-existence property of §4.6).
+    Cluster(ClusterNotice),
+}
+
+/// Scheduled KubeShare events: `(fire_at, event)`.
+pub type KsEmit = Vec<(SimTime, KsEvent)>;
+
+/// The KubeShare control plane. See module docs.
+#[derive(Debug)]
+pub struct KubeShareSystem {
+    /// The underlying (unmodified) Kubernetes cluster.
+    pub cluster: ClusterSim,
+    cfg: KsConfig,
+    sharepods: Store<SharePod>,
+    sp_uids: UidAllocator,
+    pool: VgpuPool,
+    /// anchor pod uid → vGPU it reserves.
+    anchor_vgpu: HashMap<Uid, GpuId>,
+    /// vGPU → its anchor pod uid.
+    vgpu_anchor: HashMap<GpuId, Uid>,
+    /// backing pod uid → sharePod uid.
+    pod_sp: HashMap<Uid, Uid>,
+    /// sharePods waiting for their vGPU to become ready.
+    waiting: HashMap<GpuId, Vec<Uid>>,
+    /// Hybrid policy: idle-TTL tickets → the vGPU they refer to.
+    idle_tickets: HashMap<u64, GpuId>,
+    next_ticket: u64,
+}
+
+impl KubeShareSystem {
+    /// Builds KubeShare next to a cluster running the native whole-device
+    /// GPU plugin (which is what DevMgr's anchor pods allocate through).
+    pub fn new(cluster_cfg: ClusterConfig, cfg: KsConfig) -> Self {
+        KubeShareSystem {
+            cluster: ClusterSim::new(cluster_cfg),
+            cfg,
+            sharepods: Store::new(),
+            sp_uids: UidAllocator::new(),
+            pool: VgpuPool::new(),
+            anchor_vgpu: HashMap::new(),
+            vgpu_anchor: HashMap::new(),
+            pod_sp: HashMap::new(),
+            waiting: HashMap::new(),
+            idle_tickets: HashMap::new(),
+            next_ticket: 0,
+        }
+    }
+
+    /// The vGPU pool (read access).
+    pub fn pool(&self) -> &VgpuPool {
+        &self.pool
+    }
+
+    /// A sharePod object.
+    pub fn sharepod(&self, sp: Uid) -> Option<&SharePod> {
+        self.sharepods.get(sp)
+    }
+
+    /// The sharePod store (for watches).
+    pub fn sharepods(&self) -> &Store<SharePod> {
+        &self.sharepods
+    }
+
+    /// Submits a sharePod through the API server. KubeShare-Sched decides
+    /// after its scheduling latency.
+    pub fn submit_sharepod(
+        &mut self,
+        now: SimTime,
+        name: impl Into<String>,
+        spec: SharePodSpec,
+        out: &mut KsEmit,
+    ) -> Uid {
+        spec.share.validate().expect("invalid share spec");
+        let uid = self.sp_uids.next();
+        let meta = ObjectMeta::new(name, uid, now);
+        self.sharepods.create(uid, SharePod::new(meta, spec));
+        out.push((
+            now + self.cfg.sched_latency,
+            KsEvent::SchedDecide { sp: uid },
+        ));
+        uid
+    }
+
+    /// Deletes a sharePod.
+    pub fn delete_sharepod(
+        &mut self,
+        now: SimTime,
+        sp: Uid,
+        out: &mut KsEmit,
+        notices: &mut Vec<KsNotice>,
+    ) {
+        let Some(sharepod) = self.sharepods.get(sp) else {
+            return;
+        };
+        match sharepod.status.phase {
+            SharePodPhase::Pending | SharePodPhase::Rejected => {
+                self.sharepods
+                    .mutate(sp, |s| s.status.phase = SharePodPhase::Terminated);
+            }
+            SharePodPhase::AwaitingVgpu => {
+                let gpuid = sharepod.status.bound_gpuid.clone().expect("bound");
+                if let Some(w) = self.waiting.get_mut(&gpuid) {
+                    w.retain(|&u| u != sp);
+                }
+                let became_idle = self.pool.detach(&gpuid, sp);
+                self.sharepods
+                    .mutate(sp, |s| s.status.phase = SharePodPhase::Terminated);
+                if became_idle {
+                    self.apply_pool_policy(now, &gpuid, out, notices);
+                }
+            }
+            SharePodPhase::Starting | SharePodPhase::Running => {
+                let pod = sharepod.status.pod_uid.expect("backing pod exists");
+                let mut cluster_out = Vec::new();
+                let mut cluster_notes = Vec::new();
+                self.cluster
+                    .delete_pod(now, pod, &mut cluster_out, &mut cluster_notes);
+                lift(cluster_out, out);
+                // Detach bookkeeping happens when PodDeleted arrives.
+                self.process_cluster_notices(now, cluster_notes, out, notices);
+            }
+            SharePodPhase::Terminated => {}
+        }
+    }
+
+    /// Submits a *native* pod straight to Kubernetes — KubeShare does not
+    /// interfere (co-existence, §4.6).
+    pub fn submit_native_pod(
+        &mut self,
+        now: SimTime,
+        name: impl Into<String>,
+        spec: PodSpec,
+        out: &mut KsEmit,
+    ) -> Uid {
+        let mut cluster_out = Vec::new();
+        let uid = self.cluster.submit_pod(now, name, spec, &mut cluster_out);
+        lift(cluster_out, out);
+        uid
+    }
+
+    /// Deletes a native pod.
+    pub fn delete_native_pod(
+        &mut self,
+        now: SimTime,
+        pod: Uid,
+        out: &mut KsEmit,
+        notices: &mut Vec<KsNotice>,
+    ) {
+        let mut cluster_out = Vec::new();
+        let mut cluster_notes = Vec::new();
+        self.cluster
+            .delete_pod(now, pod, &mut cluster_out, &mut cluster_notes);
+        lift(cluster_out, out);
+        self.process_cluster_notices(now, cluster_notes, out, notices);
+    }
+
+    /// Routes an event.
+    pub fn handle(
+        &mut self,
+        now: SimTime,
+        ev: KsEvent,
+        out: &mut KsEmit,
+        notices: &mut Vec<KsNotice>,
+    ) {
+        match ev {
+            KsEvent::Cluster(cev) => {
+                let mut cluster_out = Vec::new();
+                let mut cluster_notes = Vec::new();
+                self.cluster
+                    .handle(now, cev, &mut cluster_out, &mut cluster_notes);
+                lift(cluster_out, out);
+                self.process_cluster_notices(now, cluster_notes, out, notices);
+            }
+            KsEvent::SchedDecide { sp } => self.on_sched_decide(now, sp, out, notices),
+            KsEvent::CreatePod { sp } => self.on_create_pod(now, sp, out),
+            KsEvent::ReleaseIdleVgpu { ticket } => {
+                if let Some(gpuid) = self.idle_tickets.remove(&ticket) {
+                    let still_idle = self
+                        .pool
+                        .get(&gpuid)
+                        .map(|d| d.is_idle() && !d.releasing)
+                        .unwrap_or(false);
+                    if still_idle {
+                        self.release_vgpu(now, &gpuid, out, notices);
+                    }
+                }
+            }
+        }
+    }
+
+    // ---- KubeShare-Sched ----
+
+    fn on_sched_decide(
+        &mut self,
+        now: SimTime,
+        sp: Uid,
+        out: &mut KsEmit,
+        notices: &mut Vec<KsNotice>,
+    ) {
+        let Some(sharepod) = self.sharepods.get(sp) else {
+            return;
+        };
+        if sharepod.status.phase != SharePodPhase::Pending {
+            return; // deleted while queued
+        }
+        let spec = sharepod.spec.clone();
+        let decision = match &spec.gpuid {
+            // Explicit GPUID: an existing vGPU binds directly; a
+            // non-existent GPUID asks DevMgr to create one (paper §4.4).
+            Some(id) => match self.pool.get(id) {
+                Some(d) => {
+                    if !d.releasing
+                        && d.util_free + 1e-9 >= spec.share.request
+                        && d.mem_free + 1e-9 >= spec.share.mem
+                    {
+                        Decision::Assign(id.clone())
+                    } else {
+                        Decision::Reject(crate::algorithm::RejectReason::InsufficientCapacity)
+                    }
+                }
+                None => Decision::NewDevice(id.clone()),
+            },
+            None => {
+                let req = SchedRequest {
+                    util: spec.share.request,
+                    mem: spec.share.mem,
+                    locality: spec.locality.clone(),
+                };
+                schedule(&req, &mut self.pool)
+            }
+        };
+
+        match decision {
+            Decision::Reject(reason) => {
+                self.sharepods.mutate(sp, |s| {
+                    s.status.phase = SharePodPhase::Rejected;
+                    s.status.message = Some(format!("{reason:?}"));
+                });
+                notices.push(KsNotice::SharePodRejected {
+                    sp,
+                    reason: format!("{reason:?}"),
+                });
+            }
+            Decision::Assign(gpuid) => {
+                self.bind(now, sp, &spec, gpuid, out);
+            }
+            Decision::NewDevice(gpuid) => {
+                self.pool.insert_creating(gpuid.clone());
+                self.launch_anchor(now, &gpuid, spec.node_name.clone(), out);
+                self.bind(now, sp, &spec, gpuid, out);
+            }
+        }
+    }
+
+    /// Records the sharePod on the vGPU; creates the backing pod now (ready
+    /// vGPU) or parks it until the anchor reports the UUID.
+    fn bind(&mut self, now: SimTime, sp: Uid, spec: &SharePodSpec, gpuid: GpuId, out: &mut KsEmit) {
+        self.pool.attach(
+            &gpuid,
+            sp,
+            spec.share.request,
+            spec.share.mem,
+            spec.locality.affinity.as_deref(),
+            spec.locality.anti_affinity.as_deref(),
+            spec.locality.exclusion.as_deref(),
+        );
+        let ready = self
+            .pool
+            .get(&gpuid)
+            .map(|d| d.uuid.is_some())
+            .unwrap_or(false);
+        self.sharepods.mutate(sp, |s| {
+            s.status.bound_gpuid = Some(gpuid.clone());
+            s.status.phase = if ready {
+                SharePodPhase::Starting
+            } else {
+                SharePodPhase::AwaitingVgpu
+            };
+        });
+        if ready {
+            out.push((now + self.cfg.vgpu_query_latency, KsEvent::CreatePod { sp }));
+        } else {
+            self.waiting.entry(gpuid).or_default().push(sp);
+        }
+    }
+
+    // ---- KubeShare-DevMgr ----
+
+    fn launch_anchor(
+        &mut self,
+        now: SimTime,
+        gpuid: &GpuId,
+        node_name: Option<String>,
+        out: &mut KsEmit,
+    ) {
+        // "The sole purpose of this pod is to allocate the GPU without
+        // running any workload" (§4.4): negligible CPU/memory, one GPU.
+        let mut spec = PodSpec::new(
+            "kubeshare/vgpu-anchor",
+            ResourceList::cpu_mem(0, 0).with_extended(NVIDIA_GPU, 1),
+        );
+        spec.node_name = node_name;
+        let mut cluster_out = Vec::new();
+        let pod = self
+            .cluster
+            .submit_pod(now, format!("anchor-{gpuid}"), spec, &mut cluster_out);
+        lift(cluster_out, out);
+        self.anchor_vgpu.insert(pod, gpuid.clone());
+        self.vgpu_anchor.insert(gpuid.clone(), pod);
+    }
+
+    fn on_create_pod(&mut self, now: SimTime, sp: Uid, out: &mut KsEmit) {
+        let Some(sharepod) = self.sharepods.get(sp) else {
+            return;
+        };
+        if sharepod.status.phase != SharePodPhase::Starting {
+            return; // deleted meanwhile
+        }
+        let gpuid = sharepod.status.bound_gpuid.clone().expect("bound");
+        let device = self.pool.get(&gpuid).expect("vGPU in pool");
+        let node = device.node.clone().expect("ready vGPU has node");
+        let uuid = device.uuid.clone().expect("ready vGPU has uuid");
+        let share = sharepod.spec.share;
+
+        // DevMgr performs the explicit binding: pin the pod to the vGPU's
+        // node and set NVIDIA_VISIBLE_DEVICES to the physical UUID. The pod
+        // does NOT request `nvidia.com/gpu` — the anchor already holds it.
+        let mut pod_spec = sharepod.spec.pod.clone();
+        pod_spec.node_name = Some(node);
+        pod_spec
+            .env
+            .insert("NVIDIA_VISIBLE_DEVICES".to_string(), uuid);
+        pod_spec
+            .env
+            .insert("KUBESHARE_GPUID".to_string(), gpuid.to_string());
+        pod_spec.env.insert(
+            "KUBESHARE_GPU_REQUEST".to_string(),
+            format!("{}", share.request),
+        );
+        pod_spec.env.insert(
+            "KUBESHARE_GPU_LIMIT".to_string(),
+            format!("{}", share.limit),
+        );
+        pod_spec
+            .env
+            .insert("KUBESHARE_GPU_MEM".to_string(), format!("{}", share.mem));
+        // LD_PRELOAD of the vGPU device library (the install step of §4.4).
+        pod_spec.env.insert(
+            "LD_PRELOAD".to_string(),
+            "/kubeshare/library/libgemhook.so.1".to_string(),
+        );
+
+        let name = sharepod.meta.name.clone();
+        let mut cluster_out = Vec::new();
+        let pod = self
+            .cluster
+            .submit_pod(now, format!("{name}-pod"), pod_spec, &mut cluster_out);
+        lift(cluster_out, out);
+        self.pod_sp.insert(pod, sp);
+        self.sharepods.mutate(sp, |s| s.status.pod_uid = Some(pod));
+    }
+
+    fn apply_pool_policy(
+        &mut self,
+        now: SimTime,
+        gpuid: &GpuId,
+        out: &mut KsEmit,
+        notices: &mut Vec<KsNotice>,
+    ) {
+        let release = match self.cfg.pool_policy {
+            PoolPolicy::OnDemand => true,
+            PoolPolicy::Reservation { max_idle } => self.pool.idle_devices().len() > max_idle,
+            PoolPolicy::Hybrid { max_idle, idle_ttl } => {
+                if self.pool.idle_devices().len() > max_idle {
+                    true
+                } else {
+                    // Keep it for now, but start the idle TTL clock.
+                    self.next_ticket += 1;
+                    self.idle_tickets.insert(self.next_ticket, gpuid.clone());
+                    out.push((
+                        now + idle_ttl,
+                        KsEvent::ReleaseIdleVgpu {
+                            ticket: self.next_ticket,
+                        },
+                    ));
+                    false
+                }
+            }
+        };
+        if !release {
+            return;
+        }
+        self.release_vgpu(now, gpuid, out, notices);
+    }
+
+    /// Hands the GPU behind `gpuid` back to Kubernetes.
+    fn release_vgpu(
+        &mut self,
+        now: SimTime,
+        gpuid: &GpuId,
+        out: &mut KsEmit,
+        notices: &mut Vec<KsNotice>,
+    ) {
+        // Hide the vGPU from the scheduler for the rest of its teardown —
+        // otherwise a sharePod could bind during the anchor's termination
+        // window and the GPU would vanish under it.
+        self.pool.mark_releasing(gpuid);
+        // A creating vGPU whose tenants all left: its anchor may not even
+        // be running yet; delete it regardless — the cluster handles both.
+        if let Some(&anchor) = self.vgpu_anchor.get(gpuid) {
+            let mut cluster_out = Vec::new();
+            let mut cluster_notes = Vec::new();
+            self.cluster
+                .delete_pod(now, anchor, &mut cluster_out, &mut cluster_notes);
+            lift(cluster_out, out);
+            self.process_cluster_notices(now, cluster_notes, out, notices);
+        }
+    }
+
+    // ---- controller reconciliation on cluster watch events ----
+
+    fn process_cluster_notices(
+        &mut self,
+        now: SimTime,
+        cluster_notes: Vec<ClusterNotice>,
+        out: &mut KsEmit,
+        notices: &mut Vec<KsNotice>,
+    ) {
+        for note in cluster_notes {
+            match &note {
+                ClusterNotice::PodRunning { pod } => {
+                    if let Some(gpuid) = self.anchor_vgpu.get(pod).cloned() {
+                        self.on_anchor_running(now, *pod, gpuid, out, notices);
+                    } else if let Some(&sp) = self.pod_sp.get(pod) {
+                        self.on_sharepod_pod_running(sp, notices);
+                    } else {
+                        notices.push(KsNotice::Cluster(note));
+                    }
+                }
+                ClusterNotice::PodDeleted { pod } => {
+                    if let Some(gpuid) = self.anchor_vgpu.remove(pod) {
+                        self.vgpu_anchor.remove(&gpuid);
+                        self.pool.remove(&gpuid);
+                        notices.push(KsNotice::VgpuReleased { gpuid });
+                    } else if let Some(sp) = self.pod_sp.remove(pod) {
+                        self.on_sharepod_pod_deleted(now, sp, out, notices);
+                    } else {
+                        notices.push(KsNotice::Cluster(note));
+                    }
+                }
+                ClusterNotice::PodFailed { pod, reason } => {
+                    if let Some(sp) = self.pod_sp.remove(pod) {
+                        self.sharepods.mutate(sp, |s| {
+                            s.status.phase = SharePodPhase::Rejected;
+                            s.status.message = Some(reason.clone());
+                        });
+                        notices.push(KsNotice::SharePodRejected {
+                            sp,
+                            reason: reason.clone(),
+                        });
+                        // The crashed container's demand returns to the
+                        // vGPU; without this, its capacity would leak.
+                        if let Some(gpuid) = self
+                            .sharepods
+                            .get(sp)
+                            .and_then(|s| s.status.bound_gpuid.clone())
+                        {
+                            let device = self.pool.get(&gpuid).expect("bound vGPU in pool");
+                            if let (Some(node), Some(uuid)) =
+                                (device.node.clone(), device.uuid.clone())
+                            {
+                                notices.push(KsNotice::SharePodStopped {
+                                    sp,
+                                    gpuid: gpuid.clone(),
+                                    node,
+                                    uuid,
+                                });
+                            }
+                            let became_idle = self.pool.detach(&gpuid, sp);
+                            if became_idle {
+                                self.apply_pool_policy(now, &gpuid, out, notices);
+                            }
+                        }
+                    } else {
+                        notices.push(KsNotice::Cluster(note));
+                    }
+                }
+                ClusterNotice::PodUnschedulable { pod } => {
+                    if !self.anchor_vgpu.contains_key(pod) && !self.pod_sp.contains_key(pod) {
+                        notices.push(KsNotice::Cluster(note));
+                    }
+                    // Anchors and sharePod pods just wait in the cluster's
+                    // retry queue.
+                }
+            }
+        }
+    }
+
+    fn on_anchor_running(
+        &mut self,
+        now: SimTime,
+        anchor_pod: Uid,
+        gpuid: GpuId,
+        out: &mut KsEmit,
+        notices: &mut Vec<KsNotice>,
+    ) {
+        // DevMgr "obtains the actual device UUID from the environment
+        // variable inside the launched container" (§4.4).
+        let pod = self.cluster.pod(anchor_pod).expect("anchor exists");
+        let uuid = pod
+            .visible_devices()
+            .expect("anchor got a device")
+            .to_string();
+        let node = pod.status.node_name.clone().expect("anchor bound");
+        self.pool.mark_ready(&gpuid, node.clone(), uuid.clone());
+        notices.push(KsNotice::VgpuCreated {
+            gpuid: gpuid.clone(),
+            node,
+            uuid,
+        });
+        // Release any sharePods parked on this vGPU.
+        for sp in self.waiting.remove(&gpuid).unwrap_or_default() {
+            if self
+                .sharepods
+                .get(sp)
+                .map(|s| s.status.phase == SharePodPhase::AwaitingVgpu)
+                .unwrap_or(false)
+            {
+                self.sharepods
+                    .mutate(sp, |s| s.status.phase = SharePodPhase::Starting);
+                out.push((now + self.cfg.vgpu_query_latency, KsEvent::CreatePod { sp }));
+            }
+        }
+    }
+
+    fn on_sharepod_pod_running(&mut self, sp: Uid, notices: &mut Vec<KsNotice>) {
+        let Some(sharepod) = self.sharepods.get(sp) else {
+            return;
+        };
+        let gpuid = sharepod.status.bound_gpuid.clone().expect("bound");
+        let device = self.pool.get(&gpuid).expect("vGPU in pool");
+        notices.push(KsNotice::SharePodRunning {
+            sp,
+            gpuid: gpuid.clone(),
+            node: device.node.clone().expect("ready"),
+            uuid: device.uuid.clone().expect("ready"),
+            share: sharepod.spec.share,
+        });
+        self.sharepods
+            .mutate(sp, |s| s.status.phase = SharePodPhase::Running);
+    }
+
+    fn on_sharepod_pod_deleted(
+        &mut self,
+        now: SimTime,
+        sp: Uid,
+        out: &mut KsEmit,
+        notices: &mut Vec<KsNotice>,
+    ) {
+        let Some(sharepod) = self.sharepods.get(sp) else {
+            return;
+        };
+        let gpuid = sharepod.status.bound_gpuid.clone().expect("bound");
+        let device = self.pool.get(&gpuid).expect("vGPU in pool");
+        let node = device.node.clone().unwrap_or_default();
+        let uuid = device.uuid.clone().unwrap_or_default();
+        self.sharepods
+            .mutate(sp, |s| s.status.phase = SharePodPhase::Terminated);
+        notices.push(KsNotice::SharePodStopped {
+            sp,
+            gpuid: gpuid.clone(),
+            node,
+            uuid,
+        });
+        let became_idle = self.pool.detach(&gpuid, sp);
+        if became_idle {
+            self.apply_pool_policy(now, &gpuid, out, notices);
+        }
+    }
+}
+
+fn lift(cluster_out: ks_cluster::sim::ClusterEmit, out: &mut KsEmit) {
+    for (at, ev) in cluster_out {
+        out.push((at, KsEvent::Cluster(ev)));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::locality::Locality;
+    use crate::pool::VgpuPhase;
+    use ks_cluster::api::NodeConfig;
+    use ks_cluster::device_plugin::UnitAssignPolicy;
+    use ks_cluster::latency::LatencyModel;
+    use ks_cluster::scheduler::ScorePolicy;
+    use ks_cluster::sim::GpuPluginKind;
+    use ks_sim_core::prelude::*;
+
+    struct World {
+        ks: KubeShareSystem,
+        notices: Vec<(SimTime, KsNotice)>,
+    }
+
+    struct Ev(KsEvent);
+
+    impl SimEvent<World> for Ev {
+        fn fire(self, now: SimTime, w: &mut World, q: &mut EventQueue<Self>) {
+            let mut out = Vec::new();
+            let mut notes = Vec::new();
+            w.ks.handle(now, self.0, &mut out, &mut notes);
+            for n in notes {
+                w.notices.push((now, n));
+            }
+            for (at, e) in out {
+                q.schedule_at(at, Ev(e));
+            }
+        }
+    }
+
+    fn cluster_cfg(nodes: usize, gpus_per_node: u32) -> ClusterConfig {
+        ClusterConfig {
+            nodes: (0..nodes)
+                .map(|i| NodeConfig {
+                    name: format!("node-{i}"),
+                    cpu_millis: 36_000,
+                    memory_bytes: 244 << 30,
+                    gpus: gpus_per_node,
+                    gpu_memory_bytes: 16 << 30,
+                })
+                .collect(),
+            latency: LatencyModel::default(),
+            gpu_plugin: GpuPluginKind::WholeDevice,
+            assign_policy: UnitAssignPolicy::Sequential,
+            score: ScorePolicy::LeastAllocated,
+        }
+    }
+
+    fn engine(nodes: usize, gpus: u32) -> Engine<World, Ev> {
+        Engine::new(World {
+            ks: KubeShareSystem::new(cluster_cfg(nodes, gpus), KsConfig::default()),
+            notices: Vec::new(),
+        })
+    }
+
+    fn sp_spec(request: f64, limit: f64, mem: f64) -> SharePodSpec {
+        SharePodSpec::new(
+            PodSpec::new("tf:2.1", ResourceList::cpu_mem(1000, 1 << 30)),
+            ShareSpec::new(request, limit, mem).unwrap(),
+        )
+    }
+
+    fn seed(eng: &mut Engine<World, Ev>, out: KsEmit) {
+        for (at, e) in out {
+            eng.queue.schedule_at(at, Ev(e));
+        }
+    }
+
+    fn submit(eng: &mut Engine<World, Ev>, name: &str, spec: SharePodSpec) -> Uid {
+        let now = eng.now();
+        let mut out = Vec::new();
+        let uid = eng.world.ks.submit_sharepod(now, name, spec, &mut out);
+        seed(eng, out);
+        uid
+    }
+
+    fn running_notice(w: &World, sp: Uid) -> Option<&(SimTime, KsNotice)> {
+        w.notices
+            .iter()
+            .find(|(_, n)| matches!(n, KsNotice::SharePodRunning { sp: s, .. } if *s == sp))
+    }
+
+    #[test]
+    fn sharepod_end_to_end_with_vgpu_creation() {
+        let mut eng = engine(1, 1);
+        let sp = submit(&mut eng, "train", sp_spec(0.5, 1.0, 0.5));
+        assert_eq!(eng.run_to_completion(10_000), RunOutcome::Drained);
+        let (t, n) = running_notice(&eng.world, sp).expect("sharePod ran");
+        let KsNotice::SharePodRunning {
+            gpuid, node, uuid, ..
+        } = n
+        else {
+            unreachable!()
+        };
+        assert_eq!(node, "node-0");
+        assert!(uuid.starts_with("GPU-"));
+        assert_eq!(
+            eng.world.ks.pool().get(gpuid).unwrap().phase,
+            VgpuPhase::Active
+        );
+        // Creation needed anchor pod + sharePod pod: roughly twice the
+        // native creation time (paper Fig. 10).
+        let native = LatencyModel::default().base_creation().as_secs_f64();
+        let t = t.as_secs_f64();
+        assert!(
+            t > 1.8 * native && t < 2.6 * native,
+            "creation took {t}s vs native {native}s"
+        );
+    }
+
+    #[test]
+    fn second_sharepod_reuses_vgpu_and_is_faster() {
+        let mut eng = engine(1, 1);
+        let a = submit(&mut eng, "a", sp_spec(0.5, 1.0, 0.5));
+        eng.run_to_completion(10_000);
+        let t_a = running_notice(&eng.world, a).unwrap().0;
+        let start_b = eng.now();
+        let b = submit(&mut eng, "b", sp_spec(0.5, 1.0, 0.5));
+        eng.run_to_completion(10_000);
+        let t_b = running_notice(&eng.world, b).unwrap().0;
+        let dur_a = t_a.as_secs_f64();
+        let dur_b = (t_b - start_b).as_secs_f64();
+        assert!(
+            dur_b < 0.7 * dur_a,
+            "reuse must skip anchor creation: {dur_b} vs {dur_a}"
+        );
+        // Both share the same vGPU.
+        let ga = eng.world.ks.sharepod(a).unwrap().status.bound_gpuid.clone();
+        let gb = eng.world.ks.sharepod(b).unwrap().status.bound_gpuid.clone();
+        assert_eq!(ga, gb);
+        assert_eq!(eng.world.ks.pool().len(), 1);
+    }
+
+    #[test]
+    fn on_demand_policy_releases_idle_vgpu() {
+        let mut eng = engine(1, 1);
+        let a = submit(&mut eng, "a", sp_spec(0.5, 1.0, 0.5));
+        eng.run_to_completion(10_000);
+        let now = eng.now();
+        let mut out = Vec::new();
+        let mut notes = Vec::new();
+        eng.world.ks.delete_sharepod(now, a, &mut out, &mut notes);
+        seed(&mut eng, out);
+        for n in notes {
+            eng.world.notices.push((now, n));
+        }
+        eng.run_to_completion(10_000);
+        assert!(eng.world.ks.pool().is_empty(), "vGPU released on idle");
+        assert!(eng
+            .world
+            .notices
+            .iter()
+            .any(|(_, n)| matches!(n, KsNotice::VgpuReleased { .. })));
+        // The physical GPU is free for native pods again.
+        let free = eng.world.ks.cluster.node_free("node-0").unwrap();
+        assert_eq!(free.extended_count(NVIDIA_GPU), 1);
+    }
+
+    #[test]
+    fn reservation_policy_keeps_idle_vgpu() {
+        let mut eng = Engine::new(World {
+            ks: KubeShareSystem::new(
+                cluster_cfg(1, 1),
+                KsConfig {
+                    pool_policy: PoolPolicy::Reservation { max_idle: 1 },
+                    ..KsConfig::default()
+                },
+            ),
+            notices: Vec::new(),
+        });
+        let a = submit(&mut eng, "a", sp_spec(0.5, 1.0, 0.5));
+        eng.run_to_completion(10_000);
+        let now = eng.now();
+        let mut out = Vec::new();
+        let mut notes = Vec::new();
+        eng.world.ks.delete_sharepod(now, a, &mut out, &mut notes);
+        seed(&mut eng, out);
+        eng.run_to_completion(10_000);
+        assert_eq!(eng.world.ks.pool().len(), 1, "idle vGPU retained");
+        assert_eq!(eng.world.ks.pool().idle_devices().len(), 1);
+        // But the GPU is still held from Kubernetes' point of view.
+        let free = eng.world.ks.cluster.node_free("node-0").unwrap();
+        assert_eq!(free.extended_count(NVIDIA_GPU), 0);
+    }
+
+    #[test]
+    fn crashed_sharepod_pod_returns_capacity_to_pool() {
+        let mut eng = engine(1, 1);
+        let a = submit(&mut eng, "a", sp_spec(0.6, 1.0, 0.6));
+        let b = submit(&mut eng, "b", sp_spec(0.4, 1.0, 0.4));
+        eng.run_to_completion(10_000);
+        assert_eq!(
+            eng.world.ks.sharepod(a).unwrap().status.phase,
+            SharePodPhase::Running
+        );
+        // Crash a's backing pod (container exit), bypassing deletion.
+        let pod = eng.world.ks.sharepod(a).unwrap().status.pod_uid.unwrap();
+        let now = eng.now();
+        let mut cluster_out = Vec::new();
+        let mut cluster_notes = Vec::new();
+        eng.world
+            .ks
+            .cluster
+            .crash_pod(now, pod, "OOMKilled", &mut cluster_out, &mut cluster_notes);
+        // Route the crash notice through the KubeShare controllers the way
+        // the embedding world would.
+        let mut out = Vec::new();
+        let mut notes = Vec::new();
+        eng.world
+            .ks
+            .process_cluster_notices(now, cluster_notes, &mut out, &mut notes);
+        seed(&mut eng, out);
+        eng.run_to_completion(10_000);
+        assert_eq!(
+            eng.world.ks.sharepod(a).unwrap().status.phase,
+            SharePodPhase::Rejected
+        );
+        // The vGPU's capacity came back: a new 0.6 sharePod fits again.
+        let c = submit(&mut eng, "c", sp_spec(0.6, 1.0, 0.6));
+        eng.run_to_completion(20_000);
+        assert_eq!(
+            eng.world.ks.sharepod(c).unwrap().status.phase,
+            SharePodPhase::Running
+        );
+        // b and c share the single vGPU.
+        assert_eq!(eng.world.ks.pool().len(), 1);
+        let _ = b;
+    }
+
+    #[test]
+    fn hybrid_policy_keeps_then_releases_after_ttl() {
+        let mut eng = Engine::new(World {
+            ks: KubeShareSystem::new(
+                cluster_cfg(1, 1),
+                KsConfig {
+                    pool_policy: PoolPolicy::Hybrid {
+                        max_idle: 2,
+                        idle_ttl: SimDuration::from_secs(30),
+                    },
+                    ..KsConfig::default()
+                },
+            ),
+            notices: Vec::new(),
+        });
+        let a = submit(&mut eng, "a", sp_spec(0.5, 1.0, 0.5));
+        eng.run_to_completion(10_000);
+        let now = eng.now();
+        let mut out = Vec::new();
+        let mut notes = Vec::new();
+        eng.world.ks.delete_sharepod(now, a, &mut out, &mut notes);
+        seed(&mut eng, out);
+        // Shortly after going idle, the vGPU is still held…
+        eng.run_until(now + SimDuration::from_secs(10));
+        assert_eq!(
+            eng.world.ks.pool().idle_devices().len(),
+            1,
+            "kept inside TTL"
+        );
+        // …but once the TTL passes it is released back to Kubernetes.
+        eng.run_to_completion(10_000);
+        assert!(eng.world.ks.pool().is_empty(), "released after TTL");
+        let free = eng.world.ks.cluster.node_free("node-0").unwrap();
+        assert_eq!(free.extended_count(NVIDIA_GPU), 1);
+    }
+
+    #[test]
+    fn hybrid_ttl_cancelled_by_reuse() {
+        let mut eng = Engine::new(World {
+            ks: KubeShareSystem::new(
+                cluster_cfg(1, 1),
+                KsConfig {
+                    pool_policy: PoolPolicy::Hybrid {
+                        max_idle: 2,
+                        idle_ttl: SimDuration::from_secs(30),
+                    },
+                    ..KsConfig::default()
+                },
+            ),
+            notices: Vec::new(),
+        });
+        let a = submit(&mut eng, "a", sp_spec(0.5, 1.0, 0.5));
+        eng.run_to_completion(10_000);
+        let now = eng.now();
+        let mut out = Vec::new();
+        let mut notes = Vec::new();
+        eng.world.ks.delete_sharepod(now, a, &mut out, &mut notes);
+        seed(&mut eng, out);
+        eng.run_until(now + SimDuration::from_secs(5));
+        // A new sharePod reuses the idle vGPU before the TTL fires.
+        let b = submit(&mut eng, "b", sp_spec(0.5, 1.0, 0.5));
+        eng.run_until(now + SimDuration::from_secs(60));
+        assert_eq!(
+            eng.world.ks.sharepod(b).unwrap().status.phase,
+            SharePodPhase::Running,
+            "reused the cached vGPU"
+        );
+        assert_eq!(eng.world.ks.pool().len(), 1, "stale TTL must not kill it");
+    }
+
+    #[test]
+    fn anti_affinity_forces_distinct_vgpus() {
+        let mut eng = engine(1, 2);
+        let loc = Locality::none().with_anti_affinity("noisy");
+        let a = submit(
+            &mut eng,
+            "a",
+            sp_spec(0.4, 1.0, 0.4).with_locality(loc.clone()),
+        );
+        let b = submit(&mut eng, "b", sp_spec(0.4, 1.0, 0.4).with_locality(loc));
+        eng.run_to_completion(20_000);
+        let ga = eng
+            .world
+            .ks
+            .sharepod(a)
+            .unwrap()
+            .status
+            .bound_gpuid
+            .clone()
+            .unwrap();
+        let gb = eng
+            .world
+            .ks
+            .sharepod(b)
+            .unwrap()
+            .status
+            .bound_gpuid
+            .clone()
+            .unwrap();
+        assert_ne!(ga, gb, "anti-affinity must separate them");
+        assert_eq!(eng.world.ks.pool().len(), 2);
+    }
+
+    #[test]
+    fn affinity_conflict_rejects() {
+        let mut eng = engine(1, 2);
+        let a = submit(
+            &mut eng,
+            "a",
+            sp_spec(0.8, 1.0, 0.8).with_locality(Locality::none().with_affinity("grp")),
+        );
+        eng.run_to_completion(20_000);
+        // b wants the same group but doesn't fit.
+        let b = submit(
+            &mut eng,
+            "b",
+            sp_spec(0.5, 1.0, 0.5).with_locality(Locality::none().with_affinity("grp")),
+        );
+        eng.run_to_completion(20_000);
+        assert_eq!(
+            eng.world.ks.sharepod(b).unwrap().status.phase,
+            SharePodPhase::Rejected
+        );
+        assert!(eng
+            .world
+            .notices
+            .iter()
+            .any(|(_, n)| matches!(n, KsNotice::SharePodRejected { sp, .. } if *sp == b)));
+        let _ = a;
+    }
+
+    #[test]
+    fn explicit_gpuid_creates_and_binds() {
+        let mut eng = engine(1, 1);
+        let sp = submit(
+            &mut eng,
+            "pinned",
+            sp_spec(0.3, 0.6, 0.3).with_gpuid(GpuId::named("my-vgpu")),
+        );
+        eng.run_to_completion(10_000);
+        let bound = eng
+            .world
+            .ks
+            .sharepod(sp)
+            .unwrap()
+            .status
+            .bound_gpuid
+            .clone();
+        assert_eq!(bound, Some(GpuId::named("my-vgpu")));
+        assert!(eng.world.ks.pool().get(&GpuId::named("my-vgpu")).is_some());
+    }
+
+    #[test]
+    fn native_pods_coexist() {
+        let mut eng = engine(1, 2);
+        // One native GPU pod and one sharePod share the cluster.
+        let now = eng.now();
+        let mut out = Vec::new();
+        let native = eng.world.ks.submit_native_pod(
+            now,
+            "native",
+            PodSpec::new(
+                "cuda:11",
+                ResourceList::cpu_mem(1000, 1 << 30).with_extended(NVIDIA_GPU, 1),
+            ),
+            &mut out,
+        );
+        seed(&mut eng, out);
+        let sp = submit(&mut eng, "shared", sp_spec(0.5, 1.0, 0.5));
+        eng.run_to_completion(20_000);
+        assert!(running_notice(&eng.world, sp).is_some());
+        assert_eq!(
+            eng.world.ks.cluster.pod(native).unwrap().status.phase,
+            ks_cluster::PodPhase::Running
+        );
+        // Both GPUs in use: none left.
+        let free = eng.world.ks.cluster.node_free("node-0").unwrap();
+        assert_eq!(free.extended_count(NVIDIA_GPU), 0);
+    }
+
+    #[test]
+    fn sharepods_queue_when_cluster_full() {
+        let mut eng = engine(1, 1);
+        let a = submit(&mut eng, "a", sp_spec(0.8, 1.0, 0.8));
+        eng.run_to_completion(10_000);
+        // b doesn't fit on a's vGPU (0.8+0.8 > 1) → new vGPU → anchor
+        // unschedulable (no free GPU) → waits.
+        let b = submit(&mut eng, "b", sp_spec(0.8, 1.0, 0.8));
+        eng.run_to_completion(10_000);
+        assert_eq!(
+            eng.world.ks.sharepod(b).unwrap().status.phase,
+            SharePodPhase::AwaitingVgpu
+        );
+        // Delete a → its vGPU releases → anchor for b's vGPU schedules.
+        let now = eng.now();
+        let mut out = Vec::new();
+        let mut notes = Vec::new();
+        eng.world.ks.delete_sharepod(now, a, &mut out, &mut notes);
+        seed(&mut eng, out);
+        eng.run_to_completion(20_000);
+        assert_eq!(
+            eng.world.ks.sharepod(b).unwrap().status.phase,
+            SharePodPhase::Running
+        );
+    }
+}

@@ -1,0 +1,229 @@
+//! The kernel execution engine of a device.
+//!
+//! CUDA kernels from *different* contexts are serialized on a pre-MPS GPU:
+//! only one context's kernel occupies the execution engine at a time. The
+//! engine therefore models a single server with a FIFO queue of pending
+//! kernel bursts. Time-multiplexing policy (who gets to *submit*) lives
+//! above — natively, everyone submits freely; under KubeShare the vGPU
+//! device library gates submissions with its token.
+
+use std::collections::VecDeque;
+
+use ks_sim_core::time::{SimDuration, SimTime};
+
+use crate::types::ContextId;
+
+/// Caller-supplied correlation tag carried through start/finish.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct KernelTag(pub u64);
+
+/// A kernel that just started executing; it will finish at `end`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StartedKernel {
+    /// Owning context.
+    pub ctx: ContextId,
+    /// Correlation tag from submit.
+    pub tag: KernelTag,
+    /// Completion instant — callers schedule their completion event here.
+    pub end: SimTime,
+}
+
+/// A kernel that just finished executing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FinishedKernel {
+    /// Owning context.
+    pub ctx: ContextId,
+    /// Correlation tag from submit.
+    pub tag: KernelTag,
+    /// Time the kernel spent on the engine.
+    pub ran_for: SimDuration,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Running {
+    ctx: ContextId,
+    tag: KernelTag,
+    start: SimTime,
+    end: SimTime,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Queued {
+    ctx: ContextId,
+    tag: KernelTag,
+    dur: SimDuration,
+}
+
+/// Single-server FIFO kernel engine.
+#[derive(Debug, Default)]
+pub struct ExecEngine {
+    running: Option<Running>,
+    queue: VecDeque<Queued>,
+}
+
+impl ExecEngine {
+    /// Creates an idle engine.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True while a kernel occupies the engine.
+    pub fn is_busy(&self) -> bool {
+        self.running.is_some()
+    }
+
+    /// Context of the currently running kernel, if any.
+    pub fn running_ctx(&self) -> Option<ContextId> {
+        self.running.map(|r| r.ctx)
+    }
+
+    /// Completion time of the currently running kernel, if any.
+    pub fn running_end(&self) -> Option<SimTime> {
+        self.running.map(|r| r.end)
+    }
+
+    /// Number of queued (not yet started) kernels.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Submits a kernel burst. If the engine is idle it starts immediately
+    /// and `Some(StartedKernel)` is returned (schedule its completion!);
+    /// otherwise it queues.
+    pub fn submit(
+        &mut self,
+        now: SimTime,
+        ctx: ContextId,
+        dur: SimDuration,
+        tag: KernelTag,
+    ) -> Option<StartedKernel> {
+        if self.running.is_none() {
+            let end = now + dur;
+            self.running = Some(Running {
+                ctx,
+                tag,
+                start: now,
+                end,
+            });
+            Some(StartedKernel { ctx, tag, end })
+        } else {
+            self.queue.push_back(Queued { ctx, tag, dur });
+            None
+        }
+    }
+
+    /// Completes the running kernel (must be called exactly at its end
+    /// time) and starts the next queued kernel, if any.
+    ///
+    /// # Panics
+    /// Panics if nothing is running or `now` differs from the kernel's end.
+    pub fn complete(&mut self, now: SimTime) -> (FinishedKernel, Option<StartedKernel>) {
+        let r = self.running.take().expect("complete() with idle engine");
+        assert_eq!(now, r.end, "complete() at wrong time");
+        let finished = FinishedKernel {
+            ctx: r.ctx,
+            tag: r.tag,
+            ran_for: r.end - r.start,
+        };
+        let next = self.queue.pop_front().map(|q| {
+            let end = now + q.dur;
+            self.running = Some(Running {
+                ctx: q.ctx,
+                tag: q.tag,
+                start: now,
+                end,
+            });
+            StartedKernel {
+                ctx: q.ctx,
+                tag: q.tag,
+                end,
+            }
+        });
+        (finished, next)
+    }
+
+    /// Drops every *queued* kernel belonging to `ctx` (context teardown).
+    /// A kernel already running is not preempted (CUDA kernels are
+    /// non-preemptive, paper §6). Returns the number of dropped kernels.
+    pub fn drop_queued(&mut self, ctx: ContextId) -> usize {
+        let before = self.queue.len();
+        self.queue.retain(|q| q.ctx != ctx);
+        before - self.queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const C1: ContextId = ContextId(1);
+    const C2: ContextId = ContextId(2);
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+    fn d(s: u64) -> SimDuration {
+        SimDuration::from_secs(s)
+    }
+
+    #[test]
+    fn idle_engine_starts_immediately() {
+        let mut e = ExecEngine::new();
+        let started = e.submit(t(0), C1, d(5), KernelTag(7)).unwrap();
+        assert_eq!(started.end, t(5));
+        assert!(e.is_busy());
+        assert_eq!(e.running_ctx(), Some(C1));
+    }
+
+    #[test]
+    fn busy_engine_queues_fifo() {
+        let mut e = ExecEngine::new();
+        e.submit(t(0), C1, d(5), KernelTag(1));
+        assert!(e.submit(t(1), C2, d(3), KernelTag(2)).is_none());
+        assert!(e.submit(t(2), C1, d(2), KernelTag(3)).is_none());
+        assert_eq!(e.queue_len(), 2);
+
+        let (fin, next) = e.complete(t(5));
+        assert_eq!(fin.tag, KernelTag(1));
+        assert_eq!(fin.ran_for, d(5));
+        let next = next.unwrap();
+        assert_eq!(next.tag, KernelTag(2));
+        assert_eq!(next.end, t(8));
+
+        let (fin2, next2) = e.complete(t(8));
+        assert_eq!(fin2.tag, KernelTag(2));
+        assert_eq!(next2.unwrap().tag, KernelTag(3));
+
+        let (_, next3) = e.complete(t(10));
+        assert!(next3.is_none());
+        assert!(!e.is_busy());
+    }
+
+    #[test]
+    #[should_panic(expected = "complete() at wrong time")]
+    fn complete_at_wrong_time_panics() {
+        let mut e = ExecEngine::new();
+        e.submit(t(0), C1, d(5), KernelTag(1));
+        e.complete(t(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "idle engine")]
+    fn complete_idle_panics() {
+        let mut e = ExecEngine::new();
+        e.complete(t(0));
+    }
+
+    #[test]
+    fn drop_queued_spares_running() {
+        let mut e = ExecEngine::new();
+        e.submit(t(0), C1, d(5), KernelTag(1));
+        e.submit(t(0), C1, d(5), KernelTag(2));
+        e.submit(t(0), C2, d(5), KernelTag(3));
+        assert_eq!(e.drop_queued(C1), 1);
+        assert!(e.is_busy(), "running C1 kernel not preempted");
+        assert_eq!(e.queue_len(), 1);
+        let (_, next) = e.complete(t(5));
+        assert_eq!(next.unwrap().ctx, C2);
+    }
+}

@@ -1,0 +1,49 @@
+//! `ks-gpu` — simulated NVIDIA GPUs for the KubeShare reproduction.
+//!
+//! The paper's device library operates purely at the CUDA API boundary:
+//! it intercepts memory calls (`cuMemAlloc`, `cuArrayCreate`) and compute
+//! calls (`cuLaunchKernel`, `cuLaunchGrid`) and decides whether the calling
+//! container may proceed. This crate provides the device those calls land
+//! on:
+//!
+//! * [`device::GpuDevice`] — execution engine (kernels from different
+//!   contexts serialize, as on a pre-MPS GPU) + device memory pool +
+//!   busy-time accounting per context and overall.
+//! * [`memory::MemoryPool`] — per-context allocation accounting so memory
+//!   quotas can be enforced above.
+//! * [`nvml::NvmlSampler`] — interval utilization exactly as the NVML tool
+//!   reports it (used for the paper's Fig. 9).
+//! * [`uuid::GpuUuid`] — NVIDIA-shaped device UUIDs, the values KubeShare's
+//!   DevMgr maps its virtual GPUIDs onto.
+//!
+//! # Example
+//!
+//! ```
+//! use ks_gpu::device::{GpuDevice, GpuSpec};
+//! use ks_gpu::engine::KernelTag;
+//! use ks_sim_core::time::{SimDuration, SimTime};
+//!
+//! let mut gpu = GpuDevice::new("node-0", 0, GpuSpec::v100_16gb());
+//! let ctx = gpu.attach();
+//! gpu.mem_alloc(ctx, 1 << 30).unwrap();
+//! let started = gpu
+//!     .submit(SimTime::ZERO, ctx, SimDuration::from_millis(10), KernelTag(1))
+//!     .unwrap()
+//!     .unwrap();
+//! let (finished, _) = gpu.complete(started.end);
+//! assert_eq!(finished.ran_for, SimDuration::from_millis(10));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod device;
+pub mod engine;
+pub mod memory;
+pub mod nvml;
+pub mod types;
+pub mod uuid;
+
+pub use device::{GpuDevice, GpuSpec};
+pub use engine::{FinishedKernel, KernelTag, StartedKernel};
+pub use types::{ContextId, CudaError, DevicePtr, GIB};
+pub use uuid::GpuUuid;

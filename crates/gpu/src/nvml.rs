@@ -1,0 +1,102 @@
+//! NVML-style utilization sampling.
+//!
+//! The paper measures overall GPU utilization "by the GPU usage value
+//! reported by the Nvidia NVML library tool" (§5.1, Fig. 9). NVML reports
+//! the fraction of time during the sampling interval in which a kernel was
+//! executing. The sampler below reproduces exactly that: it differentiates
+//! the device's busy-time integral between consecutive polls.
+
+use ks_sim_core::time::SimTime;
+use ks_sim_core::timeseries::TimeSeries;
+
+use crate::device::GpuDevice;
+
+/// Polls one device and reports per-interval utilization in `[0, 1]`.
+#[derive(Debug, Clone)]
+pub struct NvmlSampler {
+    last_poll: SimTime,
+    last_busy: f64,
+    series: TimeSeries,
+}
+
+impl NvmlSampler {
+    /// Creates a sampler whose first interval starts at `t0`.
+    pub fn new(t0: SimTime) -> Self {
+        NvmlSampler {
+            last_poll: t0,
+            last_busy: 0.0,
+            series: TimeSeries::new(),
+        }
+    }
+
+    /// Samples the device at `now`, returning the utilization over
+    /// `[last_poll, now]` and recording it in the series. Returns `None`
+    /// for a zero-length interval.
+    pub fn poll(&mut self, now: SimTime, device: &GpuDevice) -> Option<f64> {
+        let busy = device.busy_seconds(now);
+        let interval = now.saturating_since(self.last_poll).as_secs_f64();
+        if interval <= 0.0 {
+            return None;
+        }
+        let util = ((busy - self.last_busy) / interval).clamp(0.0, 1.0);
+        self.last_poll = now;
+        self.last_busy = busy;
+        self.series.push(now, util);
+        Some(util)
+    }
+
+    /// All recorded samples.
+    pub fn series(&self) -> &TimeSeries {
+        &self.series
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::GpuSpec;
+    use crate::engine::KernelTag;
+    use ks_sim_core::time::SimDuration;
+
+    #[test]
+    fn utilization_tracks_busy_fraction() {
+        let mut g = GpuDevice::new("n", 0, GpuSpec::test_gpu(1 << 30));
+        let c = g.attach();
+        let mut s = NvmlSampler::new(SimTime::ZERO);
+
+        // Busy 2s of the first 4s interval.
+        let k = g
+            .submit(SimTime::ZERO, c, SimDuration::from_secs(2), KernelTag(0))
+            .unwrap()
+            .unwrap();
+        g.complete(k.end);
+        let u = s.poll(SimTime::from_secs(4), &g).unwrap();
+        assert!((u - 0.5).abs() < 1e-9, "u = {u}");
+
+        // Idle next 2s.
+        let u2 = s.poll(SimTime::from_secs(6), &g).unwrap();
+        assert_eq!(u2, 0.0);
+        assert_eq!(s.series().len(), 2);
+    }
+
+    #[test]
+    fn zero_interval_poll_is_none() {
+        let g = GpuDevice::new("n", 0, GpuSpec::test_gpu(1 << 30));
+        let mut s = NvmlSampler::new(SimTime::from_secs(1));
+        assert!(s.poll(SimTime::from_secs(1), &g).is_none());
+    }
+
+    #[test]
+    fn fully_busy_interval_is_one() {
+        let mut g = GpuDevice::new("n", 0, GpuSpec::test_gpu(1 << 30));
+        let c = g.attach();
+        let mut s = NvmlSampler::new(SimTime::ZERO);
+        let k = g
+            .submit(SimTime::ZERO, c, SimDuration::from_secs(3), KernelTag(0))
+            .unwrap()
+            .unwrap();
+        g.complete(k.end);
+        let u = s.poll(SimTime::from_secs(3), &g).unwrap();
+        assert_eq!(u, 1.0);
+    }
+}

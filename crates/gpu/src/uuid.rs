@@ -1,0 +1,90 @@
+//! NVIDIA-style device UUIDs.
+//!
+//! Real GPUs expose a `GPU-xxxxxxxx-xxxx-xxxx-xxxx-xxxxxxxxxxxx` UUID which
+//! Kubernetes passes to containers via `NVIDIA_VISIBLE_DEVICES`. KubeShare's
+//! DevMgr maintains the mapping between its virtual `GPUID` and this UUID
+//! (paper §4.4), so the simulation reproduces the same two-level naming.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A physical GPU device UUID, as reported by the (simulated) driver.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct GpuUuid(String);
+
+impl GpuUuid {
+    /// Deterministically derives a UUID from a node name and device index,
+    /// shaped like NVML's `GPU-` UUIDs.
+    pub fn derive(node: &str, index: u32) -> Self {
+        // FNV-1a over the identity, expanded to 128 bits by two passes with
+        // different offsets. Deterministic so traces are reproducible.
+        fn fnv(seed: u64, data: &[u8]) -> u64 {
+            let mut h = seed;
+            for &b in data {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+            h
+        }
+        let ident = format!("{node}/{index}");
+        let hi = fnv(0xcbf29ce484222325, ident.as_bytes());
+        let lo = fnv(0x9e3779b97f4a7c15, ident.as_bytes());
+        GpuUuid(format!(
+            "GPU-{:08x}-{:04x}-{:04x}-{:04x}-{:012x}",
+            (hi >> 32) as u32,
+            (hi >> 16) as u16,
+            hi as u16,
+            (lo >> 48) as u16,
+            lo & 0xffff_ffff_ffff
+        ))
+    }
+
+    /// The UUID string (what `NVIDIA_VISIBLE_DEVICES` would carry).
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for GpuUuid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(GpuUuid::derive("node-1", 0), GpuUuid::derive("node-1", 0));
+    }
+
+    #[test]
+    fn distinct_per_device() {
+        let a = GpuUuid::derive("node-1", 0);
+        let b = GpuUuid::derive("node-1", 1);
+        let c = GpuUuid::derive("node-2", 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(b, c);
+    }
+
+    #[test]
+    fn shape_matches_nvml() {
+        let u = GpuUuid::derive("n", 3).to_string();
+        assert!(u.starts_with("GPU-"), "{u}");
+        // GPU- + 8-4-4-4-12 hex groups
+        let groups: Vec<&str> = u.trim_start_matches("GPU-").split('-').collect();
+        assert_eq!(groups.len(), 5, "{u}");
+        assert_eq!(groups[0].len(), 8);
+        assert_eq!(groups[1].len(), 4);
+        assert_eq!(groups[2].len(), 4);
+        assert_eq!(groups[3].len(), 4);
+        assert_eq!(groups[4].len(), 12);
+        assert!(groups
+            .iter()
+            .all(|g| g.chars().all(|c| c.is_ascii_hexdigit())));
+    }
+}

@@ -1,0 +1,95 @@
+//! Property-based tests for the GPU device model.
+
+use ks_gpu::device::{GpuDevice, GpuSpec};
+use ks_gpu::engine::KernelTag;
+use ks_gpu::types::ContextId;
+use ks_sim_core::time::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    /// Memory conservation: used() always equals the sum of live allocations,
+    /// and never exceeds capacity, across arbitrary alloc/free sequences.
+    #[test]
+    fn memory_conservation(ops in proptest::collection::vec((0u8..3, 1u64..400), 1..200)) {
+        let mut g = GpuDevice::new("n", 0, GpuSpec::test_gpu(4096));
+        let c1 = g.attach();
+        let c2 = g.attach();
+        let mut live: Vec<(ContextId, ks_gpu::DevicePtr, u64)> = Vec::new();
+        let mut expected: u64 = 0;
+        for (op, bytes) in ops {
+            match op {
+                0 => {
+                    if let Ok(p) = g.mem_alloc(c1, bytes) {
+                        live.push((c1, p, bytes));
+                        expected += bytes;
+                    }
+                }
+                1 => {
+                    if let Ok(p) = g.mem_alloc(c2, bytes) {
+                        live.push((c2, p, bytes));
+                        expected += bytes;
+                    }
+                }
+                _ => {
+                    if let Some((ctx, p, b)) = live.pop() {
+                        g.mem_free(ctx, p).unwrap();
+                        expected -= b;
+                    }
+                }
+            }
+            prop_assert_eq!(g.memory().used(), expected);
+            prop_assert!(g.memory().used() <= g.memory().capacity());
+            let sum: u64 = live.iter().map(|&(_, _, b)| b).sum();
+            prop_assert_eq!(sum, expected);
+        }
+    }
+
+    /// Engine work conservation: total busy time equals the sum of all
+    /// submitted kernel durations when the queue drains, regardless of the
+    /// submission pattern, and per-context busy splits correctly.
+    #[test]
+    fn engine_work_conservation(durs in proptest::collection::vec((1u64..500, 0u8..3), 1..100)) {
+        let mut g = GpuDevice::new("n", 0, GpuSpec::test_gpu(1 << 20));
+        let ctxs = [g.attach(), g.attach(), g.attach()];
+        let mut expected_total = SimDuration::ZERO;
+        let mut expected_per = [SimDuration::ZERO; 3];
+        let now = SimTime::ZERO;
+        let mut pending = Vec::new();
+        for (i, &(ms, who)) in durs.iter().enumerate() {
+            let d = SimDuration::from_millis(ms);
+            expected_total += d;
+            expected_per[who as usize] += d;
+            if let Some(s) = g
+                .submit(now, ctxs[who as usize], d, KernelTag(i as u64))
+                .unwrap()
+            {
+                pending.push(s);
+            }
+        }
+        // Drain: repeatedly complete the running kernel.
+        while let Some(s) = pending.pop() {
+            let (_fin, next) = g.complete(s.end);
+            if let Some(n) = next {
+                pending.push(n);
+            }
+        }
+        prop_assert!(!g.is_busy());
+        let total_secs = expected_total.as_secs_f64();
+        prop_assert!((g.busy_seconds(SimTime::from_secs(10_000)) - total_secs).abs() < 1e-6);
+        for (i, &c) in ctxs.iter().enumerate() {
+            prop_assert_eq!(g.ctx_busy_total(c), expected_per[i]);
+        }
+    }
+
+    /// UUIDs are injective over a realistic node/device grid.
+    #[test]
+    fn uuid_injective(nodes in 1usize..20, gpus in 1u32..8) {
+        let mut seen = std::collections::HashSet::new();
+        for n in 0..nodes {
+            for i in 0..gpus {
+                let u = ks_gpu::GpuUuid::derive(&format!("node-{n}"), i);
+                prop_assert!(seen.insert(u.to_string()), "duplicate UUID");
+            }
+        }
+    }
+}

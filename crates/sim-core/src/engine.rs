@@ -1,0 +1,170 @@
+//! The simulation driver: pops events in time order and applies them to a
+//! world.
+//!
+//! The engine is generic over the world type `W` and the event type `E`.
+//! Crates define their own worlds and events; an event's [`SimEvent::fire`]
+//! receives mutable access to the world *and* the queue so it can schedule
+//! follow-up events. Composition across crates works by embedding: an outer
+//! event enum wraps inner ones and delegates.
+
+use crate::queue::EventQueue;
+use crate::time::SimTime;
+
+/// A simulation event applicable to world `W`.
+pub trait SimEvent<W>: Sized {
+    /// Applies the event at instant `now`, possibly mutating the world and
+    /// scheduling further events.
+    fn fire(self, now: SimTime, world: &mut W, queue: &mut EventQueue<Self>);
+}
+
+/// Outcome of a full simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The pending-event set drained before the horizon/budget was reached.
+    Drained,
+    /// The time horizon was reached with events still pending.
+    HorizonReached,
+    /// The event budget was exhausted (possible livelock guard).
+    BudgetExhausted,
+}
+
+/// A discrete-event simulation: a world, a queue of future events, a clock.
+pub struct Engine<W, E> {
+    /// The mutable simulation state events act upon.
+    pub world: W,
+    /// Pending events. Public so setup code can seed initial events.
+    pub queue: EventQueue<E>,
+}
+
+impl<W, E: SimEvent<W>> Engine<W, E> {
+    /// Creates an engine around an initial world with an empty queue.
+    pub fn new(world: W) -> Self {
+        Engine {
+            world,
+            queue: EventQueue::new(),
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    /// Fires the single earliest event. Returns `false` when drained.
+    pub fn step(&mut self) -> bool {
+        match self.queue.pop() {
+            Some((t, ev)) => {
+                ev.fire(t, &mut self.world, &mut self.queue);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Runs until the queue drains or the next event would fire strictly
+    /// after `horizon`. Events at exactly `horizon` still fire.
+    pub fn run_until(&mut self, horizon: SimTime) -> RunOutcome {
+        loop {
+            match self.queue.peek_time() {
+                None => return RunOutcome::Drained,
+                Some(t) if t > horizon => return RunOutcome::HorizonReached,
+                Some(_) => {
+                    self.step();
+                }
+            }
+        }
+    }
+
+    /// Runs to queue exhaustion, firing at most `max_events` events as a
+    /// livelock guard.
+    pub fn run_to_completion(&mut self, max_events: u64) -> RunOutcome {
+        for _ in 0..max_events {
+            if !self.step() {
+                return RunOutcome::Drained;
+            }
+        }
+        if self.queue.is_empty() {
+            RunOutcome::Drained
+        } else {
+            RunOutcome::BudgetExhausted
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    /// A counter world with a self-rescheduling tick event.
+    struct Counter {
+        ticks: u32,
+        limit: u32,
+    }
+
+    enum Ev {
+        Tick,
+        Bump(u32),
+    }
+
+    impl SimEvent<Counter> for Ev {
+        fn fire(self, _now: SimTime, world: &mut Counter, queue: &mut EventQueue<Self>) {
+            match self {
+                Ev::Tick => {
+                    world.ticks += 1;
+                    if world.ticks < world.limit {
+                        queue.schedule_in(SimDuration::from_secs(1), Ev::Tick);
+                    }
+                }
+                Ev::Bump(n) => world.ticks += n,
+            }
+        }
+    }
+
+    #[test]
+    fn self_rescheduling_event_runs_to_limit() {
+        let mut eng = Engine::new(Counter { ticks: 0, limit: 5 });
+        eng.queue.schedule_at(SimTime::ZERO, Ev::Tick);
+        let outcome = eng.run_to_completion(1_000);
+        assert_eq!(outcome, RunOutcome::Drained);
+        assert_eq!(eng.world.ticks, 5);
+        assert_eq!(eng.now(), SimTime::from_secs(4));
+    }
+
+    #[test]
+    fn run_until_stops_at_horizon_inclusive() {
+        let mut eng = Engine::new(Counter {
+            ticks: 0,
+            limit: 100,
+        });
+        eng.queue.schedule_at(SimTime::ZERO, Ev::Tick);
+        let outcome = eng.run_until(SimTime::from_secs(3));
+        assert_eq!(outcome, RunOutcome::HorizonReached);
+        // Ticks at t=0,1,2,3 fired; t=4 pending.
+        assert_eq!(eng.world.ticks, 4);
+        assert_eq!(eng.queue.len(), 1);
+    }
+
+    #[test]
+    fn budget_guard_trips() {
+        let mut eng = Engine::new(Counter {
+            ticks: 0,
+            limit: u32::MAX,
+        });
+        eng.queue.schedule_at(SimTime::ZERO, Ev::Tick);
+        assert_eq!(eng.run_to_completion(10), RunOutcome::BudgetExhausted);
+        assert_eq!(eng.world.ticks, 10);
+    }
+
+    #[test]
+    fn mixed_events_fire_in_order() {
+        let mut eng = Engine::new(Counter { ticks: 0, limit: 0 });
+        eng.queue.schedule_at(SimTime::from_secs(2), Ev::Bump(10));
+        eng.queue.schedule_at(SimTime::from_secs(1), Ev::Bump(1));
+        assert!(eng.step());
+        assert_eq!(eng.world.ticks, 1);
+        assert!(eng.step());
+        assert_eq!(eng.world.ticks, 11);
+        assert!(!eng.step());
+    }
+}

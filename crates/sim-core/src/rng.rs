@@ -1,0 +1,235 @@
+//! Deterministic random-number generation and the distributions the paper's
+//! workloads need.
+//!
+//! Every stochastic experiment takes an explicit seed so that runs are
+//! reproducible. The normal distribution (GPU demand per job, paper §5.3) is
+//! implemented with the Box–Muller transform; Poisson arrivals come from
+//! exponential inter-arrival times; small-λ Poisson counts use Knuth's
+//! method. These are implemented here rather than pulling `rand_distr` to
+//! keep the dependency set to the approved list.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+use crate::time::SimDuration;
+
+/// A seeded RNG with the distributions used across the workspace.
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: SmallRng,
+    /// Box–Muller produces pairs; the spare value is cached here.
+    gaussian_spare: Option<f64>,
+}
+
+impl SimRng {
+    /// Creates an RNG from a 64-bit seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        SimRng {
+            inner: SmallRng::seed_from_u64(seed),
+            gaussian_spare: None,
+        }
+    }
+
+    /// Derives an independent child RNG; useful to give each simulated job
+    /// its own stream so adding a job does not perturb the others.
+    pub fn fork(&mut self) -> SimRng {
+        SimRng::seed_from_u64(self.inner.next_u64())
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn uniform(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Uniform in `[lo, hi)`.
+    pub fn uniform_range(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo < hi, "empty uniform range [{lo}, {hi})");
+        lo + (hi - lo) * self.uniform()
+    }
+
+    /// Uniform integer in `[0, n)`.
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "index range must be non-empty");
+        self.inner.gen_range(0..n)
+    }
+
+    /// Bernoulli trial with success probability `p`.
+    pub fn bernoulli(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        self.uniform() < p
+    }
+
+    /// Exponential variate with the given rate (mean `1/rate`).
+    pub fn exponential(&mut self, rate: f64) -> f64 {
+        assert!(rate > 0.0, "rate must be positive");
+        // Use 1-U in (0, 1] so ln() never sees zero.
+        -(1.0 - self.uniform()).ln() / rate
+    }
+
+    /// Exponential inter-arrival gap for a Poisson process with mean gap
+    /// `mean`, as a [`SimDuration`].
+    pub fn exp_interarrival(&mut self, mean: SimDuration) -> SimDuration {
+        assert!(!mean.is_zero(), "mean inter-arrival must be positive");
+        let secs = self.exponential(1.0 / mean.as_secs_f64());
+        SimDuration::from_secs_f64(secs)
+    }
+
+    /// Standard normal variate via Box–Muller.
+    pub fn standard_normal(&mut self) -> f64 {
+        if let Some(z) = self.gaussian_spare.take() {
+            return z;
+        }
+        // Rejection-free polar-less form: u1 in (0,1], u2 in [0,1).
+        let u1 = 1.0 - self.uniform();
+        let u2 = self.uniform();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.gaussian_spare = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// Normal variate with the given mean and standard deviation.
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        assert!(std_dev >= 0.0, "standard deviation must be non-negative");
+        mean + std_dev * self.standard_normal()
+    }
+
+    /// Normal variate clamped into `[lo, hi]` — used for per-job GPU demand,
+    /// which must stay a valid fraction of a device.
+    pub fn normal_clamped(&mut self, mean: f64, std_dev: f64, lo: f64, hi: f64) -> f64 {
+        assert!(lo <= hi, "invalid clamp range");
+        self.normal(mean, std_dev).clamp(lo, hi)
+    }
+
+    /// Poisson-distributed count with mean `lambda` (Knuth's method;
+    /// suitable for the small λ used in request batching).
+    pub fn poisson(&mut self, lambda: f64) -> u64 {
+        assert!(lambda >= 0.0, "lambda must be non-negative");
+        if lambda == 0.0 {
+            return 0;
+        }
+        if lambda > 30.0 {
+            // Normal approximation for large λ to keep the loop bounded.
+            return self.normal(lambda, lambda.sqrt()).max(0.0).round() as u64;
+        }
+        let l = (-lambda).exp();
+        let mut k = 0u64;
+        let mut p = 1.0;
+        loop {
+            p *= self.uniform();
+            if p <= l {
+                return k;
+            }
+            k += 1;
+        }
+    }
+
+    /// Access to the raw `rand` RNG for callers needing other primitives.
+    pub fn raw(&mut self) -> &mut SmallRng {
+        &mut self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> SimRng {
+        SimRng::seed_from_u64(0xC0FFEE)
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::seed_from_u64(7);
+        let mut b = SimRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.uniform().to_bits(), b.uniform().to_bits());
+        }
+    }
+
+    #[test]
+    fn forked_streams_differ() {
+        let mut parent = rng();
+        let mut c1 = parent.fork();
+        let mut c2 = parent.fork();
+        let s1: Vec<u64> = (0..8).map(|_| c1.uniform().to_bits()).collect();
+        let s2: Vec<u64> = (0..8).map(|_| c2.uniform().to_bits()).collect();
+        assert_ne!(s1, s2);
+    }
+
+    #[test]
+    fn exponential_mean_converges() {
+        let mut r = rng();
+        let n = 200_000;
+        let mean: f64 = (0..n).map(|_| r.exponential(2.0)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean} far from 0.5");
+    }
+
+    #[test]
+    fn normal_moments_converge() {
+        let mut r = rng();
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| r.normal(3.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.03, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn normal_clamped_respects_bounds() {
+        let mut r = rng();
+        for _ in 0..10_000 {
+            let x = r.normal_clamped(0.3, 0.5, 0.05, 1.0);
+            assert!((0.05..=1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn poisson_mean_converges() {
+        let mut r = rng();
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| r.poisson(4.0) as f64).sum::<f64>() / n as f64;
+        assert!((mean - 4.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_zero_lambda_is_zero() {
+        let mut r = rng();
+        assert_eq!(r.poisson(0.0), 0);
+    }
+
+    #[test]
+    fn poisson_large_lambda_uses_normal_approx() {
+        let mut r = rng();
+        let n = 50_000;
+        let mean: f64 = (0..n).map(|_| r.poisson(100.0) as f64).sum::<f64>() / n as f64;
+        assert!((mean - 100.0).abs() < 0.5, "mean {mean}");
+    }
+
+    #[test]
+    fn exp_interarrival_positive() {
+        let mut r = rng();
+        let mean = SimDuration::from_secs(10);
+        let n = 50_000;
+        let total: f64 = (0..n).map(|_| r.exp_interarrival(mean).as_secs_f64()).sum();
+        let observed = total / n as f64;
+        assert!((observed - 10.0).abs() < 0.2, "observed {observed}");
+    }
+
+    #[test]
+    fn bernoulli_frequency() {
+        let mut r = rng();
+        let hits = (0..100_000).filter(|_| r.bernoulli(0.25)).count();
+        let freq = hits as f64 / 100_000.0;
+        assert!((freq - 0.25).abs() < 0.01, "freq {freq}");
+    }
+
+    #[test]
+    fn index_stays_in_range() {
+        let mut r = rng();
+        for _ in 0..1_000 {
+            assert!(r.index(7) < 7);
+        }
+    }
+}

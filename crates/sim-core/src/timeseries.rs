@@ -1,0 +1,253 @@
+//! Time-indexed measurement helpers.
+//!
+//! Two kinds of instruments are used across the experiments:
+//!
+//! * [`TimeSeries`] — point samples `(t, v)` (e.g. NVML utilization polls,
+//!   paper Fig. 6 and Fig. 9), with bucketed resampling for plotting.
+//! * [`BusyIntegrator`] — integrates a piecewise-constant "level" signal
+//!   (e.g. device busy/idle, number of active GPUs) so time-weighted
+//!   averages and per-window fractions are exact rather than sampled.
+
+use serde::Serialize;
+
+use crate::time::{SimDuration, SimTime};
+
+/// A sequence of `(time, value)` samples in non-decreasing time order.
+#[derive(Debug, Clone, Default)]
+pub struct TimeSeries {
+    points: Vec<(SimTime, f64)>,
+}
+
+/// One resampled bucket of a [`TimeSeries`].
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct Bucket {
+    /// Bucket start time.
+    pub start: SimTime,
+    /// Mean of the samples that fell in the bucket (NaN-free; empty buckets
+    /// are skipped by [`TimeSeries::bucket_means`]).
+    pub mean: f64,
+    /// Number of samples in the bucket.
+    pub count: usize,
+}
+
+impl TimeSeries {
+    /// Creates an empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a sample. Samples must arrive in non-decreasing time order.
+    pub fn push(&mut self, t: SimTime, v: f64) {
+        if let Some(&(last, _)) = self.points.last() {
+            assert!(t >= last, "samples must be time-ordered");
+        }
+        self.points.push((t, v));
+    }
+
+    /// All samples.
+    pub fn points(&self) -> &[(SimTime, f64)] {
+        &self.points
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Mean of all sample values (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.points.is_empty() {
+            return 0.0;
+        }
+        self.points.iter().map(|&(_, v)| v).sum::<f64>() / self.points.len() as f64
+    }
+
+    /// Mean of samples with `t` in `[from, to)`.
+    pub fn mean_in(&self, from: SimTime, to: SimTime) -> Option<f64> {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for &(t, v) in &self.points {
+            if t >= from && t < to {
+                sum += v;
+                n += 1;
+            }
+        }
+        (n > 0).then(|| sum / n as f64)
+    }
+
+    /// Resamples into fixed-width buckets, skipping empty ones.
+    pub fn bucket_means(&self, width: SimDuration) -> Vec<Bucket> {
+        assert!(!width.is_zero(), "bucket width must be positive");
+        let mut out = Vec::new();
+        let mut it = self.points.iter().peekable();
+        while let Some(&&(t0, _)) = it.peek() {
+            let idx = t0.as_micros() / width.as_micros();
+            let start = SimTime::from_micros(idx * width.as_micros());
+            let end = start + width;
+            let mut sum = 0.0;
+            let mut count = 0usize;
+            while let Some(&&(t, v)) = it.peek() {
+                if t < end {
+                    sum += v;
+                    count += 1;
+                    it.next();
+                } else {
+                    break;
+                }
+            }
+            out.push(Bucket {
+                start,
+                mean: sum / count as f64,
+                count,
+            });
+        }
+        out
+    }
+
+    /// The last sample value, if any.
+    pub fn last(&self) -> Option<(SimTime, f64)> {
+        self.points.last().copied()
+    }
+}
+
+/// Integrates a piecewise-constant signal over time.
+///
+/// Call [`BusyIntegrator::set_level`] whenever the level changes; query the
+/// exact time-weighted average or integral over any elapsed prefix.
+#[derive(Debug, Clone)]
+pub struct BusyIntegrator {
+    level: f64,
+    since: SimTime,
+    /// Accumulated ∫ level dt in level·microseconds up to `since`.
+    area: f64,
+    start: SimTime,
+}
+
+impl BusyIntegrator {
+    /// Starts integrating at `t0` with the given initial level.
+    pub fn new(t0: SimTime, initial_level: f64) -> Self {
+        BusyIntegrator {
+            level: initial_level,
+            since: t0,
+            area: 0.0,
+            start: t0,
+        }
+    }
+
+    /// Current level.
+    pub fn level(&self) -> f64 {
+        self.level
+    }
+
+    /// Changes the level at time `t` (must be ≥ the previous change).
+    pub fn set_level(&mut self, t: SimTime, level: f64) {
+        assert!(t >= self.since, "level changes must be time-ordered");
+        self.area += self.level * t.saturating_since(self.since).as_micros() as f64;
+        self.level = level;
+        self.since = t;
+    }
+
+    /// Adds `delta` to the current level at time `t`.
+    pub fn add(&mut self, t: SimTime, delta: f64) {
+        let next = self.level + delta;
+        self.set_level(t, next);
+    }
+
+    /// Integral of the level from start to `t` (level · seconds).
+    pub fn integral_until(&self, t: SimTime) -> f64 {
+        assert!(t >= self.since, "cannot query the past");
+        let pending = self.level * t.saturating_since(self.since).as_micros() as f64;
+        (self.area + pending) / 1e6
+    }
+
+    /// Time-weighted average level from start to `t`.
+    pub fn average_until(&self, t: SimTime) -> f64 {
+        let span = t.saturating_since(self.start).as_secs_f64();
+        if span == 0.0 {
+            return self.level;
+        }
+        self.integral_until(t) / span
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_mean() {
+        let mut ts = TimeSeries::new();
+        ts.push(SimTime::from_secs(0), 1.0);
+        ts.push(SimTime::from_secs(1), 3.0);
+        assert_eq!(ts.mean(), 2.0);
+        assert_eq!(ts.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "time-ordered")]
+    fn out_of_order_sample_panics() {
+        let mut ts = TimeSeries::new();
+        ts.push(SimTime::from_secs(2), 1.0);
+        ts.push(SimTime::from_secs(1), 1.0);
+    }
+
+    #[test]
+    fn mean_in_window() {
+        let mut ts = TimeSeries::new();
+        for s in 0..10 {
+            ts.push(SimTime::from_secs(s), s as f64);
+        }
+        let m = ts
+            .mean_in(SimTime::from_secs(2), SimTime::from_secs(5))
+            .unwrap();
+        assert_eq!(m, 3.0); // samples 2,3,4
+        assert!(ts
+            .mean_in(SimTime::from_secs(100), SimTime::from_secs(200))
+            .is_none());
+    }
+
+    #[test]
+    fn bucket_means_skip_gaps() {
+        let mut ts = TimeSeries::new();
+        ts.push(SimTime::from_secs(0), 2.0);
+        ts.push(SimTime::from_millis(500), 4.0);
+        ts.push(SimTime::from_secs(5), 10.0);
+        let buckets = ts.bucket_means(SimDuration::from_secs(1));
+        assert_eq!(buckets.len(), 2);
+        assert_eq!(buckets[0].mean, 3.0);
+        assert_eq!(buckets[0].count, 2);
+        assert_eq!(buckets[1].start, SimTime::from_secs(5));
+        assert_eq!(buckets[1].mean, 10.0);
+    }
+
+    #[test]
+    fn integrator_average() {
+        let mut b = BusyIntegrator::new(SimTime::ZERO, 0.0);
+        b.set_level(SimTime::from_secs(2), 1.0); // idle 2s
+        b.set_level(SimTime::from_secs(6), 0.0); // busy 4s
+        let avg = b.average_until(SimTime::from_secs(8));
+        assert!((avg - 0.5).abs() < 1e-9); // 4 busy / 8 total
+        assert!((b.integral_until(SimTime::from_secs(8)) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn integrator_add_delta() {
+        let mut b = BusyIntegrator::new(SimTime::ZERO, 0.0);
+        b.add(SimTime::from_secs(1), 2.0); // level 2 from t=1
+        b.add(SimTime::from_secs(3), -1.0); // level 1 from t=3
+        assert_eq!(b.level(), 1.0);
+        // ∫ = 0*1 + 2*2 + 1*1 = 5 at t=4
+        assert!((b.integral_until(SimTime::from_secs(4)) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn integrator_average_at_start_is_level() {
+        let b = BusyIntegrator::new(SimTime::from_secs(5), 3.0);
+        assert_eq!(b.average_until(SimTime::from_secs(5)), 3.0);
+    }
+}

@@ -1,0 +1,559 @@
+//! The per-node backend daemon's token state machine (paper §4.5).
+//!
+//! One token exists per device. A container may execute kernels only while
+//! it holds a valid token; the token carries a time quota (default 100 ms)
+//! after which the holder must re-acquire it. The backend:
+//!
+//! 1. tracks each container's usage (time holding the token, sliding
+//!    window),
+//! 2. queues token requests and schedules the token with the elastic
+//!    policy in [`crate::policy`],
+//! 3. enforces the quota by expiring grants.
+//!
+//! Re-acquisition costs a fixed handoff overhead (IPC + synchronization) —
+//! this is the overhead the paper measures in Fig. 7.
+//!
+//! The backend is a passive state machine: methods append the events that
+//! must be scheduled (grant-effective, expiry, retry) to an output vector,
+//! and the embedding simulation routes them back into [`TokenBackend`]
+//! handler methods. Epoch counters make stale events harmless.
+
+use std::collections::{BTreeSet, HashMap};
+
+use ks_sim_core::time::{SimDuration, SimTime};
+
+use crate::policy::{select_next, Candidate};
+use crate::spec::ShareSpec;
+use crate::window::{ClientId, UsageWindow};
+
+/// Tunables of the vGPU device library.
+#[derive(Debug, Clone, Copy)]
+pub struct VgpuConfig {
+    /// Token time quota. The paper settles on 100 ms (§4.5, Fig. 7).
+    pub quota: SimDuration,
+    /// Cost of (re-)acquiring the token: one frontend↔backend round trip.
+    pub handoff: SimDuration,
+    /// Sliding window over which usage rates are measured.
+    pub window: SimDuration,
+    /// How long a frontend keeps a valid token cached after its launch
+    /// queue empties. Back-to-back kernel launches (training loops) thus
+    /// pay one handoff per *quota*, while a container that stays idle past
+    /// the grace releases the token for others.
+    pub idle_grace: SimDuration,
+}
+
+impl Default for VgpuConfig {
+    fn default() -> Self {
+        VgpuConfig {
+            quota: SimDuration::from_millis(100),
+            handoff: SimDuration::from_micros(1_500),
+            window: SimDuration::from_secs(10),
+            idle_grace: SimDuration::from_millis(2),
+        }
+    }
+}
+
+/// Where the token currently is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenState {
+    /// Nobody holds the token and no grant is in flight.
+    Free,
+    /// A grant is traveling to `to` (handoff delay running).
+    InTransit {
+        /// Future holder.
+        to: ClientId,
+        /// Grant epoch for staleness checks.
+        epoch: u64,
+    },
+    /// `by` holds a valid token until `expires`.
+    Held {
+        /// Current holder.
+        by: ClientId,
+        /// Grant epoch for staleness checks.
+        epoch: u64,
+        /// Quota expiry instant.
+        expires: SimTime,
+    },
+}
+
+/// Timer events the embedding simulation must schedule and route back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendTimer {
+    /// Deliver to [`TokenBackend::on_grant_effective`] at the given time.
+    GrantEffective {
+        /// Fire time.
+        at: SimTime,
+        /// Epoch guard.
+        epoch: u64,
+    },
+    /// Deliver to [`TokenBackend::on_expiry`] at the given time.
+    Expiry {
+        /// Fire time.
+        at: SimTime,
+        /// Epoch guard.
+        epoch: u64,
+    },
+    /// Deliver to [`TokenBackend::on_retry`] at the given time.
+    Retry {
+        /// Fire time.
+        at: SimTime,
+    },
+}
+
+/// The token manager for one device.
+#[derive(Debug)]
+pub struct TokenBackend {
+    cfg: VgpuConfig,
+    state: TokenState,
+    epoch: u64,
+    window: UsageWindow,
+    clients: HashMap<ClientId, ShareSpec>,
+    /// Containers currently blocked on (or consuming) the token.
+    wants: BTreeSet<ClientId>,
+    retry_scheduled: bool,
+    /// Total number of grants (handoffs) performed, for overhead reporting.
+    grants: u64,
+}
+
+impl TokenBackend {
+    /// Creates a backend with the given configuration.
+    pub fn new(cfg: VgpuConfig) -> Self {
+        TokenBackend {
+            window: UsageWindow::new(cfg.window),
+            cfg,
+            state: TokenState::Free,
+            epoch: 0,
+            clients: HashMap::new(),
+            wants: BTreeSet::new(),
+            retry_scheduled: false,
+            grants: 0,
+        }
+    }
+
+    /// Current token state.
+    pub fn state(&self) -> TokenState {
+        self.state
+    }
+
+    /// Configuration in force.
+    pub fn config(&self) -> &VgpuConfig {
+        &self.cfg
+    }
+
+    /// Total grants performed so far.
+    pub fn grant_count(&self) -> u64 {
+        self.grants
+    }
+
+    /// Registers a container with its resource spec.
+    pub fn register(&mut self, client: ClientId, spec: ShareSpec) {
+        let prev = self.clients.insert(client, spec);
+        assert!(prev.is_none(), "{client} registered twice");
+    }
+
+    /// Deregisters a departing container, releasing the token if held.
+    pub fn deregister(&mut self, now: SimTime, client: ClientId, out: &mut Vec<BackendTimer>) {
+        self.wants.remove(&client);
+        match self.state {
+            TokenState::Held { by, .. } if by == client => {
+                self.window.end_hold(now, client);
+                self.state = TokenState::Free;
+                self.epoch += 1;
+                self.dispatch(now, out);
+            }
+            TokenState::InTransit { to, .. } if to == client => {
+                // The grant will arrive for a dead client; invalidate it.
+                self.state = TokenState::Free;
+                self.epoch += 1;
+                self.dispatch(now, out);
+            }
+            _ => {}
+        }
+        self.clients.remove(&client);
+        self.window.forget(client);
+    }
+
+    /// A container requests the token (frontend blocked on a CUDA call).
+    /// Returns `true` if the client now holds a valid token (it already
+    /// held one), `false` if it must wait for a grant.
+    pub fn request(&mut self, now: SimTime, client: ClientId, out: &mut Vec<BackendTimer>) -> bool {
+        assert!(
+            self.clients.contains_key(&client),
+            "{client} not registered"
+        );
+        if let TokenState::Held { by, expires, .. } = self.state {
+            if by == client && expires > now {
+                return true;
+            }
+        }
+        self.wants.insert(client);
+        self.dispatch(now, out);
+        matches!(self.state, TokenState::Held { by, .. } if by == client)
+    }
+
+    /// Withdraws a pending token request. Frontends call this when their
+    /// launch queue empties: if nobody else is waiting, a held token stays
+    /// cached (valid until its quota expires) so an immediately following
+    /// launch needs no handoff; if others *are* waiting, the now-idle
+    /// holder yields immediately. Returns `true` if the client still holds
+    /// a cached token afterwards.
+    pub fn retract(&mut self, now: SimTime, client: ClientId, out: &mut Vec<BackendTimer>) -> bool {
+        self.wants.remove(&client);
+        if let TokenState::Held { by, .. } = self.state {
+            if by == client {
+                if self.wants.is_empty() {
+                    return true; // keep the token cached
+                }
+                self.window.end_hold(now, client);
+                self.state = TokenState::Free;
+                self.epoch += 1;
+                self.dispatch(now, out);
+            }
+        }
+        false
+    }
+
+    /// The holder voluntarily hands the token back (no more queued work).
+    pub fn release(&mut self, now: SimTime, client: ClientId, out: &mut Vec<BackendTimer>) {
+        self.wants.remove(&client);
+        if let TokenState::Held { by, .. } = self.state {
+            if by == client {
+                self.window.end_hold(now, client);
+                self.state = TokenState::Free;
+                self.epoch += 1;
+                self.dispatch(now, out);
+            }
+        }
+    }
+
+    /// A previously emitted [`BackendTimer::GrantEffective`] fired.
+    /// Returns the client that now holds the token, or `None` if stale.
+    pub fn on_grant_effective(
+        &mut self,
+        now: SimTime,
+        epoch: u64,
+        out: &mut Vec<BackendTimer>,
+    ) -> Option<ClientId> {
+        match self.state {
+            TokenState::InTransit { to, epoch: e } if e == epoch => {
+                let expires = now + self.cfg.quota;
+                self.state = TokenState::Held {
+                    by: to,
+                    epoch,
+                    expires,
+                };
+                self.window.begin_hold(now, to);
+                self.grants += 1;
+                out.push(BackendTimer::Expiry { at: expires, epoch });
+                Some(to)
+            }
+            _ => None,
+        }
+    }
+
+    /// A previously emitted [`BackendTimer::Expiry`] fired. Returns the
+    /// client whose token expired (it must re-acquire before launching
+    /// more kernels), or `None` if stale.
+    pub fn on_expiry(
+        &mut self,
+        now: SimTime,
+        epoch: u64,
+        out: &mut Vec<BackendTimer>,
+    ) -> Option<ClientId> {
+        match self.state {
+            TokenState::Held { by, epoch: e, .. } if e == epoch => {
+                self.window.end_hold(now, by);
+                self.state = TokenState::Free;
+                self.epoch += 1;
+                // The holder keeps its place in `wants` (it re-requests by
+                // staying blocked); dispatch picks the next holder.
+                self.dispatch(now, out);
+                Some(by)
+            }
+            _ => None,
+        }
+    }
+
+    /// A previously emitted [`BackendTimer::Retry`] fired.
+    pub fn on_retry(&mut self, now: SimTime, out: &mut Vec<BackendTimer>) {
+        self.retry_scheduled = false;
+        self.dispatch(now, out);
+    }
+
+    /// Sliding-window usage of a client.
+    pub fn usage(&mut self, now: SimTime, client: ClientId) -> f64 {
+        self.window.usage(now, client)
+    }
+
+    /// Registered spec of a client.
+    pub fn spec(&self, client: ClientId) -> Option<ShareSpec> {
+        self.clients.get(&client).copied()
+    }
+
+    /// True if the client currently holds a valid (unexpired) token.
+    pub fn holds_valid_token(&self, now: SimTime, client: ClientId) -> bool {
+        matches!(self.state, TokenState::Held { by, expires, .. } if by == client && expires > now)
+    }
+
+    /// The current (unexpired) holder, if any.
+    pub fn holder(&self, now: SimTime) -> Option<ClientId> {
+        match self.state {
+            TokenState::Held { by, expires, .. } if expires > now => Some(by),
+            _ => None,
+        }
+    }
+
+    fn dispatch(&mut self, now: SimTime, out: &mut Vec<BackendTimer>) {
+        if self.state != TokenState::Free || self.wants.is_empty() {
+            return;
+        }
+        let candidates: Vec<Candidate> = self
+            .wants
+            .iter()
+            .map(|&c| Candidate {
+                client: c,
+                spec: self.clients[&c],
+                usage: self.window.usage(now, c),
+            })
+            .collect();
+        match select_next(&candidates) {
+            Some(next) => {
+                self.epoch += 1;
+                self.state = TokenState::InTransit {
+                    to: next,
+                    epoch: self.epoch,
+                };
+                out.push(BackendTimer::GrantEffective {
+                    at: now + self.cfg.handoff,
+                    epoch: self.epoch,
+                });
+            }
+            None => {
+                // Every requester is at its gpu_limit; usage decays as the
+                // window slides, so poll again after one quota.
+                if !self.retry_scheduled {
+                    self.retry_scheduled = true;
+                    out.push(BackendTimer::Retry {
+                        at: now + self.cfg.quota,
+                    });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: ClientId = ClientId(1);
+    const B: ClientId = ClientId(2);
+
+    fn cfg() -> VgpuConfig {
+        VgpuConfig {
+            quota: SimDuration::from_millis(100),
+            handoff: SimDuration::from_millis(1),
+            window: SimDuration::from_secs(1),
+            idle_grace: SimDuration::from_millis(2),
+        }
+    }
+
+    fn spec(r: f64, l: f64) -> ShareSpec {
+        ShareSpec {
+            request: r,
+            limit: l,
+            mem: 1.0,
+        }
+    }
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    /// Drives one grant to completion, returning (holder, expiry_timer).
+    fn drive_grant(b: &mut TokenBackend, out: &mut Vec<BackendTimer>) -> (ClientId, SimTime) {
+        let grant = out
+            .iter()
+            .find_map(|t| match t {
+                BackendTimer::GrantEffective { at, epoch } => Some((*at, *epoch)),
+                _ => None,
+            })
+            .expect("a grant should be in flight");
+        out.clear();
+        let holder = b.on_grant_effective(grant.0, grant.1, out).unwrap();
+        let expiry = out
+            .iter()
+            .find_map(|t| match t {
+                BackendTimer::Expiry { at, .. } => Some(*at),
+                _ => None,
+            })
+            .expect("expiry scheduled");
+        (holder, expiry)
+    }
+
+    #[test]
+    fn lone_request_granted_after_handoff() {
+        let mut b = TokenBackend::new(cfg());
+        b.register(A, spec(0.5, 1.0));
+        let mut out = Vec::new();
+        assert!(!b.request(t(0), A, &mut out));
+        assert_eq!(out.len(), 1);
+        let (holder, expires) = drive_grant(&mut b, &mut out);
+        assert_eq!(holder, A);
+        assert_eq!(expires, t(101)); // 1ms handoff + 100ms quota
+        assert!(b.holds_valid_token(t(50), A));
+        assert!(!b.holds_valid_token(t(101), A));
+    }
+
+    #[test]
+    fn expiry_frees_and_regrants() {
+        let mut b = TokenBackend::new(cfg());
+        b.register(A, spec(0.5, 1.0));
+        b.register(B, spec(0.5, 1.0));
+        let mut out = Vec::new();
+        b.request(t(0), A, &mut out);
+        let (h1, exp1) = drive_grant(&mut b, &mut out);
+        assert_eq!(h1, A);
+        out.clear();
+        // B arrives and waits.
+        assert!(!b.request(t(50), B, &mut out));
+        assert!(out.is_empty(), "token is held; no dispatch yet");
+        // Quota expires; B (lower usage) gets the next grant.
+        let expired_epoch = match b.state() {
+            TokenState::Held { epoch, .. } => epoch,
+            s => panic!("unexpected state {s:?}"),
+        };
+        let expired = b.on_expiry(exp1, expired_epoch, &mut out).unwrap();
+        assert_eq!(expired, A);
+        let (h2, _) = drive_grant(&mut b, &mut out);
+        assert_eq!(h2, B);
+    }
+
+    #[test]
+    fn stale_expiry_ignored() {
+        let mut b = TokenBackend::new(cfg());
+        b.register(A, spec(0.5, 1.0));
+        let mut out = Vec::new();
+        b.request(t(0), A, &mut out);
+        let (_, exp) = drive_grant(&mut b, &mut out);
+        out.clear();
+        // Holder releases before expiry.
+        b.release(t(50), A, &mut out);
+        assert_eq!(b.state(), TokenState::Free);
+        // The stale expiry timer fires with the old epoch: no effect.
+        assert_eq!(b.on_expiry(exp, 1, &mut out), None);
+        assert_eq!(b.state(), TokenState::Free);
+    }
+
+    #[test]
+    fn release_regrants_to_waiter() {
+        let mut b = TokenBackend::new(cfg());
+        b.register(A, spec(0.5, 1.0));
+        b.register(B, spec(0.5, 1.0));
+        let mut out = Vec::new();
+        b.request(t(0), A, &mut out);
+        drive_grant(&mut b, &mut out);
+        out.clear();
+        b.request(t(10), B, &mut out);
+        b.release(t(20), A, &mut out);
+        let (h, _) = drive_grant(&mut b, &mut out);
+        assert_eq!(h, B);
+    }
+
+    #[test]
+    fn at_limit_requester_waits_for_decay() {
+        let mut b = TokenBackend::new(cfg());
+        b.register(A, spec(0.1, 0.2));
+        let mut out = Vec::new();
+        b.request(t(0), A, &mut out);
+        let (_, exp) = drive_grant(&mut b, &mut out);
+        out.clear();
+        // A holds 100ms of the first ~101ms: usage ≈ 1.0 >> limit 0.2.
+        let epoch = match b.state() {
+            TokenState::Held { epoch, .. } => epoch,
+            _ => unreachable!(),
+        };
+        b.on_expiry(exp, epoch, &mut out).unwrap();
+        // A still wants, but is over its limit → retry scheduled, no grant.
+        assert_eq!(b.state(), TokenState::Free);
+        assert!(matches!(out.as_slice(), [BackendTimer::Retry { .. }]));
+        let retry_at = match out[0] {
+            BackendTimer::Retry { at } => at,
+            _ => unreachable!(),
+        };
+        out.clear();
+        // Fire retries until the window decays below the limit.
+        let mut at = retry_at;
+        let mut granted = false;
+        for _ in 0..20 {
+            b.on_retry(at, &mut out);
+            if out
+                .iter()
+                .any(|t| matches!(t, BackendTimer::GrantEffective { .. }))
+            {
+                granted = true;
+                break;
+            }
+            at = match out.first() {
+                Some(BackendTimer::Retry { at }) => *at,
+                _ => at + SimDuration::from_millis(100),
+            };
+            out.clear();
+        }
+        assert!(granted, "usage decay must eventually re-enable the client");
+    }
+
+    #[test]
+    fn request_while_holding_is_true() {
+        let mut b = TokenBackend::new(cfg());
+        b.register(A, spec(0.5, 1.0));
+        let mut out = Vec::new();
+        b.request(t(0), A, &mut out);
+        drive_grant(&mut b, &mut out);
+        out.clear();
+        assert!(b.request(t(50), A, &mut out));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn deregister_holder_frees_token() {
+        let mut b = TokenBackend::new(cfg());
+        b.register(A, spec(0.5, 1.0));
+        b.register(B, spec(0.5, 1.0));
+        let mut out = Vec::new();
+        b.request(t(0), A, &mut out);
+        drive_grant(&mut b, &mut out);
+        out.clear();
+        b.request(t(10), B, &mut out);
+        b.deregister(t(20), A, &mut out);
+        let (h, _) = drive_grant(&mut b, &mut out);
+        assert_eq!(h, B);
+        assert!(b.spec(A).is_none());
+    }
+
+    #[test]
+    fn deregister_in_transit_target_invalidates_grant() {
+        let mut b = TokenBackend::new(cfg());
+        b.register(A, spec(0.5, 1.0));
+        let mut out = Vec::new();
+        b.request(t(0), A, &mut out);
+        let (at, epoch) = match out[0] {
+            BackendTimer::GrantEffective { at, epoch } => (at, epoch),
+            _ => unreachable!(),
+        };
+        out.clear();
+        b.deregister(t(0), A, &mut out);
+        assert_eq!(b.on_grant_effective(at, epoch, &mut out), None);
+        assert_eq!(b.state(), TokenState::Free);
+    }
+
+    #[test]
+    fn grant_counter_increments() {
+        let mut b = TokenBackend::new(cfg());
+        b.register(A, spec(0.5, 1.0));
+        let mut out = Vec::new();
+        b.request(t(0), A, &mut out);
+        drive_grant(&mut b, &mut out);
+        assert_eq!(b.grant_count(), 1);
+    }
+}

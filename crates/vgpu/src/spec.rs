@@ -1,0 +1,128 @@
+//! Per-container GPU resource specifications.
+
+use serde::{Deserialize, Serialize};
+
+/// A container's fractional GPU demand, as written in a SharePodSpec
+/// (paper §4.2).
+///
+/// * `request` — minimum guaranteed share of kernel execution time within
+///   the sliding window (`gpu_request`).
+/// * `limit` — maximum share the container may consume (`gpu_limit`);
+///   elastic allocation lets usage float between the two.
+/// * `mem` — maximum fraction of device memory the container may allocate
+///   (`gpu_mem`). Memory is shared by space and never over-committed.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ShareSpec {
+    /// Guaranteed minimum compute share in `(0, 1]`.
+    pub request: f64,
+    /// Maximum compute share in `(0, 1]`; must be ≥ `request`.
+    pub limit: f64,
+    /// Maximum device-memory fraction in `(0, 1]`.
+    pub mem: f64,
+}
+
+/// Validation failure for a [`ShareSpec`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecError {
+    /// A field was outside `(0, 1]` or not finite.
+    OutOfRange(&'static str),
+    /// `limit` was below `request`.
+    LimitBelowRequest,
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpecError::OutOfRange(field) => write!(f, "{field} must be in (0, 1]"),
+            SpecError::LimitBelowRequest => write!(f, "gpu_limit must be >= gpu_request"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+impl ShareSpec {
+    /// Builds and validates a spec.
+    pub fn new(request: f64, limit: f64, mem: f64) -> Result<Self, SpecError> {
+        let s = ShareSpec {
+            request,
+            limit,
+            mem,
+        };
+        s.validate()?;
+        Ok(s)
+    }
+
+    /// A whole-device spec (what a native, non-shared allocation means).
+    pub fn exclusive() -> Self {
+        ShareSpec {
+            request: 1.0,
+            limit: 1.0,
+            mem: 1.0,
+        }
+    }
+
+    /// Checks all invariants.
+    pub fn validate(&self) -> Result<(), SpecError> {
+        fn frac(x: f64, name: &'static str) -> Result<(), SpecError> {
+            if x.is_finite() && x > 0.0 && x <= 1.0 {
+                Ok(())
+            } else {
+                Err(SpecError::OutOfRange(name))
+            }
+        }
+        frac(self.request, "gpu_request")?;
+        frac(self.limit, "gpu_limit")?;
+        frac(self.mem, "gpu_mem")?;
+        if self.limit < self.request {
+            return Err(SpecError::LimitBelowRequest);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_specs() {
+        ShareSpec::new(0.3, 0.6, 0.5).unwrap();
+        ShareSpec::new(1.0, 1.0, 1.0).unwrap();
+        ShareSpec::new(0.001, 0.001, 0.001).unwrap();
+        assert!(ShareSpec::exclusive().validate().is_ok());
+    }
+
+    #[test]
+    fn zero_request_rejected() {
+        assert_eq!(
+            ShareSpec::new(0.0, 0.5, 0.5).unwrap_err(),
+            SpecError::OutOfRange("gpu_request")
+        );
+    }
+
+    #[test]
+    fn over_one_rejected() {
+        assert_eq!(
+            ShareSpec::new(0.5, 1.2, 0.5).unwrap_err(),
+            SpecError::OutOfRange("gpu_limit")
+        );
+        assert_eq!(
+            ShareSpec::new(0.5, 0.6, 1.5).unwrap_err(),
+            SpecError::OutOfRange("gpu_mem")
+        );
+    }
+
+    #[test]
+    fn limit_below_request_rejected() {
+        assert_eq!(
+            ShareSpec::new(0.6, 0.3, 0.5).unwrap_err(),
+            SpecError::LimitBelowRequest
+        );
+    }
+
+    #[test]
+    fn nan_rejected() {
+        assert!(ShareSpec::new(f64::NAN, 0.5, 0.5).is_err());
+    }
+}

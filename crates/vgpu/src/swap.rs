@@ -1,0 +1,57 @@
+//! Optional GPU-memory over-commitment via host swapping (extension).
+//!
+//! The paper's §4.5 forbids memory over-commitment and cites virtual-
+//! memory approaches (Becchi et al., GPUswap, gScale — refs [4, 19, 32])
+//! as complementary work that "can be integrated with these solutions".
+//! This module is that integration point: when enabled, allocations beyond
+//! a container's quota (or beyond physical memory) are satisfied from a
+//! simulated host-memory swap region, and the container's kernels pay a
+//! paging penalty proportional to its swapped fraction — the overhead the
+//! paper's related-work section warns about, made measurable.
+
+use serde::{Deserialize, Serialize};
+
+/// Over-commitment policy of a shared GPU.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub enum SwapPolicy {
+    /// Paper default: over-allocation fails with `CUDA_ERROR_OUT_OF_MEMORY`.
+    #[default]
+    Disabled,
+    /// Over-quota bytes live in host memory; each kernel of a swapping
+    /// container is slowed by `1 + slowdown × swapped_fraction`, where
+    /// `swapped_fraction` is swapped bytes over the container's quota
+    /// (PCIe paging cost, cf. GPUswap's reported degradation).
+    HostSwap {
+        /// Penalty coefficient; GPUswap-like systems see ~0.5–2.0.
+        slowdown: f64,
+    },
+}
+
+impl SwapPolicy {
+    /// Kernel-duration multiplier for a container with the given swapped
+    /// fraction.
+    pub fn kernel_factor(&self, swapped_fraction: f64) -> f64 {
+        match self {
+            SwapPolicy::Disabled => 1.0,
+            SwapPolicy::HostSwap { slowdown } => 1.0 + slowdown * swapped_fraction.max(0.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_never_slows() {
+        assert_eq!(SwapPolicy::Disabled.kernel_factor(0.7), 1.0);
+    }
+
+    #[test]
+    fn host_swap_scales_linearly() {
+        let p = SwapPolicy::HostSwap { slowdown: 2.0 };
+        assert_eq!(p.kernel_factor(0.0), 1.0);
+        assert_eq!(p.kernel_factor(0.5), 2.0);
+        assert_eq!(p.kernel_factor(1.0), 3.0);
+    }
+}

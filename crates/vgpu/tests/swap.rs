@@ -1,0 +1,122 @@
+//! The memory over-commitment extension end-to-end: swapped containers
+//! keep running, but pay the paging penalty the paper's related work
+//! warns about.
+
+use ks_gpu::device::{GpuDevice, GpuSpec};
+use ks_gpu::types::CudaError;
+use ks_sim_core::prelude::*;
+use ks_vgpu::{IsolationMode, ShareSpec, SharedGpu, SwapPolicy, VgpuConfig, VgpuEvent, VgpuNotice};
+
+struct W {
+    gpu: SharedGpu,
+    done: Vec<SimTime>,
+}
+struct Ev(VgpuEvent);
+impl SimEvent<W> for Ev {
+    fn fire(self, now: SimTime, w: &mut W, q: &mut EventQueue<Self>) {
+        let mut out = Vec::new();
+        let mut notes = Vec::new();
+        w.gpu.handle(now, self.0, &mut out, &mut notes);
+        for n in notes {
+            let VgpuNotice::BurstDone { .. } = n;
+            w.done.push(now);
+        }
+        for (at, e) in out {
+            q.schedule_at(at, Ev(e));
+        }
+    }
+}
+
+fn run_with(swap: SwapPolicy, overcommit: bool) -> (Result<(), CudaError>, f64) {
+    let device = GpuDevice::new("n", 0, GpuSpec::test_gpu(1000));
+    let gpu = SharedGpu::new(device, VgpuConfig::default(), IsolationMode::FULL).with_swap(swap);
+    let mut eng = Engine::new(W {
+        gpu,
+        done: Vec::new(),
+    });
+    let c = eng.world.gpu.attach(ShareSpec::new(0.5, 1.0, 0.5).unwrap());
+    // Quota = 500 bytes. Allocate within quota, then maybe 300 over.
+    eng.world.gpu.mem_alloc(c, 400).unwrap();
+    let alloc_result = if overcommit {
+        eng.world.gpu.mem_alloc(c, 300).map(|_| ())
+    } else {
+        Ok(())
+    };
+    if alloc_result.is_err() {
+        return (alloc_result, 0.0);
+    }
+    // Run 10 × 10 ms kernels and measure the finish time.
+    let mut out = Vec::new();
+    for i in 0..10 {
+        eng.world
+            .gpu
+            .submit_burst(SimTime::ZERO, c, SimDuration::from_millis(10), i, &mut out);
+    }
+    for (at, e) in out {
+        eng.queue.schedule_at(at, Ev(e));
+    }
+    eng.run_to_completion(100_000);
+    (Ok(()), eng.world.done.last().unwrap().as_millis_f64())
+}
+
+#[test]
+fn disabled_policy_rejects_overcommit() {
+    let (res, _) = run_with(SwapPolicy::Disabled, true);
+    assert!(matches!(res, Err(CudaError::OutOfMemory { .. })));
+}
+
+#[test]
+fn host_swap_admits_overcommit_but_slows_kernels() {
+    let (res_baseline, t_baseline) = run_with(SwapPolicy::HostSwap { slowdown: 1.0 }, false);
+    res_baseline.unwrap();
+    let (res_swapped, t_swapped) = run_with(SwapPolicy::HostSwap { slowdown: 1.0 }, true);
+    res_swapped.unwrap();
+    // swapped_fraction = 300 / 500 = 0.6 → kernels 1.6× slower.
+    let ratio = t_swapped / t_baseline;
+    assert!(
+        (1.5..1.7).contains(&ratio),
+        "paging penalty ≈1.6×, got {ratio} ({t_swapped} vs {t_baseline})"
+    );
+}
+
+#[test]
+fn freeing_swapped_memory_restores_speed() {
+    let device = GpuDevice::new("n", 0, GpuSpec::test_gpu(1000));
+    let gpu = SharedGpu::new(device, VgpuConfig::default(), IsolationMode::FULL)
+        .with_swap(SwapPolicy::HostSwap { slowdown: 1.0 });
+    let mut eng = Engine::new(W {
+        gpu,
+        done: Vec::new(),
+    });
+    let c = eng.world.gpu.attach(ShareSpec::new(0.5, 1.0, 0.5).unwrap());
+    eng.world.gpu.mem_alloc(c, 500).unwrap();
+    let swapped = eng.world.gpu.mem_alloc(c, 250).unwrap();
+    assert_eq!(eng.world.gpu.mem_swapped(c), 250);
+    eng.world.gpu.mem_free(c, swapped).unwrap();
+    assert_eq!(eng.world.gpu.mem_swapped(c), 0);
+    // Kernels now run at full speed again.
+    let mut out = Vec::new();
+    eng.world
+        .gpu
+        .submit_burst(SimTime::ZERO, c, SimDuration::from_millis(10), 0, &mut out);
+    for (at, e) in out {
+        eng.queue.schedule_at(at, Ev(e));
+    }
+    eng.run_to_completion(1000);
+    // 1.5 ms handoff + 10 ms kernel, no paging factor.
+    assert!((11.0..12.0).contains(&eng.world.done[0].as_millis_f64()));
+}
+
+#[test]
+fn physical_exhaustion_spills_to_host() {
+    // Guard sized to the whole device, so the quota never triggers — but
+    // physical memory does.
+    let device = GpuDevice::new("n", 0, GpuSpec::test_gpu(1000));
+    let mut gpu = SharedGpu::new(device, VgpuConfig::default(), IsolationMode::FULL)
+        .with_swap(SwapPolicy::HostSwap { slowdown: 0.5 });
+    let c = gpu.attach(ShareSpec::exclusive());
+    gpu.mem_alloc(c, 1000).unwrap();
+    let spilled = gpu.mem_alloc(c, 200);
+    assert!(spilled.is_ok(), "host swap absorbs device exhaustion");
+    assert_eq!(gpu.mem_swapped(c), 200);
+}

@@ -1,0 +1,366 @@
+//! Deep-learning job models (paper §5.1, Table 3).
+//!
+//! Two job types drive every experiment:
+//!
+//! * **Training** (TensorFlow / ResNet-50): a fixed number of steps, each a
+//!   GPU kernel burst, issued back-to-back — the GPU is saturated while the
+//!   job runs. A *duty cycle* below 1.0 models jobs with CPU phases between
+//!   kernels (used for the interference jobs of §5.5).
+//! * **Inference** (TF-Serving / DeepLab V3): client requests arrive as a
+//!   Poisson process; each request computes one forward pass (a kernel
+//!   burst), so GPU usage is proportional to the request rate (Fig. 5).
+//!
+//! Jobs are passive state machines: the embedding harness feeds
+//! [`JobInput`]s and executes the returned [`JobCmd`]s, keeping the model
+//! independent of which GPU-sharing system runs underneath.
+
+use ks_sim_core::rng::SimRng;
+use ks_sim_core::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Static description of a job's GPU behaviour.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum JobKind {
+    /// Step-based training: `steps` kernels of `kernel` duration each,
+    /// issued with a think-time gap so the standalone GPU duty is `duty`.
+    Training {
+        /// Number of training steps (kernels).
+        steps: u32,
+        /// Kernel burst duration per step.
+        kernel: SimDuration,
+        /// Standalone GPU duty cycle in `(0, 1]`.
+        duty: f64,
+    },
+    /// Request-driven inference: Poisson arrivals at `rate` req/s, one
+    /// `kernel`-long burst per request, `total_requests` in the job.
+    Inference {
+        /// Mean client request rate (requests per second).
+        rate: f64,
+        /// Forward-pass kernel duration per request.
+        kernel: SimDuration,
+        /// Requests to serve before the job completes.
+        total_requests: u32,
+    },
+}
+
+impl JobKind {
+    /// Expected standalone GPU duty cycle (fraction of time busy when the
+    /// job has a GPU to itself) — the paper's "GPU usage demand".
+    pub fn duty(&self) -> f64 {
+        match self {
+            JobKind::Training { duty, .. } => *duty,
+            JobKind::Inference { rate, kernel, .. } => (rate * kernel.as_secs_f64()).min(1.0),
+        }
+    }
+
+    /// Total GPU busy time the job needs.
+    pub fn total_work(&self) -> SimDuration {
+        match self {
+            JobKind::Training { steps, kernel, .. } => *kernel * *steps as u64,
+            JobKind::Inference {
+                total_requests,
+                kernel,
+                ..
+            } => *kernel * *total_requests as u64,
+        }
+    }
+
+    /// Ideal standalone completion time (work / duty).
+    pub fn standalone_runtime(&self) -> SimDuration {
+        let duty = self.duty().max(1e-6);
+        self.total_work().mul_f64(1.0 / duty)
+    }
+}
+
+/// Inputs the harness feeds into a job driver.
+#[derive(Debug, Clone, Copy)]
+pub enum JobInput {
+    /// The job's container is running; begin issuing work.
+    Start,
+    /// A previously submitted burst completed.
+    BurstDone {
+        /// Tag from the corresponding [`JobCmd::Submit`].
+        tag: u64,
+    },
+    /// A previously requested wake-up fired.
+    Wake,
+}
+
+/// Commands a job driver returns to the harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobCmd {
+    /// Submit a kernel burst to the container's GPU path.
+    Submit {
+        /// Burst duration.
+        dur: SimDuration,
+        /// Correlation tag (unique per job).
+        tag: u64,
+    },
+    /// Wake the driver at this absolute time.
+    WakeAt(SimTime),
+    /// The job finished all its work.
+    Finished,
+}
+
+/// Runtime state machine for one job.
+#[derive(Debug)]
+pub struct JobDriver {
+    kind: JobKind,
+    rng: SimRng,
+    issued: u32,
+    completed: u32,
+    /// Inference: requests that arrived while a burst was pending are
+    /// submitted immediately (the device queue handles them), so no local
+    /// backlog is needed; this counts arrivals so far.
+    arrivals: u32,
+    started: bool,
+}
+
+impl JobDriver {
+    /// Creates a driver with its own RNG stream.
+    pub fn new(kind: JobKind, rng: SimRng) -> Self {
+        JobDriver {
+            kind,
+            rng,
+            issued: 0,
+            completed: 0,
+            arrivals: 0,
+            started: false,
+        }
+    }
+
+    /// The job's static description.
+    pub fn kind(&self) -> &JobKind {
+        &self.kind
+    }
+
+    /// Bursts completed so far.
+    pub fn completed(&self) -> u32 {
+        self.completed
+    }
+
+    /// True when all work is done.
+    pub fn is_done(&self) -> bool {
+        match &self.kind {
+            JobKind::Training { steps, .. } => self.completed >= *steps,
+            JobKind::Inference { total_requests, .. } => self.completed >= *total_requests,
+        }
+    }
+
+    /// Feeds one input; returns the commands to execute.
+    pub fn step(&mut self, now: SimTime, input: JobInput) -> Vec<JobCmd> {
+        match input {
+            JobInput::Start => {
+                assert!(!self.started, "job started twice");
+                self.started = true;
+                match self.kind.clone() {
+                    JobKind::Training { kernel, .. } => {
+                        self.issued += 1;
+                        vec![JobCmd::Submit {
+                            dur: kernel,
+                            tag: self.issued as u64,
+                        }]
+                    }
+                    JobKind::Inference { rate, .. } => {
+                        vec![JobCmd::WakeAt(self.next_arrival(now, rate))]
+                    }
+                }
+            }
+            JobInput::BurstDone { tag: _ } => {
+                self.completed += 1;
+                if self.is_done() {
+                    return vec![JobCmd::Finished];
+                }
+                match self.kind.clone() {
+                    JobKind::Training {
+                        steps,
+                        kernel,
+                        duty,
+                    } => {
+                        if self.issued >= steps {
+                            return Vec::new();
+                        }
+                        self.issued += 1;
+                        let tag = self.issued as u64;
+                        if duty >= 1.0 {
+                            vec![JobCmd::Submit { dur: kernel, tag }]
+                        } else {
+                            // Think time so standalone duty equals `duty`:
+                            // gap = kernel * (1 - duty) / duty.
+                            let gap = kernel.mul_f64((1.0 - duty) / duty);
+                            vec![JobCmd::WakeAt(now + gap)]
+                        }
+                    }
+                    JobKind::Inference { .. } => Vec::new(),
+                }
+            }
+            JobInput::Wake => match self.kind.clone() {
+                JobKind::Training { kernel, .. } => {
+                    // Think time over: issue the next step.
+                    vec![JobCmd::Submit {
+                        dur: kernel,
+                        tag: self.issued as u64,
+                    }]
+                }
+                JobKind::Inference {
+                    rate,
+                    kernel,
+                    total_requests,
+                } => {
+                    // A client request arrives now.
+                    let mut cmds = Vec::new();
+                    if self.arrivals < total_requests {
+                        self.arrivals += 1;
+                        self.issued += 1;
+                        cmds.push(JobCmd::Submit {
+                            dur: kernel,
+                            tag: self.issued as u64,
+                        });
+                    }
+                    if self.arrivals < total_requests {
+                        cmds.push(JobCmd::WakeAt(self.next_arrival(now, rate)));
+                    }
+                    cmds
+                }
+            },
+        }
+    }
+
+    fn next_arrival(&mut self, now: SimTime, rate: f64) -> SimTime {
+        let mean = SimDuration::from_secs_f64(1.0 / rate);
+        now + self
+            .rng
+            .exp_interarrival(mean)
+            .max(SimDuration::from_micros(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> SimRng {
+        SimRng::seed_from_u64(1)
+    }
+
+    #[test]
+    fn duty_of_inference_is_rate_times_service() {
+        let k = JobKind::Inference {
+            rate: 20.0,
+            kernel: SimDuration::from_millis(10),
+            total_requests: 100,
+        };
+        assert!((k.duty() - 0.2).abs() < 1e-12);
+        assert_eq!(k.total_work(), SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn duty_saturates_at_one() {
+        let k = JobKind::Inference {
+            rate: 500.0,
+            kernel: SimDuration::from_millis(10),
+            total_requests: 1,
+        };
+        assert_eq!(k.duty(), 1.0);
+    }
+
+    #[test]
+    fn training_driver_issues_back_to_back() {
+        let kind = JobKind::Training {
+            steps: 3,
+            kernel: SimDuration::from_millis(50),
+            duty: 1.0,
+        };
+        let mut d = JobDriver::new(kind, rng());
+        let t0 = SimTime::ZERO;
+        let cmds = d.step(t0, JobInput::Start);
+        assert!(matches!(cmds.as_slice(), [JobCmd::Submit { .. }]));
+        let cmds = d.step(SimTime::from_millis(50), JobInput::BurstDone { tag: 1 });
+        assert!(matches!(cmds.as_slice(), [JobCmd::Submit { .. }]));
+        d.step(SimTime::from_millis(100), JobInput::BurstDone { tag: 2 });
+        let cmds = d.step(SimTime::from_millis(150), JobInput::BurstDone { tag: 3 });
+        assert_eq!(cmds, vec![JobCmd::Finished]);
+        assert!(d.is_done());
+    }
+
+    #[test]
+    fn training_with_duty_inserts_think_time() {
+        let kind = JobKind::Training {
+            steps: 2,
+            kernel: SimDuration::from_millis(30),
+            duty: 0.3,
+        };
+        let mut d = JobDriver::new(kind, rng());
+        d.step(SimTime::ZERO, JobInput::Start);
+        let cmds = d.step(SimTime::from_millis(30), JobInput::BurstDone { tag: 1 });
+        // gap = 30ms * 0.7/0.3 = 70ms → wake at 100ms.
+        assert_eq!(cmds, vec![JobCmd::WakeAt(SimTime::from_millis(100))]);
+        let cmds = d.step(SimTime::from_millis(100), JobInput::Wake);
+        assert!(matches!(cmds.as_slice(), [JobCmd::Submit { .. }]));
+    }
+
+    #[test]
+    fn standalone_runtime_accounts_for_duty() {
+        let kind = JobKind::Training {
+            steps: 10,
+            kernel: SimDuration::from_millis(100),
+            duty: 0.5,
+        };
+        assert_eq!(kind.standalone_runtime(), SimDuration::from_secs(2));
+    }
+
+    #[test]
+    fn inference_driver_serves_all_requests() {
+        let kind = JobKind::Inference {
+            rate: 100.0,
+            kernel: SimDuration::from_millis(5),
+            total_requests: 5,
+        };
+        let mut d = JobDriver::new(kind, rng());
+        let mut now = SimTime::ZERO;
+        let mut pending_wakes: Vec<SimTime> = Vec::new();
+        let mut inflight = 0u32;
+        let mut cmds = d.step(now, JobInput::Start);
+        let mut finished = false;
+        let mut guard = 0;
+        while !finished {
+            guard += 1;
+            assert!(guard < 1000, "livelock");
+            for c in cmds.drain(..) {
+                match c {
+                    JobCmd::Submit { .. } => inflight += 1,
+                    JobCmd::WakeAt(at) => pending_wakes.push(at),
+                    JobCmd::Finished => finished = true,
+                }
+            }
+            if finished {
+                break;
+            }
+            // Prefer wakes (arrivals), then completions.
+            if let Some(at) = pending_wakes.pop() {
+                now = now.max(at);
+                cmds = d.step(now, JobInput::Wake);
+            } else if inflight > 0 {
+                inflight -= 1;
+                now += SimDuration::from_millis(5);
+                cmds = d.step(now, JobInput::BurstDone { tag: 0 });
+            } else {
+                panic!("stuck: no wakes, no inflight, not finished");
+            }
+        }
+        assert_eq!(d.completed(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "started twice")]
+    fn double_start_panics() {
+        let kind = JobKind::Training {
+            steps: 1,
+            kernel: SimDuration::from_millis(1),
+            duty: 1.0,
+        };
+        let mut d = JobDriver::new(kind, rng());
+        d.step(SimTime::ZERO, JobInput::Start);
+        d.step(SimTime::ZERO, JobInput::Start);
+    }
+}

@@ -1,0 +1,21 @@
+//! `ks-workloads` — deep-learning workload models for the KubeShare
+//! reproduction (paper §5.1, Table 3).
+//!
+//! * [`job`] — TensorFlow-style training and TF-Serving-style inference as
+//!   passive burst-generating state machines;
+//! * [`presets`] — the paper's concrete jobs: Fig. 6's A/B/C, §5.5's
+//!   interference jobs A/B, Fig. 5's TF-Serving sweep;
+//! * [`generator`] — Poisson-arrival, normal-demand workloads for the
+//!   Fig. 8/9 throughput experiments.
+
+#![warn(missing_docs)]
+
+pub mod generator;
+pub mod job;
+pub mod presets;
+pub mod trace;
+
+pub use generator::{generate, GeneratedJob, JobSizing, WorkloadParams};
+pub use job::{JobCmd, JobDriver, JobInput, JobKind};
+pub use presets::JobPreset;
+pub use trace::{Trace, TraceError, TraceJob};

@@ -1,0 +1,221 @@
+//! Workload traces: persist a generated workload as JSON and replay it.
+//!
+//! The paper averages each Fig. 8 point over five runs of randomly
+//! generated workloads. For a reproduction, the generated workloads
+//! themselves are artifacts worth pinning: a [`Trace`] freezes the exact
+//! job set (arrival times, demands, request counts) so an experiment can
+//! be rerun byte-for-byte on another machine or against a modified
+//! scheduler — without relying on RNG implementation stability.
+
+use ks_sim_core::time::SimTime;
+use ks_vgpu::ShareSpec;
+use serde::{Deserialize, Serialize};
+
+use crate::generator::{generate, GeneratedJob, WorkloadParams};
+use crate::job::JobKind;
+
+/// One frozen job.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceJob {
+    /// Index in arrival order.
+    pub index: u32,
+    /// Arrival time (µs since experiment start).
+    pub arrival_us: u64,
+    /// GPU demand the generator drew.
+    pub demand: f64,
+    /// Job behaviour.
+    pub kind: JobKind,
+    /// SharePod resource spec.
+    pub share: ShareSpec,
+}
+
+/// A frozen workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    /// Schema version for forward compatibility.
+    pub version: u32,
+    /// Free-form description.
+    pub description: String,
+    /// The jobs, in arrival order.
+    pub jobs: Vec<TraceJob>,
+}
+
+impl Trace {
+    /// Current schema version.
+    pub const VERSION: u32 = 1;
+
+    /// Freezes a generated workload.
+    pub fn from_generated(description: impl Into<String>, jobs: &[GeneratedJob]) -> Self {
+        Trace {
+            version: Self::VERSION,
+            description: description.into(),
+            jobs: jobs
+                .iter()
+                .map(|j| TraceJob {
+                    index: j.index,
+                    arrival_us: j.arrival.as_micros(),
+                    demand: j.demand,
+                    kind: j.kind.clone(),
+                    share: j.share,
+                })
+                .collect(),
+        }
+    }
+
+    /// Generates and freezes in one step.
+    pub fn generate(description: impl Into<String>, params: &WorkloadParams) -> Self {
+        Self::from_generated(description, &generate(params))
+    }
+
+    /// Thaws back into the generator's output shape.
+    pub fn to_generated(&self) -> Vec<GeneratedJob> {
+        self.jobs
+            .iter()
+            .map(|j| GeneratedJob {
+                index: j.index,
+                arrival: SimTime::from_micros(j.arrival_us),
+                demand: j.demand,
+                kind: j.kind.clone(),
+                share: j.share,
+            })
+            .collect()
+    }
+
+    /// Serializes to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("trace serializes")
+    }
+
+    /// Parses a trace, validating the schema version and job invariants.
+    pub fn from_json(json: &str) -> Result<Self, TraceError> {
+        let t: Trace = serde_json::from_str(json).map_err(|e| TraceError::Parse(e.to_string()))?;
+        if t.version != Self::VERSION {
+            return Err(TraceError::Version {
+                found: t.version,
+                expected: Self::VERSION,
+            });
+        }
+        let mut last = 0u64;
+        for j in &t.jobs {
+            if j.arrival_us < last {
+                return Err(TraceError::UnorderedArrivals { index: j.index });
+            }
+            last = j.arrival_us;
+            j.share.validate().map_err(|e| TraceError::InvalidShare {
+                index: j.index,
+                reason: e.to_string(),
+            })?;
+        }
+        Ok(t)
+    }
+}
+
+/// Trace parsing/validation errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    /// Malformed JSON.
+    Parse(String),
+    /// Unknown schema version.
+    Version {
+        /// Version found in the file.
+        found: u32,
+        /// Version this build understands.
+        expected: u32,
+    },
+    /// Arrival times must be non-decreasing.
+    UnorderedArrivals {
+        /// Offending job index.
+        index: u32,
+    },
+    /// A job's share spec fails validation.
+    InvalidShare {
+        /// Offending job index.
+        index: u32,
+        /// Validation message.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::Parse(e) => write!(f, "malformed trace: {e}"),
+            TraceError::Version { found, expected } => {
+                write!(f, "trace version {found}, this build reads {expected}")
+            }
+            TraceError::UnorderedArrivals { index } => {
+                write!(f, "job {index} arrives before its predecessor")
+            }
+            TraceError::InvalidShare { index, reason } => {
+                write!(f, "job {index} has an invalid share spec: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Trace {
+        Trace::generate("fig8 factor 6", &WorkloadParams::default())
+    }
+
+    #[test]
+    fn json_round_trip_is_lossless() {
+        let t = sample();
+        let json = t.to_json();
+        let back = Trace::from_json(&json).unwrap();
+        assert_eq!(back, t);
+        // And the thawed jobs match the original generator output.
+        let regenerated = generate(&WorkloadParams::default());
+        let thawed = back.to_generated();
+        assert_eq!(thawed.len(), regenerated.len());
+        for (a, b) in thawed.iter().zip(&regenerated) {
+            assert_eq!(a.arrival, b.arrival);
+            assert_eq!(a.demand.to_bits(), b.demand.to_bits());
+            assert_eq!(a.kind, b.kind);
+        }
+    }
+
+    #[test]
+    fn version_mismatch_rejected() {
+        let mut t = sample();
+        t.version = 99;
+        let err = Trace::from_json(&t.to_json()).unwrap_err();
+        assert_eq!(
+            err,
+            TraceError::Version {
+                found: 99,
+                expected: 1
+            }
+        );
+    }
+
+    #[test]
+    fn unordered_arrivals_rejected() {
+        let mut t = sample();
+        t.jobs[1].arrival_us = 0;
+        t.jobs[0].arrival_us = 1_000_000;
+        let err = Trace::from_json(&t.to_json()).unwrap_err();
+        assert!(matches!(err, TraceError::UnorderedArrivals { .. }));
+    }
+
+    #[test]
+    fn invalid_share_rejected() {
+        let mut t = sample();
+        t.jobs[0].share.request = 0.0;
+        let err = Trace::from_json(&t.to_json()).unwrap_err();
+        assert!(matches!(err, TraceError::InvalidShare { index: 0, .. }));
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        assert!(matches!(
+            Trace::from_json("not json"),
+            Err(TraceError::Parse(_))
+        ));
+    }
+}

@@ -1,0 +1,71 @@
+//! The token protocol on real OS threads (no simulation).
+//!
+//! ```text
+//! cargo run --release --example realtime_tokens
+//! ```
+//!
+//! Three "containers" run in their own threads and contend for one GPU
+//! through the realtime backend: each thread blocks in `acquire()` exactly
+//! as the paper's LD_PRELOAD frontend blocks intercepted CUDA calls, runs
+//! "kernels" while its lease is valid, and re-acquires when the quota
+//! expires. Afterwards we print each container's measured usage share.
+
+use std::thread;
+use std::time::{Duration, Instant};
+
+use kubeshare_repro::vgpu::realtime::{RtBackend, RtConfig};
+use kubeshare_repro::vgpu::ShareSpec;
+
+fn main() {
+    let backend = RtBackend::new(RtConfig {
+        quota: Duration::from_millis(20),
+        window: Duration::from_millis(800),
+        memory_bytes: 16 << 30,
+    });
+
+    // gpu_request / gpu_limit per container.
+    let specs = [(0.5, 0.6), (0.3, 0.4), (0.2, 0.3)];
+    let run_for = Duration::from_millis(900);
+    let start = Instant::now();
+
+    let mut handles = Vec::new();
+    for (i, &(request, limit)) in specs.iter().enumerate() {
+        let fe = backend.register(ShareSpec::new(request, limit, 0.3).unwrap());
+        handles.push(thread::spawn(move || {
+            let mut held = Duration::ZERO;
+            while start.elapsed() < run_for {
+                let lease = fe.acquire();
+                let t0 = Instant::now();
+                // "Launch kernels" until the quota runs out.
+                while !lease.expired() && start.elapsed() < run_for {
+                    thread::sleep(Duration::from_millis(2));
+                }
+                held += t0.elapsed();
+                drop(lease); // voluntary release / expiry return
+            }
+            (i, request, limit, held, fe.usage())
+        }));
+    }
+
+    println!("== realtime token backend: 3 threads, 20ms quota ==\n");
+    println!(
+        "{:<10}{:>10}{:>8}{:>14}{:>16}",
+        "container", "request", "limit", "held (ms)", "window usage"
+    );
+    let mut results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    results.sort_by_key(|r| r.0);
+    for (i, request, limit, held, usage) in results {
+        println!(
+            "{:<10}{:>10.2}{:>8.2}{:>14.0}{:>16.2}",
+            format!("c{i}"),
+            request,
+            limit,
+            held.as_secs_f64() * 1e3,
+            usage
+        );
+    }
+    println!(
+        "\ntotal grants: {} (the token really did circulate between threads)",
+        backend.grant_count()
+    );
+}

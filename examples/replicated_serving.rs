@@ -1,0 +1,125 @@
+//! Scenario: a replicated model-serving deployment on shared GPUs.
+//!
+//! ```text
+//! cargo run --release --example replicated_serving
+//! ```
+//!
+//! The paper's §4.6 compatibility claim in action: a standard-style
+//! replication controller manages **sharePods** instead of native pods.
+//! Four quarter-GPU replicas of a serving deployment come up on a single
+//! physical GPU; when one replica crashes, the control loop replaces it;
+//! scaling to six replicas spills onto a second GPU automatically.
+
+use kubeshare_repro::bench::harness::cluster_config;
+use kubeshare_repro::cluster::api::{PodSpec, ResourceList};
+use kubeshare_repro::kubeshare::replicaset::{ReplicaSetController, ReplicaSetSpec};
+use kubeshare_repro::kubeshare::sharepod::{SharePodPhase, SharePodSpec};
+use kubeshare_repro::kubeshare::system::{KsConfig, KsEvent, KubeShareSystem};
+use kubeshare_repro::sim_core::prelude::*;
+use kubeshare_repro::vgpu::ShareSpec;
+
+struct World {
+    ks: KubeShareSystem,
+    rc: ReplicaSetController,
+}
+
+struct Ev(KsEvent);
+
+impl SimEvent<World> for Ev {
+    fn fire(self, now: SimTime, w: &mut World, q: &mut EventQueue<Self>) {
+        let mut out = Vec::new();
+        let mut notes = Vec::new();
+        w.ks.handle(now, self.0, &mut out, &mut notes);
+        for n in &notes {
+            w.rc.observe(now, n, &mut w.ks, &mut out);
+        }
+        for (at, e) in out {
+            q.schedule_at(at, Ev(e));
+        }
+    }
+}
+
+fn status_line(w: &World, label: &str) {
+    let running =
+        w.ks.sharepods()
+            .iter()
+            .filter(|(_, sp)| sp.status.phase == SharePodPhase::Running)
+            .count();
+    println!(
+        "{label:<34} running replicas: {running}   vGPUs held: {}",
+        w.ks.pool().len()
+    );
+}
+
+fn main() {
+    let cfg = cluster_config(1, 2); // one node, two GPUs
+    let mut eng = Engine::new(World {
+        ks: KubeShareSystem::new(cfg, KsConfig::default()),
+        rc: ReplicaSetController::new(),
+    });
+
+    println!("== Replicated serving over sharePods (§4.6 compatibility) ==\n");
+    let template = SharePodSpec::new(
+        PodSpec::new("deeplab-serving:v3", ResourceList::cpu_mem(500, 2 << 30)),
+        ShareSpec::new(0.25, 0.5, 0.25).unwrap(),
+    );
+    let mut out = Vec::new();
+    let id = eng.world.rc.create(
+        SimTime::ZERO,
+        ReplicaSetSpec {
+            name: "deeplab".into(),
+            replicas: 4,
+            template,
+        },
+        &mut eng.world.ks,
+        &mut out,
+    );
+    for (at, e) in out {
+        eng.queue.schedule_at(at, Ev(e));
+    }
+    eng.run_to_completion(1_000_000);
+    status_line(&eng.world, "4 replicas requested:");
+
+    // A replica "crashes" (we delete it behind the controller's back).
+    let victim = eng
+        .world
+        .ks
+        .sharepods()
+        .iter()
+        .find(|(_, sp)| sp.status.phase == SharePodPhase::Running)
+        .map(|(u, _)| u)
+        .unwrap();
+    let now = eng.now();
+    let mut out = Vec::new();
+    let mut notes = Vec::new();
+    eng.world
+        .ks
+        .delete_sharepod(now, victim, &mut out, &mut notes);
+    for n in &notes {
+        eng.world.rc.observe(now, n, &mut eng.world.ks, &mut out);
+    }
+    for (at, e) in out {
+        eng.queue.schedule_at(at, Ev(e));
+    }
+    eng.run_to_completion(1_000_000);
+    status_line(&eng.world, "after one replica crashed:");
+
+    // Scale to 6: 6 × 0.25 = 1.5 GPUs → a second physical GPU is acquired.
+    let now = eng.now();
+    let mut out = Vec::new();
+    let mut notes = Vec::new();
+    eng.world
+        .rc
+        .scale(now, id, 6, &mut eng.world.ks, &mut out, &mut notes);
+    for (at, e) in out {
+        eng.queue.schedule_at(at, Ev(e));
+    }
+    eng.run_to_completion(1_000_000);
+    status_line(&eng.world, "after scaling to 6 replicas:");
+
+    println!(
+        "\nThe controller only ever used the public sharePod API — exactly the\n\
+         paper's claim that higher-level controllers integrate by requesting\n\
+         a sharePod instead of a native pod."
+    );
+}

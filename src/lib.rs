@@ -1,0 +1,22 @@
+//! Umbrella crate for the KubeShare (HPDC '20) reproduction.
+//!
+//! Re-exports the workspace crates so examples and integration tests can
+//! use a single dependency. See the individual crates for the real APIs:
+//!
+//! * [`ks_sim_core`] — discrete-event simulation engine
+//! * [`ks_gpu`] — simulated GPU devices and CUDA-like API
+//! * [`ks_cluster`] — Kubernetes control-plane substrate
+//! * [`ks_vgpu`] — token-based vGPU device library
+//! * [`kubeshare`] — the paper's contribution (SharePod, Algorithm 1, DevMgr)
+//! * [`ks_workloads`] — deep-learning job models and workload generators
+//! * [`ks_baselines`] — native Kubernetes and scaling-factor baselines
+//! * [`ks_bench`] — per-figure experiment harnesses
+
+pub use ks_baselines as baselines;
+pub use ks_bench as bench;
+pub use ks_cluster as cluster;
+pub use ks_gpu as gpu;
+pub use ks_sim_core as sim_core;
+pub use ks_vgpu as vgpu;
+pub use ks_workloads as workloads;
+pub use kubeshare;

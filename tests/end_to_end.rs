@@ -1,0 +1,187 @@
+//! Cross-crate integration: the full KubeShare stack from SharePodSpec to
+//! kernels on a simulated device, and co-existence with native pods.
+
+use kubeshare_repro::bench::harness::cluster_config;
+use kubeshare_repro::bench::harness::jobs::JobSpec;
+use kubeshare_repro::bench::harness::ks_world::KsHarness;
+use kubeshare_repro::cluster::api::{PodSpec, ResourceList, NVIDIA_GPU};
+use kubeshare_repro::kubeshare::locality::Locality;
+use kubeshare_repro::kubeshare::sharepod::SharePodPhase;
+use kubeshare_repro::kubeshare::system::KsConfig;
+use kubeshare_repro::sim_core::prelude::*;
+use kubeshare_repro::vgpu::{ShareSpec, VgpuConfig};
+use kubeshare_repro::workloads::job::JobKind;
+
+fn train(name: &str, arrival_s: u64, request: f64, steps: u32) -> JobSpec {
+    JobSpec {
+        name: name.into(),
+        kind: JobKind::Training {
+            steps,
+            kernel: SimDuration::from_millis(20),
+            duty: 1.0,
+        },
+        share: ShareSpec::new(request, 1.0, 0.3).unwrap(),
+        locality: Locality::none(),
+        arrival: SimTime::from_secs(arrival_s),
+    }
+}
+
+#[test]
+fn sharepod_lifecycle_and_environment() {
+    let mut h = KsHarness::new(
+        cluster_config(1, 1),
+        KsConfig::default(),
+        VgpuConfig::default(),
+    );
+    h.add_job(train("t", 0, 0.5, 50), SimRng::seed_from_u64(1));
+    assert_eq!(h.run(1_000_000), RunOutcome::Drained);
+
+    let world = &h.eng.world;
+    let job = &world.jobs[0];
+    assert!(job.finished.is_some());
+
+    // The sharePod went through the whole lifecycle and its backing pod
+    // carries the device environment DevMgr injected.
+    let sp_uid = world
+        .ks
+        .sharepods()
+        .iter()
+        .map(|(u, _)| u)
+        .next()
+        .expect("one sharePod");
+    let sp = world.ks.sharepod(sp_uid).unwrap();
+    assert_eq!(sp.status.phase, SharePodPhase::Terminated);
+    let pod_uid = sp.status.pod_uid.expect("backing pod");
+    let pod = world.ks.cluster.pod(pod_uid).expect("pod object retained");
+    let env = &pod.status.injected_env;
+    // DevMgr set the physical UUID explicitly — not the device plugin.
+    assert!(env["NVIDIA_VISIBLE_DEVICES"].starts_with("GPU-"));
+    assert!(env.contains_key("KUBESHARE_GPUID"));
+    assert_eq!(env["KUBESHARE_GPU_REQUEST"], "0.5");
+    assert!(env["LD_PRELOAD"].contains("libgemhook"));
+    // The backing pod itself requested zero GPUs (the anchor holds it).
+    assert_eq!(pod.spec.requests.extended_count(NVIDIA_GPU), 0);
+}
+
+#[test]
+fn three_tenants_meet_their_requests_on_one_gpu() {
+    let mut h = KsHarness::new(
+        cluster_config(1, 1),
+        KsConfig::default(),
+        VgpuConfig::default(),
+    );
+    // Requests sum to 1.0; all three run long enough to overlap fully.
+    h.add_job(train("a", 0, 0.3, 800), SimRng::seed_from_u64(1));
+    h.add_job(train("b", 0, 0.4, 800), SimRng::seed_from_u64(2));
+    h.add_job(train("c", 0, 0.3, 800), SimRng::seed_from_u64(3));
+    assert_eq!(h.run(50_000_000), RunOutcome::Drained);
+    // Everyone bound to the same device and completed.
+    let gpus: Vec<String> = h
+        .eng
+        .world
+        .jobs
+        .iter()
+        .map(|j| j.binding.as_ref().unwrap().0.clone())
+        .collect();
+    assert!(gpus.windows(2).all(|w| w[0] == w[1]));
+    // Total work = 3 × 16 s = 48 s on one GPU; makespan ≈ work + overheads.
+    let makespan = h.summary().makespan.unwrap().as_secs_f64();
+    assert!(
+        (48.0..60.0).contains(&makespan),
+        "work-conserving sharing: {makespan}"
+    );
+}
+
+#[test]
+fn coexistence_native_pods_and_sharepods() {
+    let mut h = KsHarness::new(
+        cluster_config(1, 2),
+        KsConfig::default(),
+        VgpuConfig::default(),
+    );
+    // A native pod takes one GPU the classic way…
+    let now = h.eng.now();
+    let mut out = Vec::new();
+    let native = h.eng.world.ks.submit_native_pod(
+        now,
+        "legacy",
+        PodSpec::new(
+            "cuda:11",
+            ResourceList::cpu_mem(1000, 1 << 30).with_extended(NVIDIA_GPU, 1),
+        ),
+        &mut out,
+    );
+    for (at, ev) in out {
+        h.eng.queue.schedule_at(
+            at,
+            kubeshare_repro::bench::harness::ks_world::KsWorldEvent::Ks(ev),
+        );
+    }
+    // …and two sharePods share the other.
+    h.add_job(train("s1", 0, 0.5, 50), SimRng::seed_from_u64(1));
+    h.add_job(train("s2", 0, 0.5, 50), SimRng::seed_from_u64(2));
+    h.run(10_000_000);
+
+    let native_pod = h.eng.world.ks.cluster.pod(native).unwrap();
+    assert_eq!(
+        native_pod.status.phase,
+        kubeshare_repro::cluster::PodPhase::Running
+    );
+    let native_gpu = native_pod.visible_devices().unwrap().to_string();
+    for j in &h.eng.world.jobs {
+        assert!(j.finished.is_some());
+        assert_ne!(
+            j.binding.as_ref().unwrap().0,
+            native_gpu,
+            "sharePods must not touch the natively allocated GPU"
+        );
+    }
+}
+
+#[test]
+fn queueing_under_scarcity_preserves_all_work() {
+    // 8 whole-GPU-equivalent sharePods on a 2-GPU cluster: they must all
+    // finish eventually via the unschedulable-retry path.
+    let mut h = KsHarness::new(
+        cluster_config(1, 2),
+        KsConfig::default(),
+        VgpuConfig::default(),
+    );
+    for i in 0..8 {
+        h.add_job(
+            train(&format!("q{i}"), 0, 0.8, 100),
+            SimRng::seed_from_u64(i),
+        );
+    }
+    assert_eq!(h.run(100_000_000), RunOutcome::Drained);
+    let s = h.summary();
+    assert_eq!(s.completed, 8);
+    // 0.8+0.8 > 1.0 → one job per GPU at a time → 4 sequential waves.
+    let makespan = s.makespan.unwrap().as_secs_f64();
+    assert!(makespan > 4.0 * 2.0, "serialized waves: {makespan}");
+}
+
+#[test]
+fn deterministic_replay() {
+    let run_once = || {
+        let mut h = KsHarness::new(
+            cluster_config(2, 2),
+            KsConfig::default(),
+            VgpuConfig::default(),
+        );
+        for i in 0..6 {
+            h.add_job(
+                train(&format!("j{i}"), i, 0.4, 120),
+                SimRng::seed_from_u64(100 + i),
+            );
+        }
+        h.run(50_000_000);
+        h.eng
+            .world
+            .jobs
+            .iter()
+            .map(|j| (j.started.unwrap(), j.finished.unwrap()))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(run_once(), run_once(), "same seeds → identical trace");
+}

@@ -1,0 +1,75 @@
+//! Paper §3.1 / Fig. 3: the fragmentation failure mode of device-blind
+//! scheduling, demonstrated both analytically and through the actual
+//! device-plugin machinery.
+
+use kubeshare_repro::baselines::fragmentation::{
+    fig3_demands, place_locality_aware, place_round_robin,
+};
+use kubeshare_repro::cluster::api::Uid;
+use kubeshare_repro::cluster::device_plugin::{
+    DeviceManager, FractionalGpuPlugin, UnitAssignPolicy,
+};
+use kubeshare_repro::gpu::GpuUuid;
+
+#[test]
+fn fig3_round_robin_spreads_while_aware_packs() {
+    let (rr, aware) = (
+        place_round_robin(&fig3_demands(), 4),
+        place_locality_aware(&fig3_demands(), 4),
+    );
+    assert_eq!(rr.active_gpus(), 4, "round robin touches every GPU");
+    assert_eq!(aware.active_gpus(), 2, "aware packs into exactly 2");
+    assert_eq!(aware.overcommitted_gpus(), 0);
+    // Same total load either way.
+    let sum = |r: &kubeshare_repro::baselines::PlacementReport| -> f64 { r.gpu_load.iter().sum() };
+    assert!((sum(&rr) - sum(&aware)).abs() < 1e-9);
+}
+
+/// The same effect through the real kubelet device-manager path: with the
+/// scaling-factor plugin and round-robin unit assignment, two half-GPU
+/// pods land on different devices even though they'd fit on one, and
+/// heavier demand over-commits one device while another idles — all
+/// invisible to the aggregate-counting scheduler.
+#[test]
+fn device_manager_exhibits_fragmentation() {
+    let uuids: Vec<GpuUuid> = (0..2).map(|i| GpuUuid::derive("node", i)).collect();
+    let plugin = FractionalGpuPlugin::new(uuids, 10, "frac/gpu");
+    let mut mgr = DeviceManager::register(Box::new(plugin), UnitAssignPolicy::RoundRobin);
+
+    // Two pods, each wanting 5/10 units (half a GPU).
+    mgr.allocate(Uid(1), 5).unwrap();
+    mgr.allocate(Uid(2), 5).unwrap();
+    let by_dev = mgr.allocation_by_device();
+    // Round-robin interleaves the units across both devices: each pod's
+    // kernels will land on BOTH physical GPUs — worst-case interference —
+    // even though a locality-aware binder would have used one GPU per pod
+    // or packed both onto one.
+    assert_eq!(by_dev.len(), 2);
+    let loads: Vec<u64> = by_dev.values().copied().collect();
+    assert_eq!(loads, vec![5, 5]);
+    assert!(
+        mgr.devices_of_pod(Uid(1)).len() > 1,
+        "pod 1's units straddle devices: {:?}",
+        mgr.devices_of_pod(Uid(1))
+    );
+}
+
+/// Aggregate-count blindness: the free count says "5 units" but no single
+/// device has 5 contiguous units — a pod that needs one GPU's worth of
+/// locality can still be admitted and then splinters.
+#[test]
+fn aggregate_count_hides_per_device_shape() {
+    let uuids: Vec<GpuUuid> = (0..2).map(|i| GpuUuid::derive("node", i)).collect();
+    let plugin = FractionalGpuPlugin::new(uuids, 4, "frac/gpu");
+    let mut mgr = DeviceManager::register(Box::new(plugin), UnitAssignPolicy::Sequential);
+    // Consume 3 of 4 units on device 0 and 0 on device 1 via two pods.
+    mgr.allocate(Uid(1), 3).unwrap();
+    assert_eq!(mgr.free_count(), 5);
+    // A "5-unit" request is admissible by count, but must straddle devices.
+    mgr.allocate(Uid(2), 5).unwrap();
+    assert_eq!(
+        mgr.devices_of_pod(Uid(2)).len(),
+        2,
+        "no single device could hold it"
+    );
+}

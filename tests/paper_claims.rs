@@ -1,0 +1,60 @@
+//! The abstract's headline claims, asserted end-to-end:
+//!
+//! "KubeShare can significantly increase GPU utilization and overall
+//! system throughput around 2x with less than 10% performance overhead
+//! during container initialization and execution."
+
+use kubeshare_repro::bench::fig10;
+use kubeshare_repro::bench::fig7;
+use kubeshare_repro::bench::fig8::{self, Fig8Config};
+
+/// "...overall system throughput around 2x..."
+#[test]
+fn throughput_claim_around_2x() {
+    let cfg = Fig8Config {
+        jobs: 150,
+        runs: 1,
+        ..Fig8Config::default()
+    };
+    let heavy = fig8::sweep_frequency(&cfg, &[9.0]).remove(0);
+    assert!(
+        heavy.speedup() >= 1.8,
+        "headline speedup under heavy load: {:.2}x ({:.1} vs {:.1} jobs/min)",
+        heavy.speedup(),
+        heavy.kubeshare,
+        heavy.kubernetes
+    );
+}
+
+/// "...less than 10% performance overhead during execution" — the device
+/// library costs under 5% even at the tightest quota the paper tests.
+#[test]
+fn execution_overhead_claim_under_10_percent() {
+    for p in fig7::run(&[30, 100], 42) {
+        assert!(
+            p.normalized_throughput > 0.90,
+            "quota {} ms: normalized throughput {}",
+            p.quota_ms,
+            p.normalized_throughput
+        );
+    }
+}
+
+/// "...less than 10% performance overhead during container initialization"
+/// — strictly, the paper measures ≈15% without vGPU creation and argues it
+/// is negligible for long jobs; we assert the same ≈15% band and that the
+/// absolute cost is a fraction of a second.
+#[test]
+fn initialization_overhead_claim() {
+    let p = fig10::run(&[1]).remove(0);
+    let relative = p.kubeshare_reuse / p.kubernetes - 1.0;
+    assert!(
+        (0.10..0.20).contains(&relative),
+        "initialization overhead {relative:.3} outside the paper's ≈15% band"
+    );
+    assert!(
+        p.kubeshare_reuse - p.kubernetes < 0.5,
+        "absolute overhead must be sub-second: {}s",
+        p.kubeshare_reuse - p.kubernetes
+    );
+}
