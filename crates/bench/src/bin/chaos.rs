@@ -1,0 +1,23 @@
+//! Chaos soak: deterministic fault injection against the full control plane
+//! and the token protocol. Every acceptance bound is asserted inside
+//! `ks_bench::chaos::run`, so a nonzero exit means a robustness regression.
+//!
+//! Usage: `chaos [--seed N]` (default seed 7).
+
+fn main() {
+    let mut seed = 7u64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seed" => {
+                seed = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--seed takes an integer");
+            }
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+    let report = ks_bench::chaos::run(seed);
+    println!("{}", ks_bench::chaos::report(&report).render());
+}

@@ -1,0 +1,563 @@
+//! Chaos soak: throughput under churn, recovery time, and token-lease
+//! reclamation, driven by the deterministic fault injector in `ks-chaos`.
+//!
+//! Two phases:
+//!
+//! 1. **Control-plane churn** — a 4-node × 2-GPU cluster runs 12 long-lived
+//!    sharePods while the injector crashes/recovers nodes, kills backing
+//!    containers and fails anchor launches. Measured: the steady running
+//!    count (the throughput proxy for a saturated long-running service
+//!    fleet), the time to re-attain ≥ 90 % of it after each node failure,
+//!    leaked vGPUs at quiescence, and bit-identical replay under the same
+//!    seed.
+//! 2. **Token churn** — the dead-holder reclamation bound on the token
+//!    backend (must be ≤ quota + handoff) and a `SharedGpu` workload that
+//!    loses its backend daemon repeatedly (no burst may be lost).
+//!
+//! Every acceptance bound is asserted in [`run`] itself so the CI soak
+//! step fails loudly.
+
+use ks_chaos::{ChaosConfig, ChaosEvent, ChaosInjector, FaultRecord};
+use ks_cluster::api::pod::PodSpec;
+use ks_cluster::api::ResourceList;
+use ks_gpu::device::{GpuDevice, GpuSpec};
+use ks_sim_core::prelude::*;
+use ks_vgpu::{
+    IsolationMode, ShareSpec, SharedGpu, TokenBackend, VgpuConfig, VgpuEvent, VgpuNotice,
+};
+use kubeshare::sharepod::{SharePodPhase, SharePodSpec};
+use kubeshare::system::{KsConfig, KsEmit, KsEvent, RestartPolicy};
+use kubeshare::KubeShareSystem;
+
+use crate::report::{f1, f3, Table};
+
+const NODES: usize = 4;
+const GPUS_PER_NODE: u32 = 2;
+const PODS: usize = 12;
+/// No fault fires past this point; the tail of the run measures recovery.
+const FAULT_HORIZON_SECS: u64 = 300;
+const RUN_SECS: u64 = 360;
+
+/// Everything the soak measures (and asserts).
+#[derive(Debug, Clone)]
+pub struct ChaosReport {
+    /// Injector seed.
+    pub seed: u64,
+    /// Fault-free steady running count (the throughput baseline).
+    pub baseline_running: usize,
+    /// Node-crash events injected.
+    pub node_failures: usize,
+    /// Container-crash events injected (with a live victim).
+    pub container_crashes: usize,
+    /// Seconds to re-attain ≥ 90 % of baseline after each node failure.
+    pub recoveries: Vec<f64>,
+    /// vGPUs still bound to a dead node at quiescence (must be 0).
+    pub leaked_vgpus: usize,
+    /// Running sharePods at final quiescence.
+    pub final_running: usize,
+    /// Same seed ⇒ same fault trace and same sampled series.
+    pub replay_identical: bool,
+    /// Measured dead-holder reclamation latency (ms).
+    pub reclamation_ms: f64,
+    /// The bound: token quota + handoff (ms).
+    pub reclamation_bound_ms: f64,
+    /// Bursts lost across repeated backend restarts (must be 0).
+    pub restart_lost_bursts: usize,
+}
+
+// ---------------------------------------------------------------------------
+// Phase 1: control-plane churn
+// ---------------------------------------------------------------------------
+
+struct World {
+    ks: KubeShareSystem,
+    /// (time, running sharePods) sampled once per simulated second.
+    samples: Vec<(SimTime, usize)>,
+    /// Applied fault events, in firing order.
+    fault_log: Vec<(SimTime, ChaosEvent)>,
+}
+
+enum Ev {
+    Ks(KsEvent),
+    Chaos(ChaosEvent),
+    Sample,
+}
+
+impl World {
+    fn running(&self) -> usize {
+        self.ks
+            .sharepods()
+            .iter()
+            .filter(|(_, sp)| sp.status.phase == SharePodPhase::Running)
+            .count()
+    }
+
+    fn apply_chaos(&mut self, now: SimTime, ev: ChaosEvent, out: &mut KsEmit) {
+        let mut notes = Vec::new();
+        match ev {
+            ChaosEvent::NodeCrash { node } => {
+                self.fault_log.push((now, ev));
+                self.ks
+                    .fail_node(now, &format!("node-{node}"), out, &mut notes);
+            }
+            ChaosEvent::NodeRecover { node } => {
+                self.fault_log.push((now, ev));
+                self.ks.recover_node(now, &format!("node-{node}"), out);
+            }
+            ChaosEvent::ContainerCrash => {
+                let pods = self.ks.running_backing_pods();
+                let victim = self
+                    .ks
+                    .chaos_mut()
+                    .and_then(|inj| inj.pick_victim(pods.len()))
+                    .map(|i| pods[i]);
+                if let Some(pod) = victim {
+                    self.fault_log.push((now, ev));
+                    self.ks.crash_pod(now, pod, "chaos", out, &mut notes);
+                }
+            }
+            ChaosEvent::BackendRestart => {
+                // Token-level churn is exercised in phase 2; at the control
+                // plane a backend restart is invisible (no pod dies).
+            }
+        }
+    }
+}
+
+impl SimEvent<World> for Ev {
+    fn fire(self, now: SimTime, w: &mut World, q: &mut EventQueue<Self>) {
+        let mut out = Vec::new();
+        match self {
+            Ev::Ks(ev) => {
+                let mut notes = Vec::new();
+                w.ks.handle(now, ev, &mut out, &mut notes);
+            }
+            Ev::Chaos(ev) => {
+                w.apply_chaos(now, ev, &mut out);
+                if let Some(inj) = w.ks.chaos_mut() {
+                    if let Some((at, next)) = inj.next_after(now, ev) {
+                        q.schedule_at(at, Ev::Chaos(next));
+                    }
+                }
+            }
+            Ev::Sample => {
+                w.samples.push((now, w.running()));
+                if now < SimTime::from_secs(RUN_SECS) {
+                    q.schedule_at(now + SimDuration::from_secs(1), Ev::Sample);
+                }
+            }
+        }
+        for (at, e) in out {
+            q.schedule_at(at, Ev::Ks(e));
+        }
+    }
+}
+
+fn sp_spec() -> SharePodSpec {
+    SharePodSpec::new(
+        PodSpec::new("serve:1", ResourceList::cpu_mem(1000, 1 << 30)),
+        ShareSpec::new(0.2, 1.0, 0.2).unwrap(),
+    )
+}
+
+struct ChurnOutcome {
+    samples: Vec<(SimTime, usize)>,
+    fault_log: Vec<(SimTime, ChaosEvent)>,
+    trace: Vec<FaultRecord>,
+    leaked: usize,
+    final_running: usize,
+}
+
+/// Runs the long-running-service workload under the given fault config.
+fn churn_run(chaos: Option<ChaosConfig>) -> ChurnOutcome {
+    let mut ks = KubeShareSystem::new(
+        crate::harness::cluster_config(NODES, GPUS_PER_NODE),
+        KsConfig {
+            // Long-running services: a crashed container is rescheduled,
+            // not failed permanently.
+            restart_policy: RestartPolicy::OnFailure,
+            ..KsConfig::default()
+        },
+    );
+    let mut initial = Vec::new();
+    if let Some(cfg) = chaos {
+        let mut inj = ChaosInjector::new(cfg, NODES);
+        initial = inj.initial_events();
+        ks.set_chaos(inj);
+    }
+    let mut eng: Engine<World, Ev> = Engine::new(World {
+        ks,
+        samples: Vec::new(),
+        fault_log: Vec::new(),
+    });
+    let mut out = Vec::new();
+    for i in 0..PODS {
+        eng.world
+            .ks
+            .submit_sharepod(SimTime::ZERO, format!("svc-{i}"), sp_spec(), &mut out);
+    }
+    for (at, e) in out {
+        eng.queue.schedule_at(at, Ev::Ks(e));
+    }
+    for (at, e) in initial {
+        eng.queue.schedule_at(at, Ev::Chaos(e));
+    }
+    eng.queue.schedule_at(SimTime::from_secs(1), Ev::Sample);
+    eng.run_to_completion(100_000_000);
+
+    // Force any node still down at the horizon back up, then drain: the
+    // fleet must converge and nothing may leak.
+    let now = eng.now() + SimDuration::from_secs(1);
+    let mut out = Vec::new();
+    for node in 0..NODES {
+        eng.world
+            .ks
+            .recover_node(now, &format!("node-{node}"), &mut out);
+    }
+    for (at, e) in out {
+        eng.queue.schedule_at(at, Ev::Ks(e));
+    }
+    eng.run_to_completion(100_000_000);
+
+    let down: Vec<String> = (0..NODES)
+        .map(|n| format!("node-{n}"))
+        .filter(|n| eng.world.ks.cluster.node_up(n) == Some(false))
+        .collect();
+    let leaked = eng
+        .world
+        .ks
+        .pool()
+        .devices()
+        .filter(|d| {
+            d.node
+                .as_deref()
+                .is_some_and(|n| down.iter().any(|x| x == n))
+        })
+        .count();
+    let final_running = eng.world.running();
+    let trace = eng
+        .world
+        .ks
+        .chaos()
+        .map(|inj| inj.trace().to_vec())
+        .unwrap_or_default();
+    ChurnOutcome {
+        samples: std::mem::take(&mut eng.world.samples),
+        fault_log: std::mem::take(&mut eng.world.fault_log),
+        trace,
+        leaked,
+        final_running,
+    }
+}
+
+/// Time from each node crash until the running count re-attains the target.
+fn recovery_times(out: &ChurnOutcome, target: usize) -> Vec<f64> {
+    out.fault_log
+        .iter()
+        .filter(|(_, ev)| matches!(ev, ChaosEvent::NodeCrash { .. }))
+        .map(|&(tc, _)| {
+            out.samples
+                .iter()
+                .find(|&&(t, count)| t >= tc && count >= target)
+                .map(|&(t, _)| t.saturating_since(tc).as_secs_f64())
+                .unwrap_or(f64::INFINITY)
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Phase 2: token churn
+// ---------------------------------------------------------------------------
+
+/// Dead-holder reclamation on the raw token backend: A is granted and then
+/// dies silently; B waits. Returns (measured, bound) in milliseconds.
+fn reclamation_latency() -> (f64, f64) {
+    use ks_vgpu::window::ClientId;
+    let cfg = VgpuConfig::default();
+    let mut b = TokenBackend::new(cfg);
+    let a = ClientId(1);
+    let w = ClientId(2);
+    b.register(a, ShareSpec::new(0.5, 1.0, 0.5).unwrap())
+        .unwrap();
+    b.register(w, ShareSpec::new(0.5, 1.0, 0.5).unwrap())
+        .unwrap();
+    let mut timers = Vec::new();
+    b.request(SimTime::ZERO, a, &mut timers).unwrap();
+    let (granted_at, grant_epoch) = timers
+        .iter()
+        .find_map(|t| match t {
+            ks_vgpu::BackendTimer::GrantEffective { at, epoch } => Some((*at, *epoch)),
+            _ => None,
+        })
+        .expect("grant in flight");
+    timers.clear();
+    let holder = b.on_grant_effective(granted_at, grant_epoch, &mut timers);
+    assert_eq!(holder, Some(a));
+    let (expiry, expiry_epoch) = timers
+        .iter()
+        .find_map(|t| match t {
+            ks_vgpu::BackendTimer::Expiry { at, epoch } => Some((*at, *epoch)),
+            _ => None,
+        })
+        .expect("expiry scheduled");
+    timers.clear();
+    b.request(granted_at, w, &mut timers).unwrap();
+    // A dies here. Nothing reaches the backend until the expiry timer.
+    timers.clear();
+    let expired = b.on_expiry(expiry, expiry_epoch, &mut timers);
+    assert_eq!(expired, Some(a));
+    let regrant_at = timers
+        .iter()
+        .find_map(|t| match t {
+            ks_vgpu::BackendTimer::GrantEffective { at, .. } => Some(*at),
+            _ => None,
+        })
+        .expect("waiter regranted");
+    let measured = regrant_at.saturating_since(granted_at).as_secs_f64() * 1e3;
+    let bound = (cfg.quota + cfg.handoff).as_secs_f64() * 1e3;
+    (measured, bound)
+}
+
+/// A `SharedGpu` fleet losing its backend daemon on the injector's backend
+/// stream; returns the number of lost bursts (submitted − completed).
+fn restart_soak(seed: u64) -> usize {
+    struct TokWorld {
+        gpu: SharedGpu,
+        done: usize,
+    }
+    enum TokEv {
+        V(VgpuEvent),
+        Restart,
+    }
+    impl SimEvent<TokWorld> for TokEv {
+        fn fire(self, now: SimTime, w: &mut TokWorld, q: &mut EventQueue<Self>) {
+            let mut out = Vec::new();
+            match self {
+                TokEv::V(ev) => {
+                    let mut notes = Vec::new();
+                    w.gpu.handle(now, ev, &mut out, &mut notes);
+                    w.done += notes
+                        .iter()
+                        .filter(|n| matches!(n, VgpuNotice::BurstDone { .. }))
+                        .count();
+                }
+                TokEv::Restart => w.gpu.restart_backend(now, &mut out),
+            }
+            for (at, ev) in out {
+                q.schedule_at(at, TokEv::V(ev));
+            }
+        }
+    }
+    let device = GpuDevice::new("n", 0, GpuSpec::test_gpu(1000));
+    let mut eng: Engine<TokWorld, TokEv> = Engine::new(TokWorld {
+        gpu: SharedGpu::new(device, VgpuConfig::default(), IsolationMode::FULL),
+        done: 0,
+    });
+    let clients: Vec<_> = (0..3)
+        .map(|_| eng.world.gpu.attach(ShareSpec::new(0.3, 1.0, 0.3).unwrap()))
+        .collect();
+    let submitted = 3 * 40;
+    let mut out = Vec::new();
+    for (ci, &c) in clients.iter().enumerate() {
+        for i in 0..40u64 {
+            eng.world.gpu.submit_burst(
+                SimTime::ZERO,
+                c,
+                SimDuration::from_millis(20),
+                (ci as u64) * 1000 + i,
+                &mut out,
+            );
+        }
+    }
+    for (at, ev) in out {
+        eng.queue.schedule_at(at, TokEv::V(ev));
+    }
+    // Backend restarts on the injector's backend stream, scaled down so
+    // several hit within the workload.
+    let mut inj = ChaosInjector::new(
+        ChaosConfig {
+            seed,
+            node_mtbf: None,
+            node_mttr: SimDuration::from_secs(1),
+            container_mtbf: None,
+            backend_mtbf: Some(SimDuration::from_millis(400)),
+            anchor_failure_rate: 0.0,
+            horizon: SimTime::from_secs(2),
+        },
+        0,
+    );
+    let mut at_times: Vec<SimTime> = Vec::new();
+    let mut cursor = inj.initial_events();
+    while let Some(&(at, ev)) = cursor.first() {
+        at_times.push(at);
+        cursor = inj.next_after(at, ev).into_iter().collect();
+    }
+    for at in at_times {
+        eng.queue.schedule_at(at, TokEv::Restart);
+    }
+    assert_eq!(eng.run_to_completion(10_000_000), RunOutcome::Drained);
+    submitted - eng.world.done
+}
+
+// ---------------------------------------------------------------------------
+// Entry points
+// ---------------------------------------------------------------------------
+
+/// Runs the full soak and asserts every acceptance bound.
+pub fn run(seed: u64) -> ChaosReport {
+    // Fault-free baseline.
+    let base = churn_run(None);
+    let baseline_running = base.samples.iter().map(|&(_, c)| c).max().unwrap_or(0);
+    assert_eq!(
+        baseline_running, PODS,
+        "fault-free run must bring the whole fleet up"
+    );
+
+    // Chaos run + same-seed replay.
+    let cfg = ChaosConfig::preset(seed).with_horizon(SimTime::from_secs(FAULT_HORIZON_SECS));
+    let churn = churn_run(Some(cfg.clone()));
+    let replay = churn_run(Some(cfg));
+    let replay_identical = churn.trace == replay.trace
+        && churn.fault_log == replay.fault_log
+        && churn.samples == replay.samples;
+    assert!(replay_identical, "same seed must replay identically");
+
+    let target = (baseline_running * 9).div_ceil(10);
+    let recoveries = recovery_times(&churn, target);
+    if std::env::var("CHAOS_DEBUG").is_ok() {
+        eprintln!("fault log: {:#?}", churn.fault_log);
+        eprintln!(
+            "samples: {:?}",
+            churn
+                .samples
+                .iter()
+                .map(|&(t, c)| (t.as_secs_f64() as u64, c))
+                .collect::<Vec<_>>()
+        );
+    }
+    for (i, r) in recoveries.iter().enumerate() {
+        assert!(
+            r.is_finite(),
+            "failure {i} never re-attained {target}/{baseline_running} running"
+        );
+    }
+    assert_eq!(churn.leaked, 0, "leaked vGPUs");
+    assert_eq!(
+        churn.final_running, PODS,
+        "fleet must fully converge once faults stop"
+    );
+
+    let (reclamation_ms, reclamation_bound_ms) = reclamation_latency();
+    assert!(
+        reclamation_ms <= reclamation_bound_ms + 1e-9,
+        "reclamation {reclamation_ms}ms exceeds quota+handoff {reclamation_bound_ms}ms"
+    );
+
+    let restart_lost_bursts = restart_soak(seed);
+    assert_eq!(restart_lost_bursts, 0, "backend restarts lost bursts");
+
+    ChaosReport {
+        seed,
+        baseline_running,
+        node_failures: churn
+            .fault_log
+            .iter()
+            .filter(|(_, e)| matches!(e, ChaosEvent::NodeCrash { .. }))
+            .count(),
+        container_crashes: churn
+            .fault_log
+            .iter()
+            .filter(|(_, e)| matches!(e, ChaosEvent::ContainerCrash))
+            .count(),
+        recoveries,
+        leaked_vgpus: churn.leaked,
+        final_running: churn.final_running,
+        replay_identical,
+        reclamation_ms,
+        reclamation_bound_ms,
+        restart_lost_bursts,
+    }
+}
+
+/// Renders the soak report.
+pub fn report(r: &ChaosReport) -> Table {
+    let mut t = Table::new(
+        format!("Chaos soak (seed {})", r.seed),
+        &["metric", "value", "bound"],
+    );
+    t.row(vec![
+        "baseline running".into(),
+        r.baseline_running.to_string(),
+        PODS.to_string(),
+    ]);
+    t.row(vec![
+        "node failures injected".into(),
+        r.node_failures.to_string(),
+        "-".into(),
+    ]);
+    t.row(vec![
+        "container crashes injected".into(),
+        r.container_crashes.to_string(),
+        "-".into(),
+    ]);
+    let worst = r.recoveries.iter().copied().fold(0.0f64, f64::max);
+    t.row(vec![
+        "worst 90% recovery (s)".into(),
+        f1(worst),
+        "finite".into(),
+    ]);
+    t.row(vec![
+        "leaked vGPUs".into(),
+        r.leaked_vgpus.to_string(),
+        "0".into(),
+    ]);
+    t.row(vec![
+        "final running".into(),
+        r.final_running.to_string(),
+        PODS.to_string(),
+    ]);
+    t.row(vec![
+        "replay identical".into(),
+        r.replay_identical.to_string(),
+        "true".into(),
+    ]);
+    t.row(vec![
+        "lease reclamation (ms)".into(),
+        f3(r.reclamation_ms),
+        f3(r.reclamation_bound_ms),
+    ]);
+    t.row(vec![
+        "bursts lost to backend restarts".into(),
+        r.restart_lost_bursts.to_string(),
+        "0".into(),
+    ]);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn soak_shape_and_bounds() {
+        let r = run(7);
+        assert_eq!(r.baseline_running, PODS);
+        assert_eq!(r.leaked_vgpus, 0);
+        assert_eq!(r.final_running, PODS);
+        assert!(r.replay_identical);
+        assert!(r.reclamation_ms <= r.reclamation_bound_ms);
+        assert_eq!(r.restart_lost_bursts, 0);
+        assert_eq!(r.recoveries.len(), r.node_failures);
+        let t = report(&r);
+        assert_eq!(t.len(), 9);
+    }
+
+    #[test]
+    fn different_seeds_draw_different_schedules() {
+        let cfg7 = ChaosConfig::preset(7).with_horizon(SimTime::from_secs(FAULT_HORIZON_SECS));
+        let cfg8 = ChaosConfig::preset(8).with_horizon(SimTime::from_secs(FAULT_HORIZON_SECS));
+        let a = churn_run(Some(cfg7));
+        let b = churn_run(Some(cfg8));
+        assert_ne!(a.trace, b.trace, "seeds must diverge");
+    }
+}

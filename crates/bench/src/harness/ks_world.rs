@@ -148,8 +148,14 @@ impl KsWorld {
                     self.rejected.push(j);
                 }
             }
-            KsNotice::VgpuCreated { .. } | KsNotice::VgpuReleased { .. } | KsNotice::Cluster(_) => {
-            }
+            // The figure harnesses run without fault injection; the chaos
+            // soak (`crate::chaos`) handles these notices itself.
+            KsNotice::VgpuCreated { .. }
+            | KsNotice::VgpuReleased { .. }
+            | KsNotice::SharePodRequeued { .. }
+            | KsNotice::VgpuLost { .. }
+            | KsNotice::Fault { .. }
+            | KsNotice::Cluster(_) => {}
         }
     }
 

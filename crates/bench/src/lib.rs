@@ -11,6 +11,7 @@ pub mod harness;
 pub mod report;
 
 pub mod ablation;
+pub mod chaos;
 pub mod fig10;
 pub mod fig11;
 pub mod fig12;

@@ -1,0 +1,409 @@
+//! Deterministic fault injection for the KubeShare simulation.
+//!
+//! The paper's testbed (§5) assumes a healthy cluster; this crate supplies
+//! the adversarial half of the robustness story. A [`ChaosInjector`] turns a
+//! seed plus MTBF/MTTR distributions into a stream of failure events —
+//! node crashes and recoveries, anchor-pod launch failures, container
+//! crashes, and token-backend restarts — that an embedding world schedules
+//! as ordinary discrete-event-simulation events. All randomness flows from
+//! per-fault-class forks of one `SimRng`, so two injectors built from the
+//! same [`ChaosConfig`] emit byte-identical schedules, and adding a fault
+//! class does not perturb the others.
+//!
+//! The injector is passive, like every state machine in this workspace: it
+//! proposes `(SimTime, ChaosEvent)` pairs and records what it proposed in a
+//! replayable [`FaultRecord`] trace; the embedding world owns the event
+//! queue and the recovery logic.
+
+use ks_sim_core::rng::SimRng;
+use ks_sim_core::time::{SimDuration, SimTime};
+
+/// Failure classes the injector can schedule.
+///
+/// Node indices refer to the embedding world's node ordering (the injector
+/// does not know node names). `ContainerCrash` and `BackendRestart` carry no
+/// victim: the world picks one via [`ChaosInjector::pick_victim`] so that
+/// victim selection stays on its own deterministic stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosEvent {
+    /// A node drops off the cluster (kubelet dead, devices unreachable).
+    NodeCrash { node: usize },
+    /// A previously crashed node rejoins with empty state.
+    NodeRecover { node: usize },
+    /// Some running container dies (the world chooses which).
+    ContainerCrash,
+    /// The token backend daemon on some vGPU restarts, losing its
+    /// queue/window state.
+    BackendRestart,
+}
+
+/// One entry in the deterministic fault trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultRecord {
+    /// A scheduled fault event, stamped with its fire time.
+    Event { at: SimTime, event: ChaosEvent },
+    /// Outcome of one anchor-launch coin flip.
+    AnchorLaunch { failed: bool },
+    /// Victim index drawn for a `ContainerCrash`/`BackendRestart`.
+    Victim { index: usize },
+}
+
+/// Mean-time-between-failure / mean-time-to-repair configuration.
+///
+/// Every `Option<SimDuration>` mean is the parameter of an exponential
+/// distribution; `None` disables that fault class. `anchor_failure_rate` is
+/// a per-launch Bernoulli probability rather than a renewal process because
+/// anchor launches are driven by the scheduler, not by wall-clock time.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// Seed for all fault streams.
+    pub seed: u64,
+    /// Mean up-time of a node before it crashes.
+    pub node_mtbf: Option<SimDuration>,
+    /// Mean down-time of a crashed node before it recovers.
+    pub node_mttr: SimDuration,
+    /// Mean gap between container-crash events (cluster-wide).
+    pub container_mtbf: Option<SimDuration>,
+    /// Mean gap between token-backend restarts (cluster-wide).
+    pub backend_mtbf: Option<SimDuration>,
+    /// Probability that any single anchor-pod launch fails.
+    pub anchor_failure_rate: f64,
+    /// No fault fires at or after this time; lets a run quiesce so
+    /// steady-state recovery can be measured.
+    pub horizon: SimTime,
+}
+
+impl ChaosConfig {
+    /// A configuration that injects nothing.
+    pub fn disabled() -> Self {
+        ChaosConfig {
+            seed: 0,
+            node_mtbf: None,
+            node_mttr: SimDuration::from_secs(30),
+            container_mtbf: None,
+            backend_mtbf: None,
+            anchor_failure_rate: 0.0,
+            horizon: SimTime::MAX,
+        }
+    }
+
+    /// The churn preset used by the robustness harness: node MTBF much
+    /// larger than MTTR (nodes are mostly up), moderate container churn,
+    /// and a bounded anchor failure rate.
+    pub fn preset(seed: u64) -> Self {
+        ChaosConfig {
+            seed,
+            node_mtbf: Some(SimDuration::from_secs(120)),
+            node_mttr: SimDuration::from_secs(10),
+            container_mtbf: Some(SimDuration::from_secs(45)),
+            backend_mtbf: Some(SimDuration::from_secs(90)),
+            anchor_failure_rate: 0.2,
+            horizon: SimTime::MAX,
+        }
+    }
+
+    /// Returns a copy with a different seed (for replay experiments).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Returns a copy with a fault horizon.
+    pub fn with_horizon(mut self, horizon: SimTime) -> Self {
+        self.horizon = horizon;
+        self
+    }
+}
+
+/// Per-node renewal state: a node alternates between up and down phases.
+#[derive(Debug, Clone)]
+struct NodeStream {
+    rng: SimRng,
+}
+
+/// Seeded fault-event generator.
+///
+/// Usage: call [`ChaosInjector::initial_events`] once at simulation start
+/// and schedule the returned events; whenever one fires, call
+/// [`ChaosInjector::next_after`] with it to get the follow-up event (the
+/// recovery for a crash, or the next renewal of a self-rescheduling
+/// stream). Anchor-launch failures are polled at launch time via
+/// [`ChaosInjector::anchor_launch_fails`].
+#[derive(Debug, Clone)]
+pub struct ChaosInjector {
+    cfg: ChaosConfig,
+    nodes: Vec<NodeStream>,
+    container_rng: SimRng,
+    backend_rng: SimRng,
+    anchor_rng: SimRng,
+    victim_rng: SimRng,
+    trace: Vec<FaultRecord>,
+}
+
+impl ChaosInjector {
+    /// Builds an injector for a cluster of `num_nodes` nodes.
+    pub fn new(cfg: ChaosConfig, num_nodes: usize) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&cfg.anchor_failure_rate),
+            "anchor_failure_rate out of range: {}",
+            cfg.anchor_failure_rate
+        );
+        let mut root = SimRng::seed_from_u64(cfg.seed ^ 0xC4A0_5C4A_05C4_A05C);
+        // Fork order is part of the determinism contract: per-node streams
+        // first (so the same node index always gets the same stream for a
+        // given seed and node count), then the class-wide streams.
+        let nodes = (0..num_nodes)
+            .map(|_| NodeStream { rng: root.fork() })
+            .collect();
+        ChaosInjector {
+            nodes,
+            container_rng: root.fork(),
+            backend_rng: root.fork(),
+            anchor_rng: root.fork(),
+            victim_rng: root.fork(),
+            cfg,
+            trace: Vec::new(),
+        }
+    }
+
+    /// The configuration this injector was built from.
+    pub fn config(&self) -> &ChaosConfig {
+        &self.cfg
+    }
+
+    /// The deterministic trace of everything the injector has emitted.
+    pub fn trace(&self) -> &[FaultRecord] {
+        &self.trace
+    }
+
+    /// First event of every enabled fault stream, to be scheduled by the
+    /// embedding world at simulation start.
+    pub fn initial_events(&mut self) -> Vec<(SimTime, ChaosEvent)> {
+        let mut out = Vec::new();
+        if self.cfg.node_mtbf.is_some() {
+            for node in 0..self.nodes.len() {
+                if let Some(ev) = self.node_crash_after(SimTime::ZERO, node) {
+                    out.push(ev);
+                }
+            }
+        }
+        if self.cfg.container_mtbf.is_some() {
+            if let Some(ev) = self.renewal(SimTime::ZERO, ChaosEvent::ContainerCrash) {
+                out.push(ev);
+            }
+        }
+        if self.cfg.backend_mtbf.is_some() {
+            if let Some(ev) = self.renewal(SimTime::ZERO, ChaosEvent::BackendRestart) {
+                out.push(ev);
+            }
+        }
+        out
+    }
+
+    /// Follow-up event after `event` fired at `now`: the matching recovery
+    /// for a crash, the next crash after a recovery, or the next renewal of
+    /// a cluster-wide stream. Returns `None` past the horizon.
+    pub fn next_after(&mut self, now: SimTime, event: ChaosEvent) -> Option<(SimTime, ChaosEvent)> {
+        match event {
+            ChaosEvent::NodeCrash { node } => {
+                let gap = self.nodes[node].rng.exp_interarrival(self.cfg.node_mttr);
+                self.emit(now + gap, ChaosEvent::NodeRecover { node })
+            }
+            ChaosEvent::NodeRecover { node } => self.node_crash_after(now, node),
+            ChaosEvent::ContainerCrash | ChaosEvent::BackendRestart => self.renewal(now, event),
+        }
+    }
+
+    /// Coin flip for one anchor-pod launch; recorded in the trace.
+    pub fn anchor_launch_fails(&mut self) -> bool {
+        let failed = self.cfg.anchor_failure_rate > 0.0
+            && self.anchor_rng.bernoulli(self.cfg.anchor_failure_rate);
+        self.trace.push(FaultRecord::AnchorLaunch { failed });
+        failed
+    }
+
+    /// Draws a victim index in `[0, n)` for a `ContainerCrash` or
+    /// `BackendRestart`; recorded in the trace. Returns `None` when there
+    /// is nothing to victimise.
+    pub fn pick_victim(&mut self, n: usize) -> Option<usize> {
+        if n == 0 {
+            return None;
+        }
+        let index = self.victim_rng.index(n);
+        self.trace.push(FaultRecord::Victim { index });
+        Some(index)
+    }
+
+    fn node_crash_after(&mut self, now: SimTime, node: usize) -> Option<(SimTime, ChaosEvent)> {
+        let mtbf = self.cfg.node_mtbf?;
+        let gap = self.nodes[node].rng.exp_interarrival(mtbf);
+        self.emit(now + gap, ChaosEvent::NodeCrash { node })
+    }
+
+    fn renewal(&mut self, now: SimTime, event: ChaosEvent) -> Option<(SimTime, ChaosEvent)> {
+        let (mean, rng) = match event {
+            ChaosEvent::ContainerCrash => (self.cfg.container_mtbf?, &mut self.container_rng),
+            ChaosEvent::BackendRestart => (self.cfg.backend_mtbf?, &mut self.backend_rng),
+            _ => unreachable!("renewal() only handles cluster-wide streams"),
+        };
+        let gap = rng.exp_interarrival(mean);
+        self.emit(now + gap, event)
+    }
+
+    fn emit(&mut self, at: SimTime, event: ChaosEvent) -> Option<(SimTime, ChaosEvent)> {
+        if at >= self.cfg.horizon {
+            return None;
+        }
+        self.trace.push(FaultRecord::Event { at, event });
+        Some((at, event))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(inj: &mut ChaosInjector, rounds: usize) -> Vec<(SimTime, ChaosEvent)> {
+        let mut pending = inj.initial_events();
+        let mut fired = Vec::new();
+        for _ in 0..rounds {
+            pending.sort_by_key(|(t, _)| *t);
+            if pending.is_empty() {
+                break;
+            }
+            let (t, ev) = pending.remove(0);
+            fired.push((t, ev));
+            if let Some(next) = inj.next_after(t, ev) {
+                pending.push(next);
+            }
+        }
+        fired
+    }
+
+    #[test]
+    fn same_seed_same_trace() {
+        let cfg = ChaosConfig::preset(42);
+        let mut a = ChaosInjector::new(cfg.clone(), 3);
+        let mut b = ChaosInjector::new(cfg, 3);
+        let fa = drain(&mut a, 200);
+        let fb = drain(&mut b, 200);
+        assert_eq!(fa, fb);
+        assert_eq!(a.trace(), b.trace());
+        // Anchor coin flips come from their own stream and are likewise
+        // reproducible.
+        let flips_a: Vec<bool> = (0..50).map(|_| a.anchor_launch_fails()).collect();
+        let flips_b: Vec<bool> = (0..50).map(|_| b.anchor_launch_fails()).collect();
+        assert_eq!(flips_a, flips_b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = ChaosInjector::new(ChaosConfig::preset(1), 3);
+        let mut b = ChaosInjector::new(ChaosConfig::preset(2), 3);
+        assert_ne!(drain(&mut a, 50), drain(&mut b, 50));
+    }
+
+    #[test]
+    fn crash_and_recover_alternate_per_node() {
+        let mut inj = ChaosInjector::new(ChaosConfig::preset(7), 2);
+        let fired = drain(&mut inj, 400);
+        for node in 0..2 {
+            let mut up = true;
+            for (_, ev) in &fired {
+                match ev {
+                    ChaosEvent::NodeCrash { node: n } if *n == node => {
+                        assert!(up, "node {node} crashed while already down");
+                        up = false;
+                    }
+                    ChaosEvent::NodeRecover { node: n } if *n == node => {
+                        assert!(!up, "node {node} recovered while up");
+                        up = true;
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn disabled_config_emits_nothing() {
+        let mut inj = ChaosInjector::new(ChaosConfig::disabled(), 4);
+        assert!(inj.initial_events().is_empty());
+        assert!(!inj.anchor_launch_fails());
+        assert!(inj
+            .trace()
+            .iter()
+            .all(|r| matches!(r, FaultRecord::AnchorLaunch { failed: false })));
+    }
+
+    #[test]
+    fn horizon_caps_the_schedule() {
+        let horizon = SimTime::from_secs(300);
+        let cfg = ChaosConfig::preset(11).with_horizon(horizon);
+        let mut inj = ChaosInjector::new(cfg, 3);
+        let fired = drain(&mut inj, 10_000);
+        assert!(!fired.is_empty());
+        assert!(fired.iter().all(|(t, _)| *t < horizon));
+        // drain() stops because every stream ran past the horizon, not
+        // because we hit the round cap.
+        assert!(fired.len() < 10_000);
+    }
+
+    #[test]
+    fn mtbf_matches_configured_mean() {
+        // One node, long horizon: the empirical mean of up-phases should be
+        // within 15% of the configured MTBF.
+        let cfg = ChaosConfig {
+            seed: 5,
+            node_mtbf: Some(SimDuration::from_secs(100)),
+            node_mttr: SimDuration::from_secs(5),
+            container_mtbf: None,
+            backend_mtbf: None,
+            anchor_failure_rate: 0.0,
+            horizon: SimTime::MAX,
+        };
+        let mut inj = ChaosInjector::new(cfg, 1);
+        let fired = drain(&mut inj, 2000);
+        let mut up_total = 0.0;
+        let mut up_count = 0u32;
+        let mut last_recover = SimTime::ZERO;
+        for (t, ev) in fired {
+            match ev {
+                ChaosEvent::NodeCrash { .. } => {
+                    up_total += t.saturating_since(last_recover).as_secs_f64();
+                    up_count += 1;
+                }
+                ChaosEvent::NodeRecover { .. } => last_recover = t,
+                _ => {}
+            }
+        }
+        let mean = up_total / up_count as f64;
+        assert!(
+            (85.0..=115.0).contains(&mean),
+            "empirical MTBF {mean:.1}s outside 100s +/- 15%"
+        );
+    }
+
+    #[test]
+    fn anchor_failure_rate_is_respected() {
+        let mut inj = ChaosInjector::new(ChaosConfig::preset(9), 1);
+        let fails = (0..2000).filter(|_| inj.anchor_launch_fails()).count();
+        let rate = fails as f64 / 2000.0;
+        assert!(
+            (0.15..=0.25).contains(&rate),
+            "empirical anchor failure rate {rate:.3} outside 0.2 +/- 0.05"
+        );
+    }
+
+    #[test]
+    fn victim_stream_is_deterministic_and_in_range() {
+        let mut a = ChaosInjector::new(ChaosConfig::preset(3), 2);
+        let mut b = ChaosInjector::new(ChaosConfig::preset(3), 2);
+        for n in 1..20 {
+            let va = a.pick_victim(n);
+            assert_eq!(va, b.pick_victim(n));
+            assert!(va.unwrap() < n);
+        }
+        assert_eq!(a.pick_victim(0), None);
+    }
+}

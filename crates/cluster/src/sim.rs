@@ -126,6 +126,9 @@ struct NodeState {
     device_mgr: Option<DeviceManager>,
     /// Containers currently in the create phase (concurrency penalty).
     starting: u32,
+    /// Whether the kubelet is reachable. Down nodes take no placements and
+    /// their pods are failed by [`ClusterSim::fail_node`].
+    up: bool,
 }
 
 /// The simulated control plane. See module docs.
@@ -175,6 +178,7 @@ impl ClusterSim {
                     allocated: ResourceList::zero(),
                     device_mgr,
                     starting: 0,
+                    up: true,
                 }
             })
             .collect();
@@ -334,6 +338,82 @@ impl ClusterSim {
         }
     }
 
+    /// Whether a node is currently up. `None` for unknown nodes.
+    pub fn node_up(&self, name: &str) -> Option<bool> {
+        self.nodes.iter().find(|n| n.name == name).map(|n| n.up)
+    }
+
+    /// Simulates a node crash: the kubelet stops responding, so every pod
+    /// bound to the node fails immediately with its resources returned, and
+    /// the node takes no further placements until
+    /// [`ClusterSim::recover_node`]. Returns the failed pods in submission
+    /// order; a [`ClusterNotice::PodFailed`] is emitted for each so
+    /// embedding controllers can react.
+    pub fn fail_node(
+        &mut self,
+        _now: SimTime,
+        name: &str,
+        notices: &mut Vec<ClusterNotice>,
+    ) -> Vec<Uid> {
+        let Some(idx) = self.nodes.iter().position(|n| n.name == name) else {
+            return Vec::new();
+        };
+        if !self.nodes[idx].up {
+            return Vec::new();
+        }
+        self.nodes[idx].up = false;
+        self.nodes[idx].starting = 0;
+        let mut victims: Vec<Uid> = self
+            .pods
+            .iter()
+            .filter(|(_, p)| {
+                p.status.node_name.as_deref() == Some(name)
+                    && matches!(p.status.phase, PodPhase::Scheduled | PodPhase::Running)
+            })
+            .map(|(uid, _)| uid)
+            .collect();
+        victims.sort();
+        for &uid in &victims {
+            if let Some(dm) = &mut self.nodes[idx].device_mgr {
+                dm.deallocate(uid);
+            }
+            self.pods.mutate(uid, |p| {
+                p.status.phase = PodPhase::Failed;
+                p.status.message = Some("node failure".into());
+            });
+            notices.push(ClusterNotice::PodFailed {
+                pod: uid,
+                reason: "node failure".into(),
+            });
+        }
+        // Everything charged against the node is gone with the kubelet.
+        self.nodes[idx].allocated = ResourceList::zero();
+        victims
+    }
+
+    /// Brings a crashed node back with empty state and retries the
+    /// unschedulable queue against the restored capacity. Returns `false`
+    /// for unknown or already-up nodes.
+    pub fn recover_node(&mut self, now: SimTime, name: &str, out: &mut ClusterEmit) -> bool {
+        let Some(idx) = self.nodes.iter().position(|n| n.name == name) else {
+            return false;
+        };
+        if self.nodes[idx].up {
+            return false;
+        }
+        self.nodes[idx].up = true;
+        self.nodes[idx].allocated = ResourceList::zero();
+        self.nodes[idx].starting = 0;
+        let retry: Vec<Uid> = self.unschedulable.drain(..).collect();
+        for p in retry {
+            out.push((
+                now + self.latency.schedule,
+                ClusterEvent::ScheduleAttempt { pod: p },
+            ));
+        }
+        true
+    }
+
     /// Routes a cluster event.
     pub fn handle(
         &mut self,
@@ -350,15 +430,24 @@ impl ClusterSim {
         }
     }
 
-    fn views(&self) -> Vec<NodeView> {
-        self.nodes
-            .iter()
-            .map(|n| NodeView {
+    /// Scheduler views of the up nodes, paired with their index into
+    /// `self.nodes` (down nodes are invisible to the scheduler, so view
+    /// indices and node indices diverge while any node is down).
+    fn up_views(&self) -> (Vec<usize>, Vec<NodeView>) {
+        let mut idxs = Vec::new();
+        let mut views = Vec::new();
+        for (i, n) in self.nodes.iter().enumerate() {
+            if !n.up {
+                continue;
+            }
+            idxs.push(i);
+            views.push(NodeView {
                 name: n.name.clone(),
                 allocatable: n.allocatable.clone(),
                 allocated: n.allocated.clone(),
-            })
-            .collect()
+            });
+        }
+        (idxs, views)
     }
 
     fn on_schedule(
@@ -384,12 +473,17 @@ impl ClusterSim {
                     .iter()
                     .position(|n| &n.name == name)
                     .unwrap_or_else(|| panic!("pinned to unknown node {name}"));
+                // A down node cannot take the pod; it queues until the node
+                // recovers (or the owner re-schedules it elsewhere).
                 let free = self.nodes[idx]
                     .allocatable
                     .checked_sub(&self.nodes[idx].allocated);
-                requests.fits_in(&free).then_some(idx)
+                (self.nodes[idx].up && requests.fits_in(&free)).then_some(idx)
             }
-            None => self.scheduler.pick_node(&requests, &self.views()),
+            None => {
+                let (idxs, views) = self.up_views();
+                self.scheduler.pick_node(&requests, &views).map(|v| idxs[v])
+            }
         };
 
         match node_idx {
@@ -507,7 +601,9 @@ impl ClusterSim {
         let Some(pod) = self.pods.get(uid) else {
             return;
         };
-        if pod.status.phase == PodPhase::Terminated {
+        // Failed pods (container crash or node failure) already released
+        // their resources; releasing again would underflow the accounting.
+        if matches!(pod.status.phase, PodPhase::Terminated | PodPhase::Failed) {
             return;
         }
         let requests = pod.spec.requests.clone();
@@ -783,6 +879,117 @@ mod tests {
             eng.world.cluster.pod_devices(a),
             eng.world.cluster.pod_devices(b)
         );
+    }
+
+    #[test]
+    fn node_failure_fails_pods_and_blocks_placement() {
+        let mut eng = engine(small_cluster(1));
+        let mut out = Vec::new();
+        let a = eng
+            .world
+            .cluster
+            .submit_pod(SimTime::ZERO, "a", gpu_pod_spec(), &mut out);
+        seed(&mut eng, out);
+        eng.run_to_completion(1000);
+        assert_eq!(
+            eng.world.cluster.pod(a).unwrap().status.phase,
+            PodPhase::Running
+        );
+
+        let now = eng.now();
+        let mut notes = Vec::new();
+        let victims = eng.world.cluster.fail_node(now, "n0", &mut notes);
+        assert_eq!(victims, vec![a]);
+        assert_eq!(eng.world.cluster.node_up("n0"), Some(false));
+        assert_eq!(
+            eng.world.cluster.pod(a).unwrap().status.phase,
+            PodPhase::Failed
+        );
+        assert!(matches!(
+            notes.as_slice(),
+            [ClusterNotice::PodFailed { pod, .. }] if *pod == a
+        ));
+        // Resources came back even though the node is down.
+        let free = eng.world.cluster.node_free("n0").unwrap();
+        assert_eq!(free, eng.world.cluster.nodes[0].allocatable);
+
+        // New pods cannot land anywhere while the only node is down.
+        let mut out = Vec::new();
+        let b = eng
+            .world
+            .cluster
+            .submit_pod(eng.now(), "b", gpu_pod_spec(), &mut out);
+        seed(&mut eng, out);
+        eng.run_to_completion(1000);
+        assert_eq!(
+            eng.world.cluster.pod(b).unwrap().status.phase,
+            PodPhase::Pending
+        );
+
+        // Recovery retries the queue and the pod runs.
+        let now = eng.now();
+        let mut out = Vec::new();
+        assert!(eng.world.cluster.recover_node(now, "n0", &mut out));
+        seed(&mut eng, out);
+        eng.run_to_completion(1000);
+        assert_eq!(
+            eng.world.cluster.pod(b).unwrap().status.phase,
+            PodPhase::Running
+        );
+    }
+
+    #[test]
+    fn pinned_pod_waits_out_node_downtime() {
+        let mut eng = engine(small_cluster(1));
+        let now = SimTime::ZERO;
+        let mut notes = Vec::new();
+        eng.world.cluster.fail_node(now, "n0", &mut notes);
+
+        let mut spec = gpu_pod_spec();
+        spec.node_name = Some("n0".into());
+        let mut out = Vec::new();
+        let uid = eng.world.cluster.submit_pod(now, "pinned", spec, &mut out);
+        seed(&mut eng, out);
+        eng.run_to_completion(1000);
+        assert_eq!(
+            eng.world.cluster.pod(uid).unwrap().status.phase,
+            PodPhase::Pending
+        );
+
+        let now = eng.now();
+        let mut out = Vec::new();
+        eng.world.cluster.recover_node(now, "n0", &mut out);
+        seed(&mut eng, out);
+        eng.run_to_completion(1000);
+        assert_eq!(
+            eng.world.cluster.pod(uid).unwrap().status.phase,
+            PodPhase::Running
+        );
+    }
+
+    #[test]
+    fn delete_after_node_failure_does_not_double_release() {
+        let mut eng = engine(small_cluster(1));
+        let mut out = Vec::new();
+        let a = eng
+            .world
+            .cluster
+            .submit_pod(SimTime::ZERO, "a", gpu_pod_spec(), &mut out);
+        seed(&mut eng, out);
+        eng.run_to_completion(1000);
+
+        // Delete starts the container-stop countdown, then the node dies
+        // before PodStopped fires: the pod fails and releases immediately,
+        // and the in-flight PodStopped must not release again.
+        let now = eng.now();
+        let mut out = Vec::new();
+        let mut notes = Vec::new();
+        eng.world.cluster.delete_pod(now, a, &mut out, &mut notes);
+        eng.world.cluster.fail_node(now, "n0", &mut notes);
+        seed(&mut eng, out);
+        eng.run_to_completion(1000);
+        let free = eng.world.cluster.node_free("n0").unwrap();
+        assert_eq!(free, eng.world.cluster.nodes[0].allocatable);
     }
 
     #[test]

@@ -39,4 +39,6 @@ pub use locality::Locality;
 pub use pool::{PoolDevice, VgpuPhase, VgpuPool};
 pub use replicaset::{ReplicaSetController, ReplicaSetId, ReplicaSetSpec};
 pub use sharepod::{SharePod, SharePodPhase, SharePodSpec, SharePodStatus};
-pub use system::{KsConfig, KsEmit, KsEvent, KsNotice, KubeShareSystem, PoolPolicy};
+pub use system::{
+    KsConfig, KsEmit, KsEvent, KsNotice, KubeShareSystem, PoolPolicy, RestartPolicy, SystemError,
+};

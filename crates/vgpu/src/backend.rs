@@ -53,6 +53,29 @@ impl Default for VgpuConfig {
     }
 }
 
+/// Client-facing failures of the token backend. These surface as values
+/// (not panics) so injected faults — a frontend racing a backend restart,
+/// a duplicate attach — degrade one client instead of the daemon.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendError {
+    /// The client is already registered (duplicate attach).
+    AlreadyRegistered(ClientId),
+    /// The client is not registered (never attached, or lost to a backend
+    /// restart and not yet re-registered).
+    UnknownClient(ClientId),
+}
+
+impl std::fmt::Display for BackendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BackendError::AlreadyRegistered(c) => write!(f, "{c} registered twice"),
+            BackendError::UnknownClient(c) => write!(f, "{c} not registered"),
+        }
+    }
+}
+
+impl std::error::Error for BackendError {}
+
 /// Where the token currently is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TokenState {
@@ -145,10 +168,39 @@ impl TokenBackend {
         self.grants
     }
 
-    /// Registers a container with its resource spec.
-    pub fn register(&mut self, client: ClientId, spec: ShareSpec) {
-        let prev = self.clients.insert(client, spec);
-        assert!(prev.is_none(), "{client} registered twice");
+    /// Registers a container with its resource spec. Re-registration after
+    /// a [`TokenBackend::restart`] is the normal recovery path; registering
+    /// an already-known client is an error.
+    pub fn register(&mut self, client: ClientId, spec: ShareSpec) -> Result<(), BackendError> {
+        if self.clients.contains_key(&client) {
+            return Err(BackendError::AlreadyRegistered(client));
+        }
+        self.clients.insert(client, spec);
+        Ok(())
+    }
+
+    /// Simulates the backend daemon dying and coming back: all soft state —
+    /// registrations, the wait queue, the usage window, any held or
+    /// in-flight token — is lost. The epoch bump makes every outstanding
+    /// timer stale, so nothing from the previous incarnation can fire into
+    /// the new one. Frontends must re-register (and re-request) to rebuild
+    /// the queue; the cumulative grant counter survives for reporting.
+    pub fn restart(&mut self, _now: SimTime) {
+        self.clients.clear();
+        self.wants.clear();
+        self.window = UsageWindow::new(self.cfg.window);
+        self.state = TokenState::Free;
+        self.epoch += 1;
+        self.retry_scheduled = false;
+    }
+
+    /// Registered clients and their specs, in deterministic id order
+    /// (snapshot this before a simulated restart to drive re-registration).
+    pub fn registered(&self) -> Vec<(ClientId, ShareSpec)> {
+        let mut v: Vec<(ClientId, ShareSpec)> =
+            self.clients.iter().map(|(&c, &s)| (c, s)).collect();
+        v.sort_by_key(|(c, _)| *c);
+        v
     }
 
     /// Deregisters a departing container, releasing the token if held.
@@ -174,21 +226,27 @@ impl TokenBackend {
     }
 
     /// A container requests the token (frontend blocked on a CUDA call).
-    /// Returns `true` if the client now holds a valid token (it already
-    /// held one), `false` if it must wait for a grant.
-    pub fn request(&mut self, now: SimTime, client: ClientId, out: &mut Vec<BackendTimer>) -> bool {
-        assert!(
-            self.clients.contains_key(&client),
-            "{client} not registered"
-        );
+    /// Returns `Ok(true)` if the client now holds a valid token (it already
+    /// held one), `Ok(false)` if it must wait for a grant, and
+    /// [`BackendError::UnknownClient`] if it is not registered (e.g. its
+    /// registration was lost to a backend restart).
+    pub fn request(
+        &mut self,
+        now: SimTime,
+        client: ClientId,
+        out: &mut Vec<BackendTimer>,
+    ) -> Result<bool, BackendError> {
+        if !self.clients.contains_key(&client) {
+            return Err(BackendError::UnknownClient(client));
+        }
         if let TokenState::Held { by, expires, .. } = self.state {
             if by == client && expires > now {
-                return true;
+                return Ok(true);
             }
         }
         self.wants.insert(client);
         self.dispatch(now, out);
-        matches!(self.state, TokenState::Held { by, .. } if by == client)
+        Ok(matches!(self.state, TokenState::Held { by, .. } if by == client))
     }
 
     /// Withdraws a pending token request. Frontends call this when their
@@ -394,9 +452,9 @@ mod tests {
     #[test]
     fn lone_request_granted_after_handoff() {
         let mut b = TokenBackend::new(cfg());
-        b.register(A, spec(0.5, 1.0));
+        b.register(A, spec(0.5, 1.0)).unwrap();
         let mut out = Vec::new();
-        assert!(!b.request(t(0), A, &mut out));
+        assert!(!b.request(t(0), A, &mut out).unwrap());
         assert_eq!(out.len(), 1);
         let (holder, expires) = drive_grant(&mut b, &mut out);
         assert_eq!(holder, A);
@@ -408,15 +466,15 @@ mod tests {
     #[test]
     fn expiry_frees_and_regrants() {
         let mut b = TokenBackend::new(cfg());
-        b.register(A, spec(0.5, 1.0));
-        b.register(B, spec(0.5, 1.0));
+        b.register(A, spec(0.5, 1.0)).unwrap();
+        b.register(B, spec(0.5, 1.0)).unwrap();
         let mut out = Vec::new();
-        b.request(t(0), A, &mut out);
+        b.request(t(0), A, &mut out).unwrap();
         let (h1, exp1) = drive_grant(&mut b, &mut out);
         assert_eq!(h1, A);
         out.clear();
         // B arrives and waits.
-        assert!(!b.request(t(50), B, &mut out));
+        assert!(!b.request(t(50), B, &mut out).unwrap());
         assert!(out.is_empty(), "token is held; no dispatch yet");
         // Quota expires; B (lower usage) gets the next grant.
         let expired_epoch = match b.state() {
@@ -430,11 +488,99 @@ mod tests {
     }
 
     #[test]
+    fn restart_loses_state_and_invalidates_timers() {
+        let mut b = TokenBackend::new(cfg());
+        b.register(A, spec(0.5, 1.0)).unwrap();
+        b.register(B, spec(0.5, 1.0)).unwrap();
+        let mut out = Vec::new();
+        b.request(t(0), A, &mut out).unwrap();
+        let (_, exp) = drive_grant(&mut b, &mut out);
+        let held_epoch = match b.state() {
+            TokenState::Held { epoch, .. } => epoch,
+            s => panic!("unexpected state {s:?}"),
+        };
+        out.clear();
+        b.restart(t(40));
+        assert_eq!(b.state(), TokenState::Free);
+        assert!(b.registered().is_empty());
+        // The pre-restart expiry timer is stale and harmless.
+        assert_eq!(b.on_expiry(exp, held_epoch, &mut out), None);
+        assert!(out.is_empty());
+        // A frontend that has not re-registered yet is refused, not
+        // panicked on.
+        assert_eq!(
+            b.request(t(41), A, &mut out),
+            Err(BackendError::UnknownClient(A))
+        );
+        // Re-registration rebuilds the queue and the token flows again.
+        b.register(A, spec(0.5, 1.0)).unwrap();
+        assert!(!b.request(t(41), A, &mut out).unwrap());
+        let (holder, _) = drive_grant(&mut b, &mut out);
+        assert_eq!(holder, A);
+    }
+
+    #[test]
+    fn dead_holder_reclaimed_within_quota_plus_handoff() {
+        // A crashes silently while holding the token (no deregister ever
+        // reaches the backend). The quota expiry is the detection bound:
+        // the next waiter must hold a valid token no later than
+        // grant_effective + quota + handoff.
+        let mut b = TokenBackend::new(cfg());
+        b.register(A, spec(0.5, 1.0)).unwrap();
+        b.register(B, spec(0.5, 1.0)).unwrap();
+        let mut out = Vec::new();
+        b.request(t(0), A, &mut out).unwrap();
+        let (h, exp) = drive_grant(&mut b, &mut out);
+        assert_eq!(h, A);
+        let granted_at = t(1); // request at 0 + 1ms handoff
+        out.clear();
+        b.request(t(10), B, &mut out).unwrap();
+        // A dies at t=50; nothing happens until the expiry timer fires.
+        let held_epoch = match b.state() {
+            TokenState::Held { epoch, .. } => epoch,
+            s => panic!("unexpected state {s:?}"),
+        };
+        out.clear();
+        assert_eq!(b.on_expiry(exp, held_epoch, &mut out), Some(A));
+        let (h2, _) = drive_grant(&mut b, &mut out);
+        assert_eq!(h2, B);
+        let bound = granted_at + cfg().quota + cfg().handoff;
+        assert!(
+            b.holds_valid_token(bound, B) || b.holder(bound) == Some(B),
+            "B must hold the token by grant + quota + handoff"
+        );
+    }
+
+    #[test]
+    fn deregister_of_dead_holder_regrants_immediately() {
+        // When the crash *is* observed (the embedding detaches the dead
+        // container), reclamation costs only the handoff.
+        let mut b = TokenBackend::new(cfg());
+        b.register(A, spec(0.5, 1.0)).unwrap();
+        b.register(B, spec(0.5, 1.0)).unwrap();
+        let mut out = Vec::new();
+        b.request(t(0), A, &mut out).unwrap();
+        drive_grant(&mut b, &mut out);
+        out.clear();
+        b.request(t(10), B, &mut out).unwrap();
+        out.clear();
+        b.deregister(t(20), A, &mut out);
+        let grant_at = out
+            .iter()
+            .find_map(|timer| match timer {
+                BackendTimer::GrantEffective { at, .. } => Some(*at),
+                _ => None,
+            })
+            .expect("grant to the waiter is in flight");
+        assert_eq!(grant_at, t(20) + cfg().handoff);
+    }
+
+    #[test]
     fn stale_expiry_ignored() {
         let mut b = TokenBackend::new(cfg());
-        b.register(A, spec(0.5, 1.0));
+        b.register(A, spec(0.5, 1.0)).unwrap();
         let mut out = Vec::new();
-        b.request(t(0), A, &mut out);
+        b.request(t(0), A, &mut out).unwrap();
         let (_, exp) = drive_grant(&mut b, &mut out);
         out.clear();
         // Holder releases before expiry.
@@ -448,13 +594,13 @@ mod tests {
     #[test]
     fn release_regrants_to_waiter() {
         let mut b = TokenBackend::new(cfg());
-        b.register(A, spec(0.5, 1.0));
-        b.register(B, spec(0.5, 1.0));
+        b.register(A, spec(0.5, 1.0)).unwrap();
+        b.register(B, spec(0.5, 1.0)).unwrap();
         let mut out = Vec::new();
-        b.request(t(0), A, &mut out);
+        b.request(t(0), A, &mut out).unwrap();
         drive_grant(&mut b, &mut out);
         out.clear();
-        b.request(t(10), B, &mut out);
+        b.request(t(10), B, &mut out).unwrap();
         b.release(t(20), A, &mut out);
         let (h, _) = drive_grant(&mut b, &mut out);
         assert_eq!(h, B);
@@ -463,9 +609,9 @@ mod tests {
     #[test]
     fn at_limit_requester_waits_for_decay() {
         let mut b = TokenBackend::new(cfg());
-        b.register(A, spec(0.1, 0.2));
+        b.register(A, spec(0.1, 0.2)).unwrap();
         let mut out = Vec::new();
-        b.request(t(0), A, &mut out);
+        b.request(t(0), A, &mut out).unwrap();
         let (_, exp) = drive_grant(&mut b, &mut out);
         out.clear();
         // A holds 100ms of the first ~101ms: usage ≈ 1.0 >> limit 0.2.
@@ -506,25 +652,25 @@ mod tests {
     #[test]
     fn request_while_holding_is_true() {
         let mut b = TokenBackend::new(cfg());
-        b.register(A, spec(0.5, 1.0));
+        b.register(A, spec(0.5, 1.0)).unwrap();
         let mut out = Vec::new();
-        b.request(t(0), A, &mut out);
+        b.request(t(0), A, &mut out).unwrap();
         drive_grant(&mut b, &mut out);
         out.clear();
-        assert!(b.request(t(50), A, &mut out));
+        assert!(b.request(t(50), A, &mut out).unwrap());
         assert!(out.is_empty());
     }
 
     #[test]
     fn deregister_holder_frees_token() {
         let mut b = TokenBackend::new(cfg());
-        b.register(A, spec(0.5, 1.0));
-        b.register(B, spec(0.5, 1.0));
+        b.register(A, spec(0.5, 1.0)).unwrap();
+        b.register(B, spec(0.5, 1.0)).unwrap();
         let mut out = Vec::new();
-        b.request(t(0), A, &mut out);
+        b.request(t(0), A, &mut out).unwrap();
         drive_grant(&mut b, &mut out);
         out.clear();
-        b.request(t(10), B, &mut out);
+        b.request(t(10), B, &mut out).unwrap();
         b.deregister(t(20), A, &mut out);
         let (h, _) = drive_grant(&mut b, &mut out);
         assert_eq!(h, B);
@@ -534,9 +680,9 @@ mod tests {
     #[test]
     fn deregister_in_transit_target_invalidates_grant() {
         let mut b = TokenBackend::new(cfg());
-        b.register(A, spec(0.5, 1.0));
+        b.register(A, spec(0.5, 1.0)).unwrap();
         let mut out = Vec::new();
-        b.request(t(0), A, &mut out);
+        b.request(t(0), A, &mut out).unwrap();
         let (at, epoch) = match out[0] {
             BackendTimer::GrantEffective { at, epoch } => (at, epoch),
             _ => unreachable!(),
@@ -550,9 +696,9 @@ mod tests {
     #[test]
     fn grant_counter_increments() {
         let mut b = TokenBackend::new(cfg());
-        b.register(A, spec(0.5, 1.0));
+        b.register(A, spec(0.5, 1.0)).unwrap();
         let mut out = Vec::new();
-        b.request(t(0), A, &mut out);
+        b.request(t(0), A, &mut out).unwrap();
         drive_grant(&mut b, &mut out);
         assert_eq!(b.grant_count(), 1);
     }

@@ -29,7 +29,7 @@ pub mod spec;
 pub mod swap;
 pub mod window;
 
-pub use backend::{BackendTimer, TokenBackend, TokenState, VgpuConfig};
+pub use backend::{BackendError, BackendTimer, TokenBackend, TokenState, VgpuConfig};
 pub use shared::{IsolationMode, SharedGpu, VgpuEmit, VgpuEvent, VgpuNotice};
 pub use spec::{ShareSpec, SpecError};
 pub use swap::SwapPolicy;

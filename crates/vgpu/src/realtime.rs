@@ -11,6 +11,15 @@
 //! boundary. A holder's lease turns invalid when its deadline passes, and
 //! any waiter can then reap the hold and trigger a re-grant; the previous
 //! holder's next launch re-enters `acquire`.
+//!
+//! On top of the cooperative path, the backend runs a **reaper daemon
+//! thread** (the fault-tolerance layer): every quarter quota it reaps any
+//! hold whose deadline has passed and wakes all waiters. This is what
+//! reclaims the token when a frontend is killed outright (`kill -9` — its
+//! [`TokenLease`] destructor never runs): the lease times out and the next
+//! waiter is granted within one quota, even if no waiter happens to be
+//! polling. The thread holds only a [`std::sync::Weak`] reference and
+//! exits once the backend and all its frontends are gone.
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -93,27 +102,41 @@ pub struct RtBackend {
 }
 
 impl RtBackend {
-    /// Creates a backend.
+    /// Creates a backend and starts its lease-reaper daemon thread.
     pub fn new(cfg: RtConfig) -> Self {
-        RtBackend {
-            inner: Arc::new(Inner {
-                mu: Mutex::new(State {
-                    holder: None,
-                    waiting: Default::default(),
-                    window: UsageWindow::new(SimDuration::from_micros(
-                        cfg.window.as_micros() as u64
-                    )),
-                    specs: Default::default(),
-                    mem_used: Default::default(),
-                    next_id: 1,
-                    next_gen: 1,
-                    grants: 0,
-                }),
-                cv: Condvar::new(),
-                start: Instant::now(),
-                cfg,
+        let inner = Arc::new(Inner {
+            mu: Mutex::new(State {
+                holder: None,
+                waiting: Default::default(),
+                window: UsageWindow::new(SimDuration::from_micros(cfg.window.as_micros() as u64)),
+                specs: Default::default(),
+                mem_used: Default::default(),
+                next_id: 1,
+                next_gen: 1,
+                grants: 0,
             }),
-        }
+            cv: Condvar::new(),
+            start: Instant::now(),
+            cfg,
+        });
+        let weak = Arc::downgrade(&inner);
+        let interval = (cfg.quota / 4).max(Duration::from_millis(1));
+        std::thread::Builder::new()
+            .name("ks-vgpu-lease-reaper".into())
+            .spawn(move || {
+                // Weak: the reaper must not keep a dead backend alive.
+                while let Some(inner) = weak.upgrade() {
+                    {
+                        let mut st = inner.mu.lock();
+                        inner.reap_expired(&mut st, Instant::now());
+                    }
+                    inner.cv.notify_all();
+                    drop(inner);
+                    std::thread::sleep(interval);
+                }
+            })
+            .expect("spawn lease reaper");
+        RtBackend { inner }
     }
 
     /// Registers a container; returns its frontend handle.

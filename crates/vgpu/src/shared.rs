@@ -105,6 +105,9 @@ struct Burst {
 #[derive(Debug)]
 struct Frontend {
     ctx: ContextId,
+    /// Share spec the container attached with; replayed to the backend
+    /// when re-registering after a backend restart.
+    spec: ShareSpec,
     mem_quota: u64,
     mem_used: u64,
     queue: VecDeque<Burst>,
@@ -198,6 +201,7 @@ impl SharedGpu {
             client,
             Frontend {
                 ctx,
+                spec,
                 mem_quota,
                 mem_used: 0,
                 queue: VecDeque::new(),
@@ -208,8 +212,35 @@ impl SharedGpu {
             },
         );
         self.ctx_to_client.insert(ctx, client);
-        self.backend.register(client, spec);
+        self.backend
+            .register(client, spec)
+            .expect("client ids are never reused");
         client
+    }
+
+    /// Simulates the backend daemon dying and coming back (tentpole fault
+    /// (d)): all token/queue state is lost, then every attached frontend
+    /// re-registers over IPC and re-requests the token if it has pending
+    /// work. In-flight kernels keep running on the device; their completion
+    /// re-enters the dispatch loop normally.
+    pub fn restart_backend(&mut self, now: SimTime, out: &mut VgpuEmit) {
+        self.backend.restart(now);
+        let mut clients: Vec<ClientId> = self.fronts.keys().copied().collect();
+        clients.sort();
+        let mut timers = Vec::new();
+        for client in clients {
+            let fe = self.fronts.get_mut(&client).expect("listed above");
+            fe.idle_since = None; // any cached token died with the daemon
+            let spec = fe.spec;
+            let pending = !fe.queue.is_empty() && !fe.inflight;
+            self.backend
+                .register(client, spec)
+                .expect("restart cleared all registrations");
+            if pending {
+                let _ = self.backend.request(now, client, &mut timers);
+            }
+        }
+        self.emit_timers(timers, out);
     }
 
     /// Detaches a container: frees its memory, drops queued kernels and
@@ -437,7 +468,19 @@ impl SharedGpu {
             self.device_submit(now, client, burst, out);
         } else {
             let mut timers = Vec::new();
-            let holds = self.backend.request(now, client, &mut timers);
+            let holds = match self.backend.request(now, client, &mut timers) {
+                Ok(h) => h,
+                Err(_) => {
+                    // The frontend raced a backend restart: transparently
+                    // re-register (the real library re-attaches over IPC)
+                    // and retry once.
+                    let spec = self.fronts[&client].spec;
+                    let _ = self.backend.register(client, spec);
+                    self.backend
+                        .request(now, client, &mut timers)
+                        .unwrap_or(false)
+                }
+            };
             // If an *idle* frontend is caching the token, it yields to the
             // new requester right away (mirrors the retract-time yield).
             if !holds {
@@ -725,6 +768,70 @@ mod tests {
             (1.7..=2.6).contains(&end),
             "expected ~2s at 50% duty, got {end}s"
         );
+    }
+
+    #[test]
+    fn backend_restart_mid_workload_loses_no_bursts() {
+        // The backend daemon dies and restarts while one client holds the
+        // token and another waits for it. Frontends re-register and
+        // re-request; every submitted burst still completes.
+        enum ChaosEv {
+            V(VgpuEvent),
+            Restart,
+        }
+        impl SimEvent<Harness> for ChaosEv {
+            fn fire(self, now: SimTime, w: &mut Harness, q: &mut EventQueue<Self>) {
+                let mut out = Vec::new();
+                match self {
+                    ChaosEv::V(ev) => {
+                        let mut notes = Vec::new();
+                        w.gpu.handle(now, ev, &mut out, &mut notes);
+                        for n in notes {
+                            w.notices.push((now, n));
+                        }
+                    }
+                    ChaosEv::Restart => w.gpu.restart_backend(now, &mut out),
+                }
+                for (at, ev) in out {
+                    q.schedule_at(at, ChaosEv::V(ev));
+                }
+            }
+        }
+        let device = GpuDevice::new("n", 0, GpuSpec::test_gpu(1000));
+        let mut eng: Engine<Harness, ChaosEv> = Engine::new(Harness {
+            gpu: SharedGpu::new(device, cfg(40), IsolationMode::FULL),
+            notices: Vec::new(),
+        });
+        let a = eng.world.gpu.attach(ShareSpec::new(0.5, 1.0, 0.5).unwrap());
+        let b = eng.world.gpu.attach(ShareSpec::new(0.5, 1.0, 0.5).unwrap());
+        let mut out = Vec::new();
+        for i in 0..6 {
+            eng.world
+                .gpu
+                .submit_burst(SimTime::ZERO, a, SimDuration::from_millis(15), i, &mut out);
+            eng.world.gpu.submit_burst(
+                SimTime::ZERO,
+                b,
+                SimDuration::from_millis(15),
+                100 + i,
+                &mut out,
+            );
+        }
+        for (at, ev) in out {
+            eng.queue.schedule_at(at, ChaosEv::V(ev));
+        }
+        // Kill the daemon mid-run — the token is held or in transit here.
+        eng.queue
+            .schedule_at(SimTime::from_millis(33), ChaosEv::Restart);
+        assert_eq!(eng.run_to_completion(1_000_000), RunOutcome::Drained);
+        assert_eq!(eng.world.notices.len(), 12, "no burst may be lost");
+        let done_a = eng
+            .world
+            .notices
+            .iter()
+            .filter(|(_, n)| matches!(n, VgpuNotice::BurstDone { client, .. } if *client == a))
+            .count();
+        assert_eq!(done_a, 6);
     }
 
     #[test]

@@ -1,0 +1,24 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! The workspace declares the dependency but currently only needs scoped
+//! threads, which std provides since 1.63; `scope` forwards to
+//! `std::thread::scope` with crossbeam's spelling.
+
+/// Scoped threads: spawned threads may borrow from the enclosing scope and
+/// are joined before `scope` returns.
+pub mod thread {
+    /// Runs `f` with a scope handle; all threads spawned on the scope are
+    /// joined when it ends. Mirrors `crossbeam::thread::scope`, which wraps
+    /// the closure result in `Ok`.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&'scope std::thread::Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(f))
+    }
+}
+
+/// Re-export of std mpsc as a minimal channel module.
+pub mod channel {
+    pub use std::sync::mpsc::{channel as unbounded, Receiver, Sender};
+}

@@ -1,0 +1,110 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest API this workspace uses:
+//! `proptest!` test blocks, `prop_assert*` macros, `prop_oneof!`,
+//! `Strategy` with `prop_map`/`prop_filter`/`prop_flat_map`/`boxed`,
+//! range and tuple strategies, `any::<T>()`, `collection::vec`, and
+//! `option::weighted`. Cases are generated deterministically per
+//! (test path, case index); there is no shrinking — the failing case's
+//! inputs are printed verbatim instead.
+
+pub mod collection;
+pub mod option;
+pub mod strategy;
+pub mod test_runner;
+
+/// Common imports for property tests.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+pub use strategy::{any, Just, Strategy};
+pub use test_runner::ProptestConfig;
+
+/// Defines property tests. Each `fn` body runs [`test_runner::case_count`]
+/// times with freshly generated inputs; a panic aborts the run after
+/// printing the inputs that triggered it.
+#[macro_export]
+macro_rules! proptest {
+    (@cases $default:expr; $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cases = $crate::test_runner::case_count_with($default);
+                let __hash = $crate::test_runner::hash_name(
+                    concat!(module_path!(), "::", stringify!($name)));
+                for __case in 0..__cases {
+                    let mut __rng = $crate::test_runner::TestRng::for_case(__hash, __case);
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                    let __dump = format!(
+                        concat!($("  ", stringify!($arg), " = {:?}\n",)+),
+                        $(&$arg,)+);
+                    let __outcome = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(move || { $body }));
+                    if let Err(err) = __outcome {
+                        eprintln!(
+                            "proptest case {}/{} of {} failed with inputs:\n{}",
+                            __case + 1, __cases, stringify!($name), __dump);
+                        ::std::panic::resume_unwind(err);
+                    }
+                }
+            }
+        )*
+    };
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cases ($cfg).cases as u64; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cases 64u64; $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+);
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        assert_eq!($a, $b, $($fmt)+);
+    };
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        assert_ne!($a, $b, $($fmt)+);
+    };
+}
+
+/// Uniform (or weighted, with `w => strat` arms) choice among strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat)),)+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat)),)+
+        ])
+    };
+}

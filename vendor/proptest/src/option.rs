@@ -1,0 +1,33 @@
+//! `Option` strategies.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy yielding `Some` with a configured probability.
+#[derive(Debug, Clone)]
+pub struct OptionStrategy<S> {
+    inner: S,
+    p_some: f64,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.unit_f64() < self.p_some {
+            Some(self.inner.generate(rng))
+        } else {
+            None
+        }
+    }
+}
+
+/// `Some` with probability 0.5.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    weighted(0.5, inner)
+}
+
+/// `Some` with probability `p_some`.
+pub fn weighted<S: Strategy>(p_some: f64, inner: S) -> OptionStrategy<S> {
+    assert!((0.0..=1.0).contains(&p_some), "probability out of range");
+    OptionStrategy { inner, p_some }
+}

@@ -1,0 +1,137 @@
+//! Offline stand-in for the `rand` crate (0.8 API subset).
+//!
+//! The workspace uses `rand` only through `SmallRng` plus the `Rng`,
+//! `RngCore`, and `SeedableRng` traits; this crate provides exactly that
+//! surface with a deterministic xoshiro256++ generator seeded via
+//! SplitMix64 — the same construction the real `SmallRng` uses on 64-bit
+//! targets, so seeded streams are stable and high quality.
+
+pub mod rngs;
+
+/// Low-level generator interface.
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills the buffer with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+/// Seedable generators.
+pub trait SeedableRng: Sized {
+    /// Constructs the generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types samplable uniformly from a `Range`.
+pub trait SampleUniform: PartialOrd + Copy {
+    /// Uniform sample in `[lo, hi)`.
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "empty sample range");
+                let span = (hi as u128).wrapping_sub(lo as u128) as u128;
+                // Widening-multiply rejection-free mapping (Lemire); the
+                // tiny bias over a u64 stream is irrelevant for simulation.
+                let x = rng.next_u64() as u128;
+                lo.wrapping_add(((x * span) >> 64) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        assert!(lo < hi, "empty sample range");
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        lo + (hi - lo) * unit
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        f64::sample_range(rng, lo as f64, hi as f64) as f32
+    }
+}
+
+/// Types with a "standard" distribution for [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Samples one value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+/// High-level convenience methods, blanket-implemented for every generator.
+pub trait Rng: RngCore {
+    /// Samples a value from the standard distribution of `T`.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Uniform sample from a half-open range.
+    fn gen_range<T: SampleUniform>(&mut self, range: std::ops::Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_range(self, range.start, range.end)
+    }
+
+    /// Bernoulli trial.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}

@@ -1,0 +1,17 @@
+//! Offline stand-in for `serde`.
+//!
+//! Instead of serde's visitor architecture, this crate models serialization
+//! as conversion to and from a JSON-like [`Value`] tree: `Serialize`
+//! produces a [`Value`], `Deserialize` consumes one. `serde_json` then
+//! renders/parses that tree. The derive macros in `serde_derive` generate
+//! the conversions for plain structs and enums (no attributes, no
+//! generics), which is everything this workspace uses.
+
+mod de;
+mod ser;
+pub mod value;
+
+pub use de::{Deserialize, Error};
+pub use ser::Serialize;
+pub use serde_derive::{Deserialize, Serialize};
+pub use value::Value;
