@@ -14,6 +14,15 @@
 //!    backend (must be ≤ quota + handoff) and a `SharedGpu` workload that
 //!    loses its backend daemon repeatedly (no burst may be lost).
 //!
+//! All measurements are read back from the instrumented stack's telemetry
+//! rather than kept in soak-local shadow accounting: the running count is
+//! the `ks_sched_running_sharepods` gauge, node-crash times come from the
+//! chaos subsystem's `node_outage` span begins, fault counts from
+//! `ks_chaos_faults_total`, reclamation latency from the token backend's
+//! `ks_vgpu_lease_reclaim_seconds` histogram and burst loss from the
+//! `ks_vgpu_bursts_{submitted,completed}_total` counters. The soak thereby
+//! doubles as an end-to-end check that the metrics themselves are right.
+//!
 //! Every acceptance bound is asserted in [`run`] itself so the CI soak
 //! step fails loudly.
 
@@ -22,10 +31,9 @@ use ks_cluster::api::pod::PodSpec;
 use ks_cluster::api::ResourceList;
 use ks_gpu::device::{GpuDevice, GpuSpec};
 use ks_sim_core::prelude::*;
-use ks_vgpu::{
-    IsolationMode, ShareSpec, SharedGpu, TokenBackend, VgpuConfig, VgpuEvent, VgpuNotice,
-};
-use kubeshare::sharepod::{SharePodPhase, SharePodSpec};
+use ks_telemetry::{EventKind, Telemetry};
+use ks_vgpu::{IsolationMode, ShareSpec, SharedGpu, TokenBackend, VgpuConfig, VgpuEvent};
+use kubeshare::sharepod::SharePodSpec;
 use kubeshare::system::{KsConfig, KsEmit, KsEvent, RestartPolicy};
 use kubeshare::KubeShareSystem;
 
@@ -45,9 +53,10 @@ pub struct ChaosReport {
     pub seed: u64,
     /// Fault-free steady running count (the throughput baseline).
     pub baseline_running: usize,
-    /// Node-crash events injected.
+    /// Node-crash events fired (`ks_chaos_faults_total{kind="node_crash"}`).
     pub node_failures: usize,
-    /// Container-crash events injected (with a live victim).
+    /// Container-crash events fired
+    /// (`ks_chaos_faults_total{kind="container_crash"}`).
     pub container_crashes: usize,
     /// Seconds to re-attain ≥ 90 % of baseline after each node failure.
     pub recoveries: Vec<f64>,
@@ -71,10 +80,10 @@ pub struct ChaosReport {
 
 struct World {
     ks: KubeShareSystem,
-    /// (time, running sharePods) sampled once per simulated second.
+    telemetry: Telemetry,
+    /// (time, running sharePods) sampled once per simulated second from
+    /// the `ks_sched_running_sharepods` gauge.
     samples: Vec<(SimTime, usize)>,
-    /// Applied fault events, in firing order.
-    fault_log: Vec<(SimTime, ChaosEvent)>,
 }
 
 enum Ev {
@@ -84,24 +93,14 @@ enum Ev {
 }
 
 impl World {
-    fn running(&self) -> usize {
-        self.ks
-            .sharepods()
-            .iter()
-            .filter(|(_, sp)| sp.status.phase == SharePodPhase::Running)
-            .count()
-    }
-
     fn apply_chaos(&mut self, now: SimTime, ev: ChaosEvent, out: &mut KsEmit) {
         let mut notes = Vec::new();
         match ev {
             ChaosEvent::NodeCrash { node } => {
-                self.fault_log.push((now, ev));
                 self.ks
                     .fail_node(now, &format!("node-{node}"), out, &mut notes);
             }
             ChaosEvent::NodeRecover { node } => {
-                self.fault_log.push((now, ev));
                 self.ks.recover_node(now, &format!("node-{node}"), out);
             }
             ChaosEvent::ContainerCrash => {
@@ -112,7 +111,6 @@ impl World {
                     .and_then(|inj| inj.pick_victim(pods.len()))
                     .map(|i| pods[i]);
                 if let Some(pod) = victim {
-                    self.fault_log.push((now, ev));
                     self.ks.crash_pod(now, pod, "chaos", out, &mut notes);
                 }
             }
@@ -141,7 +139,8 @@ impl SimEvent<World> for Ev {
                 }
             }
             Ev::Sample => {
-                w.samples.push((now, w.running()));
+                let running = w.telemetry.gauge("ks_sched_running_sharepods", &[]).get();
+                w.samples.push((now, running as usize));
                 if now < SimTime::from_secs(RUN_SECS) {
                     q.schedule_at(now + SimDuration::from_secs(1), Ev::Sample);
                 }
@@ -162,7 +161,12 @@ fn sp_spec() -> SharePodSpec {
 
 struct ChurnOutcome {
     samples: Vec<(SimTime, usize)>,
-    fault_log: Vec<(SimTime, ChaosEvent)>,
+    /// Fire time of each node crash: the `begin` edge of every
+    /// `chaos/node_outage` span (open spans included — a crash whose
+    /// recovery never fired still counts as a failure).
+    crash_times: Vec<SimTime>,
+    node_failures: usize,
+    container_crashes: usize,
     trace: Vec<FaultRecord>,
     leaked: usize,
     final_running: usize,
@@ -170,6 +174,7 @@ struct ChurnOutcome {
 
 /// Runs the long-running-service workload under the given fault config.
 fn churn_run(chaos: Option<ChaosConfig>) -> ChurnOutcome {
+    let telemetry = Telemetry::enabled();
     let mut ks = KubeShareSystem::new(
         crate::harness::cluster_config(NODES, GPUS_PER_NODE),
         KsConfig {
@@ -179,6 +184,7 @@ fn churn_run(chaos: Option<ChaosConfig>) -> ChurnOutcome {
             ..KsConfig::default()
         },
     );
+    ks.set_telemetry(telemetry.clone());
     let mut initial = Vec::new();
     if let Some(cfg) = chaos {
         let mut inj = ChaosInjector::new(cfg, NODES);
@@ -187,8 +193,8 @@ fn churn_run(chaos: Option<ChaosConfig>) -> ChurnOutcome {
     }
     let mut eng: Engine<World, Ev> = Engine::new(World {
         ks,
+        telemetry: telemetry.clone(),
         samples: Vec::new(),
-        fault_log: Vec::new(),
     });
     let mut out = Vec::new();
     for i in 0..PODS {
@@ -234,7 +240,29 @@ fn churn_run(chaos: Option<ChaosConfig>) -> ChurnOutcome {
                 .is_some_and(|n| down.iter().any(|x| x == n))
         })
         .count();
-    let final_running = eng.world.running();
+    let snapshot = telemetry.snapshot();
+    let crash_times: Vec<SimTime> = telemetry
+        .trace_events()
+        .iter()
+        .filter(|e| {
+            e.subsystem == "chaos" && e.name == "node_outage" && e.kind == EventKind::SpanBegin
+        })
+        .map(|e| e.at)
+        .collect();
+    let node_failures = snapshot
+        .counter_value("ks_chaos_faults_total", &[("kind", "node_crash")])
+        .unwrap_or(0) as usize;
+    assert_eq!(
+        crash_times.len(),
+        node_failures,
+        "every fired node crash must open an outage span"
+    );
+    let container_crashes = snapshot
+        .counter_value("ks_chaos_faults_total", &[("kind", "container_crash")])
+        .unwrap_or(0) as usize;
+    let final_running = snapshot
+        .gauge_value("ks_sched_running_sharepods", &[])
+        .unwrap_or(0.0) as usize;
     let trace = eng
         .world
         .ks
@@ -243,7 +271,9 @@ fn churn_run(chaos: Option<ChaosConfig>) -> ChurnOutcome {
         .unwrap_or_default();
     ChurnOutcome {
         samples: std::mem::take(&mut eng.world.samples),
-        fault_log: std::mem::take(&mut eng.world.fault_log),
+        crash_times,
+        node_failures,
+        container_crashes,
         trace,
         leaked,
         final_running,
@@ -252,10 +282,9 @@ fn churn_run(chaos: Option<ChaosConfig>) -> ChurnOutcome {
 
 /// Time from each node crash until the running count re-attains the target.
 fn recovery_times(out: &ChurnOutcome, target: usize) -> Vec<f64> {
-    out.fault_log
+    out.crash_times
         .iter()
-        .filter(|(_, ev)| matches!(ev, ChaosEvent::NodeCrash { .. }))
-        .map(|&(tc, _)| {
+        .map(|&tc| {
             out.samples
                 .iter()
                 .find(|&&(t, count)| t >= tc && count >= target)
@@ -270,11 +299,15 @@ fn recovery_times(out: &ChurnOutcome, target: usize) -> Vec<f64> {
 // ---------------------------------------------------------------------------
 
 /// Dead-holder reclamation on the raw token backend: A is granted and then
-/// dies silently; B waits. Returns (measured, bound) in milliseconds.
+/// dies silently; B waits. The latency is read back from the backend's own
+/// `ks_vgpu_lease_reclaim_seconds` histogram. Returns (measured, bound) in
+/// milliseconds.
 fn reclamation_latency() -> (f64, f64) {
     use ks_vgpu::window::ClientId;
+    let telemetry = Telemetry::enabled();
     let cfg = VgpuConfig::default();
     let mut b = TokenBackend::new(cfg);
+    b.set_telemetry(telemetry.clone(), "gpu-0");
     let a = ClientId(1);
     let w = ClientId(2);
     b.register(a, ShareSpec::new(0.5, 1.0, 0.5).unwrap())
@@ -306,24 +339,27 @@ fn reclamation_latency() -> (f64, f64) {
     timers.clear();
     let expired = b.on_expiry(expiry, expiry_epoch, &mut timers);
     assert_eq!(expired, Some(a));
-    let regrant_at = timers
-        .iter()
-        .find_map(|t| match t {
-            ks_vgpu::BackendTimer::GrantEffective { at, .. } => Some(*at),
-            _ => None,
-        })
-        .expect("waiter regranted");
-    let measured = regrant_at.saturating_since(granted_at).as_secs_f64() * 1e3;
+    let snap = telemetry.snapshot();
+    assert_eq!(
+        snap.counter_value("ks_vgpu_lease_reclaims_total", &[("gpu", "gpu-0")]),
+        Some(1),
+        "exactly one dead-holder reclamation"
+    );
+    let (count, sum) = snap
+        .histogram_count_sum("ks_vgpu_lease_reclaim_seconds", &[("gpu", "gpu-0")])
+        .expect("reclaim latency recorded");
+    assert_eq!(count, 1);
+    let measured = sum * 1e3;
     let bound = (cfg.quota + cfg.handoff).as_secs_f64() * 1e3;
     (measured, bound)
 }
 
 /// A `SharedGpu` fleet losing its backend daemon on the injector's backend
-/// stream; returns the number of lost bursts (submitted − completed).
+/// stream; returns the number of lost bursts, read from the device's
+/// `ks_vgpu_bursts_{submitted,completed}_total` counters.
 fn restart_soak(seed: u64) -> usize {
     struct TokWorld {
         gpu: SharedGpu,
-        done: usize,
     }
     enum TokEv {
         V(VgpuEvent),
@@ -336,10 +372,6 @@ fn restart_soak(seed: u64) -> usize {
                 TokEv::V(ev) => {
                     let mut notes = Vec::new();
                     w.gpu.handle(now, ev, &mut out, &mut notes);
-                    w.done += notes
-                        .iter()
-                        .filter(|n| matches!(n, VgpuNotice::BurstDone { .. }))
-                        .count();
                 }
                 TokEv::Restart => w.gpu.restart_backend(now, &mut out),
             }
@@ -348,15 +380,14 @@ fn restart_soak(seed: u64) -> usize {
             }
         }
     }
+    let telemetry = Telemetry::enabled();
     let device = GpuDevice::new("n", 0, GpuSpec::test_gpu(1000));
-    let mut eng: Engine<TokWorld, TokEv> = Engine::new(TokWorld {
-        gpu: SharedGpu::new(device, VgpuConfig::default(), IsolationMode::FULL),
-        done: 0,
-    });
+    let mut gpu = SharedGpu::new(device, VgpuConfig::default(), IsolationMode::FULL);
+    gpu.set_telemetry(telemetry.clone());
+    let mut eng: Engine<TokWorld, TokEv> = Engine::new(TokWorld { gpu });
     let clients: Vec<_> = (0..3)
         .map(|_| eng.world.gpu.attach(ShareSpec::new(0.3, 1.0, 0.3).unwrap()))
         .collect();
-    let submitted = 3 * 40;
     let mut out = Vec::new();
     for (ci, &c) in clients.iter().enumerate() {
         for i in 0..40u64 {
@@ -396,7 +427,11 @@ fn restart_soak(seed: u64) -> usize {
         eng.queue.schedule_at(at, TokEv::Restart);
     }
     assert_eq!(eng.run_to_completion(10_000_000), RunOutcome::Drained);
-    submitted - eng.world.done
+    let snap = telemetry.snapshot();
+    let submitted = snap.counter_sum("ks_vgpu_bursts_submitted_total") as usize;
+    let done = snap.counter_sum("ks_vgpu_bursts_completed_total") as usize;
+    assert_eq!(submitted, 3 * 40, "all bursts accounted as submitted");
+    submitted - done
 }
 
 // ---------------------------------------------------------------------------
@@ -418,14 +453,14 @@ pub fn run(seed: u64) -> ChaosReport {
     let churn = churn_run(Some(cfg.clone()));
     let replay = churn_run(Some(cfg));
     let replay_identical = churn.trace == replay.trace
-        && churn.fault_log == replay.fault_log
+        && churn.crash_times == replay.crash_times
         && churn.samples == replay.samples;
     assert!(replay_identical, "same seed must replay identically");
 
     let target = (baseline_running * 9).div_ceil(10);
     let recoveries = recovery_times(&churn, target);
     if std::env::var("CHAOS_DEBUG").is_ok() {
-        eprintln!("fault log: {:#?}", churn.fault_log);
+        eprintln!("crash times: {:?}", churn.crash_times);
         eprintln!(
             "samples: {:?}",
             churn
@@ -459,16 +494,8 @@ pub fn run(seed: u64) -> ChaosReport {
     ChaosReport {
         seed,
         baseline_running,
-        node_failures: churn
-            .fault_log
-            .iter()
-            .filter(|(_, e)| matches!(e, ChaosEvent::NodeCrash { .. }))
-            .count(),
-        container_crashes: churn
-            .fault_log
-            .iter()
-            .filter(|(_, e)| matches!(e, ChaosEvent::ContainerCrash))
-            .count(),
+        node_failures: churn.node_failures,
+        container_crashes: churn.container_crashes,
         recoveries,
         leaked_vgpus: churn.leaked,
         final_running: churn.final_running,

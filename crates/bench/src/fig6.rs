@@ -54,7 +54,15 @@ pub struct Fig6Result {
 
 /// Runs the experiment.
 pub fn run(seed: u64) -> Fig6Result {
+    run_with_telemetry(seed, ks_telemetry::Telemetry::disabled())
+}
+
+/// Runs the experiment with the device library instrumented: every usage
+/// sample is mirrored to the `ks_vgpu_window_usage{gpu,client}` gauges, so
+/// an exported snapshot can be checked against the harness's own series.
+pub fn run_with_telemetry(seed: u64, telemetry: ks_telemetry::Telemetry) -> Fig6Result {
     let mut h = SingleGpu::new(VgpuConfig::default(), IsolationMode::FULL);
+    h.set_telemetry(telemetry);
     let presets = [
         (fig6_job_a(), 0u64),
         (fig6_job_b(), 200),

@@ -314,6 +314,16 @@ impl KsHarness {
         idx
     }
 
+    /// Attaches a telemetry handle to every layer of the world: the
+    /// KubeShare control plane (and through it the cluster substrate and
+    /// any chaos injector) plus each GPU's device library + token backend.
+    pub fn set_telemetry(&mut self, telemetry: ks_telemetry::Telemetry) {
+        self.eng.world.ks.set_telemetry(telemetry.clone());
+        for gpu in self.eng.world.gpus.values_mut() {
+            gpu.set_telemetry(telemetry.clone());
+        }
+    }
+
     /// Starts periodic NVML + pool sampling.
     pub fn enable_sampling(&mut self, period: SimDuration) {
         self.eng.world.sample_period = period;

@@ -172,6 +172,11 @@ impl SingleGpu {
         }
     }
 
+    /// Attaches a telemetry handle to the GPU's device library + backend.
+    pub fn set_telemetry(&mut self, telemetry: ks_telemetry::Telemetry) {
+        self.eng.world.gpu.set_telemetry(telemetry);
+    }
+
     /// Adds a job arriving at its `arrival` time.
     pub fn add_job(&mut self, job: SgJob, rng: SimRng) -> usize {
         let idx = self.eng.world.jobs.len();

@@ -22,4 +22,5 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod metrics_demo;
 pub mod table1;

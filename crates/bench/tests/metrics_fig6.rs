@@ -1,0 +1,64 @@
+//! Integration: the `ks_vgpu_window_usage{gpu,client}` gauges exported by
+//! the instrumented device library agree with the per-job usage series the
+//! Fig. 6 harness samples itself, and the instrumentation does not perturb
+//! the measured experiment.
+
+use ks_bench::fig6;
+use ks_telemetry::export::{to_json, to_prometheus_text, verify_agreement};
+use ks_telemetry::Telemetry;
+
+#[test]
+fn window_usage_metrics_match_fig6_series() {
+    let telemetry = Telemetry::enabled();
+    let r = fig6::run_with_telemetry(11, telemetry.clone());
+    let snap = telemetry.snapshot();
+
+    let gpu = r.harness.eng.world.gpu.device().uuid().to_string();
+    for (j, name) in ["A", "B", "C"].iter().enumerate() {
+        let job = &r.harness.eng.world.jobs[j];
+        let &(_, last) = job.usage.points().last().expect("job was sampled");
+        let client = job.client.expect("job attached").to_string();
+        let metric = snap
+            .gauge_value(
+                "ks_vgpu_window_usage",
+                &[("gpu", gpu.as_str()), ("client", client.as_str())],
+            )
+            .unwrap_or_else(|| panic!("no window-usage gauge for job {name}"));
+        // The gauge is last-write-wins and the harness writes it from the
+        // same `client_usage` call that feeds the series, so the two must
+        // agree exactly on the final sample.
+        assert!(
+            (metric - last).abs() < 1e-12,
+            "job {name}: gauge {metric} vs sampled series {last}"
+        );
+    }
+
+    // Both export formats agree on the instrumented run's snapshot.
+    let agreed =
+        verify_agreement(&to_prometheus_text(&snap), &to_json(&snap)).expect("exports must agree");
+    assert!(agreed >= 3, "expected at least the three usage gauges");
+
+    // The recorded phases still match the paper shape (tolerances as in
+    // the fig6 unit test): telemetry must be observation-only.
+    let tol = 0.07;
+    assert!(
+        (r.phases[0].a.unwrap() - 0.6).abs() < tol,
+        "{:?}",
+        r.phases[0].a
+    );
+    assert!(
+        (r.phases[1].a.unwrap() - 0.5).abs() < tol,
+        "{:?}",
+        r.phases[1].a
+    );
+    assert!(
+        (r.phases[1].b.unwrap() - 0.5).abs() < tol,
+        "{:?}",
+        r.phases[1].b
+    );
+    assert!(
+        (r.phases[2].c.unwrap() - 0.3).abs() < tol,
+        "{:?}",
+        r.phases[2].c
+    );
+}

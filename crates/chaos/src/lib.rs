@@ -17,6 +17,7 @@
 
 use ks_sim_core::rng::SimRng;
 use ks_sim_core::time::{SimDuration, SimTime};
+use ks_telemetry::{SpanId, Telemetry};
 
 /// Failure classes the injector can schedule.
 ///
@@ -138,6 +139,9 @@ pub struct ChaosInjector {
     anchor_rng: SimRng,
     victim_rng: SimRng,
     trace: Vec<FaultRecord>,
+    telemetry: Telemetry,
+    /// Open `node_outage` span per node (crash fired, recovery pending).
+    outage_spans: Vec<SpanId>,
 }
 
 impl ChaosInjector {
@@ -163,6 +167,57 @@ impl ChaosInjector {
             victim_rng: root.fork(),
             cfg,
             trace: Vec::new(),
+            telemetry: Telemetry::disabled(),
+            outage_spans: vec![SpanId::NONE; num_nodes],
+        }
+    }
+
+    /// Attaches a telemetry handle. Faults are counted when they *fire*
+    /// (i.e. when the world feeds them back through
+    /// [`ChaosInjector::next_after`]), not when they are scheduled, so the
+    /// metrics reflect what the cluster actually experienced. Node outages
+    /// additionally open a `chaos/node_outage` span closed by the matching
+    /// recovery.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+    }
+
+    fn kind_label(event: ChaosEvent) -> &'static str {
+        match event {
+            ChaosEvent::NodeCrash { .. } => "node_crash",
+            ChaosEvent::NodeRecover { .. } => "node_recover",
+            ChaosEvent::ContainerCrash => "container_crash",
+            ChaosEvent::BackendRestart => "backend_restart",
+        }
+    }
+
+    /// Records a fired fault: counter, trace event, and outage span
+    /// begin/end for node crash/recover pairs.
+    fn note_fired(&mut self, now: SimTime, event: ChaosEvent) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        let kind = Self::kind_label(event);
+        self.telemetry
+            .counter("ks_chaos_faults_total", &[("kind", kind)])
+            .inc();
+        match event {
+            ChaosEvent::NodeCrash { node } => {
+                self.outage_spans[node] = self.telemetry.span_begin(
+                    now,
+                    "chaos",
+                    "node_outage",
+                    &[("node", node.to_string())],
+                );
+            }
+            ChaosEvent::NodeRecover { node } => {
+                let span = std::mem::replace(&mut self.outage_spans[node], SpanId::NONE);
+                self.telemetry.span_end(now, span, &[]);
+            }
+            _ => {
+                self.telemetry
+                    .trace_event(now, "chaos", "fault", &[("kind", kind.to_string())]);
+            }
         }
     }
 
@@ -204,6 +259,7 @@ impl ChaosInjector {
     /// for a crash, the next crash after a recovery, or the next renewal of
     /// a cluster-wide stream. Returns `None` past the horizon.
     pub fn next_after(&mut self, now: SimTime, event: ChaosEvent) -> Option<(SimTime, ChaosEvent)> {
+        self.note_fired(now, event);
         match event {
             ChaosEvent::NodeCrash { node } => {
                 let gap = self.nodes[node].rng.exp_interarrival(self.cfg.node_mttr);
@@ -219,6 +275,11 @@ impl ChaosInjector {
         let failed = self.cfg.anchor_failure_rate > 0.0
             && self.anchor_rng.bernoulli(self.cfg.anchor_failure_rate);
         self.trace.push(FaultRecord::AnchorLaunch { failed });
+        if failed && self.telemetry.is_enabled() {
+            self.telemetry
+                .counter("ks_chaos_anchor_launch_failures_total", &[])
+                .inc();
+        }
         failed
     }
 

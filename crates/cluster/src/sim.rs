@@ -8,6 +8,7 @@
 //! world (native experiments, KubeShare, baselines) can route them.
 
 use ks_sim_core::time::SimTime;
+use ks_telemetry::Telemetry;
 
 use crate::api::meta::{Uid, UidAllocator};
 use crate::api::node::NodeConfig;
@@ -141,6 +142,7 @@ pub struct ClusterSim {
     nodes: Vec<NodeState>,
     /// Pods that found no node; retried whenever capacity frees.
     unschedulable: Vec<Uid>,
+    telemetry: Telemetry,
 }
 
 impl ClusterSim {
@@ -189,7 +191,34 @@ impl ClusterSim {
             uids: UidAllocator::new(),
             nodes,
             unschedulable: Vec::new(),
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Attaches a telemetry handle; also instruments the pod store.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.pods.instrument(telemetry.clone(), "pods");
+        self.telemetry = telemetry;
+    }
+
+    /// Counts one pod lifecycle transition and mirrors the unschedulable
+    /// queue depth, which changes on most transitions.
+    fn note_phase(&self, now: SimTime, uid: Uid, phase: &'static str) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        self.telemetry
+            .counter("ks_cluster_pod_lifecycle_total", &[("phase", phase)])
+            .inc();
+        self.telemetry
+            .gauge("ks_cluster_unschedulable_pods", &[])
+            .set(self.unschedulable.len() as f64);
+        self.telemetry.trace_event(
+            now,
+            "cluster",
+            "pod_phase",
+            &[("pod", uid.to_string()), ("phase", phase.to_string())],
+        );
     }
 
     /// Latency model in force.
@@ -284,6 +313,7 @@ impl ClusterSim {
                 self.unschedulable.retain(|&u| u != uid);
                 self.pods.delete(uid);
                 notices.push(ClusterNotice::PodDeleted { pod: uid });
+                self.note_phase(now, uid, "deleted");
             }
             PodPhase::Scheduled | PodPhase::Running => {
                 out.push((
@@ -329,6 +359,7 @@ impl ClusterSim {
             p.status.message = Some(reason.clone());
         });
         notices.push(ClusterNotice::PodFailed { pod: uid, reason });
+        self.note_phase(now, uid, "failed");
         let retry: Vec<Uid> = self.unschedulable.drain(..).collect();
         for p in retry {
             out.push((
@@ -351,7 +382,7 @@ impl ClusterSim {
     /// embedding controllers can react.
     pub fn fail_node(
         &mut self,
-        _now: SimTime,
+        now: SimTime,
         name: &str,
         notices: &mut Vec<ClusterNotice>,
     ) -> Vec<Uid> {
@@ -385,6 +416,7 @@ impl ClusterSim {
                 pod: uid,
                 reason: "node failure".into(),
             });
+            self.note_phase(now, uid, "failed");
         }
         // Everything charged against the node is gone with the kubelet.
         self.nodes[idx].allocated = ResourceList::zero();
@@ -498,12 +530,14 @@ impl ClusterSim {
                     now + self.latency.bind,
                     ClusterEvent::BindArrived { pod: uid },
                 ));
+                self.note_phase(now, uid, "scheduled");
             }
             None => {
                 if !self.unschedulable.contains(&uid) {
                     self.unschedulable.push(uid);
                 }
                 notices.push(ClusterNotice::PodUnschedulable { pod: uid });
+                self.note_phase(now, uid, "unschedulable");
             }
         }
     }
@@ -558,6 +592,7 @@ impl ClusterSim {
                             pod: uid,
                             reason: format!("{e:?}"),
                         });
+                        self.note_phase(now, uid, "failed");
                         return;
                     }
                 }
@@ -573,13 +608,14 @@ impl ClusterSim {
         out.push((now + delay, ClusterEvent::ContainerStarted { pod: uid }));
     }
 
-    fn on_started(&mut self, _now: SimTime, uid: Uid, notices: &mut Vec<ClusterNotice>) {
+    fn on_started(&mut self, now: SimTime, uid: Uid, notices: &mut Vec<ClusterNotice>) {
         let Some(pod) = self.pods.get(uid) else {
             return;
         };
         let Some(node_name) = pod.status.node_name.clone() else {
             return;
         };
+        let submitted = pod.meta.created_at;
         if let Some(n) = self.nodes.iter_mut().find(|n| n.name == node_name) {
             n.starting = n.starting.saturating_sub(1);
         }
@@ -589,6 +625,12 @@ impl ClusterSim {
         self.pods
             .mutate(uid, |p| p.status.phase = PodPhase::Running);
         notices.push(ClusterNotice::PodRunning { pod: uid });
+        if self.telemetry.is_enabled() {
+            self.telemetry
+                .histogram_seconds("ks_cluster_pod_start_seconds", &[])
+                .observe(now.saturating_since(submitted).as_secs_f64());
+        }
+        self.note_phase(now, uid, "running");
     }
 
     fn on_stopped(
@@ -621,6 +663,7 @@ impl ClusterSim {
         self.pods
             .mutate(uid, |p| p.status.phase = PodPhase::Terminated);
         notices.push(ClusterNotice::PodDeleted { pod: uid });
+        self.note_phase(now, uid, "deleted");
 
         // Capacity freed: retry everything that was unschedulable.
         let retry: Vec<Uid> = self.unschedulable.drain(..).collect();

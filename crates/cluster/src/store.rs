@@ -9,6 +9,8 @@
 
 use std::collections::HashMap;
 
+use ks_telemetry::Telemetry;
+
 use crate::api::meta::Uid;
 
 /// A change observed through a watch stream.
@@ -37,6 +39,9 @@ pub struct Store<T> {
     objects: HashMap<Uid, (T, u64)>,
     log: Vec<WatchEvent<T>>,
     revision: u64,
+    telemetry: Telemetry,
+    /// `store` label on exported metrics (e.g. "pods", "sharepods").
+    label: &'static str,
 }
 
 impl<T: Clone> Default for Store<T> {
@@ -52,6 +57,23 @@ impl<T: Clone> Store<T> {
             objects: HashMap::new(),
             log: Vec::new(),
             revision: 0,
+            telemetry: Telemetry::disabled(),
+            label: "",
+        }
+    }
+
+    /// Attaches a telemetry handle; `label` becomes the `store` dimension
+    /// on watch fan-out and revision metrics.
+    pub fn instrument(&mut self, telemetry: Telemetry, label: &'static str) {
+        self.telemetry = telemetry;
+        self.label = label;
+    }
+
+    fn record_revision(&self) {
+        if self.telemetry.is_enabled() {
+            self.telemetry
+                .gauge("ks_cluster_store_revision", &[("store", self.label)])
+                .set(self.revision as f64);
         }
     }
 
@@ -69,6 +91,7 @@ impl<T: Clone> Store<T> {
         let prev = self.objects.insert(uid, (value.clone(), self.revision));
         assert!(prev.is_none(), "create of existing object {uid}");
         self.log.push(WatchEvent::Added(uid, value));
+        self.record_revision();
         self.revision
     }
 
@@ -89,6 +112,7 @@ impl<T: Clone> Store<T> {
         self.revision += 1;
         *slot = (value.clone(), self.revision);
         self.log.push(WatchEvent::Modified(uid, value));
+        self.record_revision();
         Some(self.revision)
     }
 
@@ -100,6 +124,7 @@ impl<T: Clone> Store<T> {
         self.revision += 1;
         self.objects.get_mut(&uid).unwrap().1 = self.revision;
         self.log.push(WatchEvent::Modified(uid, updated));
+        self.record_revision();
         Some(r)
     }
 
@@ -108,6 +133,7 @@ impl<T: Clone> Store<T> {
         let (value, _) = self.objects.remove(&uid)?;
         self.revision += 1;
         self.log.push(WatchEvent::Deleted(uid, value.clone()));
+        self.record_revision();
         Some(value)
     }
 
@@ -142,6 +168,11 @@ impl<T: Clone> Store<T> {
     pub fn poll(&self, watcher: &mut Watcher) -> Vec<WatchEvent<T>> {
         let events = self.log[watcher.cursor..].to_vec();
         watcher.cursor = self.log.len();
+        if !events.is_empty() && self.telemetry.is_enabled() {
+            self.telemetry
+                .counter("ks_cluster_watch_events_total", &[("store", self.label)])
+                .add(events.len() as u64);
+        }
         events
     }
 }

@@ -73,6 +73,13 @@ fn residual_after(req: &SchedRequest, dev: &PoolDevice) -> f64 {
     (dev.util_free - req.util) + (dev.mem_free - req.mem)
 }
 
+/// The fit metric of placing `req` on an existing device: the residual
+/// Step 3 optimises, exposed so KubeShare-Sched can record the fit score
+/// of the decision it just made. `None` if the device is not in the pool.
+pub fn fit_residual(req: &SchedRequest, pool: &VgpuPool, gpuid: &GpuId) -> Option<f64> {
+    pool.get(gpuid).map(|d| residual_after(req, d))
+}
+
 /// Runs Algorithm 1. Pure with respect to pool *contents*; only consumes a
 /// fresh id from the pool's id counter when a new device is needed.
 pub fn schedule(req: &SchedRequest, pool: &mut VgpuPool) -> Decision {

@@ -30,11 +30,12 @@ use ks_cluster::api::{ObjectMeta, ResourceList, Uid, UidAllocator, NVIDIA_GPU};
 use ks_cluster::sim::{ClusterConfig, ClusterEvent, ClusterNotice, ClusterSim};
 use ks_cluster::store::Store;
 use ks_sim_core::time::{SimDuration, SimTime};
+use ks_telemetry::Telemetry;
 use ks_vgpu::ShareSpec;
 
-use crate::algorithm::{schedule, Decision, SchedRequest};
+use crate::algorithm::{fit_residual, schedule, Decision, SchedRequest};
 use crate::gpuid::GpuId;
-use crate::pool::VgpuPool;
+use crate::pool::{VgpuPhase, VgpuPool};
 use crate::sharepod::{SharePod, SharePodPhase, SharePodSpec};
 
 /// When to release idle vGPUs back to Kubernetes (paper §4.4).
@@ -289,6 +290,7 @@ pub struct KubeShareSystem {
     /// Optional fault injector consulted on anchor launches; the embedding
     /// world drives its time-based streams.
     chaos: Option<ChaosInjector>,
+    telemetry: Telemetry,
 }
 
 /// DevMgr's retry bookkeeping for one vGPU's anchor.
@@ -317,14 +319,82 @@ impl KubeShareSystem {
             anchor_retry: HashMap::new(),
             next_ticket: 0,
             chaos: None,
+            telemetry: Telemetry::disabled(),
         }
     }
 
     /// Installs a fault injector; DevMgr consults it on every anchor
     /// launch, and the embedding world drives its time-based streams
     /// through [`KubeShareSystem::chaos_mut`].
-    pub fn set_chaos(&mut self, injector: ChaosInjector) {
+    pub fn set_chaos(&mut self, mut injector: ChaosInjector) {
+        injector.set_telemetry(self.telemetry.clone());
         self.chaos = Some(injector);
+    }
+
+    /// Attaches a telemetry handle and propagates it down the stack: the
+    /// cluster substrate, the sharePod store, and any installed chaos
+    /// injector all record through the same registry and tracer. Call
+    /// order relative to [`KubeShareSystem::set_chaos`] does not matter.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.cluster.set_telemetry(telemetry.clone());
+        self.sharepods.instrument(telemetry.clone(), "sharepods");
+        if let Some(c) = self.chaos.as_mut() {
+            c.set_telemetry(telemetry.clone());
+        }
+        self.telemetry = telemetry;
+    }
+
+    /// Mirrors the vGPU pool composition and the scheduler's pending-work
+    /// depth into gauges. Called after every event that can move pool or
+    /// queue state; cheap enough that precision beats bookkeeping.
+    fn record_gauges(&self) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        let (mut creating, mut active, mut idle) = (0u32, 0u32, 0u32);
+        for d in self.pool.devices() {
+            match d.phase {
+                VgpuPhase::Creating => creating += 1,
+                VgpuPhase::Active => active += 1,
+                VgpuPhase::Idle => idle += 1,
+            }
+        }
+        for (phase, v) in [("creating", creating), ("active", active), ("idle", idle)] {
+            self.telemetry
+                .gauge("ks_devmgr_vgpus", &[("phase", phase)])
+                .set(f64::from(v));
+        }
+        let (mut pending, mut running) = (0usize, 0usize);
+        for (_, s) in self.sharepods.iter() {
+            match s.status.phase {
+                SharePodPhase::Pending => pending += 1,
+                SharePodPhase::Running => running += 1,
+                _ => {}
+            }
+        }
+        self.telemetry
+            .gauge("ks_sched_pending_sharepods", &[])
+            .set(pending as f64);
+        self.telemetry
+            .gauge("ks_sched_running_sharepods", &[])
+            .set(running as f64);
+        let waiting: usize = self.waiting.values().map(Vec::len).sum();
+        self.telemetry
+            .gauge("ks_sched_awaiting_vgpu_sharepods", &[])
+            .set(waiting as f64);
+    }
+
+    /// Counts one GPUID churn event (`vgpu_created` / `vgpu_released` /
+    /// `vgpu_lost`) for DevMgr.
+    fn note_vgpu_churn(&self, now: SimTime, event: &'static str, gpuid: &GpuId) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        self.telemetry
+            .counter("ks_devmgr_vgpu_churn_total", &[("event", event)])
+            .inc();
+        self.telemetry
+            .trace_event(now, "devmgr", event, &[("gpuid", gpuid.to_string())]);
     }
 
     /// The installed fault injector, if any.
@@ -438,6 +508,7 @@ impl KubeShareSystem {
             }
             SharePodPhase::Terminated => {}
         }
+        self.record_gauges();
     }
 
     /// Submits a *native* pod straight to Kubernetes — KubeShare does not
@@ -504,6 +575,7 @@ impl KubeShareSystem {
             }
             KsEvent::RetryAnchor { ticket } => self.on_retry_anchor(now, ticket, out, notices),
         }
+        self.record_gauges();
     }
 
     // ---- fault entry points ----
@@ -579,6 +651,7 @@ impl KubeShareSystem {
             }
             self.anchor_retry.remove(&gpuid);
             self.pool.remove(&gpuid);
+            self.note_vgpu_churn(now, "vgpu_lost", &gpuid);
             notices.push(KsNotice::VgpuLost {
                 gpuid,
                 reason: "node failure".into(),
@@ -592,6 +665,7 @@ impl KubeShareSystem {
         for sp in displaced {
             self.requeue_sharepod(now, sp, out, notices);
         }
+        self.record_gauges();
     }
 
     /// A crashed node rejoined with empty state; queued work is retried.
@@ -617,6 +691,7 @@ impl KubeShareSystem {
             .crash_pod(now, pod, reason, &mut cluster_out, &mut cluster_notes);
         lift(cluster_out, out);
         self.process_cluster_notices(now, cluster_notes, out, notices);
+        self.record_gauges();
     }
 
     /// Uids of all running sharePod backing pods (chaos victim candidates).
@@ -662,6 +737,11 @@ impl KubeShareSystem {
             s.status.message = Some("requeued after failure".into());
         });
         notices.push(KsNotice::SharePodRequeued { sp, gpuid });
+        if self.telemetry.is_enabled() {
+            self.telemetry.counter("ks_sched_requeues_total", &[]).inc();
+            self.telemetry
+                .trace_event(now, "sched", "requeue", &[("sp", sp.to_string())]);
+        }
         out.push((now + self.cfg.sched_latency, KsEvent::SchedDecide { sp }));
     }
 
@@ -680,6 +760,7 @@ impl KubeShareSystem {
         if sharepod.status.phase != SharePodPhase::Pending {
             return; // deleted while queued
         }
+        let submitted = sharepod.meta.created_at;
         let spec = sharepod.spec.clone();
         let decision = match &spec.gpuid {
             // Explicit GPUID: an existing vGPU binds directly; a
@@ -706,6 +787,49 @@ impl KubeShareSystem {
                 schedule(&req, &mut self.pool)
             }
         };
+
+        if self.telemetry.is_enabled() {
+            let outcome = match &decision {
+                Decision::Assign(_) => "assign",
+                Decision::NewDevice(_) => "new_device",
+                Decision::Reject(_) => "reject",
+            };
+            self.telemetry
+                .counter("ks_sched_decisions_total", &[("outcome", outcome)])
+                .inc();
+            // Submission-to-decision latency; re-queued sharePods keep
+            // their original submission time, so requeues stretch the tail.
+            self.telemetry
+                .histogram_seconds("ks_sched_decision_seconds", &[])
+                .observe(now.saturating_since(submitted).as_secs_f64());
+            if let Decision::Assign(gpuid) = &decision {
+                let req = SchedRequest {
+                    util: spec.share.request,
+                    mem: spec.share.mem,
+                    locality: spec.locality.clone(),
+                };
+                // util + mem residual each in [0,1] → fit score in [0,2].
+                if let Some(r) = fit_residual(&req, &self.pool, gpuid) {
+                    self.telemetry
+                        .histogram_linear("ks_sched_fit_residual", &[], 0.0, 2.0, 20)
+                        .observe(r);
+                }
+            }
+            let target = match &decision {
+                Decision::Assign(g) | Decision::NewDevice(g) => g.to_string(),
+                Decision::Reject(r) => format!("{r:?}"),
+            };
+            self.telemetry.trace_event(
+                now,
+                "sched",
+                "decision",
+                &[
+                    ("sp", sp.to_string()),
+                    ("outcome", outcome.to_string()),
+                    ("target", target),
+                ],
+            );
+        }
 
         match decision {
             Decision::Reject(reason) => {
@@ -782,6 +906,17 @@ impl KubeShareSystem {
                 attempts: 0,
                 node: node_name.clone(),
             });
+        if self.telemetry.is_enabled() {
+            self.telemetry
+                .counter("ks_devmgr_anchor_launches_total", &[])
+                .inc();
+            self.telemetry.trace_event(
+                now,
+                "devmgr",
+                "anchor_launch",
+                &[("gpuid", gpuid.to_string())],
+            );
+        }
         // An injected launch fault (image pull error, plugin hiccup, …)
         // consumes the attempt before any pod reaches the cluster.
         let injected_fail = self
@@ -834,6 +969,20 @@ impl KubeShareSystem {
             .anchor_retry_base
             .mul_f64(f64::from(1u32 << (attempts - 1).min(16)))
             .min(self.cfg.anchor_retry_cap);
+        if self.telemetry.is_enabled() {
+            self.telemetry
+                .counter("ks_devmgr_anchor_backoffs_total", &[])
+                .inc();
+            self.telemetry.trace_event(
+                now,
+                "devmgr",
+                "anchor_backoff",
+                &[
+                    ("gpuid", gpuid.to_string()),
+                    ("attempt", attempts.to_string()),
+                ],
+            );
+        }
         self.next_ticket += 1;
         self.retry_tickets.insert(self.next_ticket, gpuid);
         out.push((
@@ -897,6 +1046,7 @@ impl KubeShareSystem {
         }
         self.anchor_retry.remove(gpuid);
         self.pool.remove(gpuid);
+        self.note_vgpu_churn(now, "vgpu_lost", gpuid);
         notices.push(KsNotice::VgpuLost {
             gpuid: gpuid.clone(),
             reason: reason.into(),
@@ -1077,6 +1227,7 @@ impl KubeShareSystem {
                     if let Some(gpuid) = self.anchor_vgpu.remove(pod) {
                         self.vgpu_anchor.remove(&gpuid);
                         self.pool.remove(&gpuid);
+                        self.note_vgpu_churn(now, "vgpu_released", &gpuid);
                         notices.push(KsNotice::VgpuReleased { gpuid });
                     } else if let Some(sp) = self.pod_sp.remove(pod) {
                         self.on_sharepod_pod_deleted(now, sp, out, notices);
@@ -1211,6 +1362,7 @@ impl KubeShareSystem {
         };
         self.anchor_retry.remove(&gpuid);
         self.pool.mark_ready(&gpuid, node.clone(), uuid.clone());
+        self.note_vgpu_churn(now, "vgpu_created", &gpuid);
         notices.push(KsNotice::VgpuCreated {
             gpuid: gpuid.clone(),
             node,

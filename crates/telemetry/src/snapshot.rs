@@ -1,0 +1,253 @@
+//! Point-in-time, diffable view of a metrics registry.
+
+use ks_sim_core::histogram::Histogram;
+use serde::{Deserialize, Serialize};
+
+/// One exported histogram bucket: cumulative count of observations with
+/// value ≤ `le` (Prometheus `le` convention).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Bucket {
+    pub le: f64,
+    pub cumulative: u64,
+}
+
+/// The value of one sample.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SampleValue {
+    Counter(u64),
+    Gauge(f64),
+    Histogram {
+        buckets: Vec<Bucket>,
+        /// Observations above the last bucket bound.
+        overflow: u64,
+        count: u64,
+        sum: f64,
+    },
+}
+
+impl SampleValue {
+    /// Converts a live histogram into its cumulative-bucket export form.
+    /// Underflow observations fold into the first bucket (they are ≤ its
+    /// bound), matching the Prometheus cumulative convention.
+    pub fn histogram(h: &Histogram) -> Self {
+        let (underflow, overflow) = h.out_of_range();
+        let mut cum = underflow;
+        let buckets = h
+            .counts()
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| {
+                cum = cum.saturating_add(c);
+                Bucket {
+                    le: h.bucket_upper(i),
+                    cumulative: cum,
+                }
+            })
+            .collect();
+        SampleValue::Histogram {
+            buckets,
+            overflow,
+            count: h.total(),
+            sum: h.sum(),
+        }
+    }
+}
+
+/// One metric series in a snapshot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Sample {
+    pub name: String,
+    /// Sorted label pairs.
+    pub labels: Vec<(String, String)>,
+    pub value: SampleValue,
+}
+
+impl Sample {
+    /// `name{k="v",...}` identity string, used by both exporters.
+    pub fn series_id(&self) -> String {
+        if self.labels.is_empty() {
+            self.name.clone()
+        } else {
+            let labels: Vec<String> = self
+                .labels
+                .iter()
+                .map(|(k, v)| format!("{k}=\"{v}\""))
+                .collect();
+            format!("{}{{{}}}", self.name, labels.join(","))
+        }
+    }
+}
+
+/// An ordered set of samples taken from a registry at one instant.
+/// `PartialEq` makes snapshots directly assertable in tests, and
+/// [`MetricsSnapshot::diff`] reports series-level changes between two runs.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    samples: Vec<Sample>,
+}
+
+impl MetricsSnapshot {
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn from_samples(samples: Vec<Sample>) -> Self {
+        MetricsSnapshot { samples }
+    }
+
+    pub fn samples(&self) -> &[Sample] {
+        &self.samples
+    }
+
+    fn find(&self, name: &str, labels: &[(&str, &str)]) -> Option<&Sample> {
+        let mut want: Vec<(&str, &str)> = labels.to_vec();
+        want.sort_unstable();
+        self.samples.iter().find(|s| {
+            s.name == name
+                && s.labels.len() == want.len()
+                && s.labels
+                    .iter()
+                    .zip(&want)
+                    .all(|((k, v), (wk, wv))| k == wk && v == wv)
+        })
+    }
+
+    /// Counter value for `name{labels}`, if that series exists.
+    pub fn counter_value(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        match self.find(name, labels)?.value {
+            SampleValue::Counter(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Gauge value for `name{labels}`, if that series exists.
+    pub fn gauge_value(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        match self.find(name, labels)?.value {
+            SampleValue::Gauge(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// `(count, sum)` of a histogram series, if it exists.
+    pub fn histogram_count_sum(&self, name: &str, labels: &[(&str, &str)]) -> Option<(u64, f64)> {
+        match &self.find(name, labels)?.value {
+            SampleValue::Histogram { count, sum, .. } => Some((*count, *sum)),
+            _ => None,
+        }
+    }
+
+    /// Sums every counter series sharing `name` (any labels).
+    pub fn counter_sum(&self, name: &str) -> u64 {
+        self.samples
+            .iter()
+            .filter(|s| s.name == name)
+            .filter_map(|s| match s.value {
+                SampleValue::Counter(v) => Some(v),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// Series-level differences `other` introduces relative to `self`:
+    /// one line per added, removed, or changed series.
+    pub fn diff(&self, other: &MetricsSnapshot) -> Vec<String> {
+        let mut out = Vec::new();
+        for s in &self.samples {
+            match other
+                .samples
+                .iter()
+                .find(|o| o.series_id() == s.series_id())
+            {
+                None => out.push(format!("- {}", s.series_id())),
+                Some(o) if o.value != s.value => out.push(format!(
+                    "~ {}: {:?} -> {:?}",
+                    s.series_id(),
+                    s.value,
+                    o.value
+                )),
+                Some(_) => {}
+            }
+        }
+        for o in &other.samples {
+            if !self.samples.iter().any(|s| s.series_id() == o.series_id()) {
+                out.push(format!("+ {}", o.series_id()));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(samples: Vec<Sample>) -> MetricsSnapshot {
+        MetricsSnapshot::from_samples(samples)
+    }
+
+    #[test]
+    fn series_id_renders_labels_sorted_in() {
+        let s = Sample {
+            name: "ks_x_total".into(),
+            labels: vec![("a".into(), "1".into()), ("b".into(), "2".into())],
+            value: SampleValue::Counter(1),
+        };
+        assert_eq!(s.series_id(), "ks_x_total{a=\"1\",b=\"2\"}");
+    }
+
+    #[test]
+    fn diff_reports_added_removed_changed() {
+        let a = snap(vec![
+            Sample {
+                name: "ks_a_total".into(),
+                labels: vec![],
+                value: SampleValue::Counter(1),
+            },
+            Sample {
+                name: "ks_b".into(),
+                labels: vec![],
+                value: SampleValue::Gauge(2.0),
+            },
+        ]);
+        let b = snap(vec![
+            Sample {
+                name: "ks_a_total".into(),
+                labels: vec![],
+                value: SampleValue::Counter(5),
+            },
+            Sample {
+                name: "ks_c".into(),
+                labels: vec![],
+                value: SampleValue::Gauge(0.0),
+            },
+        ]);
+        let d = a.diff(&b);
+        assert_eq!(d.len(), 3);
+        assert!(d.iter().any(|l| l.starts_with("~ ks_a_total")));
+        assert!(d.iter().any(|l| l == "- ks_b"));
+        assert!(d.iter().any(|l| l == "+ ks_c"));
+        assert!(a.diff(&a).is_empty());
+    }
+
+    #[test]
+    fn histogram_export_folds_underflow_into_first_bucket() {
+        let mut h = Histogram::new(1.0, 5.0, 4);
+        h.record(0.5); // underflow
+        h.record(1.5);
+        h.record(10.0); // overflow
+        if let SampleValue::Histogram {
+            buckets,
+            overflow,
+            count,
+            ..
+        } = SampleValue::histogram(&h)
+        {
+            assert_eq!(buckets[0].cumulative, 2); // underflow + first bin
+            assert_eq!(buckets[3].cumulative, 2);
+            assert_eq!(overflow, 1);
+            assert_eq!(count, 3);
+        } else {
+            panic!("expected histogram");
+        }
+    }
+}

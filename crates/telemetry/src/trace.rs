@@ -1,0 +1,265 @@
+//! Structured event/span tracer keyed on [`SimTime`].
+//!
+//! Discrete-event code stamps events with the engine clock directly; the
+//! realtime vGPU backend maps `Instant`s onto `SimTime` via its run-start
+//! anchor, so both share one trace format. The buffer is capacity-capped:
+//! past [`Tracer::CAPACITY`] events new entries are dropped and counted,
+//! never reallocated without bound during long soaks.
+
+use ks_sim_core::time::SimTime;
+use parking_lot::Mutex;
+use serde::Serialize;
+
+/// Identifier linking a span's begin and end events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub struct SpanId(pub(crate) u64);
+
+impl SpanId {
+    /// The id handed out by disabled handles; `span_end` ignores it.
+    pub const NONE: SpanId = SpanId(0);
+}
+
+/// What an event marks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum EventKind {
+    Point,
+    SpanBegin,
+    SpanEnd,
+}
+
+/// One trace record.
+#[derive(Debug, Clone, Serialize)]
+pub struct TraceEvent {
+    pub at: SimTime,
+    pub subsystem: &'static str,
+    pub name: &'static str,
+    pub kind: EventKind,
+    /// 0 for point events.
+    pub span: u64,
+    pub fields: Vec<(&'static str, String)>,
+}
+
+struct TracerState {
+    events: Vec<TraceEvent>,
+    dropped: u64,
+    next_span: u64,
+}
+
+/// Append-only trace buffer behind an enabled [`crate::Telemetry`].
+pub struct Tracer {
+    state: Mutex<TracerState>,
+}
+
+impl Tracer {
+    /// Maximum retained events; beyond this, events are counted as dropped.
+    pub const CAPACITY: usize = 65_536;
+
+    pub fn new() -> Self {
+        Tracer {
+            state: Mutex::new(TracerState {
+                events: Vec::new(),
+                dropped: 0,
+                next_span: 1,
+            }),
+        }
+    }
+
+    fn push(state: &mut TracerState, ev: TraceEvent) {
+        if state.events.len() >= Self::CAPACITY {
+            state.dropped = state.dropped.saturating_add(1);
+        } else {
+            state.events.push(ev);
+        }
+    }
+
+    pub fn event(
+        &self,
+        at: SimTime,
+        subsystem: &'static str,
+        name: &'static str,
+        fields: &[(&'static str, String)],
+    ) {
+        let mut s = self.state.lock();
+        Self::push(
+            &mut s,
+            TraceEvent {
+                at,
+                subsystem,
+                name,
+                kind: EventKind::Point,
+                span: 0,
+                fields: fields.to_vec(),
+            },
+        );
+    }
+
+    pub fn span_begin(
+        &self,
+        at: SimTime,
+        subsystem: &'static str,
+        name: &'static str,
+        fields: &[(&'static str, String)],
+    ) -> SpanId {
+        let mut s = self.state.lock();
+        let id = s.next_span;
+        s.next_span += 1;
+        Self::push(
+            &mut s,
+            TraceEvent {
+                at,
+                subsystem,
+                name,
+                kind: EventKind::SpanBegin,
+                span: id,
+                fields: fields.to_vec(),
+            },
+        );
+        SpanId(id)
+    }
+
+    pub fn span_end(&self, at: SimTime, id: SpanId, fields: &[(&'static str, String)]) {
+        if id == SpanId::NONE {
+            return;
+        }
+        let mut s = self.state.lock();
+        let Some(open) = s
+            .events
+            .iter()
+            .find(|e| e.span == id.0 && e.kind == EventKind::SpanBegin)
+        else {
+            return;
+        };
+        let (subsystem, name) = (open.subsystem, open.name);
+        Self::push(
+            &mut s,
+            TraceEvent {
+                at,
+                subsystem,
+                name,
+                kind: EventKind::SpanEnd,
+                span: id.0,
+                fields: fields.to_vec(),
+            },
+        );
+    }
+
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.state.lock().events.clone()
+    }
+
+    pub fn dropped(&self) -> u64 {
+        self.state.lock().dropped
+    }
+
+    /// Completed `(begin, end)` pairs, in begin order.
+    pub fn spans(&self) -> Vec<(TraceEvent, TraceEvent)> {
+        let s = self.state.lock();
+        s.events
+            .iter()
+            .filter(|e| e.kind == EventKind::SpanBegin)
+            .filter_map(|b| {
+                s.events
+                    .iter()
+                    .find(|e| e.kind == EventKind::SpanEnd && e.span == b.span)
+                    .map(|e| (b.clone(), e.clone()))
+            })
+            .collect()
+    }
+
+    /// Distinct subsystems present in the trace, in first-seen order.
+    pub fn subsystems(&self) -> Vec<&'static str> {
+        let s = self.state.lock();
+        let mut out: Vec<&'static str> = Vec::new();
+        for e in &s.events {
+            if !out.contains(&e.subsystem) {
+                out.push(e.subsystem);
+            }
+        }
+        out
+    }
+
+    /// One line per event: `[  1.234567s] subsystem name key=value ...`.
+    pub fn render_text(&self) -> String {
+        let s = self.state.lock();
+        let mut out = String::new();
+        for e in &s.events {
+            let marker = match e.kind {
+                EventKind::Point => "",
+                EventKind::SpanBegin => " [begin]",
+                EventKind::SpanEnd => " [end]",
+            };
+            out.push_str(&format!(
+                "[{:>12.6}s] {:<8} {}{}",
+                e.at.as_secs_f64(),
+                e.subsystem,
+                e.name,
+                marker
+            ));
+            for (k, v) in &e.fields {
+                out.push_str(&format!(" {k}={v}"));
+            }
+            out.push('\n');
+        }
+        if s.dropped > 0 {
+            out.push_str(&format!("... {} events dropped (capacity)\n", s.dropped));
+        }
+        out
+    }
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_events_accumulate_in_order() {
+        let t = Tracer::new();
+        t.event(SimTime::from_millis(1), "sched", "decision", &[]);
+        t.event(
+            SimTime::from_millis(2),
+            "devmgr",
+            "anchor",
+            &[("n", "1".into())],
+        );
+        let evs = t.events();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[1].fields[0].1, "1");
+        assert_eq!(t.subsystems(), vec!["sched", "devmgr"]);
+    }
+
+    #[test]
+    fn span_end_inherits_identity_from_begin() {
+        let t = Tracer::new();
+        let id = t.span_begin(SimTime::ZERO, "chaos", "recovery", &[]);
+        t.span_end(SimTime::from_secs(3), id, &[("ok", "true".into())]);
+        let spans = t.spans();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].1.subsystem, "chaos");
+        assert_eq!(spans[0].1.name, "recovery");
+    }
+
+    #[test]
+    fn unknown_span_end_is_ignored() {
+        let t = Tracer::new();
+        t.span_end(SimTime::ZERO, SpanId(42), &[]);
+        t.span_end(SimTime::ZERO, SpanId::NONE, &[]);
+        assert!(t.events().is_empty());
+    }
+
+    #[test]
+    fn capacity_cap_counts_drops() {
+        let t = Tracer::new();
+        for _ in 0..Tracer::CAPACITY + 10 {
+            t.event(SimTime::ZERO, "x", "y", &[]);
+        }
+        assert_eq!(t.events().len(), Tracer::CAPACITY);
+        assert_eq!(t.dropped(), 10);
+        assert!(t.render_text().contains("10 events dropped"));
+    }
+}

@@ -1,0 +1,100 @@
+//! Property tests: metric aggregation must be order-independent, and the
+//! two export formats must agree for arbitrary registry contents.
+
+use ks_telemetry::{export, Telemetry};
+use proptest::prelude::*;
+
+/// One recording operation against a small fixed family of series.
+#[derive(Debug, Clone)]
+enum Op {
+    CounterInc { series: usize, n: u64 },
+    GaugeAdd { series: usize, delta: i32 },
+    Observe { series: usize, millis: u16 },
+}
+
+const COUNTER_NAMES: [&str; 3] = [
+    "ks_sched_decisions_total",
+    "ks_devmgr_anchor_launch_total",
+    "ks_vgpu_token_grants_total",
+];
+const GAUGE_NAMES: [&str; 2] = ["ks_devmgr_vgpu_pool", "ks_sched_queue_depth"];
+const HISTO_NAMES: [&str; 2] = ["ks_sched_latency_seconds", "ks_vgpu_handoff_wait_seconds"];
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..COUNTER_NAMES.len(), 1u64..100).prop_map(|(series, n)| Op::CounterInc { series, n }),
+        (0..GAUGE_NAMES.len(), -50i32..50)
+            .prop_map(|(series, delta)| Op::GaugeAdd { series, delta }),
+        (0..HISTO_NAMES.len(), 1u16..5000)
+            .prop_map(|(series, millis)| Op::Observe { series, millis }),
+    ]
+}
+
+fn counter_name(i: usize) -> &'static str {
+    COUNTER_NAMES[i]
+}
+
+fn apply(t: &Telemetry, op: &Op) {
+    match *op {
+        Op::CounterInc { series, n } => t.counter(counter_name(series), &[]).add(n),
+        Op::GaugeAdd { series, delta } => t.gauge(GAUGE_NAMES[series], &[]).add(delta as f64),
+        // Dividing by a power of two keeps every observation exactly
+        // representable, so histogram sums are order-exact; a non-dyadic
+        // divisor would make the f64 sum depend on addition order in the
+        // last bit.
+        Op::Observe { series, millis } => t
+            .histogram_seconds(HISTO_NAMES[series], &[])
+            .observe(millis as f64 / 1024.0),
+    }
+}
+
+proptest! {
+    /// Counters and histograms aggregate identically under any permutation
+    /// of the recording order; gauge `add` deltas commute. (Series that
+    /// never receive an op are absent from both snapshots, which is also
+    /// order-independent.)
+    #[test]
+    fn aggregation_is_order_independent(
+        ops in proptest::collection::vec(op_strategy(), 1..60),
+        seed in any::<u64>(),
+    ) {
+        let forward = Telemetry::enabled();
+        for op in &ops {
+            apply(&forward, op);
+        }
+
+        // A deterministic permutation derived from the seed.
+        let mut permuted: Vec<&Op> = ops.iter().collect();
+        let n = permuted.len();
+        let mut state = seed | 1;
+        for i in (1..n).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (state >> 33) as usize % (i + 1);
+            permuted.swap(i, j);
+        }
+        let shuffled = Telemetry::enabled();
+        for op in permuted {
+            apply(&shuffled, op);
+        }
+
+        // Gauge sums accumulate floating-point error across orderings only
+        // through association; with integral deltas the sums are exact.
+        prop_assert_eq!(forward.snapshot(), shuffled.snapshot());
+    }
+
+    /// For arbitrary registry contents the two export formats agree on
+    /// every flattened sample.
+    #[test]
+    fn exports_agree_for_arbitrary_contents(
+        ops in proptest::collection::vec(op_strategy(), 0..40),
+    ) {
+        let t = Telemetry::enabled();
+        for op in &ops {
+            apply(&t, op);
+        }
+        let snap = t.snapshot();
+        let prom = export::to_prometheus_text(&snap);
+        let json = export::to_json(&snap);
+        prop_assert!(export::verify_agreement(&prom, &json).is_ok());
+    }
+}

@@ -21,6 +21,7 @@
 use std::collections::{BTreeSet, HashMap};
 
 use ks_sim_core::time::{SimDuration, SimTime};
+use ks_telemetry::Telemetry;
 
 use crate::policy::{select_next, Candidate};
 use crate::spec::ShareSpec;
@@ -136,6 +137,13 @@ pub struct TokenBackend {
     retry_scheduled: bool,
     /// Total number of grants (handoffs) performed, for overhead reporting.
     grants: u64,
+    telemetry: Telemetry,
+    /// Label value for the `gpu` dimension of exported metrics.
+    gpu_label: String,
+    /// When each blocked client started waiting (for handoff-wait metrics).
+    waiting_since: HashMap<ClientId, SimTime>,
+    /// When the current holder's grant became effective.
+    held_since: Option<SimTime>,
 }
 
 impl TokenBackend {
@@ -150,6 +158,59 @@ impl TokenBackend {
             wants: BTreeSet::new(),
             retry_scheduled: false,
             grants: 0,
+            telemetry: Telemetry::disabled(),
+            gpu_label: String::new(),
+            waiting_since: HashMap::new(),
+            held_since: None,
+        }
+    }
+
+    /// Attaches a telemetry handle; `gpu` becomes the `gpu` label on every
+    /// metric this backend exports.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry, gpu: &str) {
+        self.telemetry = telemetry;
+        self.gpu_label = gpu.to_string();
+    }
+
+    /// Records the end of the current hold: how much of the quota the
+    /// holder actually consumed.
+    fn observe_hold_end(&mut self, now: SimTime) {
+        if let Some(since) = self.held_since.take() {
+            if self.telemetry.is_enabled() {
+                let used = now.saturating_since(since).as_secs_f64();
+                self.telemetry
+                    .histogram_linear(
+                        "ks_vgpu_quota_utilization",
+                        &[("gpu", &self.gpu_label)],
+                        0.0,
+                        1.1,
+                        22,
+                    )
+                    .observe(used / self.cfg.quota.as_secs_f64());
+            }
+        }
+    }
+
+    /// Records an involuntary hand-back (expiry of a possibly-dead holder,
+    /// or an observed crash) that immediately regrants to a waiter.
+    /// `held_from` is when the reclaimed holder's grant became effective.
+    fn observe_reclaim(&self, now: SimTime, held_from: Option<SimTime>) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        if !matches!(self.state, TokenState::InTransit { .. }) {
+            return;
+        }
+        self.telemetry
+            .counter("ks_vgpu_lease_reclaims_total", &[("gpu", &self.gpu_label)])
+            .inc();
+        if let Some(from) = held_from {
+            // The waiter holds a valid token once the in-flight grant
+            // lands, one handoff from now.
+            let regrant_at = now + self.cfg.handoff;
+            self.telemetry
+                .histogram_seconds("ks_vgpu_lease_reclaim_seconds", &[("gpu", &self.gpu_label)])
+                .observe(regrant_at.saturating_since(from).as_secs_f64());
         }
     }
 
@@ -185,13 +246,29 @@ impl TokenBackend {
     /// timer stale, so nothing from the previous incarnation can fire into
     /// the new one. Frontends must re-register (and re-request) to rebuild
     /// the queue; the cumulative grant counter survives for reporting.
-    pub fn restart(&mut self, _now: SimTime) {
+    pub fn restart(&mut self, now: SimTime) {
         self.clients.clear();
         self.wants.clear();
         self.window = UsageWindow::new(self.cfg.window);
         self.state = TokenState::Free;
         self.epoch += 1;
         self.retry_scheduled = false;
+        self.waiting_since.clear();
+        self.held_since = None;
+        self.telemetry
+            .counter(
+                "ks_vgpu_backend_restarts_total",
+                &[("gpu", &self.gpu_label)],
+            )
+            .inc();
+        if self.telemetry.is_enabled() {
+            self.telemetry.trace_event(
+                now,
+                "vgpu",
+                "backend_restart",
+                &[("gpu", self.gpu_label.clone())],
+            );
+        }
     }
 
     /// Registered clients and their specs, in deterministic id order
@@ -206,12 +283,16 @@ impl TokenBackend {
     /// Deregisters a departing container, releasing the token if held.
     pub fn deregister(&mut self, now: SimTime, client: ClientId, out: &mut Vec<BackendTimer>) {
         self.wants.remove(&client);
+        self.waiting_since.remove(&client);
         match self.state {
             TokenState::Held { by, .. } if by == client => {
                 self.window.end_hold(now, client);
+                let held_from = self.held_since;
+                self.observe_hold_end(now);
                 self.state = TokenState::Free;
                 self.epoch += 1;
                 self.dispatch(now, out);
+                self.observe_reclaim(now, held_from);
             }
             TokenState::InTransit { to, .. } if to == client => {
                 // The grant will arrive for a dead client; invalidate it.
@@ -245,6 +326,9 @@ impl TokenBackend {
             }
         }
         self.wants.insert(client);
+        if self.telemetry.is_enabled() {
+            self.waiting_since.entry(client).or_insert(now);
+        }
         self.dispatch(now, out);
         Ok(matches!(self.state, TokenState::Held { by, .. } if by == client))
     }
@@ -257,12 +341,14 @@ impl TokenBackend {
     /// a cached token afterwards.
     pub fn retract(&mut self, now: SimTime, client: ClientId, out: &mut Vec<BackendTimer>) -> bool {
         self.wants.remove(&client);
+        self.waiting_since.remove(&client);
         if let TokenState::Held { by, .. } = self.state {
             if by == client {
                 if self.wants.is_empty() {
                     return true; // keep the token cached
                 }
                 self.window.end_hold(now, client);
+                self.observe_hold_end(now);
                 self.state = TokenState::Free;
                 self.epoch += 1;
                 self.dispatch(now, out);
@@ -274,9 +360,11 @@ impl TokenBackend {
     /// The holder voluntarily hands the token back (no more queued work).
     pub fn release(&mut self, now: SimTime, client: ClientId, out: &mut Vec<BackendTimer>) {
         self.wants.remove(&client);
+        self.waiting_since.remove(&client);
         if let TokenState::Held { by, .. } = self.state {
             if by == client {
                 self.window.end_hold(now, client);
+                self.observe_hold_end(now);
                 self.state = TokenState::Free;
                 self.epoch += 1;
                 self.dispatch(now, out);
@@ -302,6 +390,26 @@ impl TokenBackend {
                 };
                 self.window.begin_hold(now, to);
                 self.grants += 1;
+                if self.telemetry.is_enabled() {
+                    self.telemetry
+                        .counter("ks_vgpu_token_grants_total", &[("gpu", &self.gpu_label)])
+                        .inc();
+                    if let Some(since) = self.waiting_since.remove(&to) {
+                        self.telemetry
+                            .histogram_seconds(
+                                "ks_vgpu_handoff_wait_seconds",
+                                &[("gpu", &self.gpu_label)],
+                            )
+                            .observe(now.saturating_since(since).as_secs_f64());
+                    }
+                    self.held_since = Some(now);
+                    self.telemetry.trace_event(
+                        now,
+                        "vgpu",
+                        "token_grant",
+                        &[("gpu", self.gpu_label.clone()), ("client", to.to_string())],
+                    );
+                }
                 out.push(BackendTimer::Expiry { at: expires, epoch });
                 Some(to)
             }
@@ -321,11 +429,18 @@ impl TokenBackend {
         match self.state {
             TokenState::Held { by, epoch: e, .. } if e == epoch => {
                 self.window.end_hold(now, by);
+                let held_from = self.held_since;
+                self.observe_hold_end(now);
                 self.state = TokenState::Free;
                 self.epoch += 1;
                 // The holder keeps its place in `wants` (it re-requests by
                 // staying blocked); dispatch picks the next holder.
                 self.dispatch(now, out);
+                // A regrant to a different client is a reclamation: the
+                // expired holder never handed back voluntarily.
+                if !matches!(self.state, TokenState::InTransit { to, .. } if to == by) {
+                    self.observe_reclaim(now, held_from);
+                }
                 Some(by)
             }
             _ => None,

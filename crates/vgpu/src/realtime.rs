@@ -30,6 +30,7 @@ use crate::policy::{select_next, Candidate};
 use crate::spec::ShareSpec;
 use crate::window::{ClientId, UsageWindow};
 use ks_sim_core::time::{SimDuration, SimTime};
+use ks_telemetry::Telemetry;
 
 /// Tunables for the realtime backend.
 #[derive(Debug, Clone, Copy)]
@@ -75,6 +76,9 @@ struct Inner {
     cv: Condvar,
     start: Instant,
     cfg: RtConfig,
+    /// Wall-clock instants are mapped onto `SimTime` through `start`, so
+    /// realtime traces share the discrete-event trace format.
+    telemetry: Telemetry,
 }
 
 impl Inner {
@@ -90,6 +94,17 @@ impl Inner {
                 let id = h.id;
                 st.holder = None;
                 st.window.end_hold(end, id);
+                if self.telemetry.is_enabled() {
+                    self.telemetry
+                        .counter("ks_vgpu_rt_lease_reaps_total", &[])
+                        .inc();
+                    self.telemetry.trace_event(
+                        end,
+                        "vgpu",
+                        "rt_lease_reaped",
+                        &[("client", id.to_string())],
+                    );
+                }
             }
         }
     }
@@ -104,6 +119,12 @@ pub struct RtBackend {
 impl RtBackend {
     /// Creates a backend and starts its lease-reaper daemon thread.
     pub fn new(cfg: RtConfig) -> Self {
+        Self::new_with_telemetry(cfg, Telemetry::disabled())
+    }
+
+    /// Like [`RtBackend::new`], with metrics/traces recorded to `telemetry`
+    /// (wall-clock stamps mapped onto `SimTime` from the backend's start).
+    pub fn new_with_telemetry(cfg: RtConfig, telemetry: Telemetry) -> Self {
         let inner = Arc::new(Inner {
             mu: Mutex::new(State {
                 holder: None,
@@ -118,6 +139,7 @@ impl RtBackend {
             cv: Condvar::new(),
             start: Instant::now(),
             cfg,
+            telemetry,
         });
         let weak = Arc::downgrade(&inner);
         let interval = (cfg.quota / 4).max(Duration::from_millis(1));
@@ -214,6 +236,7 @@ impl RtFrontend {
     /// Blocks until this container holds a valid token. Returns the lease;
     /// kernel launches are legal until [`TokenLease::expired`].
     pub fn acquire(&self) -> TokenLease {
+        let wait_start = Instant::now();
         let mut st = self.inner.mu.lock();
         st.waiting.insert(self.id);
         loop {
@@ -243,6 +266,19 @@ impl RtFrontend {
                         st.grants += 1;
                         st.window.begin_hold(sim_now, self.id);
                         st.waiting.remove(&self.id);
+                        let telemetry = &self.inner.telemetry;
+                        if telemetry.is_enabled() {
+                            telemetry.counter("ks_vgpu_rt_grants_total", &[]).inc();
+                            telemetry
+                                .histogram_seconds("ks_vgpu_rt_acquire_wait_seconds", &[])
+                                .observe(now.duration_since(wait_start).as_secs_f64());
+                            telemetry.trace_event(
+                                sim_now,
+                                "vgpu",
+                                "rt_token_grant",
+                                &[("client", self.id.to_string())],
+                            );
+                        }
                         return TokenLease {
                             inner: Arc::clone(&self.inner),
                             id: self.id,

@@ -23,6 +23,7 @@ use ks_gpu::device::GpuDevice;
 use ks_gpu::engine::KernelTag;
 use ks_gpu::types::{ContextId, CudaError, DevicePtr};
 use ks_sim_core::time::{SimDuration, SimTime};
+use ks_telemetry::Telemetry;
 
 use crate::backend::{BackendTimer, TokenBackend, VgpuConfig};
 use crate::spec::ShareSpec;
@@ -135,6 +136,7 @@ pub struct SharedGpu {
     next_client: u64,
     next_tag: u64,
     next_swap_ptr: u64,
+    telemetry: Telemetry,
 }
 
 /// Scheduled events produced by a [`SharedGpu`] call: `(fire_at, event)`.
@@ -154,7 +156,16 @@ impl SharedGpu {
             next_client: 1,
             next_tag: 1,
             next_swap_ptr: 0,
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Attaches a telemetry handle. Metrics from this device (and its
+    /// token backend) carry a `gpu` label equal to the device UUID.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        let uuid = self.device.uuid().to_string();
+        self.backend.set_telemetry(telemetry.clone(), &uuid);
+        self.telemetry = telemetry;
     }
 
     /// Enables a memory over-commitment policy (builder style). See
@@ -336,6 +347,12 @@ impl SharedGpu {
         out: &mut VgpuEmit,
     ) {
         assert!(self.fronts.contains_key(&client), "{client} not attached");
+        if self.telemetry.is_enabled() {
+            let uuid = self.device.uuid().to_string();
+            self.telemetry
+                .counter("ks_vgpu_bursts_submitted_total", &[("gpu", uuid.as_str())])
+                .inc();
+        }
         let fe = self.fronts.get_mut(&client).unwrap();
         fe.queue.push_back(Burst { dur, tag });
         fe.idle_since = None;
@@ -349,7 +366,18 @@ impl SharedGpu {
     /// Sliding-window usage of a container, as the device library reports
     /// it (the per-container curves in the paper's Fig. 6).
     pub fn client_usage(&mut self, now: SimTime, client: ClientId) -> f64 {
-        self.backend.usage(now, client)
+        let usage = self.backend.usage(now, client);
+        if self.telemetry.is_enabled() {
+            let uuid = self.device.uuid().to_string();
+            let client_label = client.to_string();
+            self.telemetry
+                .gauge(
+                    "ks_vgpu_window_usage",
+                    &[("gpu", uuid.as_str()), ("client", client_label.as_str())],
+                )
+                .set(usage);
+        }
+        usage
     }
 
     /// Routes a previously emitted event back into the library.
@@ -412,6 +440,12 @@ impl SharedGpu {
             client,
             tag: user_tag,
         });
+        if self.telemetry.is_enabled() {
+            let uuid = self.device.uuid().to_string();
+            self.telemetry
+                .counter("ks_vgpu_bursts_completed_total", &[("gpu", uuid.as_str())])
+                .inc();
+        }
         if !self.mode.compute {
             return; // passthrough: everything is already on the device queue
         }
