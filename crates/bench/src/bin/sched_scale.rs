@@ -1,0 +1,78 @@
+//! Scheduler scaling benchmark: drains a pending SharePod queue through
+//! Algorithm 1 in `Reference` and `Indexed` modes on identical seeded
+//! pools, reports decisions/sec, and writes the `BENCH_sched.json`
+//! trajectory. Exits non-zero if the two modes ever diverge.
+//!
+//! Usage: `cargo run -p ks-bench --release --bin sched_scale --
+//! [--gpus N] [--pods N] [--seed N] [--out PATH]`. Without `--gpus` the
+//! default sweep covers 1k–10k GPUs.
+
+use ks_bench::report::{f1, Table};
+use ks_bench::sched_scale::{run, to_json, SchedScaleConfig};
+
+fn main() {
+    let mut cfg = SchedScaleConfig::default();
+    let mut out = String::from("BENCH_sched.json");
+    let args: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < args.len() {
+        let val = |j: usize| {
+            args.get(j)
+                .unwrap_or_else(|| panic!("{} needs a value", args[j - 1]))
+        };
+        match args[i].as_str() {
+            "--gpus" => {
+                cfg.gpu_sweep = vec![val(i + 1).parse().expect("--gpus: integer")];
+                i += 2;
+            }
+            "--pods" => {
+                cfg.pods = val(i + 1).parse().expect("--pods: integer");
+                i += 2;
+            }
+            "--seed" => {
+                cfg.seed = val(i + 1).parse().expect("--seed: integer");
+                i += 2;
+            }
+            "--out" => {
+                out = val(i + 1).clone();
+                i += 2;
+            }
+            other => panic!("unknown flag {other}"),
+        }
+    }
+
+    let points = run(&cfg);
+
+    let mut table = Table::new(
+        format!("sched_scale: {} pending pods, seed {}", cfg.pods, cfg.seed),
+        &[
+            "gpus",
+            "reference dec/s",
+            "indexed dec/s",
+            "speedup",
+            "divergences",
+            "final devices",
+        ],
+    );
+    for p in &points {
+        table.row(vec![
+            p.gpus.to_string(),
+            format!("{:.0}", p.reference_dps),
+            format!("{:.0}", p.indexed_dps),
+            format!("{}x", f1(p.speedup)),
+            p.divergences.to_string(),
+            p.final_devices.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+
+    let json = to_json(&cfg, &points);
+    std::fs::write(&out, &json).unwrap_or_else(|e| panic!("writing {out}: {e}"));
+    println!("wrote {out}");
+
+    let divergences: usize = points.iter().map(|p| p.divergences).sum();
+    if divergences > 0 {
+        eprintln!("FAIL: {divergences} decision divergences between Reference and Indexed modes");
+        std::process::exit(1);
+    }
+}

@@ -23,4 +23,5 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod metrics_demo;
+pub mod sched_scale;
 pub mod table1;

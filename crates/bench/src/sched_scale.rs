@@ -1,0 +1,226 @@
+//! Scheduler scaling benchmark: Algorithm 1 decisions/sec at cluster
+//! scale, `Reference` vs `Indexed` (DESIGN.md §10).
+//!
+//! For each cluster size the harness builds a seeded vGPU pool (devices
+//! spread 4-per-node, a share pre-loaded with tenants so capacity keys,
+//! affinity groups, anti-affinity classes, and tenant exclusions are all
+//! populated), generates one pending queue of SharePod requests, and
+//! drains it through [`schedule_batch`] once per mode on clones of the
+//! same pool. Decision vectors must match entry-for-entry — the bench
+//! doubles as a large-scale differential oracle and the `sched_scale`
+//! binary exits non-zero on any divergence.
+//!
+//! Demands are scaled so the queue roughly packs the cluster (≈5 pods
+//! per GPU at the default 10k-GPU / 50k-pod point), keeping the pool near
+//! its nominal size instead of degenerating into a NewDevice stampede.
+
+use std::time::Instant;
+
+use ks_cluster::api::Uid;
+use ks_sim_core::rng::SimRng;
+use kubeshare::algorithm::{schedule_batch, BatchEntry, Decision, SchedMode, SchedRequest};
+use kubeshare::locality::Locality;
+use kubeshare::pool::VgpuPool;
+use serde::Serialize;
+
+/// Benchmark configuration.
+#[derive(Debug, Clone)]
+pub struct SchedScaleConfig {
+    /// Cluster sizes (GPU counts) to sweep.
+    pub gpu_sweep: Vec<usize>,
+    /// Pending SharePods to drain per cluster size.
+    pub pods: usize,
+    /// Seed for pool pre-load and request generation.
+    pub seed: u64,
+}
+
+impl Default for SchedScaleConfig {
+    fn default() -> Self {
+        SchedScaleConfig {
+            gpu_sweep: vec![1_000, 2_500, 5_000, 10_000],
+            pods: 50_000,
+            seed: 7,
+        }
+    }
+}
+
+/// One measured sweep point.
+#[derive(Debug, Clone, Serialize)]
+pub struct ScalePoint {
+    /// Cluster size (GPUs in the pre-built pool).
+    pub gpus: usize,
+    /// Queue length drained.
+    pub pods: usize,
+    /// Reference-mode throughput, decisions per second.
+    pub reference_dps: f64,
+    /// Indexed-mode throughput, decisions per second.
+    pub indexed_dps: f64,
+    /// `indexed_dps / reference_dps`.
+    pub speedup: f64,
+    /// Entries whose decisions differed between modes (must be 0).
+    pub divergences: usize,
+    /// Pool size after the drain (devices, including NewDevice growth).
+    pub final_devices: usize,
+}
+
+/// Builds the pre-loaded pool for one sweep point.
+fn build_pool(gpus: usize, rng: &mut SimRng) -> VgpuPool {
+    let mut pool = VgpuPool::new();
+    let aff_groups = gpus / 20 + 1;
+    // Pre-load uids sit far above the batch's so they never collide.
+    let mut uid = 1_000_000_000u64;
+    for i in 0..gpus {
+        let id = pool.fresh_id();
+        pool.insert_creating(id.clone());
+        pool.mark_ready(&id, format!("node-{}", i / 4), format!("GPU-{i:05}"));
+        if !rng.bernoulli(0.4) {
+            continue; // starts idle
+        }
+        // Exclusion is a device-level property (the scheduler only ever
+        // co-locates one tenant label), so decide it once per device.
+        let excl = rng
+            .bernoulli(0.1)
+            .then(|| format!("tenant-{}", rng.index(6)));
+        for _ in 0..=rng.index(3) {
+            let aff = rng
+                .bernoulli(0.2)
+                .then(|| format!("grp-{}", rng.index(aff_groups)));
+            let anti = rng
+                .bernoulli(0.15)
+                .then(|| format!("class-{}", rng.index(8)));
+            uid += 1;
+            pool.attach(
+                &id,
+                Uid(uid),
+                rng.uniform_range(0.02, 0.3),
+                rng.uniform_range(0.02, 0.3),
+                aff.as_deref(),
+                anti.as_deref(),
+                excl.as_deref(),
+            );
+        }
+    }
+    pool
+}
+
+/// Generates the pending queue for one sweep point.
+fn gen_entries(gpus: usize, pods: usize, rng: &mut SimRng) -> Vec<BatchEntry> {
+    let aff_groups = gpus / 20 + 1;
+    // Mean demand per axis sized so the queue ≈ fills the cluster.
+    let cap = (2.4 * gpus as f64 / pods as f64).clamp(0.02, 0.45);
+    (0..pods)
+        .map(|i| {
+            let mut loc = Locality::none();
+            if rng.bernoulli(0.15) {
+                loc = loc.with_affinity(format!("grp-{}", rng.index(aff_groups)));
+            }
+            if rng.bernoulli(0.15) {
+                loc = loc.with_anti_affinity(format!("class-{}", rng.index(8)));
+            }
+            if rng.bernoulli(0.1) {
+                loc = loc.with_exclusion(format!("tenant-{}", rng.index(6)));
+            }
+            BatchEntry {
+                uid: Uid(i as u64 + 1),
+                req: SchedRequest {
+                    util: rng.uniform_range(0.0, cap),
+                    mem: rng.uniform_range(0.0, cap),
+                    locality: loc,
+                },
+            }
+        })
+        .collect()
+}
+
+fn time_mode(
+    mode: SchedMode,
+    pool: &VgpuPool,
+    entries: &[BatchEntry],
+) -> (Vec<(Uid, Decision)>, f64, usize) {
+    let mut p = pool.clone();
+    let start = Instant::now();
+    let out = schedule_batch(mode, entries, &mut p);
+    let secs = start.elapsed().as_secs_f64().max(1e-9);
+    (out, entries.len() as f64 / secs, p.len())
+}
+
+/// Measures one sweep point.
+pub fn run_point(gpus: usize, pods: usize, seed: u64) -> ScalePoint {
+    let mut rng = SimRng::seed_from_u64(seed ^ (gpus as u64).rotate_left(17));
+    let pool = build_pool(gpus, &mut rng);
+    let entries = gen_entries(gpus, pods, &mut rng);
+    let (ref_out, reference_dps, _) = time_mode(SchedMode::Reference, &pool, &entries);
+    let (idx_out, indexed_dps, final_devices) = time_mode(SchedMode::Indexed, &pool, &entries);
+    let divergences = ref_out.iter().zip(&idx_out).filter(|(a, b)| a != b).count();
+    ScalePoint {
+        gpus,
+        pods,
+        reference_dps,
+        indexed_dps,
+        speedup: indexed_dps / reference_dps,
+        divergences,
+        final_devices,
+    }
+}
+
+/// Runs the whole sweep.
+pub fn run(cfg: &SchedScaleConfig) -> Vec<ScalePoint> {
+    cfg.gpu_sweep
+        .iter()
+        .map(|&gpus| run_point(gpus, cfg.pods, cfg.seed))
+        .collect()
+}
+
+/// The `BENCH_sched.json` document shape.
+#[derive(Debug, Clone, Serialize)]
+struct BenchDoc {
+    bench: String,
+    seed: u64,
+    pods: usize,
+    points: Vec<ScalePoint>,
+}
+
+/// Serializes sweep results as the `BENCH_sched.json` trajectory point.
+pub fn to_json(cfg: &SchedScaleConfig, points: &[ScalePoint]) -> String {
+    let doc = BenchDoc {
+        bench: "sched_scale".to_string(),
+        seed: cfg.seed,
+        pods: cfg.pods,
+        points: points.to_vec(),
+    };
+    serde_json::to_string_pretty(&doc).expect("serializable")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_sweep_zero_divergence() {
+        let cfg = SchedScaleConfig {
+            gpu_sweep: vec![32, 64],
+            pods: 400,
+            seed: 11,
+        };
+        let points = run(&cfg);
+        assert_eq!(points.len(), 2);
+        for p in &points {
+            assert_eq!(p.divergences, 0, "modes diverged at {} GPUs", p.gpus);
+            assert!(p.reference_dps > 0.0 && p.indexed_dps > 0.0);
+            assert!(p.final_devices >= p.gpus);
+        }
+        let json = to_json(&cfg, &points);
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(v.field("bench").as_str(), Some("sched_scale"));
+        assert_eq!(v.field("points").as_array().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let a = run_point(48, 300, 3);
+        let b = run_point(48, 300, 3);
+        assert_eq!(a.final_devices, b.final_devices);
+        assert_eq!(a.divergences, 0);
+        assert_eq!(b.divergences, 0);
+    }
+}

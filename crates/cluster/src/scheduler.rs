@@ -7,6 +7,40 @@
 
 use crate::api::resources::ResourceList;
 
+/// Which scheduling implementation to run (DESIGN.md §10). Both produce
+/// byte-identical decisions — that is the contract the differential test
+/// oracle enforces — but `Indexed` serves placement from incrementally
+/// maintained ordered indexes instead of full scans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedMode {
+    /// Paper-faithful reference: linear scan of every candidate.
+    Reference,
+    /// Ordered-range lookups over capacity indexes (the default).
+    #[default]
+    Indexed,
+}
+
+/// A total-order key over non-negative finite floats, for use in ordered
+/// index structures (`BTreeMap`/`BTreeSet`). For values `>= 0.0` the IEEE
+/// bit pattern is monotone in the value, so comparing bits compares
+/// values; negative zero and negative inputs are clamped to `+0.0`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct OrdF64(u64);
+
+impl OrdF64 {
+    /// Wraps a non-negative finite float as an orderable key.
+    pub fn of(v: f64) -> Self {
+        debug_assert!(v.is_finite(), "OrdF64 key must be finite, got {v}");
+        let v = if v > 0.0 { v } else { 0.0 };
+        OrdF64(v.to_bits())
+    }
+
+    /// The wrapped value.
+    pub fn get(self) -> f64 {
+        f64::from_bits(self.0)
+    }
+}
+
 /// Node snapshot the scheduler filters and scores.
 #[derive(Debug, Clone)]
 pub struct NodeView {
@@ -60,14 +94,22 @@ impl KubeScheduler {
             let score = self.score(n, &free);
             let better = match best {
                 None => true,
-                // Tie-break by node order for determinism.
-                Some((_, s)) => score > s + 1e-12,
+                // Strict total order; ties break by node order, matching
+                // the descending (score, reverse index) scan an ordered
+                // node-score index produces.
+                Some((_, s)) => score.total_cmp(&s) == std::cmp::Ordering::Greater,
             };
             if better {
                 best = Some((i, score));
             }
         }
         best.map(|(i, _)| i)
+    }
+
+    /// The scoring function behind [`Self::pick_node`], exposed so callers
+    /// maintaining an ordered node-score index score nodes identically.
+    pub fn node_score(&self, node: &NodeView) -> f64 {
+        self.score(node, &node.free())
     }
 
     fn score(&self, node: &NodeView, free: &ResourceList) -> f64 {

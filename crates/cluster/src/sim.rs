@@ -17,7 +17,7 @@ use crate::api::resources::ResourceList;
 use crate::api::ObjectMeta;
 use crate::device_plugin::{DeviceManager, FractionalGpuPlugin, NvidiaGpuPlugin, UnitAssignPolicy};
 use crate::latency::LatencyModel;
-use crate::scheduler::{KubeScheduler, NodeView, ScorePolicy};
+use crate::scheduler::{KubeScheduler, NodeView, OrdF64, SchedMode, ScorePolicy};
 use crate::store::Store;
 
 /// Which GPU device plugin every node runs.
@@ -130,6 +130,10 @@ struct NodeState {
     /// Whether the kubelet is reachable. Down nodes take no placements and
     /// their pods are failed by [`ClusterSim::fail_node`].
     up: bool,
+    /// The score key this node is currently filed under in the rank index
+    /// (`None` while down). Stored so removal never recomputes — the index
+    /// stays correct regardless of mutation order.
+    score_key: Option<OrdF64>,
 }
 
 /// The simulated control plane. See module docs.
@@ -143,6 +147,13 @@ pub struct ClusterSim {
     /// Pods that found no node; retried whenever capacity frees.
     unschedulable: Vec<Uid>,
     telemetry: Telemetry,
+    /// Which node-selection implementation `on_schedule` runs.
+    sched_mode: SchedMode,
+    /// Up nodes keyed by current scheduler score; iterated descending
+    /// (score, then ascending node index) this reproduces
+    /// [`KubeScheduler::pick_node`]'s argmax with its first-node
+    /// tie-break as an ordered scan.
+    node_rank: std::collections::BTreeSet<(OrdF64, std::cmp::Reverse<usize>)>,
 }
 
 impl ClusterSim {
@@ -181,10 +192,11 @@ impl ClusterSim {
                     device_mgr,
                     starting: 0,
                     up: true,
+                    score_key: None,
                 }
             })
             .collect();
-        ClusterSim {
+        let mut sim = ClusterSim {
             latency: cfg.latency,
             scheduler: KubeScheduler::new(cfg.score),
             pods: Store::new(),
@@ -192,7 +204,90 @@ impl ClusterSim {
             nodes,
             unschedulable: Vec::new(),
             telemetry: Telemetry::disabled(),
+            sched_mode: SchedMode::default(),
+            node_rank: std::collections::BTreeSet::new(),
+        };
+        for i in 0..sim.nodes.len() {
+            sim.rank_index(i);
         }
+        sim
+    }
+
+    /// Selects the node-selection implementation (default:
+    /// [`SchedMode::Indexed`]). Both modes place identically.
+    pub fn set_sched_mode(&mut self, mode: SchedMode) {
+        self.sched_mode = mode;
+    }
+
+    /// Files an up node in the rank index under its current score.
+    fn rank_index(&mut self, idx: usize) {
+        debug_assert!(self.nodes[idx].score_key.is_none(), "node already ranked");
+        if !self.nodes[idx].up {
+            return;
+        }
+        let n = &self.nodes[idx];
+        let score = self.scheduler.node_score(&NodeView {
+            name: n.name.clone(),
+            allocatable: n.allocatable.clone(),
+            allocated: n.allocated.clone(),
+        });
+        let key = OrdF64::of(score);
+        self.node_rank.insert((key, std::cmp::Reverse(idx)));
+        self.nodes[idx].score_key = Some(key);
+    }
+
+    /// Unfiles a node from the rank index (no-op if it was not ranked).
+    fn rank_unindex(&mut self, idx: usize) {
+        if let Some(key) = self.nodes[idx].score_key.take() {
+            self.node_rank.remove(&(key, std::cmp::Reverse(idx)));
+        }
+    }
+
+    /// Ordered-scan equivalent of [`KubeScheduler::pick_node`]: walk up
+    /// nodes by descending score (ascending index within a score) and
+    /// take the first one the request fits on.
+    fn pick_node_indexed(&self, requests: &ResourceList) -> Option<usize> {
+        self.node_rank
+            .iter()
+            .rev()
+            .map(|&(_, std::cmp::Reverse(idx))| idx)
+            .find(|&idx| {
+                let n = &self.nodes[idx];
+                requests.fits_in(&n.allocatable.checked_sub(&n.allocated))
+            })
+    }
+
+    /// Cross-checks the node rank index against a from-scratch rebuild.
+    pub fn verify_node_rank(&self) -> Result<(), String> {
+        let mut fresh = std::collections::BTreeSet::new();
+        for (i, n) in self.nodes.iter().enumerate() {
+            if !n.up {
+                if n.score_key.is_some() {
+                    return Err(format!("down node {i} still has a score key"));
+                }
+                continue;
+            }
+            let score = self.scheduler.node_score(&NodeView {
+                name: n.name.clone(),
+                allocatable: n.allocatable.clone(),
+                allocated: n.allocated.clone(),
+            });
+            let key = OrdF64::of(score);
+            if n.score_key != Some(key) {
+                return Err(format!(
+                    "node {i} filed under {:?}, current score is {score}",
+                    n.score_key
+                ));
+            }
+            fresh.insert((key, std::cmp::Reverse(i)));
+        }
+        if fresh != self.node_rank {
+            return Err(format!(
+                "rank index drifted: incremental {:?} != rebuilt {:?}",
+                self.node_rank, fresh
+            ));
+        }
+        Ok(())
     }
 
     /// Attaches a telemetry handle; also instruments the pod store.
@@ -349,7 +444,9 @@ impl ClusterSim {
             .iter()
             .position(|n| n.name == node_name)
             .expect("node exists");
+        self.rank_unindex(idx);
         self.nodes[idx].allocated = self.nodes[idx].allocated.checked_sub(&requests);
+        self.rank_index(idx);
         if let Some(dm) = &mut self.nodes[idx].device_mgr {
             dm.deallocate(uid);
         }
@@ -392,6 +489,7 @@ impl ClusterSim {
         if !self.nodes[idx].up {
             return Vec::new();
         }
+        self.rank_unindex(idx);
         self.nodes[idx].up = false;
         self.nodes[idx].starting = 0;
         let mut victims: Vec<Uid> = self
@@ -436,6 +534,7 @@ impl ClusterSim {
         self.nodes[idx].up = true;
         self.nodes[idx].allocated = ResourceList::zero();
         self.nodes[idx].starting = 0;
+        self.rank_index(idx);
         let retry: Vec<Uid> = self.unschedulable.drain(..).collect();
         for p in retry {
             out.push((
@@ -512,16 +611,21 @@ impl ClusterSim {
                     .checked_sub(&self.nodes[idx].allocated);
                 (self.nodes[idx].up && requests.fits_in(&free)).then_some(idx)
             }
-            None => {
-                let (idxs, views) = self.up_views();
-                self.scheduler.pick_node(&requests, &views).map(|v| idxs[v])
-            }
+            None => match self.sched_mode {
+                SchedMode::Reference => {
+                    let (idxs, views) = self.up_views();
+                    self.scheduler.pick_node(&requests, &views).map(|v| idxs[v])
+                }
+                SchedMode::Indexed => self.pick_node_indexed(&requests),
+            },
         };
 
         match node_idx {
             Some(idx) => {
                 let node_name = self.nodes[idx].name.clone();
+                self.rank_unindex(idx);
                 self.nodes[idx].allocated = self.nodes[idx].allocated.checked_add(&requests);
+                self.rank_index(idx);
                 self.pods.mutate(uid, |p| {
                     p.status.phase = PodPhase::Scheduled;
                     p.status.node_name = Some(node_name);
@@ -582,8 +686,10 @@ impl ClusterSim {
                     Err(e) => {
                         // Cannot happen when scheduler accounting is
                         // consistent, but surface it instead of hiding it.
+                        self.rank_unindex(idx);
                         self.nodes[idx].allocated =
                             self.nodes[idx].allocated.checked_sub(&requests);
+                        self.rank_index(idx);
                         self.pods.mutate(uid, |p| {
                             p.status.phase = PodPhase::Failed;
                             p.status.message = Some(format!("device allocation failed: {e:?}"));
@@ -655,7 +761,9 @@ impl ClusterSim {
                 .iter()
                 .position(|n| n.name == node_name)
                 .expect("node exists");
+            self.rank_unindex(idx);
             self.nodes[idx].allocated = self.nodes[idx].allocated.checked_sub(&requests);
+            self.rank_index(idx);
             if let Some(dm) = &mut self.nodes[idx].device_mgr {
                 dm.deallocate(uid);
             }
@@ -1048,5 +1156,86 @@ mod tests {
         let events = eng.world.cluster.pods().poll(&mut w);
         // Added + (scheduled, env, running) modifications.
         assert!(events.len() >= 3, "saw {} events", events.len());
+    }
+
+    fn multi_cluster(n: usize) -> ClusterConfig {
+        ClusterConfig {
+            nodes: (0..n)
+                .map(|i| NodeConfig {
+                    name: format!("n{i}"),
+                    cpu_millis: 8_000,
+                    memory_bytes: 32 << 30,
+                    gpus: 2,
+                    gpu_memory_bytes: 16 << 30,
+                })
+                .collect(),
+            latency: LatencyModel::default(),
+            gpu_plugin: GpuPluginKind::WholeDevice,
+            assign_policy: UnitAssignPolicy::Sequential,
+            score: ScorePolicy::LeastAllocated,
+        }
+    }
+
+    /// Same workload — a pod wave, a crash, a node failure and recovery,
+    /// a second wave — placed identically under both node-selection
+    /// implementations, with the rank index consistent throughout.
+    #[test]
+    fn indexed_node_pick_matches_reference() {
+        let run = |mode: SchedMode| -> Vec<(Uid, Option<String>)> {
+            let mut eng = engine(multi_cluster(4));
+            eng.world.cluster.set_sched_mode(mode);
+            let mut uids = Vec::new();
+            let mut out = Vec::new();
+            for i in 0..6 {
+                uids.push(eng.world.cluster.submit_pod(
+                    SimTime::ZERO,
+                    format!("a{i}"),
+                    gpu_pod_spec(),
+                    &mut out,
+                ));
+            }
+            seed(&mut eng, out);
+            eng.run_to_completion(10_000);
+            eng.world.cluster.verify_node_rank().unwrap();
+
+            let now = eng.now();
+            let mut out = Vec::new();
+            let mut notes = Vec::new();
+            eng.world
+                .cluster
+                .crash_pod(now, uids[0], "OOMKilled", &mut out, &mut notes);
+            eng.world.cluster.fail_node(now, "n1", &mut notes);
+            seed(&mut eng, out);
+            eng.run_to_completion(10_000);
+            eng.world.cluster.verify_node_rank().unwrap();
+
+            let now = eng.now();
+            let mut out = Vec::new();
+            eng.world.cluster.recover_node(now, "n1", &mut out);
+            for i in 0..4 {
+                uids.push(eng.world.cluster.submit_pod(
+                    now,
+                    format!("b{i}"),
+                    gpu_pod_spec(),
+                    &mut out,
+                ));
+            }
+            seed(&mut eng, out);
+            eng.run_to_completion(20_000);
+            eng.world.cluster.verify_node_rank().unwrap();
+
+            uids.iter()
+                .map(|&u| {
+                    (
+                        u,
+                        eng.world
+                            .cluster
+                            .pod(u)
+                            .and_then(|p| p.status.node_name.clone()),
+                    )
+                })
+                .collect()
+        };
+        assert_eq!(run(SchedMode::Reference), run(SchedMode::Indexed));
     }
 }

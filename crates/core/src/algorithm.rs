@@ -14,6 +14,16 @@
 //! * **Step 3** — placement: **best-fit** among devices *without* affinity
 //!   labels, then **worst-fit** among devices *with* affinity labels
 //!   (keeping room for their future group members), then a new device.
+//!
+//! Two implementations exist behind [`SchedMode`]: the paper-faithful
+//! linear-scan reference ([`schedule`]) and an indexed path that serves
+//! the same steps from [`VgpuPool`]'s capacity indexes in logarithmic
+//! time. They produce byte-identical decisions; the differential oracle
+//! in `tests/sched_differential.rs` enforces this (DESIGN.md §10).
+
+pub use ks_cluster::scheduler::SchedMode;
+
+use ks_cluster::api::Uid;
 
 use crate::gpuid::GpuId;
 use crate::locality::Locality;
@@ -123,14 +133,17 @@ pub fn schedule(req: &SchedRequest, pool: &mut VgpuPool) -> Decision {
         .collect();
 
     // ---- Step 3: placement (lines 21–26) ----
+    // The fit metric is the residual after placement, `fit_key − (u+m)`;
+    // the request term is constant across candidates, so ordering by the
+    // device's fit key alone selects the same device — and does it with
+    // float comparisons that an ordered index reproduces bit-for-bit.
     // Best fit among devices without affinity labels…
     let best = candidates
         .iter()
         .filter(|d| d.aff.is_empty())
         .min_by(|a, b| {
-            residual_after(req, a)
-                .partial_cmp(&residual_after(req, b))
-                .unwrap()
+            a.fit_key()
+                .total_cmp(&b.fit_key())
                 .then_with(|| a.id.cmp(&b.id))
         });
     if let Some(d) = best {
@@ -141,9 +154,8 @@ pub fn schedule(req: &SchedRequest, pool: &mut VgpuPool) -> Decision {
         .iter()
         .filter(|d| !d.aff.is_empty())
         .max_by(|a, b| {
-            residual_after(req, a)
-                .partial_cmp(&residual_after(req, b))
-                .unwrap()
+            a.fit_key()
+                .total_cmp(&b.fit_key())
                 .then_with(|| b.id.cmp(&a.id))
         });
     if let Some(d) = worst {
@@ -151,6 +163,124 @@ pub fn schedule(req: &SchedRequest, pool: &mut VgpuPool) -> Decision {
     }
     // …else a brand-new vGPU.
     Decision::NewDevice(pool.fresh_id())
+}
+
+/// Margin subtracted from the fit-range lower bound so the indexed scan
+/// provably includes every device [`has_capacity`] (epsilon `1e-9` per
+/// axis) would admit: a device passing both axes has fit key at least
+/// `need − 2e-9`, and `2e-9 < 1e-8` with room for rounding to spare.
+const FIT_RANGE_MARGIN: f64 = 1e-8;
+
+/// Runs Algorithm 1 over the pool's capacity indexes. Same decision as
+/// [`schedule`], step by step:
+///
+/// * the affinity target is the first (id-ordered) device carrying the
+///   label — `aff_index`'s leading entry;
+/// * the idle fallback is the first unattached device — the `unattached`
+///   index's leading entry;
+/// * best-fit scans `plain_fit` ascending by (fit key, id) from the
+///   request's capacity bound, so the first device passing the filters is
+///   the reference's minimum; worst-fit scans `labeled_fit` descending by
+///   fit key (ascending id within a key), so the first survivor is the
+///   reference's maximum with the same smallest-id tie-break.
+pub fn schedule_indexed(req: &SchedRequest, pool: &mut VgpuPool) -> Decision {
+    // ---- Step 1: affinity ----
+    if let Some(aff) = &req.locality.affinity {
+        if let Some(id) = pool.affinity_target(aff) {
+            let d = pool.get(id).expect("indexed device in pool");
+            if !excl_matches(&req.locality.exclusion, &d.excl) {
+                return Decision::Reject(RejectReason::ExclusionConflict);
+            }
+            if anti_aff_conflicts(&req.locality.anti_affinity, d) {
+                return Decision::Reject(RejectReason::AntiAffinityConflict);
+            }
+            if !has_capacity(req, d) {
+                return Decision::Reject(RejectReason::InsufficientCapacity);
+            }
+            return Decision::Assign(d.id.clone());
+        }
+        if let Some(id) = pool.first_unattached() {
+            return Decision::Assign(id.clone());
+        }
+        return Decision::NewDevice(pool.fresh_id());
+    }
+
+    // ---- Steps 2+3 fused: range-scan, filter, first survivor wins ----
+    // Idle devices sit at fit key 2.0 exactly (the pool snaps residuals on
+    // idle), so clamping the bound to 2.0 keeps them in range even when
+    // the request alone could never fit an existing device.
+    let min_fit = (req.util + req.mem - FIT_RANGE_MARGIN).clamp(0.0, 2.0);
+    let passes = |d: &PoolDevice| {
+        d.is_idle()
+            || (excl_matches(&req.locality.exclusion, &d.excl)
+                && !anti_aff_conflicts(&req.locality.anti_affinity, d)
+                && has_capacity(req, d))
+    };
+    if let Some(d) = pool.plain_fit_range(min_fit).find(|d| passes(d)) {
+        return Decision::Assign(d.id.clone());
+    }
+    if let Some(d) = pool.labeled_fit_range_desc(min_fit).find(|d| passes(d)) {
+        return Decision::Assign(d.id.clone());
+    }
+    Decision::NewDevice(pool.fresh_id())
+}
+
+/// Runs Algorithm 1 with the implementation selected by `mode`.
+pub fn schedule_with(mode: SchedMode, req: &SchedRequest, pool: &mut VgpuPool) -> Decision {
+    match mode {
+        SchedMode::Reference => schedule(req, pool),
+        SchedMode::Indexed => schedule_indexed(req, pool),
+    }
+}
+
+/// One pending sharePod in a scheduling batch.
+#[derive(Debug, Clone)]
+pub struct BatchEntry {
+    /// The sharePod's uid (used to attach its demand to the chosen vGPU).
+    pub uid: Uid,
+    /// Its scheduling requirements.
+    pub req: SchedRequest,
+}
+
+/// Drains a pending queue in one pass with shared pool state: each entry
+/// is scheduled in order and its decision *applied* to the pool before
+/// the next entry runs — `Assign` attaches the demand, `NewDevice`
+/// inserts the creating vGPU and attaches, `Reject` leaves the pool
+/// untouched — mirroring how `KubeShareSystem` binds each decision before
+/// the controller sees the next pending sharePod. Entries must already be
+/// in deterministic (uid) order; both modes then produce identical
+/// decision vectors.
+pub fn schedule_batch(
+    mode: SchedMode,
+    entries: &[BatchEntry],
+    pool: &mut VgpuPool,
+) -> Vec<(Uid, Decision)> {
+    entries
+        .iter()
+        .map(|e| {
+            let decision = schedule_with(mode, &e.req, pool);
+            let target = match &decision {
+                Decision::Assign(id) => Some(id.clone()),
+                Decision::NewDevice(id) => {
+                    pool.insert_creating(id.clone());
+                    Some(id.clone())
+                }
+                Decision::Reject(_) => None,
+            };
+            if let Some(id) = target {
+                pool.attach(
+                    &id,
+                    e.uid,
+                    e.req.util,
+                    e.req.mem,
+                    e.req.locality.affinity.as_deref(),
+                    e.req.locality.anti_affinity.as_deref(),
+                    e.req.locality.exclusion.as_deref(),
+                );
+            }
+            (e.uid, decision)
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -392,5 +522,120 @@ mod tests {
         p.detach(&ids[0], Uid(1)); // idle again, labels cleared
         let r = req_loc(0.5, 0.5, Locality::none().with_exclusion("tenant-b"));
         assert_eq!(schedule(&r, &mut p), Decision::Assign(ids[0].clone()));
+    }
+
+    // ---- locality edge cases, run against BOTH implementations ----
+
+    /// Runs a scenario under Reference and Indexed and asserts the
+    /// decisions agree before handing one back for scenario asserts.
+    fn both_modes(build: impl Fn() -> VgpuPool, req: &SchedRequest) -> Decision {
+        let mut ref_pool = build();
+        let mut idx_pool = build();
+        let d_ref = schedule(req, &mut ref_pool);
+        let d_idx = schedule_indexed(req, &mut idx_pool);
+        assert_eq!(d_ref, d_idx, "modes diverged");
+        d_ref
+    }
+
+    #[test]
+    fn empty_pool_both_modes_create_new_device() {
+        let d = both_modes(VgpuPool::new, &req(0.5, 0.5));
+        assert!(matches!(d, Decision::NewDevice(_)));
+        let d = both_modes(
+            VgpuPool::new,
+            &req_loc(0.5, 0.5, Locality::none().with_affinity("g")),
+        );
+        assert!(matches!(d, Decision::NewDevice(_)));
+    }
+
+    #[test]
+    fn all_devices_excluded_spawns_new_device() {
+        let build = || {
+            let (mut p, ids) = pool(3);
+            for (i, id) in ids.iter().enumerate() {
+                p.attach(
+                    id,
+                    Uid(i as u64 + 1),
+                    0.1,
+                    0.1,
+                    None,
+                    None,
+                    Some("tenant-a"),
+                );
+            }
+            p
+        };
+        let r = req_loc(0.1, 0.1, Locality::none().with_exclusion("tenant-b"));
+        assert!(matches!(both_modes(build, &r), Decision::NewDevice(_)));
+        // An unlabeled request is excluded from tenant devices too.
+        assert!(matches!(
+            both_modes(build, &req(0.1, 0.1)),
+            Decision::NewDevice(_)
+        ));
+    }
+
+    #[test]
+    fn affinity_group_cannot_span_devices_or_nodes() {
+        // pool(8) puts devices on node-0 and node-1 (4 per node). Seed the
+        // group on a node-1 device; every subsequent member must land on
+        // that same device even with idle devices on node-0, until the
+        // device is full — then the member is rejected, never respread.
+        let build = || {
+            let (mut p, ids) = pool(8);
+            p.attach(&ids[5], Uid(1), 0.4, 0.4, Some("grp"), None, None);
+            p
+        };
+        let r = req_loc(0.4, 0.4, Locality::none().with_affinity("grp"));
+        let d = both_modes(build, &r);
+        let (p, ids) = pool(8);
+        assert_eq!(d, Decision::Assign(ids[5].clone()));
+        assert_eq!(p.get(&ids[5]).unwrap().node.as_deref(), Some("node-1"));
+        // A member too large for the group's remaining room is rejected —
+        // the group never silently spans a second device.
+        let r_big = req_loc(0.7, 0.7, Locality::none().with_affinity("grp"));
+        assert_eq!(
+            both_modes(build, &r_big),
+            Decision::Reject(RejectReason::InsufficientCapacity)
+        );
+    }
+
+    #[test]
+    fn zero_util_request_with_memory_demand() {
+        // gpu_request == 0.0 but gpu_mem > 0: placement is driven purely
+        // by the memory axis. A device with no memory headroom must be
+        // passed over even though util fits trivially.
+        let build = || {
+            let (mut p, ids) = pool(2);
+            p.attach(&ids[0], Uid(1), 0.1, 0.95, None, None, None); // mem_free 0.05
+            p.attach(&ids[1], Uid(2), 0.1, 0.2, None, None, None); // mem_free 0.8
+            p
+        };
+        let (_, ids) = pool(2);
+        let d = both_modes(build, &req(0.0, 0.5));
+        assert_eq!(d, Decision::Assign(ids[1].clone()));
+        // And a zero/zero request best-fits the tightest device.
+        let d = both_modes(build, &req(0.0, 0.0));
+        assert_eq!(d, Decision::Assign(ids[0].clone()));
+    }
+
+    #[test]
+    fn batch_applies_decisions_between_entries() {
+        // Two anti-affine entries in one batch must not share the device:
+        // the first entry's attach is visible to the second's decision.
+        let entries: Vec<BatchEntry> = (0..2)
+            .map(|i| BatchEntry {
+                uid: Uid(i + 1),
+                req: req_loc(0.2, 0.2, Locality::none().with_anti_affinity("noisy")),
+            })
+            .collect();
+        for mode in [SchedMode::Reference, SchedMode::Indexed] {
+            let (mut p, ids) = pool(2);
+            let out = schedule_batch(mode, &entries, &mut p);
+            assert_eq!(out[0].1, Decision::Assign(ids[0].clone()));
+            assert_eq!(out[1].1, Decision::Assign(ids[1].clone()));
+            assert_eq!(p.get(&ids[0]).unwrap().attached.len(), 1);
+            assert_eq!(p.get(&ids[1]).unwrap().attached.len(), 1);
+            p.verify_indexes().unwrap();
+        }
     }
 }

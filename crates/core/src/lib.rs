@@ -33,7 +33,10 @@ pub mod replicaset;
 pub mod sharepod;
 pub mod system;
 
-pub use algorithm::{schedule, Decision, RejectReason, SchedRequest};
+pub use algorithm::{
+    schedule, schedule_batch, schedule_indexed, schedule_with, BatchEntry, Decision, RejectReason,
+    SchedMode, SchedRequest,
+};
 pub use gpuid::GpuId;
 pub use locality::Locality;
 pub use pool::{PoolDevice, VgpuPhase, VgpuPool};

@@ -6,10 +6,35 @@
 //! scheduler packs on), accumulated locality labels, and a lifecycle:
 //! *creating* (anchor pod launching) → *active* (sharePods attached) →
 //! *idle* (none attached) → *deleted* (GPU released back to Kubernetes).
+//!
+//! # Capacity indexes
+//!
+//! Beyond the id-ordered device map, the pool maintains a set of
+//! incrementally-updated indexes so Algorithm 1's hot path (best-fit /
+//! worst-fit selection, affinity lookup, idle reuse) runs as ordered-range
+//! lookups instead of full scans (DESIGN.md §10):
+//!
+//! * `plain_fit` / `labeled_fit` — schedulable (non-releasing) devices
+//!   keyed by their *fit key* `util_free + mem_free`, split by whether the
+//!   device carries affinity labels (best-fit scans `plain_fit` ascending,
+//!   worst-fit scans `labeled_fit` descending);
+//! * `unattached` — devices with no tenants (Algorithm 1's `d.idle`),
+//!   in id order;
+//! * `idle` — devices in the `Idle` lifecycle phase (release-policy
+//!   candidates), in id order;
+//! * `aff_index` — affinity label → devices carrying it, in id order;
+//! * `by_node` — node name → devices hosted there (includes releasing
+//!   devices: node-failure handling must see them too).
+//!
+//! Every mutation (`insert_creating`, `mark_ready`, `attach`, `detach`,
+//! `mark_releasing`, `remove`) keeps the indexes exact;
+//! [`VgpuPool::verify_indexes`] cross-checks them against a from-scratch
+//! rebuild and backs the index-consistency property tests.
 
 use std::collections::{BTreeMap, BTreeSet};
 
 use ks_cluster::api::Uid;
+use ks_cluster::scheduler::OrdF64;
 use serde::Serialize;
 
 use crate::gpuid::GpuId;
@@ -76,13 +101,122 @@ impl PoolDevice {
     pub fn is_idle(&self) -> bool {
         self.attached.is_empty()
     }
+
+    /// The fit key Algorithm 1 orders placement candidates by: total
+    /// residual capacity. Best-fit minimizes it, worst-fit maximizes it;
+    /// for a fixed request the placement residual is this sum minus a
+    /// constant, so ordering by the sum is ordering by the residual.
+    pub fn fit_key(&self) -> f64 {
+        self.util_free + self.mem_free
+    }
+}
+
+/// The capacity indexes over the device map. Kept in a dedicated struct so
+/// maintenance and verification share one rebuild routine.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+struct PoolIndexes {
+    /// Schedulable devices without affinity labels, by (fit key, id).
+    plain_fit: BTreeMap<OrdF64, BTreeSet<GpuId>>,
+    /// Schedulable devices with affinity labels, by (fit key, id).
+    labeled_fit: BTreeMap<OrdF64, BTreeSet<GpuId>>,
+    /// Schedulable devices with no attached sharePods, in id order.
+    unattached: BTreeSet<GpuId>,
+    /// Non-releasing devices in the `Idle` phase, in id order.
+    idle: BTreeSet<GpuId>,
+    /// Affinity label → schedulable devices carrying it.
+    aff_index: BTreeMap<String, BTreeSet<GpuId>>,
+    /// Node → devices hosted there (releasing devices included).
+    by_node: BTreeMap<String, BTreeSet<GpuId>>,
+}
+
+impl PoolIndexes {
+    /// Adds one device to every index it belongs in.
+    fn insert(&mut self, d: &PoolDevice) {
+        if let Some(node) = &d.node {
+            self.by_node
+                .entry(node.clone())
+                .or_default()
+                .insert(d.id.clone());
+        }
+        if d.releasing {
+            // Invisible to the scheduler: no capacity/idle/affinity entries.
+            return;
+        }
+        let key = OrdF64::of(d.fit_key());
+        let fit = if d.aff.is_empty() {
+            &mut self.plain_fit
+        } else {
+            &mut self.labeled_fit
+        };
+        fit.entry(key).or_default().insert(d.id.clone());
+        if d.attached.is_empty() {
+            self.unattached.insert(d.id.clone());
+        }
+        if d.phase == VgpuPhase::Idle {
+            self.idle.insert(d.id.clone());
+        }
+        for label in &d.aff {
+            self.aff_index
+                .entry(label.clone())
+                .or_default()
+                .insert(d.id.clone());
+        }
+    }
+
+    /// Removes one device from every index, given its *current* state
+    /// (call before mutating the device).
+    fn remove(&mut self, d: &PoolDevice) {
+        if let Some(node) = &d.node {
+            if let Some(set) = self.by_node.get_mut(node) {
+                set.remove(&d.id);
+                if set.is_empty() {
+                    self.by_node.remove(node);
+                }
+            }
+        }
+        if d.releasing {
+            return;
+        }
+        let key = OrdF64::of(d.fit_key());
+        let fit = if d.aff.is_empty() {
+            &mut self.plain_fit
+        } else {
+            &mut self.labeled_fit
+        };
+        if let Some(set) = fit.get_mut(&key) {
+            set.remove(&d.id);
+            if set.is_empty() {
+                fit.remove(&key);
+            }
+        }
+        self.unattached.remove(&d.id);
+        self.idle.remove(&d.id);
+        for label in &d.aff {
+            if let Some(set) = self.aff_index.get_mut(label) {
+                set.remove(&d.id);
+                if set.is_empty() {
+                    self.aff_index.remove(label);
+                }
+            }
+        }
+    }
+
+    /// Builds the indexes from scratch for a device map.
+    fn rebuild(devices: &BTreeMap<GpuId, PoolDevice>) -> Self {
+        let mut ix = PoolIndexes::default();
+        for d in devices.values() {
+            ix.insert(d);
+        }
+        ix
+    }
 }
 
 /// The pool of vGPUs.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct VgpuPool {
     devices: BTreeMap<GpuId, PoolDevice>,
     next_id: u64,
+    ix: PoolIndexes,
 }
 
 impl VgpuPool {
@@ -106,17 +240,18 @@ impl VgpuPool {
     ///
     /// # Panics
     /// Panics if the id already exists.
-    pub fn insert_creating(&mut self, id: GpuId) -> &mut PoolDevice {
+    pub fn insert_creating(&mut self, id: GpuId) {
         assert!(!self.devices.contains_key(&id), "vGPU {id} already in pool");
-        self.devices
-            .entry(id.clone())
-            .or_insert(PoolDevice::fresh(id))
+        let d = PoolDevice::fresh(id.clone());
+        self.ix.insert(&d);
+        self.devices.insert(id, d);
     }
 
     /// Marks a creating vGPU ready: physical GPU acquired.
     pub fn mark_ready(&mut self, id: &GpuId, node: String, uuid: String) {
         let d = self.devices.get_mut(id).expect("vGPU in pool");
         debug_assert_eq!(d.phase, VgpuPhase::Creating);
+        self.ix.remove(d);
         d.node = Some(node);
         d.uuid = Some(uuid);
         d.phase = if d.attached.is_empty() {
@@ -124,6 +259,8 @@ impl VgpuPool {
         } else {
             VgpuPhase::Active
         };
+        let d = &self.devices[id];
+        self.ix.insert(d);
     }
 
     /// Attaches a sharePod's demand to a vGPU, consuming residual capacity
@@ -146,6 +283,7 @@ impl VgpuPool {
             d.util_free,
             d.mem_free
         );
+        self.ix.remove(d);
         d.util_free = (d.util_free - request).max(0.0);
         d.mem_free = (d.mem_free - mem).max(0.0);
         if let Some(a) = aff {
@@ -159,6 +297,8 @@ impl VgpuPool {
         if d.phase != VgpuPhase::Creating {
             d.phase = VgpuPhase::Active;
         }
+        let d = &self.devices[id];
+        self.ix.insert(d);
     }
 
     /// Detaches a sharePod, restoring capacity. Returns `true` if the vGPU
@@ -166,23 +306,31 @@ impl VgpuPool {
     /// any future tenant).
     pub fn detach(&mut self, id: &GpuId, sharepod: Uid) -> bool {
         let d = self.devices.get_mut(id).expect("vGPU in pool");
+        self.ix.remove(d);
         let (request, mem) = d
             .attached
             .remove(&sharepod)
             .expect("sharePod attached to vGPU");
         d.util_free = (d.util_free + request).min(1.0);
         d.mem_free = (d.mem_free + mem).min(1.0);
-        if d.attached.is_empty() {
+        let became_idle = d.attached.is_empty();
+        if became_idle {
+            // Full restore, exactly: an idle device has no tenants, so its
+            // residuals are whole by definition. Snapping to 1.0 (instead
+            // of keeping the float round-trip) keeps every idle device at
+            // fit key 2.0 exactly, which the capacity indexes rely on.
+            d.util_free = 1.0;
+            d.mem_free = 1.0;
             d.aff.clear();
             d.anti_aff.clear();
             d.excl = None;
             if d.phase != VgpuPhase::Creating {
                 d.phase = VgpuPhase::Idle;
             }
-            true
-        } else {
-            false
         }
+        let d = &self.devices[id];
+        self.ix.insert(d);
+        became_idle
     }
 
     /// Marks a vGPU as being released: it stays in the pool (its anchor is
@@ -190,7 +338,10 @@ impl VgpuPool {
     pub fn mark_releasing(&mut self, id: &GpuId) {
         let d = self.devices.get_mut(id).expect("vGPU in pool");
         debug_assert!(d.attached.is_empty(), "releasing vGPU {id} with tenants");
+        self.ix.remove(d);
         d.releasing = true;
+        let d = &self.devices[id];
+        self.ix.insert(d);
     }
 
     /// Removes a vGPU entirely (GPU released back to Kubernetes).
@@ -198,9 +349,10 @@ impl VgpuPool {
     /// # Panics
     /// Panics if sharePods are still attached.
     pub fn remove(&mut self, id: &GpuId) -> PoolDevice {
-        let d = self.devices.remove(id).expect("vGPU in pool");
+        let d = self.devices.get(id).expect("vGPU in pool");
         assert!(d.attached.is_empty(), "removing vGPU {id} with tenants");
-        d
+        self.ix.remove(d);
+        self.devices.remove(id).expect("vGPU in pool")
     }
 
     /// Looks up a device.
@@ -214,13 +366,107 @@ impl VgpuPool {
     }
 
     /// Devices currently idle and not already being released (candidates
-    /// for release or for reuse).
-    pub fn idle_devices(&self) -> Vec<GpuId> {
-        self.devices
-            .values()
-            .filter(|d| d.phase == VgpuPhase::Idle && !d.releasing)
-            .map(|d| d.id.clone())
-            .collect()
+    /// for release or for reuse), in id order. Served from the idle index —
+    /// no allocation; collect if a snapshot is needed across mutations.
+    pub fn idle_devices(&self) -> impl Iterator<Item = &GpuId> + '_ {
+        self.ix.idle.iter()
+    }
+
+    /// Number of idle, non-releasing devices (release-policy accounting).
+    pub fn idle_count(&self) -> usize {
+        self.ix.idle.len()
+    }
+
+    /// First (id order) schedulable device with no attached sharePods —
+    /// Algorithm 1's idle-device preference in the affinity step.
+    pub fn first_unattached(&self) -> Option<&GpuId> {
+        self.ix.unattached.iter().next()
+    }
+
+    /// First (id order) schedulable device carrying the affinity label —
+    /// the binding target of Algorithm 1's affinity step.
+    pub fn affinity_target(&self, label: &str) -> Option<&GpuId> {
+        self.ix.aff_index.get(label).and_then(|s| s.iter().next())
+    }
+
+    /// Devices hosted on a node (releasing devices included), in id order.
+    pub fn devices_on_node<'a>(&'a self, node: &str) -> impl Iterator<Item = &'a GpuId> + 'a {
+        self.ix
+            .by_node
+            .get(node)
+            .into_iter()
+            .flat_map(|set| set.iter())
+    }
+
+    /// Schedulable devices *without* affinity labels whose fit key is at
+    /// least `min_fit`, ascending by (fit key, id) — the best-fit scan
+    /// order (tightest candidate first, id as the tie-break).
+    pub fn plain_fit_range(&self, min_fit: f64) -> impl Iterator<Item = &PoolDevice> {
+        self.ix
+            .plain_fit
+            .range(OrdF64::of(min_fit)..)
+            .flat_map(move |(_, set)| set.iter().map(move |id| &self.devices[id]))
+    }
+
+    /// Schedulable devices *with* affinity labels whose fit key is at least
+    /// `min_fit`, descending by fit key with ascending id inside one key —
+    /// the worst-fit scan order (roomiest candidate first, id tie-break).
+    pub fn labeled_fit_range_desc(&self, min_fit: f64) -> impl Iterator<Item = &PoolDevice> {
+        self.ix
+            .labeled_fit
+            .range(OrdF64::of(min_fit)..)
+            .rev()
+            .flat_map(move |(_, set)| set.iter().map(move |id| &self.devices[id]))
+    }
+
+    /// Cross-checks the incrementally-maintained indexes against a
+    /// from-scratch rebuild. Returns a description of the first mismatch.
+    /// Backs the index-consistency property tests; cheap enough to call
+    /// from any invariant-minded test.
+    pub fn verify_indexes(&self) -> Result<(), String> {
+        let fresh = PoolIndexes::rebuild(&self.devices);
+        if fresh == self.ix {
+            return Ok(());
+        }
+        for (name, got, want) in [
+            (
+                "plain_fit",
+                format!("{:?}", self.ix.plain_fit),
+                format!("{:?}", fresh.plain_fit),
+            ),
+            (
+                "labeled_fit",
+                format!("{:?}", self.ix.labeled_fit),
+                format!("{:?}", fresh.labeled_fit),
+            ),
+            (
+                "unattached",
+                format!("{:?}", self.ix.unattached),
+                format!("{:?}", fresh.unattached),
+            ),
+            (
+                "idle",
+                format!("{:?}", self.ix.idle),
+                format!("{:?}", fresh.idle),
+            ),
+            (
+                "aff_index",
+                format!("{:?}", self.ix.aff_index),
+                format!("{:?}", fresh.aff_index),
+            ),
+            (
+                "by_node",
+                format!("{:?}", self.ix.by_node),
+                format!("{:?}", fresh.by_node),
+            ),
+        ] {
+            if got != want {
+                return Err(format!(
+                    "index {name} drifted: incremental {got} != rebuilt {want}"
+                ));
+            }
+        }
+        Err("index drift in unknown structure".into())
     }
 
     /// Pool size.
@@ -263,6 +509,7 @@ mod tests {
         assert_eq!(p.get(&id).unwrap().phase, VgpuPhase::Active);
         assert!(p.detach(&id, Uid(1)));
         assert_eq!(p.get(&id).unwrap().phase, VgpuPhase::Idle);
+        p.verify_indexes().unwrap();
     }
 
     #[test]
@@ -274,6 +521,7 @@ mod tests {
         assert_eq!(p.get(&id).unwrap().phase, VgpuPhase::Creating);
         p.mark_ready(&id, "n".into(), "GPU-x".into());
         assert_eq!(p.get(&id).unwrap().phase, VgpuPhase::Active);
+        p.verify_indexes().unwrap();
     }
 
     #[test]
@@ -287,6 +535,21 @@ mod tests {
         p.detach(&ids[0], Uid(1));
         let d = p.get(&ids[0]).unwrap();
         assert!((d.util_free - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn detach_to_idle_restores_exact_full_capacity() {
+        let (mut p, ids) = pool_with_ready(1);
+        // 0.7 + 0.3 does not round-trip exactly in f64; the idle reset
+        // must snap back to a bit-exact 1.0 anyway.
+        p.attach(&ids[0], Uid(1), 0.3, 0.3, None, None, None);
+        p.attach(&ids[0], Uid(2), 0.1, 0.1, None, None, None);
+        p.detach(&ids[0], Uid(1));
+        p.detach(&ids[0], Uid(2));
+        let d = p.get(&ids[0]).unwrap();
+        assert_eq!(d.util_free, 1.0);
+        assert_eq!(d.mem_free, 1.0);
+        assert_eq!(d.fit_key(), 2.0);
     }
 
     #[test]
@@ -314,25 +577,66 @@ mod tests {
         assert!(d.aff.contains("g1") && d.aff.contains("g2"));
         assert!(d.anti_aff.contains("noisy"));
         assert_eq!(d.excl.as_deref(), Some("tenant"));
+        assert_eq!(p.affinity_target("g1"), Some(&ids[0]));
+        assert_eq!(p.affinity_target("g2"), Some(&ids[0]));
         p.detach(&ids[0], Uid(1));
         assert!(p.detach(&ids[0], Uid(2)), "becomes idle");
         let d = p.get(&ids[0]).unwrap();
         assert!(d.aff.is_empty() && d.anti_aff.is_empty() && d.excl.is_none());
+        assert_eq!(p.affinity_target("g1"), None);
+        p.verify_indexes().unwrap();
     }
 
     #[test]
     fn idle_devices_listed() {
         let (mut p, ids) = pool_with_ready(2);
         p.attach(&ids[0], Uid(1), 0.2, 0.2, None, None, None);
-        let idle = p.idle_devices();
+        let idle: Vec<&GpuId> = p.idle_devices().collect();
+        assert_eq!(idle, vec![&ids[1]]);
+        assert_eq!(p.idle_count(), 1);
+    }
+
+    #[test]
+    fn releasing_device_leaves_scheduler_indexes() {
+        let (mut p, ids) = pool_with_ready(2);
+        p.mark_releasing(&ids[0]);
+        assert_eq!(p.idle_count(), 1);
+        assert_eq!(p.first_unattached(), Some(&ids[1]));
+        assert!(p.plain_fit_range(0.0).all(|d| d.id != ids[0]));
+        // Still visible by node for failure handling.
+        assert_eq!(p.devices_on_node("node-0").next(), Some(&ids[0]));
+        p.verify_indexes().unwrap();
+    }
+
+    #[test]
+    fn fit_ranges_order_by_key_then_id() {
+        let (mut p, ids) = pool_with_ready(3);
+        p.attach(&ids[0], Uid(1), 0.6, 0.6, None, None, None); // fit 0.8
+        p.attach(&ids[1], Uid(2), 0.2, 0.2, None, None, None); // fit 1.6
+                                                               // ids[2] idle: fit 2.0
+        let order: Vec<&GpuId> = p.plain_fit_range(0.0).map(|d| &d.id).collect();
+        assert_eq!(order, vec![&ids[0], &ids[1], &ids[2]]);
+        let bounded: Vec<&GpuId> = p.plain_fit_range(1.0).map(|d| &d.id).collect();
+        assert_eq!(bounded, vec![&ids[1], &ids[2]]);
+        // Labeled devices live in the other index, scanned descending.
+        p.attach(&ids[2], Uid(3), 0.5, 0.5, Some("g"), None, None); // fit 1.0
+        p.attach(&ids[1], Uid(4), 0.1, 0.1, Some("g"), None, None); // fit 1.4
+        let desc: Vec<&GpuId> = p.labeled_fit_range_desc(0.0).map(|d| &d.id).collect();
+        assert_eq!(desc, vec![&ids[1], &ids[2]]);
+        p.verify_indexes().unwrap();
+    }
+
+    #[test]
+    fn per_node_index_tracks_ready_devices() {
+        let (mut p, ids) = pool_with_ready(2);
         assert_eq!(
-            idle,
-            vec![ids[1].clone()]
-                .into_iter()
-                .filter(|i| idle.contains(i))
-                .collect::<Vec<_>>()
+            p.devices_on_node("node-0").collect::<Vec<_>>(),
+            vec![&ids[0]]
         );
-        assert_eq!(idle.len(), 1);
+        p.remove(&ids[0]);
+        assert_eq!(p.devices_on_node("node-0").count(), 0);
+        assert_eq!(p.devices_on_node("node-1").count(), 1);
+        p.verify_indexes().unwrap();
     }
 
     #[test]
@@ -352,5 +656,6 @@ mod tests {
             p.insert_creating(id.clone());
             assert!(seen.insert(id));
         }
+        p.verify_indexes().unwrap();
     }
 }

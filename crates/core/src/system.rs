@@ -33,7 +33,7 @@ use ks_sim_core::time::{SimDuration, SimTime};
 use ks_telemetry::Telemetry;
 use ks_vgpu::ShareSpec;
 
-use crate::algorithm::{fit_residual, schedule, Decision, SchedRequest};
+use crate::algorithm::{fit_residual, schedule_with, Decision, SchedMode, SchedRequest};
 use crate::gpuid::GpuId;
 use crate::pool::{VgpuPhase, VgpuPool};
 use crate::sharepod::{SharePod, SharePodPhase, SharePodSpec};
@@ -79,6 +79,10 @@ pub struct KsConfig {
     pub anchor_max_retries: u32,
     /// What happens to a sharePod whose backing container crashes.
     pub restart_policy: RestartPolicy,
+    /// Which Algorithm 1 implementation KubeShare-Sched runs. Both are
+    /// decision-identical (enforced by the differential oracle); `Indexed`
+    /// serves placement from the pool's capacity indexes.
+    pub sched_mode: SchedMode,
 }
 
 /// Crash semantics for a sharePod's backing container (mirrors the pod
@@ -102,6 +106,7 @@ impl Default for KsConfig {
             anchor_retry_cap: SimDuration::from_secs(8),
             anchor_max_retries: 5,
             restart_policy: RestartPolicy::Never,
+            sched_mode: SchedMode::default(),
         }
     }
 }
@@ -304,8 +309,12 @@ impl KubeShareSystem {
     /// Builds KubeShare next to a cluster running the native whole-device
     /// GPU plugin (which is what DevMgr's anchor pods allocate through).
     pub fn new(cluster_cfg: ClusterConfig, cfg: KsConfig) -> Self {
+        let mut cluster = ClusterSim::new(cluster_cfg);
+        // One switch drives both layers: Algorithm 1 over the vGPU pool
+        // and kube-scheduler node selection in the simulated cluster.
+        cluster.set_sched_mode(cfg.sched_mode);
         KubeShareSystem {
-            cluster: ClusterSim::new(cluster_cfg),
+            cluster,
             cfg,
             sharepods: Store::new(),
             sp_uids: UidAllocator::new(),
@@ -597,13 +606,10 @@ impl KubeShareSystem {
         let mut cluster_notes = Vec::new();
         let victims = self.cluster.fail_node(now, name, &mut cluster_notes);
 
-        // vGPUs whose physical device sat on the failed node.
-        let dead: Vec<GpuId> = self
-            .pool
-            .devices()
-            .filter(|d| d.node.as_deref() == Some(name))
-            .map(|d| d.id.clone())
-            .collect();
+        // vGPUs whose physical device sat on the failed node, straight
+        // from the per-node index (releasing devices included — their
+        // anchors died with the node too).
+        let dead: Vec<GpuId> = self.pool.devices_on_node(name).cloned().collect();
 
         // Victim pods we account for here; everything else (native pods)
         // passes through as a plain cluster notice.
@@ -747,6 +753,46 @@ impl KubeShareSystem {
 
     // ---- KubeShare-Sched ----
 
+    /// Batch scheduler entry point: decides every `Pending` sharePod in
+    /// one pass, in deterministic uid order, with each decision applied
+    /// to the pool (bind / anchor launch / reject) before the next one
+    /// runs — the same per-decision semantics as the event-driven path,
+    /// without paying one `sched_latency` round-trip per sharePod. Any
+    /// `SchedDecide` events already queued for these sharePods become
+    /// no-ops (the phase has moved past `Pending`). Returns the batch
+    /// length.
+    pub fn drain_pending(
+        &mut self,
+        now: SimTime,
+        out: &mut KsEmit,
+        notices: &mut Vec<KsNotice>,
+    ) -> usize {
+        let mut pending: Vec<Uid> = self
+            .sharepods
+            .iter()
+            .filter(|(_, s)| s.status.phase == SharePodPhase::Pending)
+            .map(|(uid, _)| uid)
+            .collect();
+        // Store iteration order is a hash order; the batch must not be.
+        pending.sort();
+        let batch_len = pending.len();
+        for sp in pending {
+            self.on_sched_decide(now, sp, out, notices);
+        }
+        if self.telemetry.is_enabled() {
+            self.telemetry
+                .histogram_log("sched_batch_len", &[], 1.0, 1e6, 30)
+                .observe(batch_len as f64);
+            self.telemetry.trace_event(
+                now,
+                "sched",
+                "batch_drain",
+                &[("len", batch_len.to_string())],
+            );
+        }
+        batch_len
+    }
+
     fn on_sched_decide(
         &mut self,
         now: SimTime,
@@ -762,6 +808,7 @@ impl KubeShareSystem {
         }
         let submitted = sharepod.meta.created_at;
         let spec = sharepod.spec.clone();
+        let decide_start = std::time::Instant::now();
         let decision = match &spec.gpuid {
             // Explicit GPUID: an existing vGPU binds directly; a
             // non-existent GPUID asks DevMgr to create one (paper §4.4).
@@ -784,11 +831,21 @@ impl KubeShareSystem {
                     mem: spec.share.mem,
                     locality: spec.locality.clone(),
                 };
-                schedule(&req, &mut self.pool)
+                schedule_with(self.cfg.sched_mode, &req, &mut self.pool)
             }
         };
+        let decide_ns = decide_start.elapsed().as_nanos() as f64;
 
         if self.telemetry.is_enabled() {
+            let mode = match self.cfg.sched_mode {
+                SchedMode::Reference => "reference",
+                SchedMode::Indexed => "indexed",
+            };
+            // Wall-clock cost of running Algorithm 1 itself (not the
+            // simulated sched_latency): 10ns .. 1s log-spaced.
+            self.telemetry
+                .histogram_log("sched_decision_ns", &[("mode", mode)], 1e1, 1e9, 40)
+                .observe(decide_ns);
             let outcome = match &decision {
                 Decision::Assign(_) => "assign",
                 Decision::NewDevice(_) => "new_device",
@@ -1155,9 +1212,9 @@ impl KubeShareSystem {
     ) {
         let release = match self.cfg.pool_policy {
             PoolPolicy::OnDemand => true,
-            PoolPolicy::Reservation { max_idle } => self.pool.idle_devices().len() > max_idle,
+            PoolPolicy::Reservation { max_idle } => self.pool.idle_count() > max_idle,
             PoolPolicy::Hybrid { max_idle, idle_ttl } => {
-                if self.pool.idle_devices().len() > max_idle {
+                if self.pool.idle_count() > max_idle {
                     true
                 } else {
                     // Keep it for now, but start the idle TTL clock.
@@ -1551,6 +1608,65 @@ mod tests {
     }
 
     #[test]
+    fn drain_pending_schedules_whole_queue_in_one_pass() {
+        for mode in [SchedMode::Reference, SchedMode::Indexed] {
+            let mut eng = Engine::new(World {
+                ks: KubeShareSystem::new(
+                    cluster_cfg(2, 2),
+                    KsConfig {
+                        sched_mode: mode,
+                        ..KsConfig::default()
+                    },
+                ),
+                notices: Vec::new(),
+            });
+            let telemetry = ks_telemetry::Telemetry::enabled();
+            eng.world.ks.set_telemetry(telemetry.clone());
+            let sps: Vec<Uid> = (0..4)
+                .map(|i| submit(&mut eng, &format!("sp-{i}"), sp_spec(0.5, 1.0, 0.5)))
+                .collect();
+            // Drain before any queued SchedDecide event has fired: every
+            // sharePod is decided now, in one batch.
+            let now = eng.now();
+            let mut out = Vec::new();
+            let mut notes = Vec::new();
+            let n = eng.world.ks.drain_pending(now, &mut out, &mut notes);
+            assert_eq!(n, 4);
+            seed(&mut eng, out);
+            // The stale SchedDecide events no-op; the batch's binds drive
+            // everything to Running.
+            eng.run_to_completion(20_000);
+            for sp in &sps {
+                assert_eq!(
+                    eng.world.ks.sharepod(*sp).unwrap().status.phase,
+                    SharePodPhase::Running,
+                    "mode {mode:?}"
+                );
+            }
+            // A second drain sees an empty queue.
+            let mut out = Vec::new();
+            let mut notes = Vec::new();
+            assert_eq!(
+                eng.world.ks.drain_pending(eng.now(), &mut out, &mut notes),
+                0
+            );
+            let snap = telemetry.snapshot();
+            assert!(
+                snap.histogram_count_sum("sched_batch_len", &[]).is_some(),
+                "batch length histogram recorded"
+            );
+            let mode_label = match mode {
+                SchedMode::Reference => "reference",
+                SchedMode::Indexed => "indexed",
+            };
+            let (count, _) = snap
+                .histogram_count_sum("sched_decision_ns", &[("mode", mode_label)])
+                .expect("decision timing histogram recorded");
+            assert!(count >= 4, "one timing sample per decision");
+        }
+    }
+
+    #[test]
     fn sharepod_end_to_end_with_vgpu_creation() {
         let mut eng = engine(1, 1);
         let sp = submit(&mut eng, "train", sp_spec(0.5, 1.0, 0.5));
@@ -1647,7 +1763,7 @@ mod tests {
         seed(&mut eng, out);
         eng.run_to_completion(10_000);
         assert_eq!(eng.world.ks.pool().len(), 1, "idle vGPU retained");
-        assert_eq!(eng.world.ks.pool().idle_devices().len(), 1);
+        assert_eq!(eng.world.ks.pool().idle_count(), 1);
         // But the GPU is still held from Kubernetes' point of view.
         let free = eng.world.ks.cluster.node_free("node-0").unwrap();
         assert_eq!(free.extended_count(NVIDIA_GPU), 0);
@@ -1721,11 +1837,7 @@ mod tests {
         seed(&mut eng, out);
         // Shortly after going idle, the vGPU is still held…
         eng.run_until(now + SimDuration::from_secs(10));
-        assert_eq!(
-            eng.world.ks.pool().idle_devices().len(),
-            1,
-            "kept inside TTL"
-        );
+        assert_eq!(eng.world.ks.pool().idle_count(), 1, "kept inside TTL");
         // …but once the TTL passes it is released back to Kubernetes.
         eng.run_to_completion(10_000);
         assert!(eng.world.ks.pool().is_empty(), "released after TTL");

@@ -126,6 +126,23 @@ impl Telemetry {
         }
     }
 
+    /// A histogram handle with explicit log-spaced buckets over
+    /// `[lo, hi)` — for order-of-magnitude-spanning quantities in units
+    /// other than seconds (e.g. scheduler decision nanoseconds).
+    pub fn histogram_log(
+        &self,
+        name: &'static str,
+        labels: &[(&'static str, &str)],
+        lo: f64,
+        hi: f64,
+        bins: usize,
+    ) -> Histo {
+        match &self.inner {
+            Some(i) => i.registry.histogram_log(name, labels, lo, hi, bins),
+            None => Histo::noop(),
+        }
+    }
+
     /// Records a point event on the trace.
     pub fn trace_event(
         &self,

@@ -102,6 +102,20 @@ impl Registry {
         self.histogram_with(name, labels, || Histogram::new(lo, hi, bins))
     }
 
+    /// Histogram with explicit log-spaced buckets over `[lo, hi)` — for
+    /// quantities spanning orders of magnitude in units other than
+    /// seconds (e.g. per-decision wall-clock nanoseconds).
+    pub fn histogram_log(
+        &self,
+        name: &'static str,
+        labels: &[(&'static str, &str)],
+        lo: f64,
+        hi: f64,
+        bins: usize,
+    ) -> Histo {
+        self.histogram_with(name, labels, || Histogram::log_spaced(lo, hi, bins))
+    }
+
     fn histogram_with(
         &self,
         name: &'static str,
