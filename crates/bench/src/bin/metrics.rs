@@ -1,13 +1,22 @@
 //! Runs the telemetry demo workload and dumps the metrics registry in
-//! both export formats plus the scheduler decision trace.
+//! both export formats, the scheduler decision trace, one sharePod's
+//! causal span tree with its critical path, and the SLO report.
 //!
 //! Usage: `cargo run -p ks-bench --bin metrics -- [--jobs N] [--steps N]
-//! [--seed N]`.
+//! [--seed N] [--outage] [--trace-out FILE]`.
+//!
+//! `--trace-out` writes the full span/event buffer as Chrome-trace JSON —
+//! load it at <https://ui.perfetto.dev> to inspect the run visually.
+//!
+//! Exit code: non-zero if SLO alerts fired that the configuration does not
+//! predict (a healthy run must stay quiet; with `--outage` exactly the
+//! node-outage burn alert is expected).
 
 use ks_bench::metrics_demo::{run, MetricsDemoConfig};
 
 fn main() {
     let mut cfg = MetricsDemoConfig::default();
+    let mut trace_out: Option<String> = None;
     let args: Vec<String> = std::env::args().collect();
     let mut i = 1;
     while i < args.len() {
@@ -28,6 +37,14 @@ fn main() {
                 cfg.seed = val(i + 1).parse().expect("--seed: integer");
                 i += 2;
             }
+            "--outage" => {
+                cfg.outage = true;
+                i += 1;
+            }
+            "--trace-out" => {
+                trace_out = Some(val(i + 1).clone());
+                i += 2;
+            }
             other => panic!("unknown flag {other}"),
         }
     }
@@ -40,9 +57,36 @@ fn main() {
     println!("# ==== Trace ({} subsystems) ====", demo.subsystems.len());
     println!("# subsystems: {}", demo.subsystems.join(", "));
     println!("{}", demo.trace);
+    println!("# ==== SharePod causal trace ====");
+    println!("{}", demo.sharepod_trace);
+    println!(
+        "# ==== SLO report ({} scrapes, {} series) ====",
+        demo.scrapes, demo.tsdb_series
+    );
+    println!("{}", demo.slo_report);
     println!(
         "# exports agree on {} series across {} subsystems",
         demo.agreed_series,
         demo.subsystems.len()
     );
+
+    if let Some(path) = trace_out {
+        std::fs::write(&path, &demo.chrome_trace).expect("write --trace-out file");
+        println!("# chrome trace written to {path} (open in ui.perfetto.dev)");
+    }
+
+    // Alert contract: quiet when healthy; under --outage the burn-rate
+    // alert must fire (anchor coin flips may add genuine chaos alerts).
+    let ok = if cfg.outage {
+        demo.outage_alert_fired
+    } else {
+        demo.alerts_fired == 0
+    };
+    if !ok {
+        eprintln!(
+            "SLO contract violated (outage={}, fired={}):\n{}",
+            cfg.outage, demo.alerts_fired, demo.slo_report
+        );
+        std::process::exit(1);
+    }
 }

@@ -31,7 +31,7 @@ use ks_cluster::api::pod::PodSpec;
 use ks_cluster::api::ResourceList;
 use ks_gpu::device::{GpuDevice, GpuSpec};
 use ks_sim_core::prelude::*;
-use ks_telemetry::{EventKind, Telemetry};
+use ks_telemetry::{EventKind, Scraper, SloEngine, Telemetry};
 use ks_vgpu::{IsolationMode, ShareSpec, SharedGpu, TokenBackend, VgpuConfig, VgpuEvent};
 use kubeshare::sharepod::SharePodSpec;
 use kubeshare::system::{KsConfig, KsEmit, KsEvent, RestartPolicy};
@@ -72,6 +72,14 @@ pub struct ChaosReport {
     pub reclamation_bound_ms: f64,
     /// Bursts lost across repeated backend restarts (must be 0).
     pub restart_lost_bursts: usize,
+    /// SLO alerts fired during the fault-free baseline (must be 0).
+    pub baseline_alerts: u64,
+    /// `node_outage_burn` firings during the chaos run (must be ≥ 1: the
+    /// injected outages are real burn, and the alerting path must see them).
+    pub outage_alerts: u64,
+    /// `token_guarantee` firings during the chaos run (must be 0: faults
+    /// stress the token path but never break the elastic guarantee).
+    pub guarantee_alerts: u64,
 }
 
 // ---------------------------------------------------------------------------
@@ -84,6 +92,10 @@ struct World {
     /// (time, running sharePods) sampled once per simulated second from
     /// the `ks_sched_running_sharepods` gauge.
     samples: Vec<(SimTime, usize)>,
+    /// Ring-buffer TSDB fed from the same once-per-second tick.
+    scraper: Scraper,
+    /// The full rule catalogue, evaluated after every scrape.
+    slo: SloEngine,
 }
 
 enum Ev {
@@ -141,6 +153,9 @@ impl SimEvent<World> for Ev {
             Ev::Sample => {
                 let running = w.telemetry.gauge("ks_sched_running_sharepods", &[]).get();
                 w.samples.push((now, running as usize));
+                if w.scraper.tick(now, &w.telemetry) {
+                    w.slo.evaluate(now, w.scraper.tsdb(), &w.telemetry);
+                }
                 if now < SimTime::from_secs(RUN_SECS) {
                     q.schedule_at(now + SimDuration::from_secs(1), Ev::Sample);
                 }
@@ -170,6 +185,9 @@ struct ChurnOutcome {
     trace: Vec<FaultRecord>,
     leaked: usize,
     final_running: usize,
+    slo_fired_total: u64,
+    outage_alerts: u64,
+    guarantee_alerts: u64,
 }
 
 /// Runs the long-running-service workload under the given fault config.
@@ -195,6 +213,8 @@ fn churn_run(chaos: Option<ChaosConfig>) -> ChurnOutcome {
         ks,
         telemetry: telemetry.clone(),
         samples: Vec::new(),
+        scraper: Scraper::new(SimDuration::from_secs(1), 2048),
+        slo: SloEngine::kubeshare_catalogue(),
     });
     let mut out = Vec::new();
     for i in 0..PODS {
@@ -277,6 +297,9 @@ fn churn_run(chaos: Option<ChaosConfig>) -> ChurnOutcome {
         trace,
         leaked,
         final_running,
+        slo_fired_total: eng.world.slo.fired_total(),
+        outage_alerts: eng.world.slo.fired("node_outage_burn"),
+        guarantee_alerts: eng.world.slo.fired("token_guarantee"),
     }
 }
 
@@ -491,6 +514,19 @@ pub fn run(seed: u64) -> ChaosReport {
     let restart_lost_bursts = restart_soak(seed);
     assert_eq!(restart_lost_bursts, 0, "backend restarts lost bursts");
 
+    // SLO contract: the healthy baseline must raise no alerts at all; the
+    // chaos run must trip the node-outage burn-rate alert (the injected
+    // crashes are real budget burn) while the token guarantee stays intact.
+    assert_eq!(base.slo_fired_total, 0, "fault-free baseline must not page");
+    assert!(
+        churn.outage_alerts >= 1,
+        "node crashes fired but node_outage_burn never alerted"
+    );
+    assert_eq!(
+        churn.guarantee_alerts, 0,
+        "chaos must not break the token guarantee"
+    );
+
     ChaosReport {
         seed,
         baseline_running,
@@ -503,6 +539,9 @@ pub fn run(seed: u64) -> ChaosReport {
         reclamation_ms,
         reclamation_bound_ms,
         restart_lost_bursts,
+        baseline_alerts: base.slo_fired_total,
+        outage_alerts: churn.outage_alerts,
+        guarantee_alerts: churn.guarantee_alerts,
     }
 }
 
@@ -558,6 +597,21 @@ pub fn report(r: &ChaosReport) -> Table {
         r.restart_lost_bursts.to_string(),
         "0".into(),
     ]);
+    t.row(vec![
+        "SLO alerts (healthy baseline)".into(),
+        r.baseline_alerts.to_string(),
+        "0".into(),
+    ]);
+    t.row(vec![
+        "node_outage_burn alerts (chaos)".into(),
+        r.outage_alerts.to_string(),
+        "≥1".into(),
+    ]);
+    t.row(vec![
+        "token_guarantee alerts (chaos)".into(),
+        r.guarantee_alerts.to_string(),
+        "0".into(),
+    ]);
     t
 }
 
@@ -575,8 +629,11 @@ mod tests {
         assert!(r.reclamation_ms <= r.reclamation_bound_ms);
         assert_eq!(r.restart_lost_bursts, 0);
         assert_eq!(r.recoveries.len(), r.node_failures);
+        assert_eq!(r.baseline_alerts, 0);
+        assert!(r.outage_alerts >= 1);
+        assert_eq!(r.guarantee_alerts, 0);
         let t = report(&r);
-        assert_eq!(t.len(), 9);
+        assert_eq!(t.len(), 12);
     }
 
     #[test]

@@ -19,6 +19,7 @@ use ks_cluster::sim::ClusterConfig;
 use ks_gpu::device::{GpuDevice, GpuSpec};
 use ks_gpu::nvml::NvmlSampler;
 use ks_sim_core::prelude::*;
+use ks_telemetry::{Scraper, SloEngine, Telemetry};
 use ks_vgpu::{ClientId, IsolationMode, SharedGpu, VgpuConfig, VgpuEvent, VgpuNotice};
 use ks_workloads::job::{JobCmd, JobInput};
 use kubeshare::sharepod::SharePodSpec;
@@ -59,6 +60,20 @@ pub struct KsWorld {
     pub active_gpus: TimeSeries,
     sample_period: SimDuration,
     total_gpus: usize,
+    /// Scrape + SLO stack driven from the sample tick (None until
+    /// [`KsHarness::enable_observability`]).
+    pub obs: Option<KsObservability>,
+}
+
+/// The in-world observability stack: a ring-buffer TSDB scraper and an SLO
+/// engine, both advanced on every sample tick so alerting stays
+/// deterministic under the DES clock.
+pub struct KsObservability {
+    telemetry: Telemetry,
+    /// TSDB fed one [`ks_telemetry::MetricsSnapshot`] per sample tick.
+    pub scraper: Scraper,
+    /// Rules evaluated after every scrape.
+    pub slo: SloEngine,
 }
 
 impl KsWorld {
@@ -101,6 +116,7 @@ impl KsWorld {
             active_gpus: TimeSeries::new(),
             sample_period,
             total_gpus,
+            obs: None,
         }
     }
 
@@ -119,6 +135,12 @@ impl KsWorld {
                 };
                 let gpu = self.gpus.get_mut(&uuid).expect("gpu exists");
                 let client = gpu.attach(share);
+                // Hand the sharePod's causal trace down to the device
+                // library, so token grants/reclaims for this container
+                // appear as children of the sharePod's root span.
+                if let Some(ctx) = self.ks.sharepod_trace(sp) {
+                    gpu.set_client_trace(client, ctx);
+                }
                 // The job loads its model into device memory at startup —
                 // this exercises the memory guard.
                 let quota = (share.mem * gpu.device().memory().capacity() as f64) as u64;
@@ -208,6 +230,16 @@ impl KsWorld {
         }
         self.avg_util.push(now, sum / self.samplers.len() as f64);
         self.active_gpus.push(now, self.ks.pool().len() as f64);
+        if let Some(obs) = &mut self.obs {
+            let KsObservability {
+                telemetry,
+                scraper,
+                slo,
+            } = obs;
+            if scraper.tick(now, telemetry) {
+                slo.evaluate(now, scraper.tsdb(), telemetry);
+            }
+        }
     }
 }
 
@@ -330,6 +362,25 @@ impl KsHarness {
         self.eng
             .queue
             .schedule_at(SimTime::ZERO + period, KsWorldEvent::Sample);
+    }
+
+    /// Attaches the full observability stack: the telemetry handle is wired
+    /// into every layer (see [`KsHarness::set_telemetry`]), and each sample
+    /// tick additionally scrapes a snapshot into a ring-buffer TSDB and
+    /// evaluates `slo` against it. Call [`KsHarness::enable_sampling`] too,
+    /// or nothing ever ticks.
+    pub fn enable_observability(
+        &mut self,
+        telemetry: ks_telemetry::Telemetry,
+        scraper: Scraper,
+        slo: SloEngine,
+    ) {
+        self.set_telemetry(telemetry.clone());
+        self.eng.world.obs = Some(KsObservability {
+            telemetry,
+            scraper,
+            slo,
+        });
     }
 
     /// Runs to completion (all events drained).

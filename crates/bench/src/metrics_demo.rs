@@ -13,8 +13,9 @@
 use ks_chaos::{ChaosConfig, ChaosEvent, ChaosInjector};
 use ks_sim_core::rng::SimRng;
 use ks_sim_core::time::{SimDuration, SimTime};
+use ks_telemetry::causal::TraceTree;
 use ks_telemetry::export::{to_json, to_prometheus_text, verify_agreement};
-use ks_telemetry::{MetricsSnapshot, Telemetry};
+use ks_telemetry::{MetricsSnapshot, Scraper, SloEngine, Telemetry};
 use ks_vgpu::{ShareSpec, VgpuConfig};
 use ks_workloads::job::JobKind;
 use kubeshare::locality::Locality;
@@ -32,6 +33,10 @@ pub struct MetricsDemoConfig {
     pub steps: u32,
     /// Seed for job drivers and the chaos injector.
     pub seed: u64,
+    /// Inject chaos (anchor coin flips during the run, then a full node
+    /// outage). Off by default: a healthy run must raise zero SLO alerts,
+    /// which the metrics binary and the CI smoke step assert.
+    pub outage: bool,
 }
 
 impl Default for MetricsDemoConfig {
@@ -40,6 +45,7 @@ impl Default for MetricsDemoConfig {
             jobs: 24,
             steps: 400,
             seed: 7,
+            outage: false,
         }
     }
 }
@@ -60,6 +66,21 @@ pub struct MetricsDemo {
     pub trace: String,
     /// Distinct trace subsystems, in first-seen order.
     pub subsystems: Vec<&'static str>,
+    /// Rendered span tree + critical path of one sharePod's causal trace.
+    pub sharepod_trace: String,
+    /// Chrome-trace JSON of the full buffer (Perfetto-loadable).
+    pub chrome_trace: String,
+    /// SLO rule report after the final evaluation.
+    pub slo_report: String,
+    /// Total SLO alert firings across the run.
+    pub alerts_fired: u64,
+    /// Whether the `node_outage_burn` burn-rate alert fired (only expected
+    /// when [`MetricsDemoConfig::outage`] is set).
+    pub outage_alert_fired: bool,
+    /// Snapshots folded into the ring-buffer TSDB.
+    pub scrapes: u64,
+    /// Distinct series the TSDB retains.
+    pub tsdb_series: usize,
 }
 
 /// Runs the demo: instrumented workload, a short chaos burst, exports.
@@ -74,13 +95,19 @@ pub fn run(cfg: &MetricsDemoConfig) -> MetricsDemo {
         KsConfig::default(),
         VgpuConfig::default(),
     );
-    h.set_telemetry(telemetry.clone());
-    // Anchor-launch coin flips during the workload exercise DevMgr's
-    // backoff path; the time-based streams are pumped after the run.
-    h.eng
-        .world
-        .ks
-        .set_chaos(ChaosInjector::new(ChaosConfig::preset(cfg.seed), 2));
+    h.enable_observability(
+        telemetry.clone(),
+        Scraper::new(SimDuration::from_secs(1), 2048),
+        SloEngine::kubeshare_catalogue(),
+    );
+    if cfg.outage {
+        // Anchor-launch coin flips during the workload exercise DevMgr's
+        // backoff path; the time-based streams are pumped after the run.
+        h.eng
+            .world
+            .ks
+            .set_chaos(ChaosInjector::new(ChaosConfig::preset(cfg.seed), 2));
+    }
 
     let mut rng = SimRng::seed_from_u64(cfg.seed);
     for i in 0..cfg.jobs {
@@ -105,7 +132,26 @@ pub fn run(cfg: &MetricsDemoConfig) -> MetricsDemo {
     h.enable_sampling(SimDuration::from_secs(1));
     h.run(200_000_000);
 
-    pump_chaos(&mut h);
+    let end = if cfg.outage {
+        pump_chaos(&mut h)
+    } else {
+        h.eng.now()
+    };
+
+    // Final scrape + SLO evaluation covering anything that happened after
+    // the last periodic sample tick (the post-run chaos pump in particular).
+    let (slo_report, alerts_fired, outage_alert_fired, scrapes, tsdb_series) = {
+        let obs = h.eng.world.obs.as_mut().expect("observability enabled");
+        obs.scraper.force(end, &telemetry);
+        obs.slo.evaluate(end, obs.scraper.tsdb(), &telemetry);
+        (
+            obs.slo.render(),
+            obs.slo.fired_total(),
+            obs.slo.fired("node_outage_burn") > 0,
+            obs.scraper.scrapes(),
+            obs.scraper.tsdb().series_count(),
+        )
+    };
 
     let snapshot = telemetry.snapshot();
     let prometheus = to_prometheus_text(&snapshot);
@@ -114,6 +160,22 @@ pub fn run(cfg: &MetricsDemoConfig) -> MetricsDemo {
         verify_agreement(&prometheus, &json).expect("prometheus and json exports must agree");
     let trace = telemetry.render_trace();
     let subsystems = telemetry.trace_subsystems();
+    let events = telemetry.trace_events();
+    let chrome_trace = telemetry.chrome_trace();
+    let sharepod_trace = events
+        .iter()
+        .find(|e| e.parent == 0 && e.name == "sharepod")
+        .and_then(|e| TraceTree::build(&events, e.trace))
+        .map(|tree| {
+            let mut s = tree.render();
+            s.push_str("critical path:\n");
+            for (span, dur) in tree.critical_path() {
+                let label = tree.node(span).map(|n| n.label()).unwrap_or_default();
+                s.push_str(&format!("  {:<24} {:.6}s\n", label, dur.as_secs_f64()));
+            }
+            s
+        })
+        .unwrap_or_default();
     MetricsDemo {
         telemetry,
         snapshot,
@@ -122,14 +184,23 @@ pub fn run(cfg: &MetricsDemoConfig) -> MetricsDemo {
         agreed_series,
         trace,
         subsystems,
+        sharepod_trace,
+        chrome_trace,
+        slo_report,
+        alerts_fired,
+        outage_alert_fired,
+        scrapes,
+        tsdb_series,
     }
 }
 
 /// Drives the injector's time-based streams through the control plane
 /// until at least one full node outage (crash + recovery) completed, so
-/// the trace contains a closed `chaos/node_outage` span.
-fn pump_chaos(h: &mut KsHarness) {
+/// the trace contains a closed `chaos/node_outage` span. Returns the time
+/// of the last fault processed (for the final scrape).
+fn pump_chaos(h: &mut KsHarness) -> SimTime {
     let base = h.eng.now();
+    let mut last = base;
     let names = h.eng.world.ks.cluster.node_names();
     let mut pending = h
         .eng
@@ -146,6 +217,7 @@ fn pump_chaos(h: &mut KsHarness) {
         pending.sort_by_key(|(t, _)| *t);
         let (t, ev) = pending.remove(0);
         let at = base + t.saturating_since(SimTime::ZERO);
+        last = last.max(at);
         let mut out = Vec::new();
         let mut notes = Vec::new();
         match ev {
@@ -175,6 +247,7 @@ fn pump_chaos(h: &mut KsHarness) {
             pending.push(next);
         }
     }
+    last
 }
 
 #[cfg(test)]
@@ -187,6 +260,7 @@ mod tests {
             jobs: 8,
             steps: 100,
             seed: 3,
+            outage: true,
         });
         for sub in ["sched", "devmgr", "vgpu", "cluster", "chaos"] {
             assert!(
@@ -203,5 +277,36 @@ mod tests {
                 > 0
         );
         assert!(demo.trace.contains("decision"));
+        // The injected outage must trip the multi-window burn-rate rule.
+        assert!(demo.outage_alert_fired, "slo report:\n{}", demo.slo_report);
+    }
+
+    #[test]
+    fn healthy_demo_raises_no_alerts_and_traces_a_sharepod() {
+        let demo = run(&MetricsDemoConfig {
+            jobs: 6,
+            steps: 80,
+            seed: 5,
+            outage: false,
+        });
+        assert_eq!(
+            demo.alerts_fired, 0,
+            "healthy run must stay quiet:\n{}",
+            demo.slo_report
+        );
+        assert!(demo.scrapes >= 5, "scrapes: {}", demo.scrapes);
+        assert!(demo.tsdb_series > 10, "series: {}", demo.tsdb_series);
+        // One sharePod's causal trace runs from submission through the
+        // device layer: the tree must contain a token grant and a
+        // critical-path section.
+        assert!(
+            demo.sharepod_trace.contains("vgpu/token_grant"),
+            "trace:\n{}",
+            demo.sharepod_trace
+        );
+        assert!(demo.sharepod_trace.contains("critical path:"));
+        // The Chrome export is non-trivial and structurally a JSON object.
+        assert!(demo.chrome_trace.starts_with('{'));
+        assert!(demo.chrome_trace.contains("traceEvents"));
     }
 }

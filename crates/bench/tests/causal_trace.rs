@@ -1,0 +1,100 @@
+//! Integration: causal-trace invariants over a full DES run.
+//!
+//! * Every `vgpu/token_grant` span belongs to a trace rooted at a
+//!   `sched/sharepod` span — the context minted at submission survived
+//!   Algorithm 1, DevMgr, the cluster substrate and the device-library
+//!   attach, with no orphans anywhere in between.
+//! * For every sharePod tree, the critical-path self-times tile the root
+//!   span exactly: they sum to the end-to-end latency on the integer-µs
+//!   DES clock.
+//! * The Chrome-trace export parses and carries the buffer.
+
+use std::collections::{HashMap, HashSet};
+
+use ks_bench::metrics_demo::{run, MetricsDemoConfig};
+use ks_telemetry::causal::{traces, TraceTree};
+use ks_telemetry::EventKind;
+
+#[test]
+fn token_grants_have_sharepod_ancestors_and_critical_path_is_exact() {
+    let demo = run(&MetricsDemoConfig {
+        jobs: 6,
+        steps: 120,
+        seed: 9,
+        outage: false,
+    });
+    let events = demo.telemetry.trace_events();
+
+    // Root span name per trace id.
+    let mut roots: HashMap<u64, &str> = HashMap::new();
+    for e in &events {
+        if e.kind == EventKind::SpanBegin && e.parent == 0 && e.trace != 0 {
+            roots.insert(e.trace, e.name);
+        }
+    }
+
+    // (1) No orphan grants.
+    let grants: Vec<_> = events
+        .iter()
+        .filter(|e| e.kind == EventKind::SpanBegin && e.name == "token_grant")
+        .collect();
+    assert!(!grants.is_empty(), "the run must perform token grants");
+    for g in &grants {
+        assert_ne!(g.trace, 0, "token grant outside any trace: {g:?}");
+        assert_eq!(
+            roots.get(&g.trace).copied(),
+            Some("sharepod"),
+            "trace {} is not rooted at a sharePod",
+            g.trace
+        );
+    }
+
+    // (2) Submission → grant coverage, and exact critical-path tiling.
+    let grant_traces: HashSet<u64> = grants.iter().map(|g| g.trace).collect();
+    let mut reached_grant = 0;
+    for t in traces(&events) {
+        if roots.get(&t).copied() != Some("sharepod") {
+            continue;
+        }
+        let tree = TraceTree::build(&events, t).expect("sharePod tree builds");
+        let total: u64 = tree
+            .critical_path()
+            .iter()
+            .map(|&(_, d)| d.as_micros())
+            .sum();
+        assert_eq!(
+            total,
+            tree.duration().as_micros(),
+            "trace {t}: critical-path self-times must sum to the end-to-end latency"
+        );
+        if grant_traces.contains(&t) {
+            let labels: HashSet<String> = tree
+                .depth_first()
+                .iter()
+                .filter_map(|&s| tree.node(s).map(|n| n.label()))
+                .collect();
+            assert!(labels.contains("sched/schedule"), "labels: {labels:?}");
+            assert!(labels.contains("cluster/pod_create"), "labels: {labels:?}");
+            assert!(labels.contains("vgpu/token_grant"), "labels: {labels:?}");
+            reached_grant += 1;
+        }
+    }
+    assert!(
+        reached_grant >= 1,
+        "at least one sharePod trace must reach a token grant"
+    );
+
+    // (3) The Perfetto/Chrome export is valid JSON holding the buffer.
+    let doc: serde_json::Value =
+        serde_json::from_str(&demo.chrome_trace).expect("chrome trace parses");
+    let evs = doc
+        .field("traceEvents")
+        .as_array()
+        .expect("traceEvents array");
+    assert!(
+        evs.len() >= events.len() / 2,
+        "export too small: {} entries for {} buffer events",
+        evs.len(),
+        events.len()
+    );
+}

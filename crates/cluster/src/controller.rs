@@ -13,6 +13,7 @@
 //! policy.
 
 use ks_sim_core::time::SimTime;
+use ks_telemetry::Telemetry;
 
 use crate::api::pod::{Pod, PodPhase, PodSpec};
 use crate::api::Uid;
@@ -35,6 +36,7 @@ pub trait Reconciler {
 pub struct ControllerManager {
     watcher: Watcher,
     reconcilers: Vec<Box<dyn Reconciler + Send>>,
+    telemetry: Telemetry,
 }
 
 impl std::fmt::Debug for ControllerManager {
@@ -51,7 +53,14 @@ impl ControllerManager {
         ControllerManager {
             watcher: cluster.pods().watch(),
             reconcilers: Vec::new(),
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Attaches a telemetry handle; each drained watch event increments
+    /// `ks_cluster_controller_reconciles_total{event}`.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// Registers a reconciler.
@@ -78,6 +87,16 @@ impl ControllerManager {
                 return;
             }
             for ev in &events {
+                if self.telemetry.is_enabled() {
+                    let kind = match ev {
+                        WatchEvent::Added(..) => "added",
+                        WatchEvent::Modified(..) => "modified",
+                        WatchEvent::Deleted(..) => "deleted",
+                    };
+                    self.telemetry
+                        .counter("ks_cluster_controller_reconciles_total", &[("event", kind)])
+                        .inc();
+                }
                 for r in &mut self.reconcilers {
                     r.reconcile(now, ev, cluster, out);
                 }
@@ -131,6 +150,9 @@ impl Reconciler for RestartPolicyController {
         let spec: PodSpec = pod.spec.clone();
         let replacement =
             cluster.submit_pod(now, format!("{}-r{}", pod.meta.name, attempts), spec, out);
+        // The replacement continues the failed pod's causal trace, so a
+        // restart shows up as one trace with two pod lifecycles.
+        cluster.set_pod_trace(replacement, cluster.pod_trace(*uid));
         self.replacements.push((*uid, replacement));
     }
 }

@@ -7,8 +7,10 @@
 //! surface lifecycle transitions as [`ClusterNotice`]s, so any embedding
 //! world (native experiments, KubeShare, baselines) can route them.
 
+use std::collections::HashMap;
+
 use ks_sim_core::time::SimTime;
-use ks_telemetry::Telemetry;
+use ks_telemetry::{Telemetry, TraceCtx};
 
 use crate::api::meta::{Uid, UidAllocator};
 use crate::api::node::NodeConfig;
@@ -147,6 +149,9 @@ pub struct ClusterSim {
     /// Pods that found no node; retried whenever capacity frees.
     unschedulable: Vec<Uid>,
     telemetry: Telemetry,
+    /// Causal trace contexts for pods created on behalf of a traced
+    /// operation (KubeShare anchors and backing pods).
+    pod_trace: HashMap<Uid, TraceCtx>,
     /// Which node-selection implementation `on_schedule` runs.
     sched_mode: SchedMode,
     /// Up nodes keyed by current scheduler score; iterated descending
@@ -204,6 +209,7 @@ impl ClusterSim {
             nodes,
             unschedulable: Vec::new(),
             telemetry: Telemetry::disabled(),
+            pod_trace: HashMap::new(),
             sched_mode: SchedMode::default(),
             node_rank: std::collections::BTreeSet::new(),
         };
@@ -296,9 +302,34 @@ impl ClusterSim {
         self.telemetry = telemetry;
     }
 
+    /// Attaches a causal trace context to a pod: its lifecycle events join
+    /// that trace (used by KubeShare for anchor and backing pods). The
+    /// association is dropped when the pod's `deleted` transition fires.
+    pub fn set_pod_trace(&mut self, pod: Uid, ctx: TraceCtx) {
+        if !ctx.is_none() {
+            self.pod_trace.insert(pod, ctx);
+        }
+    }
+
+    /// The trace context attached to a pod ([`TraceCtx::NONE`] if untraced).
+    pub fn pod_trace(&self, pod: Uid) -> TraceCtx {
+        self.pod_trace.get(&pod).copied().unwrap_or(TraceCtx::NONE)
+    }
+
     /// Counts one pod lifecycle transition and mirrors the unschedulable
     /// queue depth, which changes on most transitions.
-    fn note_phase(&self, now: SimTime, uid: Uid, phase: &'static str) {
+    fn note_phase(&mut self, now: SimTime, uid: Uid, phase: &'static str) {
+        if phase == "deleted" {
+            // Take (not just read) so the map cannot grow unboundedly.
+            let ctx = self.pod_trace.remove(&uid).unwrap_or(TraceCtx::NONE);
+            self.note_phase_ctx(now, uid, phase, ctx);
+            return;
+        }
+        let ctx = self.pod_trace.get(&uid).copied().unwrap_or(TraceCtx::NONE);
+        self.note_phase_ctx(now, uid, phase, ctx);
+    }
+
+    fn note_phase_ctx(&self, now: SimTime, uid: Uid, phase: &'static str, ctx: TraceCtx) {
         if !self.telemetry.is_enabled() {
             return;
         }
@@ -308,8 +339,9 @@ impl ClusterSim {
         self.telemetry
             .gauge("ks_cluster_unschedulable_pods", &[])
             .set(self.unschedulable.len() as f64);
-        self.telemetry.trace_event(
+        self.telemetry.trace_event_in(
             now,
+            ctx,
             "cluster",
             "pod_phase",
             &[("pod", uid.to_string()), ("phase", phase.to_string())],

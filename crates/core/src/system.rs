@@ -30,7 +30,7 @@ use ks_cluster::api::{ObjectMeta, ResourceList, Uid, UidAllocator, NVIDIA_GPU};
 use ks_cluster::sim::{ClusterConfig, ClusterEvent, ClusterNotice, ClusterSim};
 use ks_cluster::store::Store;
 use ks_sim_core::time::{SimDuration, SimTime};
-use ks_telemetry::Telemetry;
+use ks_telemetry::{SpanId, Telemetry, TraceCtx};
 use ks_vgpu::ShareSpec;
 
 use crate::algorithm::{fit_residual, schedule_with, Decision, SchedMode, SchedRequest};
@@ -296,6 +296,12 @@ pub struct KubeShareSystem {
     /// world drives its time-based streams.
     chaos: Option<ChaosInjector>,
     telemetry: Telemetry,
+    /// Per-sharePod causal trace state (populated only when telemetry is
+    /// enabled; removed when the trace closes on a terminal transition).
+    sp_trace: HashMap<Uid, SpTrace>,
+    /// Trace context of the sharePod whose decision triggered each vGPU's
+    /// anchor, so DevMgr launch/backoff events land in that trace.
+    anchor_ctx: HashMap<GpuId, TraceCtx>,
 }
 
 /// DevMgr's retry bookkeeping for one vGPU's anchor.
@@ -303,6 +309,19 @@ pub struct KubeShareSystem {
 struct AnchorRetry {
     attempts: u32,
     node: Option<String>,
+}
+
+/// One sharePod's causal trace: the root context plus the child spans
+/// currently open on its behalf (`SpanId::NONE` when closed/never opened).
+#[derive(Debug, Clone, Copy, Default)]
+struct SpTrace {
+    ctx: TraceCtx,
+    /// Submission (or requeue) → Algorithm 1 decision.
+    sched_span: SpanId,
+    /// Parked awaiting vGPU → anchor reports the GPUID ready (or give-up).
+    vgpu_span: SpanId,
+    /// Backing-pod creation ordered → pod running.
+    pod_span: SpanId,
 }
 
 impl KubeShareSystem {
@@ -329,6 +348,8 @@ impl KubeShareSystem {
             next_ticket: 0,
             chaos: None,
             telemetry: Telemetry::disabled(),
+            sp_trace: HashMap::new(),
+            anchor_ctx: HashMap::new(),
         }
     }
 
@@ -406,6 +427,35 @@ impl KubeShareSystem {
             .trace_event(now, "devmgr", event, &[("gpuid", gpuid.to_string())]);
     }
 
+    /// The causal trace context minted for a sharePod at submission, if
+    /// its trace is still open. Embedding worlds use this to tag work done
+    /// on the sharePod's behalf in other layers (e.g. token grants).
+    pub fn sharepod_trace(&self, sp: Uid) -> Option<TraceCtx> {
+        self.sp_trace.get(&sp).map(|t| t.ctx)
+    }
+
+    /// The sharePod's context, or `NONE` when untraced.
+    fn sp_ctx(&self, sp: Uid) -> TraceCtx {
+        self.sp_trace
+            .get(&sp)
+            .map(|t| t.ctx)
+            .unwrap_or(TraceCtx::NONE)
+    }
+
+    /// Ends any open child spans and the root span with a terminal
+    /// outcome, removing the trace state. Idempotent: later terminal
+    /// transitions of an already-closed sharePod are no-ops.
+    fn close_sp_trace(&mut self, now: SimTime, sp: Uid, outcome: &'static str) {
+        let Some(tr) = self.sp_trace.remove(&sp) else {
+            return;
+        };
+        self.telemetry.span_end(now, tr.sched_span, &[]);
+        self.telemetry.span_end(now, tr.vgpu_span, &[]);
+        self.telemetry.span_end(now, tr.pod_span, &[]);
+        self.telemetry
+            .span_end(now, tr.ctx.span, &[("outcome", outcome.to_string())]);
+    }
+
     /// The installed fault injector, if any.
     pub fn chaos(&self) -> Option<&ChaosInjector> {
         self.chaos.as_ref()
@@ -443,7 +493,30 @@ impl KubeShareSystem {
         spec.share.validate().expect("invalid share spec");
         let uid = self.sp_uids.next();
         let meta = ObjectMeta::new(name, uid, now);
+        let sp_name = meta.name.clone();
         self.sharepods.create(uid, SharePod::new(meta, spec));
+        if self.telemetry.is_enabled() {
+            // One trace per sharePod: the root span covers submission to
+            // the terminal transition; the schedule span opens immediately
+            // and closes at the Algorithm 1 decision.
+            let ctx = self.telemetry.trace_root(
+                now,
+                "sched",
+                "sharepod",
+                &[("sp", uid.to_string()), ("name", sp_name)],
+            );
+            let sched_span = self
+                .telemetry
+                .span_begin_in(now, ctx, "sched", "schedule", &[]);
+            self.sp_trace.insert(
+                uid,
+                SpTrace {
+                    ctx,
+                    sched_span,
+                    ..SpTrace::default()
+                },
+            );
+        }
         out.push((
             now + self.cfg.sched_latency,
             KsEvent::SchedDecide { sp: uid },
@@ -466,11 +539,13 @@ impl KubeShareSystem {
             SharePodPhase::Pending | SharePodPhase::Rejected => {
                 self.sharepods
                     .mutate(sp, |s| s.status.phase = SharePodPhase::Terminated);
+                self.close_sp_trace(now, sp, "deleted");
             }
             SharePodPhase::AwaitingVgpu => {
                 let Some(gpuid) = sharepod.status.bound_gpuid.clone() else {
                     self.sharepods
                         .mutate(sp, |s| s.status.phase = SharePodPhase::Terminated);
+                    self.close_sp_trace(now, sp, "deleted");
                     notices.push(KsNotice::Fault {
                         error: SystemError::UnboundSharePod { sp },
                     });
@@ -482,6 +557,7 @@ impl KubeShareSystem {
                 let became_idle = self.pool.detach(&gpuid, sp);
                 self.sharepods
                     .mutate(sp, |s| s.status.phase = SharePodPhase::Terminated);
+                self.close_sp_trace(now, sp, "deleted");
                 if became_idle {
                     self.apply_pool_policy(now, &gpuid, out, notices);
                 }
@@ -493,6 +569,7 @@ impl KubeShareSystem {
                     let gpuid = sharepod.status.bound_gpuid.clone();
                     self.sharepods
                         .mutate(sp, |s| s.status.phase = SharePodPhase::Terminated);
+                    self.close_sp_trace(now, sp, "deleted");
                     if let Some(gpuid) = gpuid {
                         if self.pool.get(&gpuid).is_some() {
                             let became_idle = self.pool.detach(&gpuid, sp);
@@ -745,8 +822,22 @@ impl KubeShareSystem {
         notices.push(KsNotice::SharePodRequeued { sp, gpuid });
         if self.telemetry.is_enabled() {
             self.telemetry.counter("ks_sched_requeues_total", &[]).inc();
+            let ctx = self.sp_ctx(sp);
             self.telemetry
-                .trace_event(now, "sched", "requeue", &[("sp", sp.to_string())]);
+                .trace_event_in(now, ctx, "sched", "requeue", &[("sp", sp.to_string())]);
+            // A fresh schedule span for the new Algorithm 1 pass; any span
+            // left open by the failed attempt ends here.
+            if self.sp_trace.contains_key(&sp) {
+                let sched_span = self
+                    .telemetry
+                    .span_begin_in(now, ctx, "sched", "schedule", &[]);
+                let tr = self.sp_trace.get_mut(&sp).expect("just checked");
+                let vgpu_span = std::mem::replace(&mut tr.vgpu_span, SpanId::NONE);
+                let pod_span = std::mem::replace(&mut tr.pod_span, SpanId::NONE);
+                tr.sched_span = sched_span;
+                self.telemetry.span_end(now, vgpu_span, &[]);
+                self.telemetry.span_end(now, pod_span, &[]);
+            }
         }
         out.push((now + self.cfg.sched_latency, KsEvent::SchedDecide { sp }));
     }
@@ -876,16 +967,28 @@ impl KubeShareSystem {
                 Decision::Assign(g) | Decision::NewDevice(g) => g.to_string(),
                 Decision::Reject(r) => format!("{r:?}"),
             };
-            self.telemetry.trace_event(
+            let ctx = self.sp_ctx(sp);
+            self.telemetry.trace_event_in(
                 now,
+                ctx,
                 "sched",
                 "decision",
                 &[
                     ("sp", sp.to_string()),
                     ("outcome", outcome.to_string()),
-                    ("target", target),
+                    ("target", target.clone()),
                 ],
             );
+            // The schedule span (opened at submission/requeue) ends at the
+            // decision, carrying the outcome.
+            if let Some(tr) = self.sp_trace.get_mut(&sp) {
+                let span = std::mem::replace(&mut tr.sched_span, SpanId::NONE);
+                self.telemetry.span_end(
+                    now,
+                    span,
+                    &[("outcome", outcome.to_string()), ("target", target)],
+                );
+            }
         }
 
         match decision {
@@ -894,6 +997,7 @@ impl KubeShareSystem {
                     s.status.phase = SharePodPhase::Rejected;
                     s.status.message = Some(format!("{reason:?}"));
                 });
+                self.close_sp_trace(now, sp, "rejected");
                 notices.push(KsNotice::SharePodRejected {
                     sp,
                     reason: format!("{reason:?}"),
@@ -904,6 +1008,12 @@ impl KubeShareSystem {
             }
             Decision::NewDevice(gpuid) => {
                 self.pool.insert_creating(gpuid.clone());
+                // DevMgr work for this vGPU is on behalf of the sharePod
+                // whose decision demanded it.
+                let ctx = self.sp_ctx(sp);
+                if !ctx.is_none() {
+                    self.anchor_ctx.insert(gpuid.clone(), ctx);
+                }
                 self.launch_anchor(now, &gpuid, spec.node_name.clone(), out, notices);
                 // The launch may have failed and be backing off — the
                 // sharePod still binds and waits; a successful retry will
@@ -941,9 +1051,36 @@ impl KubeShareSystem {
             };
         });
         if ready {
+            self.open_pod_span(now, sp, &gpuid);
             out.push((now + self.cfg.vgpu_query_latency, KsEvent::CreatePod { sp }));
         } else {
+            if self.sp_trace.contains_key(&sp) {
+                let ctx = self.sp_ctx(sp);
+                let span = self.telemetry.span_begin_in(
+                    now,
+                    ctx,
+                    "devmgr",
+                    "vgpu_create",
+                    &[("gpuid", gpuid.to_string())],
+                );
+                self.sp_trace.get_mut(&sp).expect("just checked").vgpu_span = span;
+            }
             self.waiting.entry(gpuid).or_default().push(sp);
+        }
+    }
+
+    /// Opens the pod-creation child span (Starting → Running).
+    fn open_pod_span(&mut self, now: SimTime, sp: Uid, gpuid: &GpuId) {
+        if self.sp_trace.contains_key(&sp) {
+            let ctx = self.sp_ctx(sp);
+            let span = self.telemetry.span_begin_in(
+                now,
+                ctx,
+                "cluster",
+                "pod_create",
+                &[("gpuid", gpuid.to_string())],
+            );
+            self.sp_trace.get_mut(&sp).expect("just checked").pod_span = span;
         }
     }
 
@@ -967,8 +1104,14 @@ impl KubeShareSystem {
             self.telemetry
                 .counter("ks_devmgr_anchor_launches_total", &[])
                 .inc();
-            self.telemetry.trace_event(
+            let ctx = self
+                .anchor_ctx
+                .get(gpuid)
+                .copied()
+                .unwrap_or(TraceCtx::NONE);
+            self.telemetry.trace_event_in(
                 now,
+                ctx,
                 "devmgr",
                 "anchor_launch",
                 &[("gpuid", gpuid.to_string())],
@@ -997,6 +1140,9 @@ impl KubeShareSystem {
             .cluster
             .submit_pod(now, format!("anchor-{gpuid}"), spec, &mut cluster_out);
         lift(cluster_out, out);
+        if let Some(ctx) = self.anchor_ctx.get(gpuid) {
+            self.cluster.set_pod_trace(pod, *ctx);
+        }
         self.anchor_vgpu.insert(pod, gpuid.clone());
         self.vgpu_anchor.insert(gpuid.clone(), pod);
     }
@@ -1030,8 +1176,14 @@ impl KubeShareSystem {
             self.telemetry
                 .counter("ks_devmgr_anchor_backoffs_total", &[])
                 .inc();
-            self.telemetry.trace_event(
+            let ctx = self
+                .anchor_ctx
+                .get(&gpuid)
+                .copied()
+                .unwrap_or(TraceCtx::NONE);
+            self.telemetry.trace_event_in(
                 now,
+                ctx,
                 "devmgr",
                 "anchor_backoff",
                 &[
@@ -1102,6 +1254,7 @@ impl KubeShareSystem {
             self.anchor_vgpu.remove(&anchor);
         }
         self.anchor_retry.remove(gpuid);
+        self.anchor_ctx.remove(gpuid);
         self.pool.remove(gpuid);
         self.note_vgpu_churn(now, "vgpu_lost", gpuid);
         notices.push(KsNotice::VgpuLost {
@@ -1122,6 +1275,7 @@ impl KubeShareSystem {
                     s.status.bound_gpuid = None;
                     s.status.message = Some(reason.to_string());
                 });
+                self.close_sp_trace(now, sp, "rejected");
                 notices.push(KsNotice::SharePodRejected {
                     sp,
                     reason: reason.to_string(),
@@ -1199,6 +1353,10 @@ impl KubeShareSystem {
             .cluster
             .submit_pod(now, format!("{name}-pod"), pod_spec, &mut cluster_out);
         lift(cluster_out, out);
+        let ctx = self.sp_ctx(sp);
+        if !ctx.is_none() {
+            self.cluster.set_pod_trace(pod, ctx);
+        }
         self.pod_sp.insert(pod, sp);
         self.sharepods.mutate(sp, |s| s.status.pod_uid = Some(pod));
     }
@@ -1275,7 +1433,7 @@ impl KubeShareSystem {
                     if let Some(gpuid) = self.anchor_vgpu.get(pod).cloned() {
                         self.on_anchor_running(now, *pod, gpuid, out, notices);
                     } else if let Some(&sp) = self.pod_sp.get(pod) {
-                        self.on_sharepod_pod_running(sp, notices);
+                        self.on_sharepod_pod_running(now, sp, notices);
                     } else {
                         notices.push(KsNotice::Cluster(note));
                     }
@@ -1283,6 +1441,7 @@ impl KubeShareSystem {
                 ClusterNotice::PodDeleted { pod } => {
                     if let Some(gpuid) = self.anchor_vgpu.remove(pod) {
                         self.vgpu_anchor.remove(&gpuid);
+                        self.anchor_ctx.remove(&gpuid);
                         self.pool.remove(&gpuid);
                         self.note_vgpu_churn(now, "vgpu_released", &gpuid);
                         notices.push(KsNotice::VgpuReleased { gpuid });
@@ -1337,6 +1496,7 @@ impl KubeShareSystem {
                             s.status.phase = SharePodPhase::Rejected;
                             s.status.message = Some(reason.clone());
                         });
+                        self.close_sp_trace(now, sp, "failed");
                         notices.push(KsNotice::SharePodRejected {
                             sp,
                             reason: reason.clone(),
@@ -1418,8 +1578,10 @@ impl KubeShareSystem {
             return;
         };
         self.anchor_retry.remove(&gpuid);
+        self.anchor_ctx.remove(&gpuid);
         self.pool.mark_ready(&gpuid, node.clone(), uuid.clone());
         self.note_vgpu_churn(now, "vgpu_created", &gpuid);
+        let uuid_for_spans = uuid.clone();
         notices.push(KsNotice::VgpuCreated {
             gpuid: gpuid.clone(),
             node,
@@ -1435,12 +1597,19 @@ impl KubeShareSystem {
             {
                 self.sharepods
                     .mutate(sp, |s| s.status.phase = SharePodPhase::Starting);
+                // The vGPU-creation wait ends; the pod-creation span opens.
+                if let Some(tr) = self.sp_trace.get_mut(&sp) {
+                    let span = std::mem::replace(&mut tr.vgpu_span, SpanId::NONE);
+                    self.telemetry
+                        .span_end(now, span, &[("uuid", uuid_for_spans.clone())]);
+                }
+                self.open_pod_span(now, sp, &gpuid);
                 out.push((now + self.cfg.vgpu_query_latency, KsEvent::CreatePod { sp }));
             }
         }
     }
 
-    fn on_sharepod_pod_running(&mut self, sp: Uid, notices: &mut Vec<KsNotice>) {
+    fn on_sharepod_pod_running(&mut self, now: SimTime, sp: Uid, notices: &mut Vec<KsNotice>) {
         let Some(sharepod) = self.sharepods.get(sp) else {
             return;
         };
@@ -1462,6 +1631,7 @@ impl KubeShareSystem {
             });
             return;
         };
+        let submitted = sharepod.meta.created_at;
         notices.push(KsNotice::SharePodRunning {
             sp,
             gpuid,
@@ -1471,6 +1641,25 @@ impl KubeShareSystem {
         });
         self.sharepods
             .mutate(sp, |s| s.status.phase = SharePodPhase::Running);
+        if self.telemetry.is_enabled() {
+            // Submission-to-running: the end-to-end startup latency the
+            // `sharepod_startup_p99` SLO watches.
+            self.telemetry
+                .histogram_seconds("ks_sharepod_startup_seconds", &[])
+                .observe(now.saturating_since(submitted).as_secs_f64());
+            if let Some(tr) = self.sp_trace.get_mut(&sp) {
+                let span = std::mem::replace(&mut tr.pod_span, SpanId::NONE);
+                self.telemetry.span_end(now, span, &[]);
+            }
+            let ctx = self.sp_ctx(sp);
+            self.telemetry.trace_event_in(
+                now,
+                ctx,
+                "sched",
+                "sharepod_running",
+                &[("sp", sp.to_string())],
+            );
+        }
     }
 
     fn on_sharepod_pod_deleted(
@@ -1486,6 +1675,7 @@ impl KubeShareSystem {
         let Some(gpuid) = sharepod.status.bound_gpuid.clone() else {
             self.sharepods
                 .mutate(sp, |s| s.status.phase = SharePodPhase::Terminated);
+            self.close_sp_trace(now, sp, "stopped");
             notices.push(KsNotice::Fault {
                 error: SystemError::UnboundSharePod { sp },
             });
@@ -1494,6 +1684,7 @@ impl KubeShareSystem {
         let Some(device) = self.pool.get(&gpuid) else {
             self.sharepods
                 .mutate(sp, |s| s.status.phase = SharePodPhase::Terminated);
+            self.close_sp_trace(now, sp, "stopped");
             notices.push(KsNotice::Fault {
                 error: SystemError::MissingVgpu { gpuid },
             });
@@ -1503,6 +1694,7 @@ impl KubeShareSystem {
         let uuid = device.uuid.clone().unwrap_or_default();
         self.sharepods
             .mutate(sp, |s| s.status.phase = SharePodPhase::Terminated);
+        self.close_sp_trace(now, sp, "stopped");
         notices.push(KsNotice::SharePodStopped {
             sp,
             gpuid: gpuid.clone(),

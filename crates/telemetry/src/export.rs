@@ -78,8 +78,49 @@ pub fn from_json(json: &str) -> Result<MetricsSnapshot, String> {
     serde_json::from_str(json).map_err(|e| format!("bad snapshot json: {e}"))
 }
 
+/// Escapes a label value for exposition: `\` → `\\`, `"` → `\"`, and
+/// newline → `\n`, per the Prometheus text-format rules. Without this,
+/// hostile values would corrupt the line- and quote-based framing.
+pub fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Inverse of [`escape_label_value`]. Rejects dangling or unknown escape
+/// sequences so corrupted expositions fail loudly instead of silently
+/// collapsing distinct values.
+pub fn unescape_label_value(v: &str) -> Result<String, String> {
+    let mut out = String::with_capacity(v.len());
+    let mut chars = v.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('"') => out.push('"'),
+            Some('n') => out.push('\n'),
+            Some(other) => return Err(format!("unknown escape \\{other} in label value")),
+            None => return Err("dangling backslash in label value".into()),
+        }
+    }
+    Ok(out)
+}
+
 fn series(name: &str, labels: &[(String, String)], le: Option<&str>) -> String {
-    let mut parts: Vec<String> = labels.iter().map(|(k, v)| format!("{k}=\"{v}\"")).collect();
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v)))
+        .collect();
     if let Some(le) = le {
         parts.push(format!("le=\"{le}\""));
     }
@@ -139,8 +180,67 @@ fn flatten(snap: &MetricsSnapshot) -> BTreeMap<String, String> {
     out
 }
 
+/// Parses a rendered series id back into its name and **unescaped**
+/// label pairs — the inverse of [`series`] modulo label order.
+pub fn parse_series_id(id: &str) -> Result<(String, Vec<(String, String)>), String> {
+    let Some(brace) = id.find('{') else {
+        return Ok((id.to_string(), Vec::new()));
+    };
+    let name = id[..brace].to_string();
+    let body = id[brace + 1..]
+        .strip_suffix('}')
+        .ok_or_else(|| format!("unterminated label set in {id}"))?;
+    let mut labels = Vec::new();
+    let mut chars = body.chars().peekable();
+    loop {
+        let mut key = String::new();
+        for c in chars.by_ref() {
+            if c == '=' {
+                break;
+            }
+            key.push(c);
+        }
+        if key.is_empty() {
+            return Err(format!("empty label key in {id}"));
+        }
+        if chars.next() != Some('"') {
+            return Err(format!("label value not quoted in {id}"));
+        }
+        // Consume the quoted, escaped value up to the closing quote.
+        let mut raw = String::new();
+        let mut closed = false;
+        while let Some(c) = chars.next() {
+            match c {
+                '"' => {
+                    closed = true;
+                    break;
+                }
+                '\\' => {
+                    raw.push('\\');
+                    match chars.next() {
+                        Some(e) => raw.push(e),
+                        None => return Err(format!("dangling escape in {id}")),
+                    }
+                }
+                c => raw.push(c),
+            }
+        }
+        if !closed {
+            return Err(format!("unterminated label value in {id}"));
+        }
+        labels.push((key, unescape_label_value(&raw)?));
+        match chars.next() {
+            Some(',') => continue,
+            None => break,
+            Some(c) => return Err(format!("unexpected {c:?} after label value in {id}")),
+        }
+    }
+    Ok((name, labels))
+}
+
 /// Parses Prometheus exposition text into `series-id -> value text`.
-/// Only the subset emitted by [`to_prometheus_text`] is understood.
+/// Only the subset emitted by [`to_prometheus_text`] is understood; each
+/// series id is validated (label values must unescape cleanly).
 pub fn parse_prometheus_text(text: &str) -> Result<BTreeMap<String, String>, String> {
     let mut out = BTreeMap::new();
     for line in text.lines() {
@@ -154,6 +254,7 @@ pub fn parse_prometheus_text(text: &str) -> Result<BTreeMap<String, String>, Str
         let (id, value) = line
             .rsplit_once(' ')
             .ok_or_else(|| format!("malformed sample line: {line}"))?;
+        parse_series_id(id)?;
         if out.insert(id.to_string(), value.to_string()).is_some() {
             return Err(format!("duplicate series: {id}"));
         }
@@ -242,6 +343,41 @@ mod tests {
         let n = verify_agreement(&to_prometheus_text(&snap), &to_json(&snap)).unwrap();
         // 2 counters + 1 gauge + (54 buckets + Inf + sum + count).
         assert_eq!(n, 3 + crate::registry::SECONDS_BINS + 3);
+    }
+
+    #[test]
+    fn hostile_label_values_escape_and_agree() {
+        let t = Telemetry::enabled();
+        let hostile = "a\"b\\c\nd";
+        t.counter("ks_node_events_total", &[("node", hostile)])
+            .add(2);
+        let h = t.histogram_seconds("ks_node_lat_seconds", &[("node", hostile)]);
+        h.observe(0.5);
+        let snap = t.snapshot();
+        let text = to_prometheus_text(&snap);
+        // The raw quote/backslash/newline never reach the wire unescaped.
+        assert!(text.contains(r#"node="a\"b\\c\nd""#), "{text}");
+        assert!(!text.contains("a\"b\\c\nd"));
+        let n = verify_agreement(&text, &to_json(&snap)).unwrap();
+        assert_eq!(n, 1 + crate::registry::SECONDS_BINS + 3);
+        // Parsing recovers the original value exactly.
+        let parsed = parse_prometheus_text(&text).unwrap();
+        let id = parsed
+            .keys()
+            .find(|k| k.starts_with("ks_node_events_total"))
+            .unwrap();
+        let (name, labels) = parse_series_id(id).unwrap();
+        assert_eq!(name, "ks_node_events_total");
+        assert_eq!(labels, vec![("node".to_string(), hostile.to_string())]);
+    }
+
+    #[test]
+    fn label_escape_round_trips() {
+        for v in ["", "plain", "a\"b", "tr\\ail\\", "line\nbreak", "\\n"] {
+            assert_eq!(unescape_label_value(&escape_label_value(v)).unwrap(), v);
+        }
+        assert!(unescape_label_value("dangling\\").is_err());
+        assert!(unescape_label_value("bad\\q").is_err());
     }
 
     #[test]

@@ -35,18 +35,24 @@
 //! ks_telemetry::export::verify_agreement(&prom, &json).unwrap();
 //! ```
 
+pub mod causal;
 pub mod export;
 pub mod registry;
+pub mod slo;
 pub mod snapshot;
 pub mod trace;
+pub mod tsdb;
 
 use std::sync::Arc;
 
 use ks_sim_core::time::SimTime;
 
+pub use causal::TraceTree;
 pub use registry::{Counter, Gauge, Histo, Registry};
+pub use slo::{SloCondition, SloEngine, SloRule, SloStatus};
 pub use snapshot::{MetricsSnapshot, Sample, SampleValue};
-pub use trace::{EventKind, SpanId, TraceEvent, Tracer};
+pub use trace::{EventKind, SpanId, TraceCtx, TraceEvent, Tracer};
+pub use tsdb::{Scraper, Tsdb};
 
 struct TelemetryInner {
     registry: Registry,
@@ -177,6 +183,56 @@ impl Telemetry {
         if let Some(i) = &self.inner {
             i.tracer.span_end(at, id, fields);
         }
+    }
+
+    /// Mints a fresh trace with a root span (e.g. one SharePod's life).
+    /// Returns [`TraceCtx::NONE`] on disabled handles.
+    pub fn trace_root(
+        &self,
+        at: SimTime,
+        subsystem: &'static str,
+        name: &'static str,
+        fields: &[(&'static str, String)],
+    ) -> TraceCtx {
+        match &self.inner {
+            Some(i) => i.tracer.root_span(at, subsystem, name, fields),
+            None => TraceCtx::NONE,
+        }
+    }
+
+    /// Opens a span as a child of `ctx` (falls back to an uncorrelated
+    /// span when `ctx` is [`TraceCtx::NONE`]).
+    pub fn span_begin_in(
+        &self,
+        at: SimTime,
+        ctx: TraceCtx,
+        subsystem: &'static str,
+        name: &'static str,
+        fields: &[(&'static str, String)],
+    ) -> SpanId {
+        match &self.inner {
+            Some(i) => i.tracer.span_begin_in(at, ctx, subsystem, name, fields),
+            None => SpanId::NONE,
+        }
+    }
+
+    /// Records a point event causally attached under `ctx`.
+    pub fn trace_event_in(
+        &self,
+        at: SimTime,
+        ctx: TraceCtx,
+        subsystem: &'static str,
+        name: &'static str,
+        fields: &[(&'static str, String)],
+    ) {
+        if let Some(i) = &self.inner {
+            i.tracer.event_in(at, ctx, subsystem, name, fields);
+        }
+    }
+
+    /// Chrome-trace (Perfetto-loadable) JSON of every recorded event.
+    pub fn chrome_trace(&self) -> String {
+        causal::to_chrome_trace(&self.trace_events())
     }
 
     /// Snapshot of every registered metric at this instant. Disabled

@@ -26,6 +26,56 @@ pub enum SampleValue {
 }
 
 impl SampleValue {
+    /// Monotonic difference `self − earlier` for cumulative kinds.
+    ///
+    /// Counters subtract saturating at zero (a restart that reset the
+    /// counter yields 0, not an underflow); histograms subtract per-bucket
+    /// cumulative counts, overflow, count, and sum the same way, and
+    /// require an identical bucket layout. Gauges are not cumulative, so
+    /// any pairing involving a gauge (or mismatched kinds/layouts)
+    /// returns `None`. This is the one delta representation shared by
+    /// [`MetricsSnapshot::diff`] and the ring-buffer TSDB
+    /// ([`crate::tsdb`]).
+    pub fn monotonic_sub(&self, earlier: &SampleValue) -> Option<SampleValue> {
+        match (self, earlier) {
+            (SampleValue::Counter(a), SampleValue::Counter(b)) => {
+                Some(SampleValue::Counter(a.saturating_sub(*b)))
+            }
+            (
+                SampleValue::Histogram {
+                    buckets: ba,
+                    overflow: oa,
+                    count: ca,
+                    sum: sa,
+                },
+                SampleValue::Histogram {
+                    buckets: bb,
+                    overflow: ob,
+                    count: cb,
+                    sum: sb,
+                },
+            ) => {
+                if ba.len() != bb.len() || ba.iter().zip(bb).any(|(x, y)| x.le != y.le) {
+                    return None;
+                }
+                Some(SampleValue::Histogram {
+                    buckets: ba
+                        .iter()
+                        .zip(bb)
+                        .map(|(x, y)| Bucket {
+                            le: x.le,
+                            cumulative: x.cumulative.saturating_sub(y.cumulative),
+                        })
+                        .collect(),
+                    overflow: oa.saturating_sub(*ob),
+                    count: ca.saturating_sub(*cb),
+                    sum: (sa - sb).max(0.0),
+                })
+            }
+            _ => None,
+        }
+    }
+
     /// Converts a live histogram into its cumulative-bucket export form.
     /// Underflow observations fold into the first bucket (they are ≤ its
     /// bound), matching the Prometheus cumulative convention.
@@ -63,7 +113,20 @@ pub struct Sample {
 }
 
 impl Sample {
-    /// `name{k="v",...}` identity string, used by both exporters.
+    /// Monotonic increase of this sample since `earlier` (same series).
+    /// See [`SampleValue::monotonic_sub`] for the subtraction rules;
+    /// additionally returns `None` when the two samples are different
+    /// series.
+    pub fn delta(&self, earlier: &Sample) -> Option<SampleValue> {
+        if self.name != earlier.name || self.labels != earlier.labels {
+            return None;
+        }
+        self.value.monotonic_sub(&earlier.value)
+    }
+
+    /// `name{k="v",...}` identity string, used by both exporters and the
+    /// TSDB. Label values are escaped so hostile values cannot make two
+    /// distinct series collide on one id.
     pub fn series_id(&self) -> String {
         if self.labels.is_empty() {
             self.name.clone()
@@ -71,7 +134,7 @@ impl Sample {
             let labels: Vec<String> = self
                 .labels
                 .iter()
-                .map(|(k, v)| format!("{k}=\"{v}\""))
+                .map(|(k, v)| format!("{k}=\"{}\"", crate::export::escape_label_value(v)))
                 .collect();
             format!("{}{{{}}}", self.name, labels.join(","))
         }
@@ -149,7 +212,9 @@ impl MetricsSnapshot {
     }
 
     /// Series-level differences `other` introduces relative to `self`:
-    /// one line per added, removed, or changed series.
+    /// one line per added, removed, or changed series. Cumulative kinds
+    /// (counters/histograms) annotate the change with their monotonic
+    /// increase via [`Sample::delta`].
     pub fn diff(&self, other: &MetricsSnapshot) -> Vec<String> {
         let mut out = Vec::new();
         for s in &self.samples {
@@ -159,12 +224,21 @@ impl MetricsSnapshot {
                 .find(|o| o.series_id() == s.series_id())
             {
                 None => out.push(format!("- {}", s.series_id())),
-                Some(o) if o.value != s.value => out.push(format!(
-                    "~ {}: {:?} -> {:?}",
-                    s.series_id(),
-                    s.value,
-                    o.value
-                )),
+                Some(o) if o.value != s.value => {
+                    let grew = match o.delta(s) {
+                        Some(SampleValue::Counter(d)) => format!(" (+{d})"),
+                        Some(SampleValue::Histogram { count, sum, .. }) => {
+                            format!(" (+{count} obs, +{sum} sum)")
+                        }
+                        _ => String::new(),
+                    };
+                    out.push(format!(
+                        "~ {}: {:?} -> {:?}{grew}",
+                        s.series_id(),
+                        s.value,
+                        o.value
+                    ));
+                }
                 Some(_) => {}
             }
         }
@@ -227,6 +301,79 @@ mod tests {
         assert!(d.iter().any(|l| l == "- ks_b"));
         assert!(d.iter().any(|l| l == "+ ks_c"));
         assert!(a.diff(&a).is_empty());
+    }
+
+    #[test]
+    fn delta_subtracts_counters_and_histograms_monotonically() {
+        let mk = |v: SampleValue| Sample {
+            name: "ks_x".into(),
+            labels: vec![("gpu".into(), "0".into())],
+            value: v,
+        };
+        // Counter: saturating.
+        let a = mk(SampleValue::Counter(3));
+        let b = mk(SampleValue::Counter(10));
+        assert_eq!(b.delta(&a), Some(SampleValue::Counter(7)));
+        assert_eq!(a.delta(&b), Some(SampleValue::Counter(0)));
+        // Different series never produce a delta.
+        let other = Sample {
+            name: "ks_y".into(),
+            ..b.clone()
+        };
+        assert_eq!(other.delta(&a), None);
+        // Gauges are not cumulative.
+        assert_eq!(
+            mk(SampleValue::Gauge(2.0)).delta(&mk(SampleValue::Gauge(1.0))),
+            None
+        );
+        // Histogram: per-bucket cumulative subtraction.
+        let mut h1 = Histogram::new(0.0, 4.0, 4);
+        h1.record(0.5);
+        let mut h2 = Histogram::new(0.0, 4.0, 4);
+        h2.record(0.5);
+        h2.record(1.5);
+        h2.record(9.0); // overflow
+        let d = mk(SampleValue::histogram(&h2))
+            .delta(&mk(SampleValue::histogram(&h1)))
+            .unwrap();
+        match d {
+            SampleValue::Histogram {
+                buckets,
+                overflow,
+                count,
+                sum,
+            } => {
+                assert_eq!(buckets[0].cumulative, 0);
+                assert_eq!(buckets[1].cumulative, 1);
+                assert_eq!(overflow, 1);
+                assert_eq!(count, 2);
+                assert!((sum - 10.5).abs() < 1e-9);
+            }
+            _ => panic!("expected histogram delta"),
+        }
+        // Mismatched bucket layouts refuse to subtract.
+        let h3 = Histogram::new(0.0, 8.0, 4);
+        assert_eq!(
+            mk(SampleValue::histogram(&h2)).delta(&mk(SampleValue::histogram(&h3))),
+            None
+        );
+    }
+
+    #[test]
+    fn diff_annotates_counter_growth() {
+        let a = snap(vec![Sample {
+            name: "ks_a_total".into(),
+            labels: vec![],
+            value: SampleValue::Counter(1),
+        }]);
+        let b = snap(vec![Sample {
+            name: "ks_a_total".into(),
+            labels: vec![],
+            value: SampleValue::Counter(5),
+        }]);
+        let d = a.diff(&b);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].ends_with("(+4)"), "{}", d[0]);
     }
 
     #[test]

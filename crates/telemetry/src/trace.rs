@@ -5,18 +5,71 @@
 //! anchor, so both share one trace format. The buffer is capacity-capped:
 //! past [`Tracer::CAPACITY`] events new entries are dropped and counted,
 //! never reallocated without bound during long soaks.
+//!
+//! Events optionally carry a **causal context**: a trace id grouping every
+//! span a single SharePod's lifecycle produced, and a parent span id
+//! forming the parent→child tree [`crate::causal`] analyzes. Context-free
+//! events (the pre-causal API) carry `trace = 0, parent = 0` and keep
+//! working unchanged.
 
 use ks_sim_core::time::SimTime;
 use parking_lot::Mutex;
 use serde::Serialize;
 
 /// Identifier linking a span's begin and end events.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Default)]
 pub struct SpanId(pub(crate) u64);
 
 impl SpanId {
     /// The id handed out by disabled handles; `span_end` ignores it.
     pub const NONE: SpanId = SpanId(0);
+
+    /// Raw id (0 for [`SpanId::NONE`]).
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+/// Causal trace context: which trace an operation belongs to and which
+/// span is its parent. Minted by [`Tracer::root_span`] when a SharePod
+/// enters the system and threaded by value through every layer that does
+/// work on its behalf (scheduling, DevMgr, pod creation, token backend).
+///
+/// `TraceCtx::NONE` (also what disabled telemetry handles return) makes
+/// every context-taking call degrade to the uncorrelated behavior.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub struct TraceCtx {
+    /// Trace id; 0 = no causal context.
+    pub trace: u64,
+    /// The span new children should hang off.
+    pub span: SpanId,
+}
+
+impl TraceCtx {
+    /// The null context carried by disabled handles.
+    pub const NONE: TraceCtx = TraceCtx {
+        trace: 0,
+        span: SpanId::NONE,
+    };
+
+    /// True for the null context.
+    pub fn is_none(&self) -> bool {
+        self.trace == 0
+    }
+
+    /// The same trace re-rooted at `span` (for grandchildren).
+    pub fn at(self, span: SpanId) -> TraceCtx {
+        TraceCtx {
+            trace: self.trace,
+            span,
+        }
+    }
+}
+
+impl Default for TraceCtx {
+    fn default() -> Self {
+        TraceCtx::NONE
+    }
 }
 
 /// What an event marks.
@@ -36,6 +89,10 @@ pub struct TraceEvent {
     pub kind: EventKind,
     /// 0 for point events.
     pub span: u64,
+    /// Trace this event belongs to (0 = no causal context).
+    pub trace: u64,
+    /// Parent span within the trace (0 = root or uncorrelated).
+    pub parent: u64,
     pub fields: Vec<(&'static str, String)>,
 }
 
@@ -43,6 +100,7 @@ struct TracerState {
     events: Vec<TraceEvent>,
     dropped: u64,
     next_span: u64,
+    next_trace: u64,
 }
 
 /// Append-only trace buffer behind an enabled [`crate::Telemetry`].
@@ -60,6 +118,7 @@ impl Tracer {
                 events: Vec::new(),
                 dropped: 0,
                 next_span: 1,
+                next_trace: 1,
             }),
         }
     }
@@ -79,6 +138,18 @@ impl Tracer {
         name: &'static str,
         fields: &[(&'static str, String)],
     ) {
+        self.event_in(at, TraceCtx::NONE, subsystem, name, fields);
+    }
+
+    /// Point event stamped with a causal context.
+    pub fn event_in(
+        &self,
+        at: SimTime,
+        ctx: TraceCtx,
+        subsystem: &'static str,
+        name: &'static str,
+        fields: &[(&'static str, String)],
+    ) {
         let mut s = self.state.lock();
         Self::push(
             &mut s,
@@ -88,6 +159,8 @@ impl Tracer {
                 name,
                 kind: EventKind::Point,
                 span: 0,
+                trace: ctx.trace,
+                parent: ctx.span.0,
                 fields: fields.to_vec(),
             },
         );
@@ -96,6 +169,52 @@ impl Tracer {
     pub fn span_begin(
         &self,
         at: SimTime,
+        subsystem: &'static str,
+        name: &'static str,
+        fields: &[(&'static str, String)],
+    ) -> SpanId {
+        self.span_begin_in(at, TraceCtx::NONE, subsystem, name, fields)
+    }
+
+    /// Mints a fresh trace and opens its root span; the returned context
+    /// parents all child spans/events of this trace.
+    pub fn root_span(
+        &self,
+        at: SimTime,
+        subsystem: &'static str,
+        name: &'static str,
+        fields: &[(&'static str, String)],
+    ) -> TraceCtx {
+        let mut s = self.state.lock();
+        let trace = s.next_trace;
+        s.next_trace += 1;
+        let id = s.next_span;
+        s.next_span += 1;
+        Self::push(
+            &mut s,
+            TraceEvent {
+                at,
+                subsystem,
+                name,
+                kind: EventKind::SpanBegin,
+                span: id,
+                trace,
+                parent: 0,
+                fields: fields.to_vec(),
+            },
+        );
+        TraceCtx {
+            trace,
+            span: SpanId(id),
+        }
+    }
+
+    /// Opens a span as a child of `ctx` (begin time may lie in the past —
+    /// the causal analyzer orders by timestamp, not append order).
+    pub fn span_begin_in(
+        &self,
+        at: SimTime,
+        ctx: TraceCtx,
         subsystem: &'static str,
         name: &'static str,
         fields: &[(&'static str, String)],
@@ -111,6 +230,8 @@ impl Tracer {
                 name,
                 kind: EventKind::SpanBegin,
                 span: id,
+                trace: ctx.trace,
+                parent: ctx.span.0,
                 fields: fields.to_vec(),
             },
         );
@@ -130,6 +251,7 @@ impl Tracer {
             return;
         };
         let (subsystem, name) = (open.subsystem, open.name);
+        let (trace, parent) = (open.trace, open.parent);
         Self::push(
             &mut s,
             TraceEvent {
@@ -138,6 +260,8 @@ impl Tracer {
                 name,
                 kind: EventKind::SpanEnd,
                 span: id.0,
+                trace,
+                parent,
                 fields: fields.to_vec(),
             },
         );
@@ -195,6 +319,9 @@ impl Tracer {
                 e.name,
                 marker
             ));
+            if e.trace != 0 {
+                out.push_str(&format!(" trace={}", e.trace));
+            }
             for (k, v) in &e.fields {
                 out.push_str(&format!(" {k}={v}"));
             }
@@ -230,6 +357,7 @@ mod tests {
         let evs = t.events();
         assert_eq!(evs.len(), 2);
         assert_eq!(evs[1].fields[0].1, "1");
+        assert_eq!(evs[0].trace, 0);
         assert_eq!(t.subsystems(), vec!["sched", "devmgr"]);
     }
 
@@ -261,5 +389,38 @@ mod tests {
         assert_eq!(t.events().len(), Tracer::CAPACITY);
         assert_eq!(t.dropped(), 10);
         assert!(t.render_text().contains("10 events dropped"));
+    }
+
+    #[test]
+    fn root_and_child_share_trace_and_parent_links() {
+        let t = Tracer::new();
+        let ctx = t.root_span(SimTime::ZERO, "sched", "sharepod", &[]);
+        assert!(!ctx.is_none());
+        let child = t.span_begin_in(SimTime::from_millis(1), ctx, "sched", "schedule", &[]);
+        t.event_in(SimTime::from_millis(2), ctx.at(child), "sched", "mark", &[]);
+        t.span_end(SimTime::from_millis(3), child, &[]);
+        t.span_end(SimTime::from_millis(9), ctx.span, &[]);
+        let evs = t.events();
+        assert!(evs.iter().all(|e| e.trace == ctx.trace));
+        let child_begin = evs.iter().find(|e| e.span == child.0).unwrap();
+        assert_eq!(child_begin.parent, ctx.span.0);
+        let point = evs.iter().find(|e| e.kind == EventKind::Point).unwrap();
+        assert_eq!(point.parent, child.0);
+        // End events inherit the begin's causal links.
+        let child_end = evs
+            .iter()
+            .find(|e| e.span == child.0 && e.kind == EventKind::SpanEnd)
+            .unwrap();
+        assert_eq!(child_end.parent, ctx.span.0);
+        assert_eq!(child_end.trace, ctx.trace);
+    }
+
+    #[test]
+    fn distinct_roots_get_distinct_traces() {
+        let t = Tracer::new();
+        let a = t.root_span(SimTime::ZERO, "sched", "sharepod", &[]);
+        let b = t.root_span(SimTime::ZERO, "sched", "sharepod", &[]);
+        assert_ne!(a.trace, b.trace);
+        assert_ne!(a.span, b.span);
     }
 }

@@ -1,6 +1,10 @@
-//! Property tests: metric aggregation must be order-independent, and the
-//! two export formats must agree for arbitrary registry contents.
+//! Property tests: metric aggregation must be order-independent, the two
+//! export formats must agree for arbitrary registry contents, and TSDB
+//! window queries must equal a from-scratch fold over the raw snapshots.
 
+use ks_sim_core::time::{SimDuration, SimTime};
+use ks_telemetry::snapshot::{MetricsSnapshot, SampleValue};
+use ks_telemetry::tsdb::{quantile_from_buckets, Tsdb};
 use ks_telemetry::{export, Telemetry};
 use proptest::prelude::*;
 
@@ -96,5 +100,90 @@ proptest! {
         let prom = export::to_prometheus_text(&snap);
         let json = export::to_json(&snap);
         prop_assert!(export::verify_agreement(&prom, &json).is_ok());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// TSDB window queries vs a from-scratch fold over raw snapshots.
+
+const TSDB_COUNTER: &str = "ks_prop_total";
+const TSDB_HISTO: &str = "ks_prop_wait_seconds";
+
+/// Reference implementation of the windowing rule (DESIGN.md §11.3),
+/// folding over the raw `(time, snapshot)` log instead of the ring store:
+/// head = latest snapshot at or before `now` containing the series,
+/// baseline = latest at or before `now − window` (zero if the window
+/// reaches before the first scrape), answer = head − baseline.
+fn spec_delta(
+    log: &[(SimTime, MetricsSnapshot)],
+    name: &str,
+    window: SimDuration,
+    now: SimTime,
+) -> Option<SampleValue> {
+    let find_at = |limit: SimTime| {
+        log.iter()
+            .rev()
+            .filter(|(at, _)| *at <= limit)
+            .find_map(|(_, snap)| snap.samples().iter().find(|s| s.name == name).cloned())
+    };
+    let head = find_at(now)?;
+    let floor = now.as_micros().checked_sub(window.as_micros());
+    match floor.and_then(|f| find_at(SimTime::from_micros(f))) {
+        Some(base) => head.value.monotonic_sub(&base.value),
+        // No baseline: the cumulative value itself is the delta from zero.
+        None => Some(head.value),
+    }
+}
+
+proptest! {
+    /// The ring-buffer TSDB's windowed `rate` and `quantile` equal a
+    /// from-scratch fold over the raw snapshot log, for arbitrary scrape
+    /// schedules, op mixes, and query windows (capacity high enough that
+    /// nothing the query needs has been evicted).
+    #[test]
+    fn tsdb_window_queries_match_snapshot_fold(
+        // (gap to next scrape in s, counter incs, histogram obs in ms)
+        steps in proptest::collection::vec(
+            (1u64..40, 0u64..5, proptest::collection::vec(1u32..60_000, 0..4)),
+            1..25,
+        ),
+        window_s in 1u64..400,
+        now_off in 0u64..50,
+    ) {
+        let t = Telemetry::enabled();
+        let mut db = Tsdb::new(64);
+        let mut log: Vec<(SimTime, MetricsSnapshot)> = Vec::new();
+        let mut at = SimTime::ZERO;
+        for (gap, incs, obs) in &steps {
+            at += SimDuration::from_secs(*gap);
+            t.counter(TSDB_COUNTER, &[]).add(*incs);
+            for ms in obs {
+                t.histogram_seconds(TSDB_HISTO, &[]).observe(*ms as f64 / 1000.0);
+            }
+            let snap = t.snapshot();
+            db.ingest(at, &snap);
+            log.push((at, snap));
+        }
+        let window = SimDuration::from_secs(window_s);
+        let now = at + SimDuration::from_secs(now_off);
+
+        // Counter rate.
+        let expect_rate = match spec_delta(&log, TSDB_COUNTER, window, now) {
+            Some(SampleValue::Counter(d)) => Some(d as f64 / window.as_secs_f64()),
+            _ => None,
+        };
+        let got_rate = db.rate(TSDB_COUNTER, &[], window, now);
+        prop_assert_eq!(got_rate, expect_rate);
+
+        // Histogram quantile over the windowed delta.
+        for q in [0.5, 0.99] {
+            let expect_q = match spec_delta(&log, TSDB_HISTO, window, now) {
+                Some(SampleValue::Histogram { buckets, overflow, .. }) =>
+                    quantile_from_buckets(&buckets, overflow, q),
+                _ => None,
+            };
+            let got_q = db.quantile(TSDB_HISTO, &[], q, window, now);
+            prop_assert_eq!(got_q, expect_q);
+        }
     }
 }

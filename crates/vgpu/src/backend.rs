@@ -21,7 +21,7 @@
 use std::collections::{BTreeSet, HashMap};
 
 use ks_sim_core::time::{SimDuration, SimTime};
-use ks_telemetry::Telemetry;
+use ks_telemetry::{Telemetry, TraceCtx};
 
 use crate::policy::{select_next, Candidate};
 use crate::spec::ShareSpec;
@@ -144,6 +144,9 @@ pub struct TokenBackend {
     waiting_since: HashMap<ClientId, SimTime>,
     /// When the current holder's grant became effective.
     held_since: Option<SimTime>,
+    /// Causal trace context per client (the sharePod the client serves),
+    /// so grants and reclaims land in the sharePod's trace.
+    client_ctx: HashMap<ClientId, TraceCtx>,
 }
 
 impl TokenBackend {
@@ -162,6 +165,7 @@ impl TokenBackend {
             gpu_label: String::new(),
             waiting_since: HashMap::new(),
             held_since: None,
+            client_ctx: HashMap::new(),
         }
     }
 
@@ -170,6 +174,18 @@ impl TokenBackend {
     pub fn set_telemetry(&mut self, telemetry: Telemetry, gpu: &str) {
         self.telemetry = telemetry;
         self.gpu_label = gpu.to_string();
+    }
+
+    /// Attaches the causal trace context of the sharePod a client serves;
+    /// subsequent grants/reclaims for it join that trace. The association
+    /// survives re-registration (it names the workload, not the session)
+    /// and is dropped on [`TokenBackend::deregister`].
+    pub fn set_client_ctx(&mut self, client: ClientId, ctx: TraceCtx) {
+        if ctx.is_none() {
+            self.client_ctx.remove(&client);
+        } else {
+            self.client_ctx.insert(client, ctx);
+        }
     }
 
     /// Records the end of the current hold: how much of the quota the
@@ -193,8 +209,9 @@ impl TokenBackend {
 
     /// Records an involuntary hand-back (expiry of a possibly-dead holder,
     /// or an observed crash) that immediately regrants to a waiter.
-    /// `held_from` is when the reclaimed holder's grant became effective.
-    fn observe_reclaim(&self, now: SimTime, held_from: Option<SimTime>) {
+    /// `reclaimed` is the client the token was taken from; `held_from` is
+    /// when that holder's grant became effective.
+    fn observe_reclaim(&self, now: SimTime, reclaimed: ClientId, held_from: Option<SimTime>) {
         if !self.telemetry.is_enabled() {
             return;
         }
@@ -204,6 +221,21 @@ impl TokenBackend {
         self.telemetry
             .counter("ks_vgpu_lease_reclaims_total", &[("gpu", &self.gpu_label)])
             .inc();
+        let ctx = self
+            .client_ctx
+            .get(&reclaimed)
+            .copied()
+            .unwrap_or(TraceCtx::NONE);
+        self.telemetry.trace_event_in(
+            now,
+            ctx,
+            "vgpu",
+            "token_reclaim",
+            &[
+                ("gpu", self.gpu_label.clone()),
+                ("client", reclaimed.to_string()),
+            ],
+        );
         if let Some(from) = held_from {
             // The waiter holds a valid token once the in-flight grant
             // lands, one handoff from now.
@@ -292,7 +324,7 @@ impl TokenBackend {
                 self.state = TokenState::Free;
                 self.epoch += 1;
                 self.dispatch(now, out);
-                self.observe_reclaim(now, held_from);
+                self.observe_reclaim(now, client, held_from);
             }
             TokenState::InTransit { to, .. } if to == client => {
                 // The grant will arrive for a dead client; invalidate it.
@@ -304,6 +336,7 @@ impl TokenBackend {
         }
         self.clients.remove(&client);
         self.window.forget(client);
+        self.client_ctx.remove(&client);
     }
 
     /// A container requests the token (frontend blocked on a CUDA call).
@@ -394,7 +427,8 @@ impl TokenBackend {
                     self.telemetry
                         .counter("ks_vgpu_token_grants_total", &[("gpu", &self.gpu_label)])
                         .inc();
-                    if let Some(since) = self.waiting_since.remove(&to) {
+                    let waited_from = self.waiting_since.remove(&to);
+                    if let Some(since) = waited_from {
                         self.telemetry
                             .histogram_seconds(
                                 "ks_vgpu_handoff_wait_seconds",
@@ -403,12 +437,27 @@ impl TokenBackend {
                             .observe(now.saturating_since(since).as_secs_f64());
                     }
                     self.held_since = Some(now);
-                    self.telemetry.trace_event(
-                        now,
+                    // Retroactive span: the client's wait (request → grant
+                    // effective), recorded under its sharePod's trace. The
+                    // causal analyzer orders by timestamp, so a span whose
+                    // begin lies in the past is fine. Cached-token regrants
+                    // never waited; they begin at the handoff start.
+                    let ctx = self.client_ctx.get(&to).copied().unwrap_or(TraceCtx::NONE);
+                    let begin = waited_from
+                        .unwrap_or_else(|| {
+                            SimTime::from_micros(
+                                now.as_micros().saturating_sub(self.cfg.handoff.as_micros()),
+                            )
+                        })
+                        .min(now);
+                    let span = self.telemetry.span_begin_in(
+                        begin,
+                        ctx,
                         "vgpu",
                         "token_grant",
                         &[("gpu", self.gpu_label.clone()), ("client", to.to_string())],
                     );
+                    self.telemetry.span_end(now, span, &[]);
                 }
                 out.push(BackendTimer::Expiry { at: expires, epoch });
                 Some(to)
@@ -439,7 +488,7 @@ impl TokenBackend {
                 // A regrant to a different client is a reclamation: the
                 // expired holder never handed back voluntarily.
                 if !matches!(self.state, TokenState::InTransit { to, .. } if to == by) {
-                    self.observe_reclaim(now, held_from);
+                    self.observe_reclaim(now, by, held_from);
                 }
                 Some(by)
             }
@@ -491,6 +540,27 @@ impl TokenBackend {
             .collect();
         match select_next(&candidates) {
             Some(next) => {
+                if self.telemetry.is_enabled() {
+                    // Guarantee check (paper §4.5): granting to a client
+                    // already at/over its request while another candidate
+                    // is still below its own request would starve the
+                    // guaranteed share. The elastic policy never does this;
+                    // the counter feeds a zero-rate SLO rule that would
+                    // surface a policy regression.
+                    let winner = candidates.iter().find(|c| c.client == next);
+                    let winner_over = winner.is_some_and(|w| w.usage >= w.spec.request - 1e-9);
+                    let someone_under = candidates
+                        .iter()
+                        .any(|c| c.client != next && c.usage < c.spec.request - 1e-9);
+                    if winner_over && someone_under {
+                        self.telemetry
+                            .counter(
+                                "ks_token_guarantee_violations_total",
+                                &[("gpu", &self.gpu_label)],
+                            )
+                            .inc();
+                    }
+                }
                 self.epoch += 1;
                 self.state = TokenState::InTransit {
                     to: next,

@@ -30,7 +30,7 @@ use crate::policy::{select_next, Candidate};
 use crate::spec::ShareSpec;
 use crate::window::{ClientId, UsageWindow};
 use ks_sim_core::time::{SimDuration, SimTime};
-use ks_telemetry::Telemetry;
+use ks_telemetry::{Telemetry, TraceCtx};
 
 /// Tunables for the realtime backend.
 #[derive(Debug, Clone, Copy)]
@@ -64,6 +64,9 @@ struct State {
     waiting: std::collections::BTreeSet<ClientId>,
     window: UsageWindow,
     specs: std::collections::HashMap<ClientId, ShareSpec>,
+    /// Causal trace context per client, so realtime grants and reaps land
+    /// in the same sharePod span trees as the discrete-event backend's.
+    ctxs: std::collections::HashMap<ClientId, TraceCtx>,
     /// Device-memory bytes allocated per client (the memory guard).
     mem_used: std::collections::HashMap<ClientId, u64>,
     next_id: u64,
@@ -98,8 +101,10 @@ impl Inner {
                     self.telemetry
                         .counter("ks_vgpu_rt_lease_reaps_total", &[])
                         .inc();
-                    self.telemetry.trace_event(
+                    let ctx = st.ctxs.get(&id).copied().unwrap_or(TraceCtx::NONE);
+                    self.telemetry.trace_event_in(
                         end,
+                        ctx,
                         "vgpu",
                         "rt_lease_reaped",
                         &[("client", id.to_string())],
@@ -131,6 +136,7 @@ impl RtBackend {
                 waiting: Default::default(),
                 window: UsageWindow::new(SimDuration::from_micros(cfg.window.as_micros() as u64)),
                 specs: Default::default(),
+                ctxs: Default::default(),
                 mem_used: Default::default(),
                 next_id: 1,
                 next_gen: 1,
@@ -190,6 +196,19 @@ impl RtFrontend {
     /// This container's id.
     pub fn id(&self) -> ClientId {
         self.id
+    }
+
+    /// Attaches a causal trace context to this container: subsequent
+    /// grant spans and lease reaps are parented under `ctx`, mirroring the
+    /// discrete-event backend's `set_client_ctx`. Passing
+    /// [`TraceCtx::NONE`] detaches.
+    pub fn set_trace_ctx(&self, ctx: TraceCtx) {
+        let mut st = self.inner.mu.lock();
+        if ctx.is_none() {
+            st.ctxs.remove(&self.id);
+        } else {
+            st.ctxs.insert(self.id, ctx);
+        }
     }
 
     /// Sliding-window usage of this container.
@@ -272,12 +291,19 @@ impl RtFrontend {
                             telemetry
                                 .histogram_seconds("ks_vgpu_rt_acquire_wait_seconds", &[])
                                 .observe(now.duration_since(wait_start).as_secs_f64());
-                            telemetry.trace_event(
-                                sim_now,
+                            // Retroactive span covering the acquire wait,
+                            // parented into the client's causal trace (if
+                            // one was attached via `set_trace_ctx`).
+                            let ctx = st.ctxs.get(&self.id).copied().unwrap_or(TraceCtx::NONE);
+                            let begin = self.inner.sim_now(wait_start).min(sim_now);
+                            let span = telemetry.span_begin_in(
+                                begin,
+                                ctx,
                                 "vgpu",
                                 "rt_token_grant",
                                 &[("client", self.id.to_string())],
                             );
+                            telemetry.span_end(sim_now, span, &[]);
                         }
                         return TokenLease {
                             inner: Arc::clone(&self.inner),
@@ -449,6 +475,25 @@ mod tests {
         fe.mem_free(400);
         fe.mem_alloc(500).unwrap();
         assert_eq!(fe.mem_used(), 500);
+    }
+
+    #[test]
+    fn grants_join_the_attached_causal_trace() {
+        let telemetry = Telemetry::enabled();
+        let be = RtBackend::new_with_telemetry(cfg(50, 1000), telemetry.clone());
+        let fe = be.register(ShareSpec::exclusive());
+        let root = telemetry.trace_root(SimTime::ZERO, "sched", "sharepod", &[]);
+        fe.set_trace_ctx(root);
+        let lease = fe.acquire();
+        drop(lease);
+        telemetry.span_end(SimTime::from_secs(1), root.span, &[]);
+        let events = telemetry.trace_events();
+        let grant = events
+            .iter()
+            .find(|e| e.name == "rt_token_grant")
+            .expect("grant span recorded");
+        assert_eq!(grant.trace, root.trace, "grant joins the sharePod trace");
+        assert_ne!(grant.parent, 0, "grant is parented, not an orphan");
     }
 
     #[test]

@@ -168,6 +168,12 @@ impl SharedGpu {
         self.telemetry = telemetry;
     }
 
+    /// Associates a container with the causal trace of the sharePod it
+    /// serves; subsequent token grants/reclaims for it join that trace.
+    pub fn set_client_trace(&mut self, client: ClientId, ctx: ks_telemetry::TraceCtx) {
+        self.backend.set_client_ctx(client, ctx);
+    }
+
     /// Enables a memory over-commitment policy (builder style). See
     /// [`crate::swap`].
     pub fn with_swap(mut self, swap: SwapPolicy) -> Self {
