@@ -49,6 +49,8 @@ fn main() {
             "gpus",
             "reference dec/s",
             "indexed dec/s",
+            "auto dec/s",
+            "auto picks",
             "speedup",
             "divergences",
             "final devices",
@@ -59,6 +61,8 @@ fn main() {
             p.gpus.to_string(),
             format!("{:.0}", p.reference_dps),
             format!("{:.0}", p.indexed_dps),
+            format!("{:.0}", p.auto_dps),
+            p.chosen_mode.clone(),
             format!("{}x", f1(p.speedup)),
             p.divergences.to_string(),
             p.final_devices.to_string(),

@@ -175,6 +175,7 @@ impl KsWorld {
             KsNotice::VgpuCreated { .. }
             | KsNotice::VgpuReleased { .. }
             | KsNotice::SharePodRequeued { .. }
+            | KsNotice::SharePodPreempted { .. }
             | KsNotice::VgpuLost { .. }
             | KsNotice::Fault { .. }
             | KsNotice::Cluster(_) => {}
@@ -266,6 +267,8 @@ impl SimEvent<KsWorld> for KsWorldEvent {
                     gpuid: None,
                     node_name: None,
                     locality: spec.locality.clone(),
+                    tenant: None,
+                    priority: 0,
                 };
                 let name = spec.name.clone();
                 let mut out = Vec::new();

@@ -22,6 +22,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod gateway_load;
 pub mod metrics_demo;
 pub mod sched_scale;
 pub mod table1;

@@ -55,8 +55,14 @@ pub struct ScalePoint {
     pub reference_dps: f64,
     /// Indexed-mode throughput, decisions per second.
     pub indexed_dps: f64,
+    /// Auto-mode throughput, decisions per second (crossover pick).
+    pub auto_dps: f64,
     /// `indexed_dps / reference_dps`.
     pub speedup: f64,
+    /// The implementation `SchedMode::Auto` resolved to at this point's
+    /// starting pool size (`"reference"` below the crossover, `"indexed"`
+    /// at or above it).
+    pub chosen_mode: String,
     /// Entries whose decisions differed between modes (must be 0).
     pub divergences: usize,
     /// Pool size after the drain (devices, including NewDevice growth).
@@ -151,13 +157,24 @@ pub fn run_point(gpus: usize, pods: usize, seed: u64) -> ScalePoint {
     let entries = gen_entries(gpus, pods, &mut rng);
     let (ref_out, reference_dps, _) = time_mode(SchedMode::Reference, &pool, &entries);
     let (idx_out, indexed_dps, final_devices) = time_mode(SchedMode::Indexed, &pool, &entries);
-    let divergences = ref_out.iter().zip(&idx_out).filter(|(a, b)| a != b).count();
+    let (auto_out, auto_dps, _) = time_mode(SchedMode::Auto, &pool, &entries);
+    // All three decision vectors must agree entry-for-entry: the two fixed
+    // implementations are the differential contract, and `Auto` merely
+    // picks between them per decision.
+    let divergences = ref_out
+        .iter()
+        .zip(&idx_out)
+        .zip(&auto_out)
+        .filter(|((a, b), c)| a != b || *a != *c)
+        .count();
     ScalePoint {
         gpus,
         pods,
         reference_dps,
         indexed_dps,
+        auto_dps,
         speedup: indexed_dps / reference_dps,
+        chosen_mode: SchedMode::Auto.resolve(pool.len()).label().to_string(),
         divergences,
         final_devices,
     }
@@ -206,8 +223,10 @@ mod tests {
         assert_eq!(points.len(), 2);
         for p in &points {
             assert_eq!(p.divergences, 0, "modes diverged at {} GPUs", p.gpus);
-            assert!(p.reference_dps > 0.0 && p.indexed_dps > 0.0);
+            assert!(p.reference_dps > 0.0 && p.indexed_dps > 0.0 && p.auto_dps > 0.0);
             assert!(p.final_devices >= p.gpus);
+            // Both sweep points sit far below the crossover.
+            assert_eq!(p.chosen_mode, "reference");
         }
         let json = to_json(&cfg, &points);
         let v: serde_json::Value = serde_json::from_str(&json).unwrap();

@@ -50,6 +50,13 @@ impl ObjectMeta {
         self.labels.insert(key.into(), value.into());
         self
     }
+
+    /// Moves the object into a namespace (builder style). The gateway uses
+    /// one namespace per tenant to isolate their objects in the store.
+    pub fn with_namespace(mut self, namespace: impl Into<String>) -> Self {
+        self.namespace = namespace.into();
+        self
+    }
 }
 
 /// Hands out fresh [`Uid`]s.

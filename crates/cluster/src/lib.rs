@@ -44,4 +44,4 @@ pub use device_plugin::{
 pub use latency::LatencyModel;
 pub use scheduler::{KubeScheduler, NodeView, ScorePolicy};
 pub use sim::{ClusterConfig, ClusterEmit, ClusterEvent, ClusterNotice, ClusterSim, GpuPluginKind};
-pub use store::{Store, WatchEvent, Watcher};
+pub use store::{Namespaced, Store, WatchEvent, Watcher};

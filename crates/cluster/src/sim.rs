@@ -159,6 +159,14 @@ pub struct ClusterSim {
     /// [`KubeScheduler::pick_node`]'s argmax with its first-node
     /// tie-break as an ordered scan.
     node_rank: std::collections::BTreeSet<(OrdF64, std::cmp::Reverse<usize>)>,
+    /// Node index by name. The node set is fixed at construction, so this
+    /// never changes; it replaces the per-pod linear name scans that made
+    /// pinned-pod placement O(nodes).
+    name_ix: HashMap<String, usize>,
+    /// Sum of free resources across *up* nodes, maintained through the
+    /// same unindex→mutate→index discipline as the rank index, so
+    /// cluster-wide capacity checks are O(1) instead of a node sweep.
+    free_total: ResourceList,
 }
 
 impl ClusterSim {
@@ -212,11 +220,24 @@ impl ClusterSim {
             pod_trace: HashMap::new(),
             sched_mode: SchedMode::default(),
             node_rank: std::collections::BTreeSet::new(),
+            name_ix: HashMap::new(),
+            free_total: ResourceList::zero(),
         };
+        sim.name_ix = sim
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.name.clone(), i))
+            .collect();
         for i in 0..sim.nodes.len() {
             sim.rank_index(i);
         }
         sim
+    }
+
+    /// Index of a node by name (O(1); the node set is construction-fixed).
+    fn node_idx(&self, name: &str) -> Option<usize> {
+        self.name_ix.get(name).copied()
     }
 
     /// Selects the node-selection implementation (default:
@@ -225,27 +246,34 @@ impl ClusterSim {
         self.sched_mode = mode;
     }
 
-    /// Files an up node in the rank index under its current score.
+    /// Files an up node in the rank index under its current score and
+    /// adds its free capacity to the cluster-wide total.
     fn rank_index(&mut self, idx: usize) {
         debug_assert!(self.nodes[idx].score_key.is_none(), "node already ranked");
         if !self.nodes[idx].up {
             return;
         }
         let n = &self.nodes[idx];
+        let free = n.allocatable.checked_sub(&n.allocated);
         let score = self.scheduler.node_score(&NodeView {
             name: n.name.clone(),
             allocatable: n.allocatable.clone(),
             allocated: n.allocated.clone(),
         });
+        self.free_total = self.free_total.checked_add(&free);
         let key = OrdF64::of(score);
         self.node_rank.insert((key, std::cmp::Reverse(idx)));
         self.nodes[idx].score_key = Some(key);
     }
 
-    /// Unfiles a node from the rank index (no-op if it was not ranked).
+    /// Unfiles a node from the rank index (no-op if it was not ranked),
+    /// removing its free capacity from the cluster-wide total.
     fn rank_unindex(&mut self, idx: usize) {
         if let Some(key) = self.nodes[idx].score_key.take() {
             self.node_rank.remove(&(key, std::cmp::Reverse(idx)));
+            let n = &self.nodes[idx];
+            let free = n.allocatable.checked_sub(&n.allocated);
+            self.free_total = self.free_total.checked_sub(&free);
         }
     }
 
@@ -291,6 +319,26 @@ impl ClusterSim {
             return Err(format!(
                 "rank index drifted: incremental {:?} != rebuilt {:?}",
                 self.node_rank, fresh
+            ));
+        }
+        let mut fresh_free = ResourceList::zero();
+        for n in self.nodes.iter().filter(|n| n.up) {
+            fresh_free = fresh_free.checked_add(&n.allocatable.checked_sub(&n.allocated));
+        }
+        let keys: std::collections::BTreeSet<&String> = fresh_free
+            .extended
+            .keys()
+            .chain(self.free_total.extended.keys())
+            .collect();
+        if fresh_free.cpu_millis != self.free_total.cpu_millis
+            || fresh_free.memory_bytes != self.free_total.memory_bytes
+            || keys
+                .iter()
+                .any(|k| fresh_free.extended_count(k) != self.free_total.extended_count(k))
+        {
+            return Err(format!(
+                "free total drifted: incremental {:?} != rebuilt {fresh_free:?}",
+                self.free_total
             ));
         }
         Ok(())
@@ -368,12 +416,19 @@ impl ClusterSim {
         self.nodes.iter().map(|n| n.name.clone()).collect()
     }
 
+    /// Sum of free resources across up nodes, maintained incrementally —
+    /// O(1), safe to consult on every scheduling decision.
+    pub fn free_total(&self) -> &ResourceList {
+        &self.free_total
+    }
+
     /// Free resources on a node.
     pub fn node_free(&self, name: &str) -> Option<ResourceList> {
-        self.nodes
-            .iter()
-            .find(|n| n.name == name)
-            .map(|n| n.allocatable.checked_sub(&n.allocated))
+        self.node_idx(name).map(|i| {
+            self.nodes[i]
+                .allocatable
+                .checked_sub(&self.nodes[i].allocated)
+        })
     }
 
     /// Per-device allocated unit counts on a node (over-commit analysis).
@@ -381,10 +436,8 @@ impl ClusterSim {
         &self,
         name: &str,
     ) -> Option<std::collections::BTreeMap<String, u64>> {
-        self.nodes
-            .iter()
-            .find(|n| n.name == name)
-            .and_then(|n| n.device_mgr.as_ref())
+        self.node_idx(name)
+            .and_then(|i| self.nodes[i].device_mgr.as_ref())
             .map(|dm| dm.allocation_by_device())
     }
 
@@ -396,10 +449,8 @@ impl ClusterSim {
         let Some(node_name) = &pod.status.node_name else {
             return Vec::new();
         };
-        self.nodes
-            .iter()
-            .find(|n| &n.name == node_name)
-            .and_then(|n| n.device_mgr.as_ref())
+        self.node_idx(node_name)
+            .and_then(|i| self.nodes[i].device_mgr.as_ref())
             .map(|dm| dm.devices_of_pod(uid))
             .unwrap_or_default()
     }
@@ -471,11 +522,7 @@ impl ClusterSim {
         }
         let requests = pod.spec.requests.clone();
         let node_name = pod.status.node_name.clone().expect("bound pod");
-        let idx = self
-            .nodes
-            .iter()
-            .position(|n| n.name == node_name)
-            .expect("node exists");
+        let idx = self.node_idx(&node_name).expect("node exists");
         self.rank_unindex(idx);
         self.nodes[idx].allocated = self.nodes[idx].allocated.checked_sub(&requests);
         self.rank_index(idx);
@@ -500,7 +547,7 @@ impl ClusterSim {
 
     /// Whether a node is currently up. `None` for unknown nodes.
     pub fn node_up(&self, name: &str) -> Option<bool> {
-        self.nodes.iter().find(|n| n.name == name).map(|n| n.up)
+        self.node_idx(name).map(|i| self.nodes[i].up)
     }
 
     /// Simulates a node crash: the kubelet stops responding, so every pod
@@ -515,7 +562,7 @@ impl ClusterSim {
         name: &str,
         notices: &mut Vec<ClusterNotice>,
     ) -> Vec<Uid> {
-        let Some(idx) = self.nodes.iter().position(|n| n.name == name) else {
+        let Some(idx) = self.node_idx(name) else {
             return Vec::new();
         };
         if !self.nodes[idx].up {
@@ -557,7 +604,7 @@ impl ClusterSim {
     /// unschedulable queue against the restored capacity. Returns `false`
     /// for unknown or already-up nodes.
     pub fn recover_node(&mut self, now: SimTime, name: &str, out: &mut ClusterEmit) -> bool {
-        let Some(idx) = self.nodes.iter().position(|n| n.name == name) else {
+        let Some(idx) = self.node_idx(name) else {
             return false;
         };
         if self.nodes[idx].up {
@@ -632,9 +679,7 @@ impl ClusterSim {
         let node_idx = match &pinned {
             Some(name) => {
                 let idx = self
-                    .nodes
-                    .iter()
-                    .position(|n| &n.name == name)
+                    .node_idx(name)
                     .unwrap_or_else(|| panic!("pinned to unknown node {name}"));
                 // A down node cannot take the pod; it queues until the node
                 // recovers (or the owner re-schedules it elsewhere).
@@ -643,12 +688,12 @@ impl ClusterSim {
                     .checked_sub(&self.nodes[idx].allocated);
                 (self.nodes[idx].up && requests.fits_in(&free)).then_some(idx)
             }
-            None => match self.sched_mode {
+            None => match self.sched_mode.resolve(self.nodes.len()) {
                 SchedMode::Reference => {
                     let (idxs, views) = self.up_views();
                     self.scheduler.pick_node(&requests, &views).map(|v| idxs[v])
                 }
-                SchedMode::Indexed => self.pick_node_indexed(&requests),
+                SchedMode::Indexed | SchedMode::Auto => self.pick_node_indexed(&requests),
             },
         };
 
@@ -697,11 +742,7 @@ impl ClusterSim {
             .clone()
             .expect("scheduled pod has node");
         let requests = pod.spec.requests.clone();
-        let idx = self
-            .nodes
-            .iter()
-            .position(|n| n.name == node_name)
-            .expect("node exists");
+        let idx = self.node_idx(&node_name).expect("node exists");
 
         // Device allocation (paper Fig. 2b): the kubelet asks the plugin
         // for concrete units and injects the returned env.
@@ -754,8 +795,8 @@ impl ClusterSim {
             return;
         };
         let submitted = pod.meta.created_at;
-        if let Some(n) = self.nodes.iter_mut().find(|n| n.name == node_name) {
-            n.starting = n.starting.saturating_sub(1);
+        if let Some(i) = self.node_idx(&node_name) {
+            self.nodes[i].starting = self.nodes[i].starting.saturating_sub(1);
         }
         if pod.status.phase != PodPhase::Scheduled {
             return; // deleted during start
@@ -788,11 +829,7 @@ impl ClusterSim {
         }
         let requests = pod.spec.requests.clone();
         if let Some(node_name) = pod.status.node_name.clone() {
-            let idx = self
-                .nodes
-                .iter()
-                .position(|n| n.name == node_name)
-                .expect("node exists");
+            let idx = self.node_idx(&node_name).expect("node exists");
             self.rank_unindex(idx);
             self.nodes[idx].allocated = self.nodes[idx].allocated.checked_sub(&requests);
             self.rank_index(idx);

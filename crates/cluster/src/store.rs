@@ -13,6 +13,21 @@ use ks_telemetry::Telemetry;
 
 use crate::api::meta::Uid;
 
+/// Objects that live in a namespace (pods, sharePods, …). Implementing
+/// this unlocks the per-namespace views on [`Store`] — the isolation
+/// primitive the multi-tenant gateway builds on (one namespace per
+/// tenant).
+pub trait Namespaced {
+    /// The namespace the object belongs to.
+    fn namespace(&self) -> &str;
+}
+
+impl Namespaced for crate::api::Pod {
+    fn namespace(&self) -> &str {
+        &self.meta.namespace
+    }
+}
+
 /// A change observed through a watch stream.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum WatchEvent<T> {
@@ -164,6 +179,37 @@ impl<T: Clone> Store<T> {
         Watcher { cursor: 0 }
     }
 
+    /// Iterates over live objects in one namespace (unordered).
+    pub fn iter_namespace<'a>(&'a self, namespace: &'a str) -> impl Iterator<Item = (Uid, &'a T)>
+    where
+        T: Namespaced,
+    {
+        self.iter().filter(move |(_, v)| v.namespace() == namespace)
+    }
+
+    /// Number of live objects in one namespace.
+    pub fn count_namespace(&self, namespace: &str) -> usize
+    where
+        T: Namespaced,
+    {
+        self.iter_namespace(namespace).count()
+    }
+
+    /// All namespaces with at least one live object, sorted and deduped.
+    pub fn namespaces(&self) -> Vec<String>
+    where
+        T: Namespaced,
+    {
+        let mut ns: Vec<String> = self
+            .objects
+            .values()
+            .map(|(v, _)| v.namespace().to_string())
+            .collect();
+        ns.sort();
+        ns.dedup();
+        ns
+    }
+
     /// Drains new events for a watcher.
     pub fn poll(&self, watcher: &mut Watcher) -> Vec<WatchEvent<T>> {
         let events = self.log[watcher.cursor..].to_vec();
@@ -260,6 +306,31 @@ mod tests {
         assert_eq!(s.get(Uid(1)), Some(&42));
         assert_eq!(s.poll(&mut w), vec![WatchEvent::Modified(Uid(1), 42)]);
         assert_eq!(s.mutate(Uid(9), |_| ()), None);
+    }
+
+    #[test]
+    fn namespace_views_partition_the_store() {
+        use crate::api::pod::PodSpec;
+        use crate::api::{ObjectMeta, Pod, ResourceList};
+        use ks_sim_core::time::SimTime;
+
+        let mut s: Store<Pod> = Store::new();
+        let pod = |name: &str, uid: u64, ns: &str| {
+            Pod::new(
+                ObjectMeta::new(name, Uid(uid), SimTime::ZERO).with_namespace(ns),
+                PodSpec::new("img", ResourceList::cpu_mem(100, 1 << 20)),
+            )
+        };
+        s.create(Uid(1), pod("a", 1, "tenant-a"));
+        s.create(Uid(2), pod("b", 2, "tenant-b"));
+        s.create(Uid(3), pod("c", 3, "tenant-a"));
+        assert_eq!(s.count_namespace("tenant-a"), 2);
+        assert_eq!(s.count_namespace("tenant-b"), 1);
+        assert_eq!(s.count_namespace("tenant-c"), 0);
+        assert_eq!(s.namespaces(), vec!["tenant-a", "tenant-b"]);
+        let uids: Vec<Uid> = s.iter_namespace("tenant-a").map(|(u, _)| u).collect();
+        assert_eq!(uids.len(), 2);
+        assert!(uids.contains(&Uid(1)) && uids.contains(&Uid(3)));
     }
 
     #[test]

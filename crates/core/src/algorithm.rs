@@ -225,11 +225,15 @@ pub fn schedule_indexed(req: &SchedRequest, pool: &mut VgpuPool) -> Decision {
     Decision::NewDevice(pool.fresh_id())
 }
 
-/// Runs Algorithm 1 with the implementation selected by `mode`.
+/// Runs Algorithm 1 with the implementation selected by `mode`. `Auto`
+/// resolves per decision against the current pool size, so a pool that
+/// grows through the [`SchedMode::AUTO_CROSSOVER`] switches to the
+/// indexed path mid-stream — both implementations are decision-identical,
+/// so the switch is invisible in the decision trace.
 pub fn schedule_with(mode: SchedMode, req: &SchedRequest, pool: &mut VgpuPool) -> Decision {
-    match mode {
+    match mode.resolve(pool.len()) {
         SchedMode::Reference => schedule(req, pool),
-        SchedMode::Indexed => schedule_indexed(req, pool),
+        SchedMode::Indexed | SchedMode::Auto => schedule_indexed(req, pool),
     }
 }
 

@@ -217,6 +217,10 @@ pub struct VgpuPool {
     devices: BTreeMap<GpuId, PoolDevice>,
     next_id: u64,
     ix: PoolIndexes,
+    /// Device count per phase (`Creating`/`Active`/`Idle` by discriminant),
+    /// maintained on every transition so gauge mirrors don't rescan the
+    /// pool after each event.
+    tally: [u32; 3],
 }
 
 impl VgpuPool {
@@ -243,6 +247,7 @@ impl VgpuPool {
     pub fn insert_creating(&mut self, id: GpuId) {
         assert!(!self.devices.contains_key(&id), "vGPU {id} already in pool");
         let d = PoolDevice::fresh(id.clone());
+        self.tally[d.phase as usize] += 1;
         self.ix.insert(&d);
         self.devices.insert(id, d);
     }
@@ -251,6 +256,7 @@ impl VgpuPool {
     pub fn mark_ready(&mut self, id: &GpuId, node: String, uuid: String) {
         let d = self.devices.get_mut(id).expect("vGPU in pool");
         debug_assert_eq!(d.phase, VgpuPhase::Creating);
+        self.tally[d.phase as usize] -= 1;
         self.ix.remove(d);
         d.node = Some(node);
         d.uuid = Some(uuid);
@@ -259,6 +265,7 @@ impl VgpuPool {
         } else {
             VgpuPhase::Active
         };
+        self.tally[d.phase as usize] += 1;
         let d = &self.devices[id];
         self.ix.insert(d);
     }
@@ -295,7 +302,9 @@ impl VgpuPool {
         d.excl = excl.map(str::to_string);
         d.attached.insert(sharepod, (request, mem));
         if d.phase != VgpuPhase::Creating {
+            self.tally[d.phase as usize] -= 1;
             d.phase = VgpuPhase::Active;
+            self.tally[d.phase as usize] += 1;
         }
         let d = &self.devices[id];
         self.ix.insert(d);
@@ -325,7 +334,9 @@ impl VgpuPool {
             d.anti_aff.clear();
             d.excl = None;
             if d.phase != VgpuPhase::Creating {
+                self.tally[d.phase as usize] -= 1;
                 d.phase = VgpuPhase::Idle;
+                self.tally[d.phase as usize] += 1;
             }
         }
         let d = &self.devices[id];
@@ -351,6 +362,7 @@ impl VgpuPool {
     pub fn remove(&mut self, id: &GpuId) -> PoolDevice {
         let d = self.devices.get(id).expect("vGPU in pool");
         assert!(d.attached.is_empty(), "removing vGPU {id} with tenants");
+        self.tally[d.phase as usize] -= 1;
         self.ix.remove(d);
         self.devices.remove(id).expect("vGPU in pool")
     }
@@ -424,6 +436,16 @@ impl VgpuPool {
     /// Backs the index-consistency property tests; cheap enough to call
     /// from any invariant-minded test.
     pub fn verify_indexes(&self) -> Result<(), String> {
+        let mut fresh_tally = [0u32; 3];
+        for d in self.devices.values() {
+            fresh_tally[d.phase as usize] += 1;
+        }
+        if fresh_tally != self.tally {
+            return Err(format!(
+                "phase tally drifted: incremental {:?} != rebuilt {fresh_tally:?}",
+                self.tally
+            ));
+        }
         let fresh = PoolIndexes::rebuild(&self.devices);
         if fresh == self.ix {
             return Ok(());
@@ -467,6 +489,16 @@ impl VgpuPool {
             }
         }
         Err("index drift in unknown structure".into())
+    }
+
+    /// Device count per phase as `(creating, active, idle)`, maintained
+    /// incrementally — O(1), safe to read after every event.
+    pub fn phase_counts(&self) -> (u32, u32, u32) {
+        (
+            self.tally[VgpuPhase::Creating as usize],
+            self.tally[VgpuPhase::Active as usize],
+            self.tally[VgpuPhase::Idle as usize],
+        )
     }
 
     /// Pool size.

@@ -26,6 +26,13 @@ pub struct SharePodSpec {
     pub node_name: Option<String>,
     /// Locality constraints.
     pub locality: Locality,
+    /// Owning tenant, stamped by the multi-tenant gateway (`None` for
+    /// sharePods submitted directly to the control plane).
+    pub tenant: Option<String>,
+    /// Priority class: higher values win contention. The batch scheduler
+    /// drains pending sharePods highest-priority first, and the gateway's
+    /// preemption policy only ever evicts strictly lower classes.
+    pub priority: u8,
 }
 
 impl SharePodSpec {
@@ -37,6 +44,8 @@ impl SharePodSpec {
             gpuid: None,
             node_name: None,
             locality: Locality::none(),
+            tenant: None,
+            priority: 0,
         }
     }
 
@@ -49,6 +58,18 @@ impl SharePodSpec {
     /// Pins to a specific vGPU (users may do this explicitly, §4.2).
     pub fn with_gpuid(mut self, gpuid: GpuId) -> Self {
         self.gpuid = Some(gpuid);
+        self
+    }
+
+    /// Stamps the owning tenant (builder style).
+    pub fn with_tenant(mut self, tenant: impl Into<String>) -> Self {
+        self.tenant = Some(tenant.into());
+        self
+    }
+
+    /// Sets the priority class (builder style).
+    pub fn with_priority(mut self, priority: u8) -> Self {
+        self.priority = priority;
         self
     }
 }
@@ -115,6 +136,12 @@ impl SharePod {
             spec,
             status: SharePodStatus::pending(),
         }
+    }
+}
+
+impl ks_cluster::store::Namespaced for SharePod {
+    fn namespace(&self) -> &str {
+        &self.meta.namespace
     }
 }
 

@@ -21,7 +21,7 @@
 //!    released (on-demand policy) or kept (reservation policy), trading
 //!    creation latency against cluster-level utilization (paper §4.4).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 
 use ks_chaos::ChaosInjector;
@@ -35,7 +35,7 @@ use ks_vgpu::ShareSpec;
 
 use crate::algorithm::{fit_residual, schedule_with, Decision, SchedMode, SchedRequest};
 use crate::gpuid::GpuId;
-use crate::pool::{VgpuPhase, VgpuPool};
+use crate::pool::VgpuPool;
 use crate::sharepod::{SharePod, SharePodPhase, SharePodSpec};
 
 /// When to release idle vGPUs back to Kubernetes (paper §4.4).
@@ -246,6 +246,17 @@ pub enum KsNotice {
         /// The binding it lost, if it had one.
         gpuid: Option<GpuId>,
     },
+    /// A sharePod was evicted to make room for higher-priority work (the
+    /// gateway's preemption policy). Its capacity has already been
+    /// detached and it sits `Pending` again; the next batch drain decides
+    /// it after every higher class. The embedding world should detach any
+    /// container state it kept for the old binding.
+    SharePodPreempted {
+        /// The preempted sharePod.
+        sp: Uid,
+        /// The binding it lost, if it had one.
+        gpuid: Option<GpuId>,
+    },
     /// A vGPU was lost to a failure (node crash or anchor giving up) as
     /// opposed to a graceful policy release.
     VgpuLost {
@@ -282,6 +293,11 @@ pub struct KubeShareSystem {
     vgpu_anchor: HashMap<GpuId, Uid>,
     /// backing pod uid → sharePod uid.
     pod_sp: HashMap<Uid, Uid>,
+    /// Backing pods torn down by preemption: their sharePods were reset to
+    /// `Pending` synchronously, so the asynchronous `PodDeleted` /
+    /// `PodFailed` notice that eventually arrives for them must be
+    /// swallowed instead of driving the normal terminal transition.
+    preempted_pods: HashSet<Uid>,
     /// sharePods waiting for their vGPU to become ready.
     waiting: HashMap<GpuId, Vec<Uid>>,
     /// Hybrid policy: idle-TTL tickets → the vGPU they refer to.
@@ -302,6 +318,11 @@ pub struct KubeShareSystem {
     /// Trace context of the sharePod whose decision triggered each vGPU's
     /// anchor, so DevMgr launch/backoff events land in that trace.
     anchor_ctx: HashMap<GpuId, TraceCtx>,
+    /// `Pending` sharePod count, maintained on every phase transition so
+    /// gauge mirrors don't rescan the store after each event.
+    sp_pending: usize,
+    /// `Running` sharePod count, maintained likewise.
+    sp_running: usize,
 }
 
 /// DevMgr's retry bookkeeping for one vGPU's anchor.
@@ -341,6 +362,7 @@ impl KubeShareSystem {
             anchor_vgpu: HashMap::new(),
             vgpu_anchor: HashMap::new(),
             pod_sp: HashMap::new(),
+            preempted_pods: HashSet::new(),
             waiting: HashMap::new(),
             idle_tickets: HashMap::new(),
             retry_tickets: HashMap::new(),
@@ -350,6 +372,8 @@ impl KubeShareSystem {
             telemetry: Telemetry::disabled(),
             sp_trace: HashMap::new(),
             anchor_ctx: HashMap::new(),
+            sp_pending: 0,
+            sp_running: 0,
         }
     }
 
@@ -374,26 +398,36 @@ impl KubeShareSystem {
         self.telemetry = telemetry;
     }
 
-    /// Mirrors the vGPU pool composition and the scheduler's pending-work
-    /// depth into gauges. Called after every event that can move pool or
-    /// queue state; cheap enough that precision beats bookkeeping.
-    fn record_gauges(&self) {
-        if !self.telemetry.is_enabled() {
+    /// Sets a sharePod's phase through the tally bookkeeping that backs
+    /// the scheduler gauges, applying any extra status mutation in the
+    /// same store write. Every phase transition MUST go through here (or
+    /// the tallies drift — `verify_sp_tally` cross-checks in tests).
+    fn transition_sp(&mut self, sp: Uid, to: SharePodPhase, f: impl FnOnce(&mut SharePod)) {
+        let Some(from) = self.sharepods.get(sp).map(|s| s.status.phase) else {
             return;
-        }
-        let (mut creating, mut active, mut idle) = (0u32, 0u32, 0u32);
-        for d in self.pool.devices() {
-            match d.phase {
-                VgpuPhase::Creating => creating += 1,
-                VgpuPhase::Active => active += 1,
-                VgpuPhase::Idle => idle += 1,
+        };
+        if from != to {
+            match from {
+                SharePodPhase::Pending => self.sp_pending -= 1,
+                SharePodPhase::Running => self.sp_running -= 1,
+                _ => {}
+            }
+            match to {
+                SharePodPhase::Pending => self.sp_pending += 1,
+                SharePodPhase::Running => self.sp_running += 1,
+                _ => {}
             }
         }
-        for (phase, v) in [("creating", creating), ("active", active), ("idle", idle)] {
-            self.telemetry
-                .gauge("ks_devmgr_vgpus", &[("phase", phase)])
-                .set(f64::from(v));
-        }
+        self.sharepods.mutate(sp, |s| {
+            s.status.phase = to;
+            f(s);
+        });
+    }
+
+    /// Recounts the phase tallies from the store (test cross-check for
+    /// [`KubeShareSystem::transition_sp`] discipline).
+    #[cfg(test)]
+    pub(crate) fn verify_sp_tally(&self) -> Result<(), String> {
         let (mut pending, mut running) = (0usize, 0usize);
         for (_, s) in self.sharepods.iter() {
             match s.status.phase {
@@ -402,12 +436,35 @@ impl KubeShareSystem {
                 _ => {}
             }
         }
+        if (pending, running) != (self.sp_pending, self.sp_running) {
+            return Err(format!(
+                "sharePod tally drifted: incremental ({}, {}) != recount ({pending}, {running})",
+                self.sp_pending, self.sp_running
+            ));
+        }
+        Ok(())
+    }
+
+    /// Mirrors the vGPU pool composition and the scheduler's pending-work
+    /// depth into gauges. Called after every event that can move pool or
+    /// queue state; reads the incrementally-maintained tallies, so it is
+    /// O(waiting map) — not a pool/store rescan — per event.
+    fn record_gauges(&self) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        let (creating, active, idle) = self.pool.phase_counts();
+        for (phase, v) in [("creating", creating), ("active", active), ("idle", idle)] {
+            self.telemetry
+                .gauge("ks_devmgr_vgpus", &[("phase", phase)])
+                .set(f64::from(v));
+        }
         self.telemetry
             .gauge("ks_sched_pending_sharepods", &[])
-            .set(pending as f64);
+            .set(self.sp_pending as f64);
         self.telemetry
             .gauge("ks_sched_running_sharepods", &[])
-            .set(running as f64);
+            .set(self.sp_running as f64);
         let waiting: usize = self.waiting.values().map(Vec::len).sum();
         self.telemetry
             .gauge("ks_sched_awaiting_vgpu_sharepods", &[])
@@ -490,11 +547,26 @@ impl KubeShareSystem {
         spec: SharePodSpec,
         out: &mut KsEmit,
     ) -> Uid {
+        self.submit_sharepod_in(now, "default", name, spec, out)
+    }
+
+    /// Submits a sharePod into a specific namespace. The gateway runs one
+    /// namespace per tenant, so a tenant's objects are separable through
+    /// the store's [`Store::iter_namespace`] views.
+    pub fn submit_sharepod_in(
+        &mut self,
+        now: SimTime,
+        namespace: impl Into<String>,
+        name: impl Into<String>,
+        spec: SharePodSpec,
+        out: &mut KsEmit,
+    ) -> Uid {
         spec.share.validate().expect("invalid share spec");
         let uid = self.sp_uids.next();
-        let meta = ObjectMeta::new(name, uid, now);
+        let meta = ObjectMeta::new(name, uid, now).with_namespace(namespace);
         let sp_name = meta.name.clone();
         self.sharepods.create(uid, SharePod::new(meta, spec));
+        self.sp_pending += 1;
         if self.telemetry.is_enabled() {
             // One trace per sharePod: the root span covers submission to
             // the terminal transition; the schedule span opens immediately
@@ -537,14 +609,12 @@ impl KubeShareSystem {
         };
         match sharepod.status.phase {
             SharePodPhase::Pending | SharePodPhase::Rejected => {
-                self.sharepods
-                    .mutate(sp, |s| s.status.phase = SharePodPhase::Terminated);
+                self.transition_sp(sp, SharePodPhase::Terminated, |_| {});
                 self.close_sp_trace(now, sp, "deleted");
             }
             SharePodPhase::AwaitingVgpu => {
                 let Some(gpuid) = sharepod.status.bound_gpuid.clone() else {
-                    self.sharepods
-                        .mutate(sp, |s| s.status.phase = SharePodPhase::Terminated);
+                    self.transition_sp(sp, SharePodPhase::Terminated, |_| {});
                     self.close_sp_trace(now, sp, "deleted");
                     notices.push(KsNotice::Fault {
                         error: SystemError::UnboundSharePod { sp },
@@ -555,8 +625,7 @@ impl KubeShareSystem {
                     w.retain(|&u| u != sp);
                 }
                 let became_idle = self.pool.detach(&gpuid, sp);
-                self.sharepods
-                    .mutate(sp, |s| s.status.phase = SharePodPhase::Terminated);
+                self.transition_sp(sp, SharePodPhase::Terminated, |_| {});
                 self.close_sp_trace(now, sp, "deleted");
                 if became_idle {
                     self.apply_pool_policy(now, &gpuid, out, notices);
@@ -567,8 +636,7 @@ impl KubeShareSystem {
                     // Starting but the CreatePod event has not fired yet:
                     // nothing exists in the cluster; tear down locally.
                     let gpuid = sharepod.status.bound_gpuid.clone();
-                    self.sharepods
-                        .mutate(sp, |s| s.status.phase = SharePodPhase::Terminated);
+                    self.transition_sp(sp, SharePodPhase::Terminated, |_| {});
                     self.close_sp_trace(now, sp, "deleted");
                     if let Some(gpuid) = gpuid {
                         if self.pool.get(&gpuid).is_some() {
@@ -699,7 +767,11 @@ impl KubeShareSystem {
                 self.vgpu_anchor.remove(&gpuid);
                 self.anchor_retry.remove(&gpuid);
             } else if let Some(sp) = self.pod_sp.remove(&pod) {
-                displaced.push(sp);
+                // Pods mid-preemption-teardown: their sharePods are already
+                // `Pending`, so the node taking the pod down changes nothing.
+                if !self.preempted_pods.remove(&pod) {
+                    displaced.push(sp);
+                }
             } else {
                 notices.push(KsNotice::Cluster(ClusterNotice::PodFailed {
                     pod,
@@ -813,8 +885,7 @@ impl KubeShareSystem {
             return;
         }
         let gpuid = sharepod.status.bound_gpuid.clone();
-        self.sharepods.mutate(sp, |s| {
-            s.status.phase = SharePodPhase::Pending;
+        self.transition_sp(sp, SharePodPhase::Pending, |s| {
             s.status.bound_gpuid = None;
             s.status.pod_uid = None;
             s.status.message = Some("requeued after failure".into());
@@ -842,32 +913,132 @@ impl KubeShareSystem {
         out.push((now + self.cfg.sched_latency, KsEvent::SchedDecide { sp }));
     }
 
+    /// Evicts a sharePod to make room for higher-priority work (the
+    /// gateway's preemption policy). Its capacity is detached from the
+    /// vGPU *synchronously* — the freed room is visible to the very next
+    /// Algorithm 1 pass — and the sharePod returns to `Pending` without a
+    /// `SchedDecide` being scheduled: the caller re-enters it through
+    /// [`KubeShareSystem::drain_pending`], whose priority ordering places
+    /// it after everything that outranks it. The backing pod (if any) is
+    /// torn down through the cluster; its eventual deletion notice is
+    /// swallowed. Returns `false` when the sharePod does not exist, is
+    /// still `Pending`, or already reached a terminal phase.
+    pub fn preempt_sharepod(
+        &mut self,
+        now: SimTime,
+        sp: Uid,
+        out: &mut KsEmit,
+        notices: &mut Vec<KsNotice>,
+    ) -> bool {
+        let Some(sharepod) = self.sharepods.get(sp) else {
+            return false;
+        };
+        if matches!(
+            sharepod.status.phase,
+            SharePodPhase::Pending | SharePodPhase::Rejected | SharePodPhase::Terminated
+        ) {
+            return false;
+        }
+        let gpuid = sharepod.status.bound_gpuid.clone();
+        let pod = sharepod.status.pod_uid;
+
+        // Free the vGPU capacity now. The `SharePodStopped` notice lets
+        // the embedding world detach any container state for the binding.
+        if let Some(gpuid) = &gpuid {
+            if let Some(w) = self.waiting.get_mut(gpuid) {
+                w.retain(|&u| u != sp);
+            }
+            if let Some(device) = self.pool.get(gpuid) {
+                if let (Some(node), Some(uuid)) = (device.node.clone(), device.uuid.clone()) {
+                    notices.push(KsNotice::SharePodStopped {
+                        sp,
+                        gpuid: gpuid.clone(),
+                        node,
+                        uuid,
+                    });
+                }
+                let became_idle = self.pool.detach(gpuid, sp);
+                if became_idle {
+                    self.apply_pool_policy(now, gpuid, out, notices);
+                }
+            }
+        }
+
+        self.transition_sp(sp, SharePodPhase::Pending, |s| {
+            s.status.bound_gpuid = None;
+            s.status.pod_uid = None;
+            s.status.message = Some("preempted".into());
+        });
+        notices.push(KsNotice::SharePodPreempted { sp, gpuid });
+        if self.telemetry.is_enabled() {
+            self.telemetry
+                .counter("ks_sched_preemptions_total", &[])
+                .inc();
+            let ctx = self.sp_ctx(sp);
+            self.telemetry
+                .trace_event_in(now, ctx, "sched", "preempt", &[("sp", sp.to_string())]);
+            // Same span bookkeeping as a requeue: end whatever child span
+            // the evicted attempt left open, open a fresh schedule span
+            // for the next Algorithm 1 pass.
+            if self.sp_trace.contains_key(&sp) {
+                let sched_span = self
+                    .telemetry
+                    .span_begin_in(now, ctx, "sched", "schedule", &[]);
+                let tr = self.sp_trace.get_mut(&sp).expect("just checked");
+                let old_sched = std::mem::replace(&mut tr.sched_span, sched_span);
+                let vgpu_span = std::mem::replace(&mut tr.vgpu_span, SpanId::NONE);
+                let pod_span = std::mem::replace(&mut tr.pod_span, SpanId::NONE);
+                self.telemetry.span_end(now, old_sched, &[]);
+                self.telemetry.span_end(now, vgpu_span, &[]);
+                self.telemetry.span_end(now, pod_span, &[]);
+            }
+        }
+
+        // Tear the backing pod down last: the deletion runs through the
+        // cluster asynchronously, and the sharePod's state must already
+        // be reset when any synchronous notice comes back.
+        if let Some(pod) = pod {
+            self.preempted_pods.insert(pod);
+            let mut cluster_out = Vec::new();
+            let mut cluster_notes = Vec::new();
+            self.cluster
+                .delete_pod(now, pod, &mut cluster_out, &mut cluster_notes);
+            lift(cluster_out, out);
+            self.process_cluster_notices(now, cluster_notes, out, notices);
+        }
+        self.record_gauges();
+        true
+    }
+
     // ---- KubeShare-Sched ----
 
     /// Batch scheduler entry point: decides every `Pending` sharePod in
-    /// one pass, in deterministic uid order, with each decision applied
-    /// to the pool (bind / anchor launch / reject) before the next one
-    /// runs — the same per-decision semantics as the event-driven path,
-    /// without paying one `sched_latency` round-trip per sharePod. Any
-    /// `SchedDecide` events already queued for these sharePods become
-    /// no-ops (the phase has moved past `Pending`). Returns the batch
-    /// length.
+    /// one pass — highest priority class first, uid order within a class —
+    /// with each decision applied to the pool (bind / anchor launch /
+    /// reject) before the next one runs: the same per-decision semantics
+    /// as the event-driven path, without paying one `sched_latency`
+    /// round-trip per sharePod. The priority ordering is what makes
+    /// preemption stick: a preemptor drained in the same pass as its
+    /// freshly-`Pending` victims claims the freed capacity before any of
+    /// them is decided. Any `SchedDecide` events already queued for these
+    /// sharePods become no-ops (the phase has moved past `Pending`).
+    /// Returns the batch length.
     pub fn drain_pending(
         &mut self,
         now: SimTime,
         out: &mut KsEmit,
         notices: &mut Vec<KsNotice>,
     ) -> usize {
-        let mut pending: Vec<Uid> = self
+        let mut pending: Vec<(u8, Uid)> = self
             .sharepods
             .iter()
             .filter(|(_, s)| s.status.phase == SharePodPhase::Pending)
-            .map(|(uid, _)| uid)
+            .map(|(uid, s)| (s.spec.priority, uid))
             .collect();
         // Store iteration order is a hash order; the batch must not be.
-        pending.sort();
+        pending.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
         let batch_len = pending.len();
-        for sp in pending {
+        for (_, sp) in pending {
             self.on_sched_decide(now, sp, out, notices);
         }
         if self.telemetry.is_enabled() {
@@ -882,6 +1053,51 @@ impl KubeShareSystem {
             );
         }
         batch_len
+    }
+
+    /// Removes a terminal sharePod from the API store — the analogue of
+    /// the cluster's pod GC, without which a long-running control plane
+    /// iterates every sharePod that ever lived on each batch drain. Live
+    /// sharePods are never collected. Returns whether an object was
+    /// removed.
+    pub fn gc_sharepod(&mut self, sp: Uid) -> bool {
+        let terminal = self
+            .sharepods
+            .get(sp)
+            .map(|s| {
+                matches!(
+                    s.status.phase,
+                    SharePodPhase::Terminated | SharePodPhase::Rejected
+                )
+            })
+            .unwrap_or(false);
+        if !terminal {
+            return false;
+        }
+        self.sharepods.delete(sp);
+        self.sp_trace.remove(&sp);
+        true
+    }
+
+    /// Whether a brand-new vGPU could actually anchor right now: free
+    /// physical GPUs net of the creating vGPUs already racing for them.
+    fn has_spare_physical_gpu(&self) -> bool {
+        let free = self.cluster.free_total().extended_count(NVIDIA_GPU);
+        let (creating, _, _) = self.pool.phase_counts();
+        free > u64::from(creating)
+    }
+
+    /// Whether any sharePod of a strictly lower priority class currently
+    /// holds vGPU capacity — i.e. whether preemption could make room.
+    fn has_attached_below(&self, priority: u8) -> bool {
+        self.pool.devices().any(|d| {
+            d.attached.keys().any(|&uid| {
+                self.sharepods
+                    .get(uid)
+                    .map(|s| s.spec.priority < priority)
+                    .unwrap_or(false)
+            })
+        })
     }
 
     fn on_sched_decide(
@@ -928,10 +1144,10 @@ impl KubeShareSystem {
         let decide_ns = decide_start.elapsed().as_nanos() as f64;
 
         if self.telemetry.is_enabled() {
-            let mode = match self.cfg.sched_mode {
-                SchedMode::Reference => "reference",
-                SchedMode::Indexed => "indexed",
-            };
+            // Record the mode that actually ran: `Auto` resolves by pool
+            // size, and the label should say which path served the
+            // decision, not the configuration knob.
+            let mode = self.cfg.sched_mode.resolve(self.pool.len()).label();
             // Wall-clock cost of running Algorithm 1 itself (not the
             // simulated sched_latency): 10ns .. 1s log-spaced.
             self.telemetry
@@ -993,8 +1209,18 @@ impl KubeShareSystem {
 
         match decision {
             Decision::Reject(reason) => {
-                self.sharepods.mutate(sp, |s| {
-                    s.status.phase = SharePodPhase::Rejected;
+                // A priority class above the floor does not take "no" while
+                // strictly lower-priority work holds pool capacity: it stays
+                // Pending so the front door's preemption pump can evict on
+                // its behalf and re-decide. Priority-0 workloads (everything
+                // pre-gateway) keep the paper's reject semantics.
+                if spec.priority > 0 && self.has_attached_below(spec.priority) {
+                    self.sharepods.mutate(sp, |s| {
+                        s.status.message = Some("awaiting preemption".to_string());
+                    });
+                    return;
+                }
+                self.transition_sp(sp, SharePodPhase::Rejected, |s| {
                     s.status.message = Some(format!("{reason:?}"));
                 });
                 self.close_sp_trace(now, sp, "rejected");
@@ -1007,6 +1233,20 @@ impl KubeShareSystem {
                 self.bind(now, sp, &spec, gpuid, out);
             }
             Decision::NewDevice(gpuid) => {
+                // Same hold as the reject arm: a new vGPU needs a free
+                // physical GPU, and the algorithm cannot see that the
+                // cluster is out of them. Rather than park a high-priority
+                // sharePod behind an anchor that cannot start, keep it
+                // Pending so preemption can free existing capacity for it.
+                if spec.priority > 0
+                    && !self.has_spare_physical_gpu()
+                    && self.has_attached_below(spec.priority)
+                {
+                    self.sharepods.mutate(sp, |s| {
+                        s.status.message = Some("awaiting preemption".to_string());
+                    });
+                    return;
+                }
                 self.pool.insert_creating(gpuid.clone());
                 // DevMgr work for this vGPU is on behalf of the sharePod
                 // whose decision demanded it.
@@ -1042,13 +1282,13 @@ impl KubeShareSystem {
             .get(&gpuid)
             .map(|d| d.uuid.is_some())
             .unwrap_or(false);
-        self.sharepods.mutate(sp, |s| {
+        let next = if ready {
+            SharePodPhase::Starting
+        } else {
+            SharePodPhase::AwaitingVgpu
+        };
+        self.transition_sp(sp, next, |s| {
             s.status.bound_gpuid = Some(gpuid.clone());
-            s.status.phase = if ready {
-                SharePodPhase::Starting
-            } else {
-                SharePodPhase::AwaitingVgpu
-            };
         });
         if ready {
             self.open_pod_span(now, sp, &gpuid);
@@ -1270,8 +1510,7 @@ impl KubeShareSystem {
                 .map(|s| s.spec.gpuid.as_ref() == Some(gpuid))
                 .unwrap_or(false);
             if pinned {
-                self.sharepods.mutate(sp, |s| {
-                    s.status.phase = SharePodPhase::Rejected;
+                self.transition_sp(sp, SharePodPhase::Rejected, |s| {
                     s.status.bound_gpuid = None;
                     s.status.message = Some(reason.to_string());
                 });
@@ -1446,7 +1685,12 @@ impl KubeShareSystem {
                         self.note_vgpu_churn(now, "vgpu_released", &gpuid);
                         notices.push(KsNotice::VgpuReleased { gpuid });
                     } else if let Some(sp) = self.pod_sp.remove(pod) {
-                        self.on_sharepod_pod_deleted(now, sp, out, notices);
+                        // A preempted pod's sharePod was reset to `Pending`
+                        // and detached when the eviction ran; its deletion
+                        // notice is old news and must not terminate it.
+                        if !self.preempted_pods.remove(pod) {
+                            self.on_sharepod_pod_deleted(now, sp, out, notices);
+                        }
                     } else {
                         notices.push(KsNotice::Cluster(note));
                     }
@@ -1459,6 +1703,11 @@ impl KubeShareSystem {
                         self.vgpu_anchor.remove(&gpuid);
                         self.on_anchor_launch_failed(now, gpuid, out, notices);
                     } else if let Some(sp) = self.pod_sp.remove(pod) {
+                        if self.preempted_pods.remove(pod) {
+                            // The pod died while preemption teardown was in
+                            // flight; the sharePod is already `Pending`.
+                            continue;
+                        }
                         if self.cfg.restart_policy == RestartPolicy::OnFailure {
                             // Service semantics: give the crashed
                             // container's demand back to its vGPU, then
@@ -1492,8 +1741,7 @@ impl KubeShareSystem {
                             self.requeue_sharepod(now, sp, out, notices);
                             continue;
                         }
-                        self.sharepods.mutate(sp, |s| {
-                            s.status.phase = SharePodPhase::Rejected;
+                        self.transition_sp(sp, SharePodPhase::Rejected, |s| {
                             s.status.message = Some(reason.clone());
                         });
                         self.close_sp_trace(now, sp, "failed");
@@ -1595,8 +1843,7 @@ impl KubeShareSystem {
                 .map(|s| s.status.phase == SharePodPhase::AwaitingVgpu)
                 .unwrap_or(false)
             {
-                self.sharepods
-                    .mutate(sp, |s| s.status.phase = SharePodPhase::Starting);
+                self.transition_sp(sp, SharePodPhase::Starting, |_| {});
                 // The vGPU-creation wait ends; the pod-creation span opens.
                 if let Some(tr) = self.sp_trace.get_mut(&sp) {
                     let span = std::mem::replace(&mut tr.vgpu_span, SpanId::NONE);
@@ -1639,8 +1886,7 @@ impl KubeShareSystem {
             uuid,
             share: sharepod.spec.share,
         });
-        self.sharepods
-            .mutate(sp, |s| s.status.phase = SharePodPhase::Running);
+        self.transition_sp(sp, SharePodPhase::Running, |_| {});
         if self.telemetry.is_enabled() {
             // Submission-to-running: the end-to-end startup latency the
             // `sharepod_startup_p99` SLO watches.
@@ -1673,8 +1919,7 @@ impl KubeShareSystem {
             return;
         };
         let Some(gpuid) = sharepod.status.bound_gpuid.clone() else {
-            self.sharepods
-                .mutate(sp, |s| s.status.phase = SharePodPhase::Terminated);
+            self.transition_sp(sp, SharePodPhase::Terminated, |_| {});
             self.close_sp_trace(now, sp, "stopped");
             notices.push(KsNotice::Fault {
                 error: SystemError::UnboundSharePod { sp },
@@ -1682,8 +1927,7 @@ impl KubeShareSystem {
             return;
         };
         let Some(device) = self.pool.get(&gpuid) else {
-            self.sharepods
-                .mutate(sp, |s| s.status.phase = SharePodPhase::Terminated);
+            self.transition_sp(sp, SharePodPhase::Terminated, |_| {});
             self.close_sp_trace(now, sp, "stopped");
             notices.push(KsNotice::Fault {
                 error: SystemError::MissingVgpu { gpuid },
@@ -1692,8 +1936,7 @@ impl KubeShareSystem {
         };
         let node = device.node.clone().unwrap_or_default();
         let uuid = device.uuid.clone().unwrap_or_default();
-        self.sharepods
-            .mutate(sp, |s| s.status.phase = SharePodPhase::Terminated);
+        self.transition_sp(sp, SharePodPhase::Terminated, |_| {});
         self.close_sp_trace(now, sp, "stopped");
         notices.push(KsNotice::SharePodStopped {
             sp,
@@ -1801,7 +2044,7 @@ mod tests {
 
     #[test]
     fn drain_pending_schedules_whole_queue_in_one_pass() {
-        for mode in [SchedMode::Reference, SchedMode::Indexed] {
+        for mode in [SchedMode::Reference, SchedMode::Indexed, SchedMode::Auto] {
             let mut eng = Engine::new(World {
                 ks: KubeShareSystem::new(
                     cluster_cfg(2, 2),
@@ -1847,15 +2090,96 @@ mod tests {
                 snap.histogram_count_sum("sched_batch_len", &[]).is_some(),
                 "batch length histogram recorded"
             );
-            let mode_label = match mode {
-                SchedMode::Reference => "reference",
-                SchedMode::Indexed => "indexed",
-            };
+            // Small pools resolve `Auto` to the reference path, and the
+            // decision histogram is labeled with the path that ran.
+            let mode_label = mode.resolve(eng.world.ks.pool().len()).label();
             let (count, _) = snap
                 .histogram_count_sum("sched_decision_ns", &[("mode", mode_label)])
                 .expect("decision timing histogram recorded");
             assert!(count >= 4, "one timing sample per decision");
         }
+    }
+
+    #[test]
+    fn preemption_evicts_running_sharepod_and_higher_priority_wins_drain() {
+        let mut eng = engine(1, 1);
+        // A low-priority sharePod fills the only GPU.
+        let low = submit(&mut eng, "low", sp_spec(1.0, 1.0, 1.0).with_priority(0));
+        eng.run_to_completion(20_000);
+        assert_eq!(
+            eng.world.ks.sharepod(low).unwrap().status.phase,
+            SharePodPhase::Running
+        );
+
+        // Preempting a Pending or unknown sharePod is refused.
+        let now = eng.now();
+        let mut out = Vec::new();
+        let mut notes = Vec::new();
+        assert!(!eng
+            .world
+            .ks
+            .preempt_sharepod(now, Uid(999), &mut out, &mut notes));
+
+        // Evict it: synchronously back to Pending, binding gone, capacity
+        // detached, one preemption notice surfaced.
+        assert!(eng
+            .world
+            .ks
+            .preempt_sharepod(now, low, &mut out, &mut notes));
+        let s = eng.world.ks.sharepod(low).unwrap();
+        assert_eq!(s.status.phase, SharePodPhase::Pending);
+        assert!(s.status.bound_gpuid.is_none());
+        assert!(s.status.pod_uid.is_none());
+        assert_eq!(
+            notes
+                .iter()
+                .filter(|n| matches!(n, KsNotice::SharePodPreempted { sp, .. } if *sp == low))
+                .count(),
+            1
+        );
+        assert!(notes
+            .iter()
+            .any(|n| matches!(n, KsNotice::SharePodStopped { sp, .. } if *sp == low)));
+        // A second preemption of the now-Pending sharePod is a no-op.
+        assert!(!eng
+            .world
+            .ks
+            .preempt_sharepod(now, low, &mut out, &mut notes));
+        for n in notes {
+            eng.world.notices.push((now, n));
+        }
+        seed(&mut eng, out);
+
+        // A high-priority arrival drains before the evicted sharePod even
+        // though its uid is larger, and ends up owning the GPU.
+        let high = submit(&mut eng, "high", sp_spec(1.0, 1.0, 1.0).with_priority(5));
+        let now = eng.now();
+        let mut out = Vec::new();
+        let mut notes = Vec::new();
+        assert_eq!(eng.world.ks.drain_pending(now, &mut out, &mut notes), 2);
+        seed(&mut eng, out);
+        eng.run_to_completion(60_000);
+        assert_eq!(
+            eng.world.ks.sharepod(high).unwrap().status.phase,
+            SharePodPhase::Running,
+            "preemptor claims the freed GPU"
+        );
+        // The victim lost the contest: it waits on a vGPU whose anchor
+        // cannot schedule while the preemptor holds the physical GPU.
+        assert_ne!(
+            eng.world.ks.sharepod(low).unwrap().status.phase,
+            SharePodPhase::Running
+        );
+        // The old backing pod's deletion was swallowed: the victim was
+        // never driven to Terminated.
+        assert_ne!(
+            eng.world.ks.sharepod(low).unwrap().status.phase,
+            SharePodPhase::Terminated
+        );
+        // Preemption churns phases through every transition path; the
+        // incremental gauge tallies must agree with a recount.
+        eng.world.ks.verify_sp_tally().unwrap();
+        eng.world.ks.pool().verify_indexes().unwrap();
     }
 
     #[test]
@@ -2327,6 +2651,10 @@ mod tests {
             "sharePod must come back once the node does"
         );
         assert_eq!(eng.world.ks.pool().len(), 1);
+        // Failure/requeue/recovery churn crosses the remaining phase
+        // transitions; the incremental tallies must survive it.
+        eng.world.ks.verify_sp_tally().unwrap();
+        eng.world.ks.pool().verify_indexes().unwrap();
     }
 
     #[test]

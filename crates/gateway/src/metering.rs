@@ -1,0 +1,299 @@
+//! Per-tenant GPU-second metering and billing.
+//!
+//! A sharePod is metered from the moment its container runs with the
+//! device library installed ([`kubeshare::KsNotice::SharePodRunning`])
+//! until it stops, is preempted, requeued, or terminates. Usage accrues
+//! as `gpu_request × wall time` — the *guaranteed* fraction, which is
+//! what the paper's Algorithm 1 admits against — in integer
+//! **micro-GPU-seconds** so the books balance exactly under DES replay.
+//!
+//! Two views of the same accrual, closed at the same instant:
+//!
+//! - a per-tenant ledger, rolled up into [`BillingRecord`]s (tenant
+//!   cardinality is unbounded, so this never becomes a metric);
+//! - a per-*tier* counter `ks_gw_gpu_microseconds_total{tier}` that the
+//!   scraper lands in the TSDB.
+//!
+//! [`Meter::reconcile`] closes the loop: the ledger total per tier must
+//! match the TSDB-derived counter within 0.1%, proving no usage leaked
+//! between the billing path and the observability path.
+
+use std::collections::HashMap;
+
+use ks_cluster::api::Uid;
+use ks_sim_core::time::SimTime;
+use ks_telemetry::export::escape_label_value;
+use ks_telemetry::tsdb::Tsdb;
+use ks_telemetry::Telemetry;
+
+use crate::tenant::Tier;
+
+/// Name of the per-tier usage counter mirrored into the TSDB.
+pub const GPU_USAGE_COUNTER: &str = "ks_gw_gpu_microseconds_total";
+
+/// One running sharePod currently accruing usage.
+#[derive(Debug, Clone)]
+struct OpenInterval {
+    tenant: String,
+    tier: Tier,
+    /// Guaranteed GPU fraction (`share.request`).
+    gpu_units: f64,
+    since: SimTime,
+}
+
+/// Accrued usage of one tenant.
+#[derive(Debug, Clone, Copy, Default)]
+struct Accrual {
+    tier: Tier,
+    gpu_usec: u64,
+    intervals: u64,
+}
+
+/// One tenant's bill for the metering period.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BillingRecord {
+    /// The tenant.
+    pub tenant: String,
+    /// Its tier at the time usage accrued.
+    pub tier: Tier,
+    /// Accrued GPU-seconds (guaranteed fraction × wall time).
+    pub gpu_seconds: f64,
+    /// Number of metered run intervals.
+    pub intervals: u64,
+}
+
+/// The metering engine.
+#[derive(Debug, Default)]
+pub struct Meter {
+    open: HashMap<Uid, OpenInterval>,
+    ledger: HashMap<String, Accrual>,
+    telemetry: Telemetry,
+}
+
+impl Meter {
+    /// An empty meter with telemetry disabled.
+    pub fn new() -> Self {
+        Meter {
+            open: HashMap::new(),
+            ledger: HashMap::new(),
+            telemetry: Telemetry::disabled(),
+        }
+    }
+
+    /// Attaches the telemetry handle the per-tier counters record to.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+    }
+
+    /// Opens a usage interval for `sp`. A second open for the same
+    /// sharePod is ignored (the first keeps accruing).
+    pub fn open(&mut self, now: SimTime, sp: Uid, tenant: &str, tier: Tier, gpu_units: f64) {
+        self.open.entry(sp).or_insert(OpenInterval {
+            tenant: tenant.to_string(),
+            tier,
+            gpu_units,
+            since: now,
+        });
+    }
+
+    /// Closes the interval for `sp`, accruing usage into the ledger and
+    /// the per-tier counter. No-op when no interval is open.
+    pub fn close(&mut self, now: SimTime, sp: Uid) {
+        let Some(iv) = self.open.remove(&sp) else {
+            return;
+        };
+        let dt_usec = now.saturating_since(iv.since).as_micros();
+        let usec = (iv.gpu_units * dt_usec as f64).round() as u64;
+        let acc = self.ledger.entry(iv.tenant).or_default();
+        acc.tier = iv.tier;
+        acc.gpu_usec += usec;
+        acc.intervals += 1;
+        self.telemetry
+            .counter(GPU_USAGE_COUNTER, &[("tier", iv.tier.label())])
+            .add(usec);
+    }
+
+    /// Closes every open interval at `now` — end-of-period cutoff.
+    pub fn finalize(&mut self, now: SimTime) {
+        let open: Vec<Uid> = self.open.keys().copied().collect();
+        for sp in open {
+            self.close(now, sp);
+        }
+    }
+
+    /// Number of currently accruing intervals.
+    pub fn open_intervals(&self) -> usize {
+        self.open.len()
+    }
+
+    /// Total accrued micro-GPU-seconds for one tier (ledger view).
+    pub fn tier_gpu_usec(&self, tier: Tier) -> u64 {
+        self.ledger
+            .values()
+            .filter(|a| a.tier == tier)
+            .map(|a| a.gpu_usec)
+            .sum()
+    }
+
+    /// The billing roll-up, sorted by tenant id.
+    pub fn billing_records(&self) -> Vec<BillingRecord> {
+        let mut recs: Vec<BillingRecord> = self
+            .ledger
+            .iter()
+            .map(|(tenant, a)| BillingRecord {
+                tenant: tenant.clone(),
+                tier: a.tier,
+                gpu_seconds: a.gpu_usec as f64 / 1e6,
+                intervals: a.intervals,
+            })
+            .collect();
+        recs.sort_by(|a, b| a.tenant.cmp(&b.tenant));
+        recs
+    }
+
+    /// Renders the ledger as Prometheus exposition text, one
+    /// `ks_gw_tenant_gpu_seconds` series per tenant. Tenant ids are
+    /// hostile input (they came off the wire inside tokens), so values go
+    /// through the exporter's label escaping and survive a parse
+    /// round-trip whatever they contain.
+    pub fn prometheus_billing(&self) -> String {
+        let mut out = String::new();
+        out.push_str("# TYPE ks_gw_tenant_gpu_seconds counter\n");
+        for rec in self.billing_records() {
+            out.push_str(&format!(
+                "ks_gw_tenant_gpu_seconds{{tenant=\"{}\",tier=\"{}\"}} {}\n",
+                escape_label_value(&rec.tenant),
+                rec.tier.label(),
+                rec.gpu_seconds
+            ));
+        }
+        out
+    }
+
+    /// Verifies the billing ledger against the TSDB-derived usage: for
+    /// every tier, the ledger total must match the scraped
+    /// [`GPU_USAGE_COUNTER`] within `0.1%`. Returns the per-tier pairs
+    /// `(tier, ledger_usec, tsdb_usec)` on success.
+    ///
+    /// The TSDB only knows what the scraper saw, so call this after a
+    /// final scrape that postdates [`Meter::finalize`].
+    pub fn reconcile(&self, tsdb: &Tsdb, now: SimTime) -> Result<Vec<(Tier, u64, u64)>, String> {
+        let mut report = Vec::new();
+        for tier in Tier::ALL {
+            let ledger = self.tier_gpu_usec(tier);
+            let scraped = tsdb
+                .counter_at(GPU_USAGE_COUNTER, &[("tier", tier.label())], now)
+                .unwrap_or(0);
+            let diff = ledger.abs_diff(scraped) as f64;
+            let base = ledger.max(scraped) as f64;
+            if base > 0.0 && diff / base > 1e-3 {
+                return Err(format!(
+                    "tier {}: ledger {ledger} usec vs tsdb {scraped} usec ({:.3}% apart)",
+                    tier.label(),
+                    100.0 * diff / base
+                ));
+            }
+            report.push((tier, ledger, scraped));
+        }
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ks_sim_core::time::SimDuration;
+    use ks_telemetry::export::{parse_prometheus_text, unescape_label_value};
+    use ks_telemetry::tsdb::Scraper;
+
+    #[test]
+    fn accrual_is_request_times_time() {
+        let mut m = Meter::new();
+        let t0 = SimTime::ZERO;
+        m.open(t0, Uid(1), "acme", Tier::Premium, 0.5);
+        m.close(t0 + SimDuration::from_secs(10), Uid(1));
+        let recs = m.billing_records();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].tenant, "acme");
+        assert!((recs[0].gpu_seconds - 5.0).abs() < 1e-9);
+        assert_eq!(recs[0].intervals, 1);
+    }
+
+    #[test]
+    fn double_open_and_close_are_idempotent() {
+        let mut m = Meter::new();
+        m.open(SimTime::ZERO, Uid(1), "a", Tier::Free, 1.0);
+        m.open(SimTime::from_secs(5), Uid(1), "a", Tier::Free, 1.0);
+        m.close(SimTime::from_secs(10), Uid(1));
+        m.close(SimTime::from_secs(20), Uid(1));
+        assert!((m.billing_records()[0].gpu_seconds - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn finalize_closes_open_intervals() {
+        let mut m = Meter::new();
+        m.open(SimTime::ZERO, Uid(1), "a", Tier::Free, 0.25);
+        m.open(SimTime::ZERO, Uid(2), "b", Tier::Standard, 0.75);
+        m.finalize(SimTime::from_secs(4));
+        assert_eq!(m.open_intervals(), 0);
+        assert_eq!(m.billing_records().len(), 2);
+        assert_eq!(m.tier_gpu_usec(Tier::Free), 1_000_000);
+        assert_eq!(m.tier_gpu_usec(Tier::Standard), 3_000_000);
+    }
+
+    #[test]
+    fn reconciles_against_scraped_counter() {
+        let telemetry = Telemetry::enabled();
+        let mut m = Meter::new();
+        m.set_telemetry(telemetry.clone());
+        m.open(SimTime::ZERO, Uid(1), "a", Tier::Premium, 0.5);
+        m.close(SimTime::from_secs(100), Uid(1));
+        let mut scraper = Scraper::new(SimDuration::from_secs(1), 64);
+        scraper.force(SimTime::from_secs(100), &telemetry);
+        let report = m
+            .reconcile(scraper.tsdb(), SimTime::from_secs(100))
+            .expect("ledger and tsdb agree");
+        let premium = report.iter().find(|(t, _, _)| *t == Tier::Premium).unwrap();
+        assert_eq!(premium.1, 50_000_000);
+        assert_eq!(premium.1, premium.2);
+    }
+
+    #[test]
+    fn reconcile_detects_divergence() {
+        let telemetry = Telemetry::enabled();
+        let mut m = Meter::new();
+        m.set_telemetry(telemetry.clone());
+        m.open(SimTime::ZERO, Uid(1), "a", Tier::Free, 1.0);
+        m.close(SimTime::from_secs(10), Uid(1));
+        // Out-of-band usage the ledger never saw.
+        telemetry
+            .counter(GPU_USAGE_COUNTER, &[("tier", "free")])
+            .add(5_000_000);
+        let mut scraper = Scraper::new(SimDuration::from_secs(1), 64);
+        scraper.force(SimTime::from_secs(10), &telemetry);
+        assert!(m.reconcile(scraper.tsdb(), SimTime::from_secs(10)).is_err());
+    }
+
+    #[test]
+    fn hostile_tenant_ids_render_and_parse() {
+        let mut m = Meter::new();
+        let hostile = "evil\"tenant\\with\nnewlines";
+        m.open(SimTime::ZERO, Uid(1), hostile, Tier::Free, 1.0);
+        m.close(SimTime::from_secs(1), Uid(1));
+        let text = m.prometheus_billing();
+        let series = parse_prometheus_text(&text).expect("parseable exposition");
+        assert_eq!(series.len(), 1);
+        let id = series.keys().next().unwrap();
+        assert!(id.contains("evil"));
+        // The escaped value in the series id unescapes back to the
+        // original hostile string.
+        let escaped = id
+            .split("tenant=\"")
+            .nth(1)
+            .unwrap()
+            .split("\",tier")
+            .next()
+            .unwrap();
+        assert_eq!(unescape_label_value(escaped).unwrap(), hostile);
+    }
+}

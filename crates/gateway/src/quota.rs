@@ -1,0 +1,96 @@
+//! Quota-based admission control.
+//!
+//! A tenant's quota bounds its *live* footprint: sharePods that have been
+//! admitted and have not yet reached a terminal phase, and the sum of
+//! their fractional GPU requests. Unlike the rate limiter (a flow bound),
+//! the quota is a stock bound — it is reserved at admission and released
+//! on the terminal transition, so a tenant that fills its quota stays
+//! blocked until earlier work finishes, however slowly it submits.
+//!
+//! Conservation invariant (property-tested): every submitted request is
+//! counted exactly once as admitted, rejected, or queued, and a tenant's
+//! reserved units never exceed its quota.
+
+/// Per-tenant admission bounds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Quota {
+    /// Maximum concurrently live sharePods.
+    pub max_inflight: u32,
+    /// Maximum sum of live fractional GPU requests.
+    pub max_gpu_units: f64,
+}
+
+/// A tenant's reserved usage against its [`Quota`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct QuotaAccount {
+    /// Live sharePods.
+    pub inflight: u32,
+    /// Sum of live fractional GPU requests.
+    pub gpu_units: f64,
+}
+
+impl QuotaAccount {
+    /// Whether a request for `gpu_units` would fit under `quota`.
+    pub fn fits(&self, quota: &Quota, gpu_units: f64) -> bool {
+        self.inflight < quota.max_inflight
+            && self.gpu_units + gpu_units <= quota.max_gpu_units + 1e-9
+    }
+
+    /// Reserves a request's footprint if it fits. Returns whether the
+    /// reservation was made; a refused reservation changes nothing.
+    pub fn try_reserve(&mut self, quota: &Quota, gpu_units: f64) -> bool {
+        if !self.fits(quota, gpu_units) {
+            return false;
+        }
+        self.inflight += 1;
+        self.gpu_units += gpu_units;
+        true
+    }
+
+    /// Releases a previously reserved footprint.
+    ///
+    /// # Panics
+    /// Panics if more is released than was reserved — that is a gateway
+    /// accounting bug, not a tenant-visible condition.
+    pub fn release(&mut self, gpu_units: f64) {
+        assert!(self.inflight > 0, "quota release with nothing inflight");
+        self.inflight -= 1;
+        self.gpu_units = (self.gpu_units - gpu_units).max(0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const Q: Quota = Quota {
+        max_inflight: 2,
+        max_gpu_units: 1.0,
+    };
+
+    #[test]
+    fn reserve_until_full_then_release() {
+        let mut a = QuotaAccount::default();
+        assert!(a.try_reserve(&Q, 0.5));
+        assert!(a.try_reserve(&Q, 0.5));
+        assert!(!a.try_reserve(&Q, 0.1), "inflight cap");
+        a.release(0.5);
+        assert!(!a.try_reserve(&Q, 0.6), "gpu-unit cap");
+        assert!(a.try_reserve(&Q, 0.5));
+    }
+
+    #[test]
+    fn refused_reservation_changes_nothing() {
+        let mut a = QuotaAccount::default();
+        assert!(!a.try_reserve(&Q, 2.0));
+        assert_eq!(a.inflight, 0);
+        assert_eq!(a.gpu_units, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "nothing inflight")]
+    fn over_release_panics() {
+        let mut a = QuotaAccount::default();
+        a.release(0.1);
+    }
+}

@@ -1,0 +1,167 @@
+//! Tenant identity and service tiers.
+//!
+//! The gateway is the only KubeShare layer that knows who a request
+//! belongs to. A tenant is identified by an opaque string (its id doubles
+//! as the Kubernetes namespace its sharePods live in), and every tenant
+//! is provisioned into one of three service tiers that fix its priority
+//! class, token-bucket rate, and admission quota.
+//!
+//! Per-tenant state is created lazily on first contact, so a deployment
+//! with millions of provisioned tenants only pays for the ones that
+//! actually talk to the gateway.
+
+use crate::limiter::{RateLimit, TokenBucket};
+use crate::quota::{Quota, QuotaAccount};
+use ks_sim_core::time::SimTime;
+
+/// Service tier of a tenant. Order matters: higher tiers carry higher
+/// priority classes and win contention through preemption.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Tier {
+    /// Best-effort: lowest priority, tightest rate and quota.
+    #[default]
+    Free,
+    /// Paid baseline.
+    Standard,
+    /// Business tier: preempts everything below it under contention.
+    Premium,
+}
+
+impl Tier {
+    /// Every tier, lowest first.
+    pub const ALL: [Tier; 3] = [Tier::Free, Tier::Standard, Tier::Premium];
+
+    /// The priority class stamped on the tier's sharePods. Gaps leave
+    /// room for future tiers without renumbering.
+    pub fn priority(self) -> u8 {
+        match self {
+            Tier::Free => 0,
+            Tier::Standard => 5,
+            Tier::Premium => 10,
+        }
+    }
+
+    /// Metric label value (`tier` dimension).
+    pub fn label(self) -> &'static str {
+        match self {
+            Tier::Free => "free",
+            Tier::Standard => "standard",
+            Tier::Premium => "premium",
+        }
+    }
+
+    /// One-character wire tag used inside derived auth tokens.
+    pub fn tag(self) -> char {
+        match self {
+            Tier::Free => 'f',
+            Tier::Standard => 's',
+            Tier::Premium => 'p',
+        }
+    }
+
+    /// Inverse of [`Tier::tag`].
+    pub fn from_tag(tag: char) -> Option<Tier> {
+        match tag {
+            'f' => Some(Tier::Free),
+            's' => Some(Tier::Standard),
+            'p' => Some(Tier::Premium),
+            _ => None,
+        }
+    }
+
+    /// Default token-bucket parameters: sustained submissions per second
+    /// and the burst a quiet tenant may fire at once.
+    pub fn rate_limit(self) -> RateLimit {
+        match self {
+            Tier::Free => RateLimit {
+                per_sec: 0.05,
+                burst: 2.0,
+            },
+            Tier::Standard => RateLimit {
+                per_sec: 0.2,
+                burst: 4.0,
+            },
+            Tier::Premium => RateLimit {
+                per_sec: 1.0,
+                burst: 8.0,
+            },
+        }
+    }
+
+    /// Default admission quota: concurrently live sharePods and the sum
+    /// of their fractional GPU requests.
+    pub fn quota(self) -> Quota {
+        match self {
+            Tier::Free => Quota {
+                max_inflight: 1,
+                max_gpu_units: 0.5,
+            },
+            Tier::Standard => Quota {
+                max_inflight: 4,
+                max_gpu_units: 2.0,
+            },
+            Tier::Premium => Quota {
+                max_inflight: 16,
+                max_gpu_units: 8.0,
+            },
+        }
+    }
+}
+
+/// The gateway's per-tenant state, built lazily on the first
+/// authenticated request.
+#[derive(Debug)]
+pub struct TenantState {
+    /// Provisioned tier.
+    pub tier: Tier,
+    /// Submission rate limiter.
+    pub bucket: TokenBucket,
+    /// Live resource usage counted against the tier quota.
+    pub used: QuotaAccount,
+    /// Requests currently parked in the admission queue.
+    pub queued: u32,
+    /// When the tenant first contacted the gateway (bucket birth).
+    pub first_seen: SimTime,
+    /// Tokens the bucket has granted, checked against the analytic
+    /// window bound `burst + rate·t` by the gateway's tripwire.
+    pub taken: u64,
+}
+
+impl TenantState {
+    /// Fresh state with the tier's default limits, bucket full at `now`.
+    pub fn new(tier: Tier, now: SimTime) -> Self {
+        TenantState {
+            tier,
+            bucket: TokenBucket::new(tier.rate_limit(), now),
+            used: QuotaAccount::default(),
+            queued: 0,
+            first_seen: now,
+            taken: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiers_order_by_priority() {
+        assert!(Tier::Premium.priority() > Tier::Standard.priority());
+        assert!(Tier::Standard.priority() > Tier::Free.priority());
+    }
+
+    #[test]
+    fn tags_round_trip() {
+        for t in Tier::ALL {
+            assert_eq!(Tier::from_tag(t.tag()), Some(t));
+        }
+        assert_eq!(Tier::from_tag('x'), None);
+    }
+
+    #[test]
+    fn higher_tiers_get_more() {
+        assert!(Tier::Premium.rate_limit().per_sec > Tier::Free.rate_limit().per_sec);
+        assert!(Tier::Premium.quota().max_gpu_units > Tier::Free.quota().max_gpu_units);
+    }
+}

@@ -98,6 +98,10 @@ pub struct TraceEvent {
 
 struct TracerState {
     events: Vec<TraceEvent>,
+    /// `SpanBegin` buffer index by span id, so `span_end` resolves its
+    /// begin in O(1) instead of rescanning the buffer (which turns long
+    /// soaks quadratic). Begins dropped at capacity are simply absent.
+    open: std::collections::HashMap<u64, usize>,
     dropped: u64,
     next_span: u64,
     next_trace: u64,
@@ -116,6 +120,7 @@ impl Tracer {
         Tracer {
             state: Mutex::new(TracerState {
                 events: Vec::new(),
+                open: std::collections::HashMap::new(),
                 dropped: 0,
                 next_span: 1,
                 next_trace: 1,
@@ -127,6 +132,9 @@ impl Tracer {
         if state.events.len() >= Self::CAPACITY {
             state.dropped = state.dropped.saturating_add(1);
         } else {
+            if ev.kind == EventKind::SpanBegin {
+                state.open.insert(ev.span, state.events.len());
+            }
             state.events.push(ev);
         }
     }
@@ -243,11 +251,7 @@ impl Tracer {
             return;
         }
         let mut s = self.state.lock();
-        let Some(open) = s
-            .events
-            .iter()
-            .find(|e| e.span == id.0 && e.kind == EventKind::SpanBegin)
-        else {
+        let Some(open) = s.open.get(&id.0).map(|&i| &s.events[i]) else {
             return;
         };
         let (subsystem, name) = (open.subsystem, open.name);
