@@ -130,6 +130,10 @@ impl World {
                 // Token-level churn is exercised in phase 2; at the control
                 // plane a backend restart is invisible (no pod dies).
             }
+            ChaosEvent::VgpuDegrade { .. } | ChaosEvent::VgpuRestore => {
+                // The degrade stream is disabled in this soak's config;
+                // the self-healing soak (`remediation.rs`) exercises it.
+            }
         }
     }
 }
@@ -430,13 +434,9 @@ fn restart_soak(seed: u64) -> usize {
     // several hit within the workload.
     let mut inj = ChaosInjector::new(
         ChaosConfig {
-            seed,
-            node_mtbf: None,
-            node_mttr: SimDuration::from_secs(1),
-            container_mtbf: None,
             backend_mtbf: Some(SimDuration::from_millis(400)),
-            anchor_failure_rate: 0.0,
             horizon: SimTime::from_secs(2),
+            ..ChaosConfig::disabled().with_seed(seed)
         },
         0,
     );

@@ -24,5 +24,6 @@ pub mod fig8;
 pub mod fig9;
 pub mod gateway_load;
 pub mod metrics_demo;
+pub mod remediation;
 pub mod sched_scale;
 pub mod table1;

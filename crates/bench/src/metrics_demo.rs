@@ -235,7 +235,10 @@ fn pump_chaos(h: &mut KsHarness) -> SimTime {
                 recoveries += 1;
             }
             // Counted by the injector; the chaos soak routes these fully.
-            ChaosEvent::ContainerCrash | ChaosEvent::BackendRestart => {}
+            ChaosEvent::ContainerCrash
+            | ChaosEvent::BackendRestart
+            | ChaosEvent::VgpuDegrade { .. }
+            | ChaosEvent::VgpuRestore => {}
         }
         if let Some(next) = h
             .eng

@@ -36,6 +36,15 @@ pub enum ChaosEvent {
     /// The token backend daemon on some vGPU restarts, losing its
     /// queue/window state.
     BackendRestart,
+    /// Some vGPU's physical GPU silently slows down (thermal throttling,
+    /// ECC retirement, a noisy co-tenant outside the framework's
+    /// control): kernel bursts stretch by `1 + severity_pct/100` until
+    /// the matching [`ChaosEvent::VgpuRestore`] fires. The world picks
+    /// the victim via [`ChaosInjector::pick_degrade_victim`]. Severity
+    /// is integer percent so fault events stay `Eq`/replayable.
+    VgpuDegrade { severity_pct: u32 },
+    /// The oldest still-degraded vGPU returns to full speed.
+    VgpuRestore,
 }
 
 /// One entry in the deterministic fault trace.
@@ -47,6 +56,8 @@ pub enum FaultRecord {
     AnchorLaunch { failed: bool },
     /// Victim index drawn for a `ContainerCrash`/`BackendRestart`.
     Victim { index: usize },
+    /// Victim index drawn for a `VgpuDegrade`.
+    DegradeVictim { index: usize },
 }
 
 /// Mean-time-between-failure / mean-time-to-repair configuration.
@@ -69,6 +80,14 @@ pub struct ChaosConfig {
     pub backend_mtbf: Option<SimDuration>,
     /// Probability that any single anchor-pod launch fails.
     pub anchor_failure_rate: f64,
+    /// Mean gap between vGPU-degradation events (cluster-wide).
+    pub vgpu_degrade_mtbf: Option<SimDuration>,
+    /// Mean duration of a degradation before the vGPU restores.
+    pub vgpu_degrade_mttr: SimDuration,
+    /// Severity range in integer percent slowdown, inclusive: each
+    /// degradation draws uniformly from `[lo, hi]` and stretches kernel
+    /// bursts by `1 + pct/100`.
+    pub vgpu_degrade_severity_pct: (u32, u32),
     /// No fault fires at or after this time; lets a run quiesce so
     /// steady-state recovery can be measured.
     pub horizon: SimTime,
@@ -84,6 +103,9 @@ impl ChaosConfig {
             container_mtbf: None,
             backend_mtbf: None,
             anchor_failure_rate: 0.0,
+            vgpu_degrade_mtbf: None,
+            vgpu_degrade_mttr: SimDuration::from_secs(60),
+            vgpu_degrade_severity_pct: (100, 300),
             horizon: SimTime::MAX,
         }
     }
@@ -99,6 +121,9 @@ impl ChaosConfig {
             container_mtbf: Some(SimDuration::from_secs(45)),
             backend_mtbf: Some(SimDuration::from_secs(90)),
             anchor_failure_rate: 0.2,
+            vgpu_degrade_mtbf: None,
+            vgpu_degrade_mttr: SimDuration::from_secs(60),
+            vgpu_degrade_severity_pct: (100, 300),
             horizon: SimTime::MAX,
         }
     }
@@ -106,6 +131,25 @@ impl ChaosConfig {
     /// Returns a copy with a different seed (for replay experiments).
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Returns a copy with the degraded-vGPU stream enabled: mean gap
+    /// `mtbf` between degradations, mean duration `mttr`, and severity
+    /// drawn uniformly from `severity_pct` (inclusive, `lo ≤ hi`).
+    pub fn with_vgpu_degrade(
+        mut self,
+        mtbf: SimDuration,
+        mttr: SimDuration,
+        severity_pct: (u32, u32),
+    ) -> Self {
+        assert!(
+            severity_pct.0 <= severity_pct.1,
+            "severity range inverted: {severity_pct:?}"
+        );
+        self.vgpu_degrade_mtbf = Some(mtbf);
+        self.vgpu_degrade_mttr = mttr;
+        self.vgpu_degrade_severity_pct = severity_pct;
         self
     }
 
@@ -138,6 +182,8 @@ pub struct ChaosInjector {
     backend_rng: SimRng,
     anchor_rng: SimRng,
     victim_rng: SimRng,
+    degrade_rng: SimRng,
+    degrade_victim_rng: SimRng,
     trace: Vec<FaultRecord>,
     telemetry: Telemetry,
     /// Open `node_outage` span per node (crash fired, recovery pending).
@@ -155,7 +201,9 @@ impl ChaosInjector {
         let mut root = SimRng::seed_from_u64(cfg.seed ^ 0xC4A0_5C4A_05C4_A05C);
         // Fork order is part of the determinism contract: per-node streams
         // first (so the same node index always gets the same stream for a
-        // given seed and node count), then the class-wide streams.
+        // given seed and node count), then the class-wide streams. New
+        // fault classes must fork AFTER the existing ones so configs that
+        // do not use them replay byte-identically.
         let nodes = (0..num_nodes)
             .map(|_| NodeStream { rng: root.fork() })
             .collect();
@@ -165,6 +213,8 @@ impl ChaosInjector {
             backend_rng: root.fork(),
             anchor_rng: root.fork(),
             victim_rng: root.fork(),
+            degrade_rng: root.fork(),
+            degrade_victim_rng: root.fork(),
             cfg,
             trace: Vec::new(),
             telemetry: Telemetry::disabled(),
@@ -188,6 +238,8 @@ impl ChaosInjector {
             ChaosEvent::NodeRecover { .. } => "node_recover",
             ChaosEvent::ContainerCrash => "container_crash",
             ChaosEvent::BackendRestart => "backend_restart",
+            ChaosEvent::VgpuDegrade { .. } => "vgpu_degrade",
+            ChaosEvent::VgpuRestore => "vgpu_restore",
         }
     }
 
@@ -252,6 +304,11 @@ impl ChaosInjector {
                 out.push(ev);
             }
         }
+        if self.cfg.vgpu_degrade_mtbf.is_some() {
+            if let Some(ev) = self.degrade_after(SimTime::ZERO) {
+                out.push(ev);
+            }
+        }
         out
     }
 
@@ -267,6 +324,13 @@ impl ChaosInjector {
             }
             ChaosEvent::NodeRecover { node } => self.node_crash_after(now, node),
             ChaosEvent::ContainerCrash | ChaosEvent::BackendRestart => self.renewal(now, event),
+            ChaosEvent::VgpuDegrade { .. } => {
+                let gap = self
+                    .degrade_rng
+                    .exp_interarrival(self.cfg.vgpu_degrade_mttr);
+                self.emit(now + gap, ChaosEvent::VgpuRestore)
+            }
+            ChaosEvent::VgpuRestore => self.degrade_after(now),
         }
     }
 
@@ -293,6 +357,30 @@ impl ChaosInjector {
         let index = self.victim_rng.index(n);
         self.trace.push(FaultRecord::Victim { index });
         Some(index)
+    }
+
+    /// Draws a victim index in `[0, n)` for a `VgpuDegrade`; recorded in
+    /// the trace on its own stream so degrade victims never perturb
+    /// container/backend victim draws. Returns `None` when there is
+    /// nothing to degrade.
+    pub fn pick_degrade_victim(&mut self, n: usize) -> Option<usize> {
+        if n == 0 {
+            return None;
+        }
+        let index = self.degrade_victim_rng.index(n);
+        self.trace.push(FaultRecord::DegradeVictim { index });
+        Some(index)
+    }
+
+    /// Schedules the next degradation: exponential gap, severity drawn
+    /// uniformly from the configured range at schedule time (so it is
+    /// part of the replayable trace entry).
+    fn degrade_after(&mut self, now: SimTime) -> Option<(SimTime, ChaosEvent)> {
+        let mtbf = self.cfg.vgpu_degrade_mtbf?;
+        let gap = self.degrade_rng.exp_interarrival(mtbf);
+        let (lo, hi) = self.cfg.vgpu_degrade_severity_pct;
+        let severity_pct = lo + self.degrade_rng.index((hi - lo + 1) as usize) as u32;
+        self.emit(now + gap, ChaosEvent::VgpuDegrade { severity_pct })
     }
 
     fn node_crash_after(&mut self, now: SimTime, node: usize) -> Option<(SimTime, ChaosEvent)> {
@@ -418,10 +506,7 @@ mod tests {
             seed: 5,
             node_mtbf: Some(SimDuration::from_secs(100)),
             node_mttr: SimDuration::from_secs(5),
-            container_mtbf: None,
-            backend_mtbf: None,
-            anchor_failure_rate: 0.0,
-            horizon: SimTime::MAX,
+            ..ChaosConfig::disabled()
         };
         let mut inj = ChaosInjector::new(cfg, 1);
         let fired = drain(&mut inj, 2000);
@@ -443,6 +528,81 @@ mod tests {
             (85.0..=115.0).contains(&mean),
             "empirical MTBF {mean:.1}s outside 100s +/- 15%"
         );
+    }
+
+    #[test]
+    fn degrade_stream_alternates_and_is_replayable() {
+        let cfg = ChaosConfig::disabled().with_seed(13).with_vgpu_degrade(
+            SimDuration::from_secs(90),
+            SimDuration::from_secs(30),
+            (100, 300),
+        );
+        let mut a = ChaosInjector::new(cfg.clone(), 2);
+        let mut b = ChaosInjector::new(cfg, 2);
+        let fired = drain(&mut a, 300);
+        assert_eq!(fired, drain(&mut b, 300));
+        assert!(!fired.is_empty());
+        // Strict degrade/restore alternation, severities in range.
+        let mut degraded = false;
+        for (_, ev) in &fired {
+            match ev {
+                ChaosEvent::VgpuDegrade { severity_pct } => {
+                    assert!(!degraded, "degrade while already degraded");
+                    assert!((100..=300).contains(severity_pct));
+                    degraded = true;
+                }
+                ChaosEvent::VgpuRestore => {
+                    assert!(degraded, "restore with nothing degraded");
+                    degraded = false;
+                }
+                other => panic!("unexpected event {other:?}"),
+            }
+        }
+        // Victim draws are on their own stream and replayable.
+        for n in 1..10 {
+            let va = a.pick_degrade_victim(n);
+            assert_eq!(va, b.pick_degrade_victim(n));
+            assert!(va.unwrap() < n);
+        }
+        assert_eq!(a.pick_degrade_victim(0), None);
+        assert!(a
+            .trace()
+            .iter()
+            .any(|r| matches!(r, FaultRecord::DegradeVictim { .. })));
+    }
+
+    #[test]
+    fn degrade_stream_does_not_perturb_existing_classes() {
+        // Enabling the degrade stream must leave every other fault
+        // class's schedule byte-identical: the new streams fork after the
+        // existing ones.
+        let plain = ChaosConfig::preset(21);
+        let with_degrade = ChaosConfig::preset(21).with_vgpu_degrade(
+            SimDuration::from_secs(70),
+            SimDuration::from_secs(20),
+            (150, 150),
+        );
+        let mut a = ChaosInjector::new(plain, 3);
+        let mut b = ChaosInjector::new(with_degrade, 3);
+        let fa = drain(&mut a, 400);
+        let fb: Vec<_> = drain(&mut b, 400)
+            .into_iter()
+            .filter(|(_, ev)| {
+                !matches!(ev, ChaosEvent::VgpuDegrade { .. } | ChaosEvent::VgpuRestore)
+            })
+            .collect();
+        // drain() is round-capped, so compare the common prefix.
+        let n = fa.len().min(fb.len());
+        assert!(n > 50);
+        assert_eq!(fa[..n], fb[..n]);
+        // Fixed severity range (150, 150) always draws 150.
+        assert!(b.trace().iter().any(|r| matches!(
+            r,
+            FaultRecord::Event {
+                event: ChaosEvent::VgpuDegrade { severity_pct: 150 },
+                ..
+            }
+        )));
     }
 
     #[test]

@@ -132,6 +132,10 @@ struct NodeState {
     /// Whether the kubelet is reachable. Down nodes take no placements and
     /// their pods are failed by [`ClusterSim::fail_node`].
     up: bool,
+    /// Administratively unschedulable ([`ClusterSim::cordon_node`]).
+    /// Cordoned nodes keep their running pods but take no new placements
+    /// and contribute nothing to cluster-wide free capacity.
+    cordoned: bool,
     /// The score key this node is currently filed under in the rank index
     /// (`None` while down). Stored so removal never recomputes — the index
     /// stays correct regardless of mutation order.
@@ -205,6 +209,7 @@ impl ClusterSim {
                     device_mgr,
                     starting: 0,
                     up: true,
+                    cordoned: false,
                     score_key: None,
                 }
             })
@@ -250,7 +255,7 @@ impl ClusterSim {
     /// adds its free capacity to the cluster-wide total.
     fn rank_index(&mut self, idx: usize) {
         debug_assert!(self.nodes[idx].score_key.is_none(), "node already ranked");
-        if !self.nodes[idx].up {
+        if !self.nodes[idx].up || self.nodes[idx].cordoned {
             return;
         }
         let n = &self.nodes[idx];
@@ -295,9 +300,9 @@ impl ClusterSim {
     pub fn verify_node_rank(&self) -> Result<(), String> {
         let mut fresh = std::collections::BTreeSet::new();
         for (i, n) in self.nodes.iter().enumerate() {
-            if !n.up {
+            if !n.up || n.cordoned {
                 if n.score_key.is_some() {
-                    return Err(format!("down node {i} still has a score key"));
+                    return Err(format!("down/cordoned node {i} still has a score key"));
                 }
                 continue;
             }
@@ -322,7 +327,7 @@ impl ClusterSim {
             ));
         }
         let mut fresh_free = ResourceList::zero();
-        for n in self.nodes.iter().filter(|n| n.up) {
+        for n in self.nodes.iter().filter(|n| n.up && !n.cordoned) {
             fresh_free = fresh_free.checked_add(&n.allocatable.checked_sub(&n.allocated));
         }
         let keys: std::collections::BTreeSet<&String> = fresh_free
@@ -550,6 +555,54 @@ impl ClusterSim {
         self.node_idx(name).map(|i| self.nodes[i].up)
     }
 
+    /// Whether a node is cordoned. `None` for unknown nodes.
+    pub fn node_cordoned(&self, name: &str) -> Option<bool> {
+        self.node_idx(name).map(|i| self.nodes[i].cordoned)
+    }
+
+    /// Marks a node administratively unschedulable: running pods stay,
+    /// but the node takes no new placements (pinned or scored) and its
+    /// free capacity leaves the cluster-wide total until
+    /// [`ClusterSim::uncordon_node`]. Idempotent: returns `false` for
+    /// unknown or already-cordoned nodes.
+    pub fn cordon_node(&mut self, name: &str) -> bool {
+        let Some(idx) = self.node_idx(name) else {
+            return false;
+        };
+        if self.nodes[idx].cordoned {
+            return false;
+        }
+        // No-op while down (the crash already unranked it); the cordon
+        // then simply outlives the recovery.
+        self.rank_unindex(idx);
+        self.nodes[idx].cordoned = true;
+        true
+    }
+
+    /// Clears a cordon; if the node is up it rejoins the schedulable set
+    /// and the unschedulable queue is retried against it. Idempotent:
+    /// returns `false` for unknown or not-cordoned nodes.
+    pub fn uncordon_node(&mut self, now: SimTime, name: &str, out: &mut ClusterEmit) -> bool {
+        let Some(idx) = self.node_idx(name) else {
+            return false;
+        };
+        if !self.nodes[idx].cordoned {
+            return false;
+        }
+        self.nodes[idx].cordoned = false;
+        if self.nodes[idx].up {
+            self.rank_index(idx);
+            let retry: Vec<Uid> = self.unschedulable.drain(..).collect();
+            for p in retry {
+                out.push((
+                    now + self.latency.schedule,
+                    ClusterEvent::ScheduleAttempt { pod: p },
+                ));
+            }
+        }
+        true
+    }
+
     /// Simulates a node crash: the kubelet stops responding, so every pod
     /// bound to the node fails immediately with its resources returned, and
     /// the node takes no further placements until
@@ -647,7 +700,7 @@ impl ClusterSim {
         let mut idxs = Vec::new();
         let mut views = Vec::new();
         for (i, n) in self.nodes.iter().enumerate() {
-            if !n.up {
+            if !n.up || n.cordoned {
                 continue;
             }
             idxs.push(i);
@@ -686,7 +739,8 @@ impl ClusterSim {
                 let free = self.nodes[idx]
                     .allocatable
                     .checked_sub(&self.nodes[idx].allocated);
-                (self.nodes[idx].up && requests.fits_in(&free)).then_some(idx)
+                (self.nodes[idx].up && !self.nodes[idx].cordoned && requests.fits_in(&free))
+                    .then_some(idx)
             }
             None => match self.sched_mode.resolve(self.nodes.len()) {
                 SchedMode::Reference => {
@@ -1150,6 +1204,123 @@ mod tests {
         let now = eng.now();
         let mut out = Vec::new();
         assert!(eng.world.cluster.recover_node(now, "n0", &mut out));
+        seed(&mut eng, out);
+        eng.run_to_completion(1000);
+        assert_eq!(
+            eng.world.cluster.pod(b).unwrap().status.phase,
+            PodPhase::Running
+        );
+    }
+
+    #[test]
+    fn cordon_blocks_placement_but_keeps_running_pods() {
+        let mut eng = engine(small_cluster(2));
+        let mut out = Vec::new();
+        let a = eng
+            .world
+            .cluster
+            .submit_pod(SimTime::ZERO, "a", gpu_pod_spec(), &mut out);
+        seed(&mut eng, out);
+        eng.run_to_completion(1000);
+        assert_eq!(
+            eng.world.cluster.pod(a).unwrap().status.phase,
+            PodPhase::Running
+        );
+
+        assert!(eng.world.cluster.cordon_node("n0"));
+        assert_eq!(eng.world.cluster.node_cordoned("n0"), Some(true));
+        // Running pod is untouched; the rank index stays consistent.
+        assert_eq!(
+            eng.world.cluster.pod(a).unwrap().status.phase,
+            PodPhase::Running
+        );
+        eng.world.cluster.verify_node_rank().unwrap();
+
+        // New pods queue: the only node with a free GPU is cordoned.
+        let mut out = Vec::new();
+        let b = eng
+            .world
+            .cluster
+            .submit_pod(eng.now(), "b", gpu_pod_spec(), &mut out);
+        seed(&mut eng, out);
+        eng.run_to_completion(1000);
+        assert_eq!(
+            eng.world.cluster.pod(b).unwrap().status.phase,
+            PodPhase::Pending
+        );
+
+        // Uncordon retries the queue and the pod runs.
+        let now = eng.now();
+        let mut out = Vec::new();
+        assert!(eng.world.cluster.uncordon_node(now, "n0", &mut out));
+        seed(&mut eng, out);
+        eng.run_to_completion(1000);
+        assert_eq!(
+            eng.world.cluster.pod(b).unwrap().status.phase,
+            PodPhase::Running
+        );
+        eng.world.cluster.verify_node_rank().unwrap();
+    }
+
+    #[test]
+    fn cordon_and_uncordon_are_idempotent() {
+        let mut eng = engine(small_cluster(1));
+        let mut out = Vec::new();
+        assert_eq!(eng.world.cluster.node_cordoned("n0"), Some(false));
+        assert_eq!(eng.world.cluster.node_cordoned("nope"), None);
+        assert!(eng.world.cluster.cordon_node("n0"));
+        assert!(!eng.world.cluster.cordon_node("n0"), "second cordon no-ops");
+        assert!(!eng.world.cluster.cordon_node("nope"));
+        eng.world.cluster.verify_node_rank().unwrap();
+        assert!(eng
+            .world
+            .cluster
+            .uncordon_node(SimTime::ZERO, "n0", &mut out));
+        assert!(
+            !eng.world
+                .cluster
+                .uncordon_node(SimTime::ZERO, "n0", &mut out),
+            "second uncordon no-ops"
+        );
+        assert!(!eng
+            .world
+            .cluster
+            .uncordon_node(SimTime::ZERO, "nope", &mut out));
+        eng.world.cluster.verify_node_rank().unwrap();
+    }
+
+    #[test]
+    fn cordon_survives_crash_and_recovery() {
+        let mut eng = engine(small_cluster(1));
+        assert!(eng.world.cluster.cordon_node("n0"));
+        let mut notes = Vec::new();
+        eng.world.cluster.fail_node(SimTime::ZERO, "n0", &mut notes);
+        eng.world.cluster.verify_node_rank().unwrap();
+        // Recovery brings the kubelet back, but the cordon holds: the
+        // node must not rejoin the schedulable set.
+        let mut out = Vec::new();
+        assert!(eng
+            .world
+            .cluster
+            .recover_node(SimTime::ZERO, "n0", &mut out));
+        assert_eq!(eng.world.cluster.node_up("n0"), Some(true));
+        assert_eq!(eng.world.cluster.node_cordoned("n0"), Some(true));
+        eng.world.cluster.verify_node_rank().unwrap();
+        let mut out = Vec::new();
+        let b = eng
+            .world
+            .cluster
+            .submit_pod(eng.now(), "b", gpu_pod_spec(), &mut out);
+        seed(&mut eng, out);
+        eng.run_to_completion(1000);
+        assert_eq!(
+            eng.world.cluster.pod(b).unwrap().status.phase,
+            PodPhase::Pending
+        );
+        // Uncordon after recovery: placements resume.
+        let now = eng.now();
+        let mut out = Vec::new();
+        assert!(eng.world.cluster.uncordon_node(now, "n0", &mut out));
         seed(&mut eng, out);
         eng.run_to_completion(1000);
         assert_eq!(

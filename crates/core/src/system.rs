@@ -750,6 +750,13 @@ impl KubeShareSystem {
     ) {
         let mut cluster_notes = Vec::new();
         let victims = self.cluster.fail_node(now, name, &mut cluster_notes);
+        // Per-node failure counter: the control plane's own observation
+        // point, giving anomaly detectors a per-node crash-burn series.
+        if self.telemetry.is_enabled() {
+            self.telemetry
+                .counter("ks_node_failures_total", &[("node", name)])
+                .inc();
+        }
 
         // vGPUs whose physical device sat on the failed node, straight
         // from the per-node index (releasing devices included — their
@@ -828,6 +835,106 @@ impl KubeShareSystem {
         let mut cluster_out = Vec::new();
         self.cluster.recover_node(now, name, &mut cluster_out);
         lift(cluster_out, out);
+    }
+
+    /// Cordons a node (remediation path): running sharePods stay, but no
+    /// new placements land on it until [`KubeShareSystem::uncordon_node`].
+    /// Idempotent; returns whether the state changed.
+    pub fn cordon_node(&mut self, name: &str) -> bool {
+        let changed = self.cluster.cordon_node(name);
+        if changed && self.telemetry.is_enabled() {
+            self.telemetry
+                .counter("ks_node_cordons_total", &[("node", name)])
+                .inc();
+            self.telemetry
+                .gauge("ks_cluster_cordoned_nodes", &[])
+                .add(1.0);
+        }
+        changed
+    }
+
+    /// Lifts a cordon; queued work is retried against the node. Idempotent;
+    /// returns whether the state changed.
+    pub fn uncordon_node(&mut self, now: SimTime, name: &str, out: &mut KsEmit) -> bool {
+        let mut cluster_out = Vec::new();
+        let changed = self.cluster.uncordon_node(now, name, &mut cluster_out);
+        lift(cluster_out, out);
+        if changed && self.telemetry.is_enabled() {
+            self.telemetry
+                .counter("ks_node_uncordons_total", &[("node", name)])
+                .inc();
+            self.telemetry
+                .gauge("ks_cluster_cordoned_nodes", &[])
+                .add(-1.0);
+        }
+        changed
+    }
+
+    /// Drains every sharePod off a live vGPU and retires the device: each
+    /// attached tenant is detached (with a [`KsNotice::SharePodStopped`]
+    /// so the embedding world tears down container state), its backing
+    /// pod is deleted, waiters are re-queued, and the device goes back to
+    /// Kubernetes through the normal release path. Because the device is
+    /// marked `releasing` immediately, Algorithm 1 cannot re-bind any of
+    /// the displaced sharePods to it — they land on other vGPUs or fresh
+    /// ones. This is the remediation path for a degraded GPU: a
+    /// replacement vGPU is a fresh physical allocation and therefore
+    /// healthy. Returns the number of sharePods displaced; 0 when the
+    /// vGPU is unknown or already being released.
+    pub fn drain_vgpu(
+        &mut self,
+        now: SimTime,
+        gpuid: &GpuId,
+        out: &mut KsEmit,
+        notices: &mut Vec<KsNotice>,
+    ) -> usize {
+        let Some(device) = self.pool.get(gpuid) else {
+            return 0;
+        };
+        if device.releasing {
+            return 0;
+        }
+        let mut tenants: Vec<Uid> = device.attached.keys().copied().collect();
+        tenants.sort();
+        let node = device.node.clone();
+        let uuid = device.uuid.clone();
+        let mut displaced = 0;
+        for sp in tenants {
+            if let (Some(node), Some(uuid)) = (node.clone(), uuid.clone()) {
+                notices.push(KsNotice::SharePodStopped {
+                    sp,
+                    gpuid: gpuid.clone(),
+                    node,
+                    uuid,
+                });
+            }
+            self.pool.detach(gpuid, sp);
+            // Capture the backing pod before the requeue clears it; its
+            // teardown mirrors preemption (the deletion notice must not
+            // terminate the already-Pending sharePod).
+            let pod = self.sharepods.get(sp).and_then(|s| s.status.pod_uid);
+            self.requeue_sharepod(now, sp, out, notices);
+            if let Some(pod) = pod {
+                self.preempted_pods.insert(pod);
+                let mut cluster_out = Vec::new();
+                let mut cluster_notes = Vec::new();
+                self.cluster
+                    .delete_pod(now, pod, &mut cluster_out, &mut cluster_notes);
+                lift(cluster_out, out);
+                self.process_cluster_notices(now, cluster_notes, out, notices);
+            }
+            displaced += 1;
+        }
+        for sp in self.waiting.remove(gpuid).unwrap_or_default() {
+            self.requeue_sharepod(now, sp, out, notices);
+            displaced += 1;
+        }
+        self.release_vgpu(now, gpuid, out, notices);
+        if self.telemetry.is_enabled() {
+            self.telemetry.counter("ks_vgpu_drains_total", &[]).inc();
+        }
+        self.record_gauges();
+        displaced
     }
 
     /// Crashes a single pod (container exit / OOM kill) and routes the
@@ -2040,6 +2147,123 @@ mod tests {
         w.notices
             .iter()
             .find(|(_, n)| matches!(n, KsNotice::SharePodRunning { sp: s, .. } if *s == sp))
+    }
+
+    #[test]
+    fn drain_vgpu_requeues_tenants_onto_fresh_device() {
+        let mut eng = engine(2, 1);
+        let telemetry = ks_telemetry::Telemetry::enabled();
+        eng.world.ks.set_telemetry(telemetry.clone());
+        // Two tenants share one vGPU (best-fit packs the second onto the
+        // first's device).
+        let a = submit(&mut eng, "a", sp_spec(0.4, 1.0, 0.3));
+        let b = submit(&mut eng, "b", sp_spec(0.4, 1.0, 0.3));
+        eng.run_to_completion(20_000);
+        let bound_a = eng
+            .world
+            .ks
+            .sharepod(a)
+            .unwrap()
+            .status
+            .bound_gpuid
+            .clone()
+            .unwrap();
+        let bound_b = eng
+            .world
+            .ks
+            .sharepod(b)
+            .unwrap()
+            .status
+            .bound_gpuid
+            .clone()
+            .unwrap();
+        assert_eq!(bound_a, bound_b, "tenants co-located for the drain");
+
+        let now = eng.now();
+        let mut out = Vec::new();
+        let mut notes = Vec::new();
+        let drained = eng.world.ks.drain_vgpu(now, &bound_a, &mut out, &mut notes);
+        assert_eq!(drained, 2);
+        // Draining a device already being released is a no-op.
+        assert_eq!(
+            eng.world.ks.drain_vgpu(now, &bound_a, &mut out, &mut notes),
+            0
+        );
+        // Unknown device: no-op.
+        assert_eq!(
+            eng.world
+                .ks
+                .drain_vgpu(now, &GpuId::named("nope"), &mut out, &mut notes),
+            0
+        );
+        for n in notes {
+            eng.world.notices.push((now, n));
+        }
+        seed(&mut eng, out);
+        eng.run_to_completion(40_000);
+
+        // Both tenants came back Running on a fresh device; the drained
+        // one was released and left the pool.
+        for sp in [a, b] {
+            let s = eng.world.ks.sharepod(sp).unwrap();
+            assert_eq!(s.status.phase, SharePodPhase::Running);
+            assert_ne!(s.status.bound_gpuid.as_ref(), Some(&bound_a));
+        }
+        assert!(eng.world.ks.pool().get(&bound_a).is_none());
+        assert!(eng
+            .world
+            .notices
+            .iter()
+            .any(|(_, n)| matches!(n, KsNotice::VgpuReleased { gpuid } if *gpuid == bound_a)));
+        let snap = telemetry.snapshot();
+        assert_eq!(snap.counter_value("ks_vgpu_drains_total", &[]), Some(1));
+        assert_eq!(snap.counter_value("ks_sched_requeues_total", &[]), Some(2));
+        eng.world.ks.pool().verify_indexes().unwrap();
+        eng.world.ks.verify_sp_tally().unwrap();
+    }
+
+    #[test]
+    fn cordon_steers_placement_and_counts() {
+        let mut eng = engine(2, 1);
+        let telemetry = ks_telemetry::Telemetry::enabled();
+        eng.world.ks.set_telemetry(telemetry.clone());
+        // Cordon node-0: the first sharePod's vGPU must land on node-1.
+        assert!(eng.world.ks.cordon_node("node-0"));
+        assert!(!eng.world.ks.cordon_node("node-0"), "idempotent");
+        let a = submit(&mut eng, "a", sp_spec(0.5, 1.0, 0.5));
+        eng.run_to_completion(20_000);
+        let bound = eng
+            .world
+            .ks
+            .sharepod(a)
+            .unwrap()
+            .status
+            .bound_gpuid
+            .clone()
+            .unwrap();
+        assert_eq!(
+            eng.world.ks.pool().get(&bound).unwrap().node.as_deref(),
+            Some("node-1")
+        );
+        let now = eng.now();
+        let mut out = Vec::new();
+        assert!(eng.world.ks.uncordon_node(now, "node-0", &mut out));
+        assert!(!eng.world.ks.uncordon_node(now, "node-0", &mut out));
+        seed(&mut eng, out);
+        let snap = telemetry.snapshot();
+        assert_eq!(
+            snap.counter_value("ks_node_cordons_total", &[("node", "node-0")]),
+            Some(1)
+        );
+        assert_eq!(
+            snap.counter_value("ks_node_uncordons_total", &[("node", "node-0")]),
+            Some(1)
+        );
+        assert_eq!(
+            snap.gauge_value("ks_cluster_cordoned_nodes", &[]),
+            Some(0.0)
+        );
+        eng.world.ks.cluster.verify_node_rank().unwrap();
     }
 
     #[test]

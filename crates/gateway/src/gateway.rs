@@ -165,6 +165,13 @@ pub struct Gateway<A: Authenticator> {
     system: KubeShareSystem,
     auth: A,
     cfg: GatewayConfig,
+    /// The configured (unscaled) queue caps; `cfg` holds the scaled
+    /// values while an admission scale is in force.
+    base_cfg: GatewayConfig,
+    /// Admission scale in `(0, 1]`: 1.0 = configured limits, smaller =
+    /// remediation tightening (token rates and queue caps shrink
+    /// proportionally). See [`Gateway::set_admission_scale`].
+    admission_scale: f64,
     tenants: HashMap<String, TenantState>,
     /// Admission queue ordered by (priority descending, FIFO): the key is
     /// `(Tier::MAX_PRIORITY - priority, ticket)`.
@@ -182,7 +189,9 @@ impl<A: Authenticator> Gateway<A> {
         Gateway {
             system,
             auth,
+            base_cfg: cfg.clone(),
             cfg,
+            admission_scale: 1.0,
             tenants: HashMap::new(),
             queue: BTreeMap::new(),
             next_ticket: 0,
@@ -236,6 +245,59 @@ impl<A: Authenticator> Gateway<A> {
         self.tenants.len()
     }
 
+    /// The admission scale in force (1.0 = configured limits).
+    pub fn admission_scale(&self) -> f64 {
+        self.admission_scale
+    }
+
+    /// A tier's rate limit under `scale`: both rate and burst shrink
+    /// proportionally, with the burst floored at one token so a tenant
+    /// can always eventually submit.
+    fn scaled_limit(tier: Tier, scale: f64) -> crate::limiter::RateLimit {
+        let lim = tier.rate_limit();
+        crate::limiter::RateLimit {
+            per_sec: lim.per_sec * scale,
+            burst: (lim.burst * scale).max(1.0),
+        }
+    }
+
+    /// Sets the admission scale (remediation tightening): every tenant's
+    /// token bucket switches to `scale ×` its tier rate/burst, and the
+    /// queue caps shrink to `scale ×` their configured values (floored
+    /// at 1). `scale = 1.0` restores the configured limits. Buckets keep
+    /// their refill history through the switch — no tokens are minted —
+    /// and each tenant's analytic rate tripwire re-baselines at `now`
+    /// (the old bound no longer describes the new limit). Returns
+    /// whether the scale changed.
+    pub fn set_admission_scale(&mut self, now: SimTime, scale: f64) -> bool {
+        assert!(
+            scale > 0.0 && scale <= 1.0,
+            "admission scale must be in (0, 1], got {scale}"
+        );
+        if (scale - self.admission_scale).abs() < 1e-12 {
+            return false;
+        }
+        self.admission_scale = scale;
+        self.cfg.max_queue_per_tenant =
+            (((self.base_cfg.max_queue_per_tenant as f64) * scale) as u32).max(1);
+        self.cfg.max_queue_total =
+            (((self.base_cfg.max_queue_total as f64) * scale) as usize).max(1);
+        for st in self.tenants.values_mut() {
+            st.bucket.set_limit(Self::scaled_limit(st.tier, scale), now);
+            st.first_seen = now;
+            st.taken = 0;
+        }
+        if self.telemetry.is_enabled() {
+            self.telemetry
+                .counter("ks_gw_admission_rescale_total", &[])
+                .inc();
+            self.telemetry
+                .gauge("ks_gw_admission_scale", &[])
+                .set(scale);
+        }
+        true
+    }
+
     /// The conservation invariant: submitted = admitted + rejected +
     /// still-queued.
     pub fn conservation_holds(&self) -> bool {
@@ -278,11 +340,16 @@ impl<A: Authenticator> Gateway<A> {
             };
         };
 
-        // Gate 2: rate limit (lazily materializing the tenant).
-        let st = self
-            .tenants
-            .entry(tenant.clone())
-            .or_insert_with(|| TenantState::new(tier, now));
+        // Gate 2: rate limit (lazily materializing the tenant, under the
+        // admission scale in force).
+        let scale = self.admission_scale;
+        let st = self.tenants.entry(tenant.clone()).or_insert_with(|| {
+            let mut st = TenantState::new(tier, now);
+            if scale != 1.0 {
+                st.bucket.set_limit(Self::scaled_limit(tier, scale), now);
+            }
+            st
+        });
         if !st.bucket.try_take(now, 1.0) {
             self.stats.rejected_rate += 1;
             self.count_reject(tier.label(), RejectReason::RateLimited);

@@ -69,6 +69,17 @@ impl TokenBucket {
     pub fn limit(&self) -> RateLimit {
         self.limit
     }
+
+    /// Swaps in a new limit as of `now` (admission tightening/relaxing).
+    /// The level first refills at the old rate up to `now`, then clamps
+    /// to the new burst — tokens already accrued are never minted or
+    /// inflated by the change, so the admission bound holds piecewise
+    /// across reconfigurations.
+    pub fn set_limit(&mut self, limit: RateLimit, now: SimTime) {
+        self.refill(now);
+        self.limit = limit;
+        self.level = self.level.min(limit.burst);
+    }
 }
 
 #[cfg(test)]
@@ -107,6 +118,34 @@ mod tests {
         let mut b = TokenBucket::new(LIMIT, SimTime::ZERO);
         assert!(!b.try_take(SimTime::ZERO, 5.0));
         assert_eq!(b.level(SimTime::ZERO), LIMIT.burst);
+    }
+
+    #[test]
+    fn set_limit_clamps_level_and_switches_rate() {
+        let t0 = SimTime::ZERO;
+        let mut b = TokenBucket::new(LIMIT, t0);
+        // Tighten to half the rate and a burst of 1: the full level (4)
+        // clamps down to 1 — no stored credit survives the shrink.
+        b.set_limit(
+            RateLimit {
+                per_sec: 1.0,
+                burst: 1.0,
+            },
+            t0,
+        );
+        assert!(b.try_take(t0, 1.0));
+        assert!(!b.try_take(t0, 1.0));
+        // Refill now runs at the new rate.
+        let t1 = t0 + SimDuration::from_millis(500);
+        assert!(!b.try_take(t1, 1.0), "only 0.5 tokens at 1/s");
+        let t2 = t0 + SimDuration::from_secs(1);
+        assert!(b.try_take(t2, 1.0));
+        // Relaxing back does not mint tokens: the level stays where the
+        // tight period left it and grows at the restored rate.
+        b.set_limit(LIMIT, t2);
+        assert!(b.level(t2) < 1e-9);
+        let t3 = t2 + SimDuration::from_secs(1);
+        assert!((b.level(t3) - 2.0).abs() < 1e-9);
     }
 
     #[test]

@@ -240,3 +240,92 @@ fn quota_conservation_under_concurrent_submission() {
         "concurrent submission lost requests: {s:?}"
     );
 }
+
+/// Tightening admission mid-flight shrinks the effective rate limit
+/// without ever tripping the analytic window-bound tripwire
+/// (`ks_gw_limit_violations_total`): `set_admission_scale` re-baselines
+/// each tenant's bound at the moment the limit changes, so the bound
+/// holds piecewise. Relaxing back restores the configured behavior
+/// without minting stored credit.
+#[test]
+fn admission_scale_tightens_without_tripping_violation_tripwire() {
+    let mut gw = gw_with_gpus(2);
+    let telemetry = ks_telemetry::Telemetry::enabled();
+    gw.set_telemetry(telemetry.clone());
+    let auth = DerivedTokenAuth::new(7);
+    let tok = auth.token_for("acme", Tier::Premium);
+    let mut out: KsEmit = Vec::new();
+
+    // A fixed hammering pattern: 12 submissions 100ms apart. Premium is
+    // 1.0/s with burst 8, so at full scale most pass the rate check.
+    let hammer = |gw: &mut Gateway<DerivedTokenAuth>, start: SimTime, out: &mut KsEmit| {
+        let mut now = start;
+        for i in 0..12 {
+            let name = format!("sp-{}-{i}", start.as_micros());
+            let _ = gw.submit(now, &tok, name, spec(0.25), out);
+            now += SimDuration::from_millis(100);
+        }
+        settle(gw, &mut now, out);
+        now
+    };
+
+    let mut now = hammer(&mut gw, SimTime::from_secs(10), &mut out);
+    let base_rejected = gw.stats().rejected_rate;
+    assert!(
+        base_rejected <= 4,
+        "full-scale Premium should absorb most of the burst: {base_rejected}"
+    );
+
+    // Tighten to a quarter: per_sec 0.25, burst 2. The same pattern must
+    // now bounce far more submissions off the rate limiter.
+    now += SimDuration::from_secs(60); // let the bucket refill fully first
+    assert!(gw.set_admission_scale(now, 0.25));
+    assert!(!gw.set_admission_scale(now, 0.25), "same scale is a no-op");
+    assert_eq!(gw.admission_scale(), 0.25);
+    let end = hammer(&mut gw, now, &mut out);
+    let tight_rejected = gw.stats().rejected_rate - base_rejected;
+    assert!(
+        tight_rejected >= 8,
+        "quarter-scale should reject the bulk of the burst: {tight_rejected}"
+    );
+    assert!(tight_rejected > base_rejected);
+
+    // The tripwire never fired: the per-tenant bound was re-baselined at
+    // the reconfiguration instant, so tightening is not a "violation".
+    let snap = telemetry.snapshot();
+    assert_eq!(
+        snap.counter_value("ks_gw_limit_violations_total", &[])
+            .unwrap_or(0),
+        0,
+        "admission rescale must not trip the window-bound tripwire"
+    );
+    assert_eq!(
+        snap.counter_value("ks_gw_admission_rescale_total", &[]),
+        Some(1)
+    );
+
+    // Relax back to full scale: after a refill interval the tenant gets
+    // its configured burst again — but no tokens were minted at the
+    // relax instant itself.
+    let relax_at = end + SimDuration::from_secs(1);
+    assert!(gw.set_admission_scale(relax_at, 1.0));
+    let mut now = relax_at + SimDuration::from_secs(20); // refill to full burst (8)
+    let before = gw.stats().rejected_rate;
+    for i in 0..6 {
+        let _ = gw.submit(now, &tok, format!("post-{i}"), spec(0.25), &mut out);
+    }
+    settle(&mut gw, &mut now, &mut out);
+    assert_eq!(
+        gw.stats().rejected_rate,
+        before,
+        "restored burst of 8 admits a 6-wide salvo at one instant"
+    );
+    assert_eq!(
+        telemetry
+            .snapshot()
+            .counter_value("ks_gw_limit_violations_total", &[])
+            .unwrap_or(0),
+        0
+    );
+    assert!(gw.conservation_holds());
+}

@@ -1,0 +1,287 @@
+//! Online anomaly detection over the telemetry ring-buffer store.
+//!
+//! A [`Detector`] holds a declarative catalogue of [`DetectRule`]s and is
+//! evaluated once per scrape tick against the [`Tsdb`]. Each rule watches
+//! every series of one metric independently: the detector discovers
+//! series through [`Tsdb::series_entries`] (deterministic series-id
+//! order), so a node that first crashes mid-run grows its own baseline
+//! from the moment its series appears — no pre-registration.
+//!
+//! Two statistical shapes plus one threshold shape cover the catalogue:
+//!
+//! * [`Signal::RateZScore`] — the windowed per-second rate of a counter
+//!   series, scored against a per-series EWMA baseline
+//!   ([`ks_sim_core::stats::Ewma`]);
+//! * [`Signal::GaugeZScore`] — the windowed average of a gauge series,
+//!   scored the same way;
+//! * [`Signal::RateThreshold`] — a plain ceiling on a windowed rate, for
+//!   signals whose healthy value is a known constant (usually zero).
+//!
+//! Noise discipline: a rule only *fires* after `persist` consecutive
+//! breaching evaluations — a single-sample spike never pages — and the
+//! EWMA baseline is frozen while a series is breaching, so a genuine
+//! shift cannot absorb itself into the baseline before the persistence
+//! count is reached. After `clear` consecutive healthy evaluations the
+//! streaks reset and the baseline resumes learning.
+//!
+//! Everything is deterministic under the DES clock: same scrape history,
+//! same verdicts, bit for bit.
+
+use std::collections::BTreeMap;
+
+use ks_sim_core::stats::Ewma;
+use ks_sim_core::time::{SimDuration, SimTime};
+use ks_telemetry::tsdb::Tsdb;
+
+/// How a rule turns a series' recent points into one scalar observation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Signal {
+    /// Per-second counter rate over `window`, z-scored against the EWMA.
+    RateZScore { window: SimDuration },
+    /// Windowed gauge average over `window`, z-scored against the EWMA.
+    GaugeZScore { window: SimDuration },
+    /// Per-second counter rate over `window` must stay `<= max_per_sec`.
+    /// No baseline: the healthy value is known a priori.
+    RateThreshold {
+        window: SimDuration,
+        max_per_sec: f64,
+    },
+}
+
+/// One detection rule: a metric, a signal shape, and noise discipline.
+#[derive(Debug, Clone)]
+pub struct DetectRule {
+    /// Stable identifier, used as the `rule` label on verdicts.
+    pub name: &'static str,
+    /// Metric name to watch; every series of it is scored independently.
+    pub metric: &'static str,
+    pub signal: Signal,
+    /// Fire when `|z| > z_thresh` (z-score signals only).
+    pub z_thresh: f64,
+    /// Floor on the standard deviation used in the z-score, so a
+    /// dead-flat baseline cannot make epsilon noise look infinitely
+    /// surprising.
+    pub min_std: f64,
+    /// EWMA smoothing factor in `(0, 1]`; higher adapts faster.
+    pub alpha: f64,
+    /// Observations a series must accumulate before it may breach.
+    pub warmup: u64,
+    /// Consecutive breaching evaluations required before firing.
+    pub persist: u32,
+    /// Consecutive healthy evaluations required before the breach streak
+    /// (and the firing latch) resets.
+    pub clear: u32,
+}
+
+impl DetectRule {
+    /// A z-score rule with the catalogue's default noise discipline:
+    /// fire on `|z| > z_thresh` sustained for 2 evaluations, after a
+    /// 5-observation warmup, clearing after 2 healthy evaluations.
+    pub fn zscore(name: &'static str, metric: &'static str, signal: Signal, z_thresh: f64) -> Self {
+        DetectRule {
+            name,
+            metric,
+            signal,
+            z_thresh,
+            min_std: 0.05,
+            alpha: 0.3,
+            warmup: 5,
+            persist: 2,
+            clear: 2,
+        }
+    }
+
+    /// A threshold rule: fire when the windowed rate exceeds the ceiling
+    /// for `persist` consecutive evaluations. No baseline, no warmup.
+    pub fn threshold(
+        name: &'static str,
+        metric: &'static str,
+        window: SimDuration,
+        max_per_sec: f64,
+    ) -> Self {
+        DetectRule {
+            name,
+            metric,
+            signal: Signal::RateThreshold {
+                window,
+                max_per_sec,
+            },
+            z_thresh: 0.0,
+            min_std: 0.0,
+            alpha: 1.0,
+            warmup: 0,
+            persist: 2,
+            clear: 2,
+        }
+    }
+}
+
+/// A fired verdict: one rule breached persistently on one series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Anomaly {
+    pub rule: &'static str,
+    pub metric: &'static str,
+    /// The breaching series' full label set (owned; stable order).
+    pub labels: Vec<(String, String)>,
+    /// The observed signal value at the firing evaluation.
+    pub value: f64,
+    /// The z-score at the firing evaluation (0 for threshold rules).
+    pub z: f64,
+    pub at: SimTime,
+}
+
+impl Anomaly {
+    /// The value of label `key`, if present (e.g. which node breached).
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Per-(rule, series) online state.
+#[derive(Debug)]
+struct SeriesState {
+    ewma: Ewma,
+    /// Consecutive breaching evaluations (capped at `persist` once fired).
+    breach_streak: u32,
+    /// Consecutive healthy evaluations while latched.
+    clear_streak: u32,
+    /// True once fired; suppresses re-firing until the breach clears.
+    latched: bool,
+}
+
+/// Evaluates a rule catalogue against the TSDB, one verdict per
+/// persistent breach. Re-fires only after the series has been healthy
+/// for `clear` consecutive evaluations.
+#[derive(Debug)]
+pub struct Detector {
+    rules: Vec<DetectRule>,
+    /// Keyed by `rule_index` then the series' identity string.
+    state: BTreeMap<(usize, String), SeriesState>,
+    evaluations: u64,
+    fired_total: u64,
+}
+
+impl Detector {
+    pub fn new(rules: Vec<DetectRule>) -> Self {
+        for r in &rules {
+            assert!(r.persist >= 1, "persist must be >= 1");
+            assert!(r.clear >= 1, "clear must be >= 1");
+        }
+        Detector {
+            rules,
+            state: BTreeMap::new(),
+            evaluations: 0,
+            fired_total: 0,
+        }
+    }
+
+    pub fn rules(&self) -> &[DetectRule] {
+        &self.rules
+    }
+
+    pub fn evaluations(&self) -> u64 {
+        self.evaluations
+    }
+
+    /// Total verdicts fired over the detector's lifetime.
+    pub fn fired_total(&self) -> u64 {
+        self.fired_total
+    }
+
+    /// Scores every matching series of every rule at `now`. Returns the
+    /// verdicts that crossed their persistence threshold this evaluation,
+    /// in (rule, series) order — deterministic for a given scrape history.
+    pub fn evaluate(&mut self, now: SimTime, tsdb: &Tsdb) -> Vec<Anomaly> {
+        self.evaluations += 1;
+        let mut fired = Vec::new();
+        let entries = tsdb.series_entries();
+        for (ri, rule) in self.rules.iter().enumerate() {
+            for (name, labels) in &entries {
+                if name != rule.metric {
+                    continue;
+                }
+                let label_refs: Vec<(&str, &str)> = labels
+                    .iter()
+                    .map(|(k, v)| (k.as_str(), v.as_str()))
+                    .collect();
+                // A stale series (no points inside the window) yields no
+                // observation; skip without touching its state.
+                let Some(value) = observe(tsdb, rule, &label_refs, now) else {
+                    continue;
+                };
+                let key = (ri, series_key(name, labels));
+                let st = self.state.entry(key).or_insert_with(|| SeriesState {
+                    ewma: Ewma::new(rule.alpha),
+                    breach_streak: 0,
+                    clear_streak: 0,
+                    latched: false,
+                });
+                let (breaching, z) = match rule.signal {
+                    Signal::RateThreshold { max_per_sec, .. } => (value > max_per_sec, 0.0),
+                    _ => {
+                        let z = st.ewma.z_score(value, rule.min_std);
+                        (st.ewma.count() >= rule.warmup && z.abs() > rule.z_thresh, z)
+                    }
+                };
+                if breaching {
+                    st.clear_streak = 0;
+                    st.breach_streak = st.breach_streak.saturating_add(1);
+                    // Freeze the baseline: a genuine shift must not teach
+                    // itself normal before the persistence count is met.
+                    if st.breach_streak >= rule.persist && !st.latched {
+                        st.latched = true;
+                        self.fired_total += 1;
+                        fired.push(Anomaly {
+                            rule: rule.name,
+                            metric: rule.metric,
+                            labels: labels.clone(),
+                            value,
+                            z,
+                            at: now,
+                        });
+                    }
+                } else {
+                    st.breach_streak = 0;
+                    if st.latched {
+                        st.clear_streak += 1;
+                        if st.clear_streak >= rule.clear {
+                            st.latched = false;
+                            st.clear_streak = 0;
+                        }
+                    }
+                    st.ewma.push(value);
+                }
+            }
+        }
+        fired
+    }
+}
+
+/// One scalar observation of `rule.metric` for the series identified by
+/// `labels`, or `None` when the window holds no usable points.
+fn observe(tsdb: &Tsdb, rule: &DetectRule, labels: &[(&str, &str)], now: SimTime) -> Option<f64> {
+    match rule.signal {
+        Signal::RateZScore { window } | Signal::RateThreshold { window, .. } => {
+            tsdb.rate(rule.metric, labels, window, now)
+        }
+        Signal::GaugeZScore { window } => tsdb
+            .gauge_agg(rule.metric, labels, window, now)
+            .map(|a| a.avg),
+    }
+}
+
+/// Stable identity string for a series: name plus its full label set.
+fn series_key(name: &str, labels: &[(String, String)]) -> String {
+    let mut key = String::with_capacity(name.len() + 16);
+    key.push_str(name);
+    for (k, v) in labels {
+        key.push('\u{1}');
+        key.push_str(k);
+        key.push('=');
+        key.push_str(v);
+    }
+    key
+}

@@ -1,0 +1,218 @@
+//! Flap guard: hysteresis, per-target cooldown, and a global action
+//! budget over a sliding window.
+//!
+//! A remediation loop that acts on every verdict can oscillate — cordon,
+//! uncordon, cordon again — doing more damage than the fault it chases.
+//! The guard enforces two independent brakes:
+//!
+//! * **per-key cooldown** — after acting on a target (a node, a vGPU,
+//!   the gateway), no further action on *that* target until `cooldown`
+//!   has elapsed;
+//! * **global budget** — at most `max_actions` allowed actions inside
+//!   any sliding window of length `window`. When the budget is spent the
+//!   controller degrades to observe-only (verdicts still logged, nothing
+//!   executed) until the window drains, rather than thrashing.
+//!
+//! Both are property-tested: over arbitrary request sequences, no window
+//! ever contains more than `max_actions` allowed actions, and no key is
+//! ever allowed twice within `cooldown`.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use ks_sim_core::time::{SimDuration, SimTime};
+
+/// Why a proposed action was allowed or suppressed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GuardVerdict {
+    Allowed,
+    /// The target acted too recently; retry after its cooldown expires.
+    Cooldown,
+    /// The global window budget is spent; the loop is observe-only.
+    BudgetExhausted,
+}
+
+impl GuardVerdict {
+    /// Label for suppression counters.
+    pub fn label(self) -> &'static str {
+        match self {
+            GuardVerdict::Allowed => "allowed",
+            GuardVerdict::Cooldown => "cooldown",
+            GuardVerdict::BudgetExhausted => "budget_exhausted",
+        }
+    }
+}
+
+/// Sliding-window action budget plus per-key cooldown.
+#[derive(Debug)]
+pub struct FlapGuard {
+    cooldown: SimDuration,
+    window: SimDuration,
+    max_actions: u32,
+    /// Timestamps of allowed actions inside the current window.
+    recent: VecDeque<SimTime>,
+    /// Last allowed action per target key.
+    last_by_key: BTreeMap<String, SimTime>,
+    allowed_total: u64,
+    suppressed_total: u64,
+}
+
+impl FlapGuard {
+    pub fn new(cooldown: SimDuration, window: SimDuration, max_actions: u32) -> Self {
+        assert!(max_actions >= 1, "budget must allow at least one action");
+        assert!(!window.is_zero(), "budget window must be positive");
+        FlapGuard {
+            cooldown,
+            window,
+            max_actions,
+            recent: VecDeque::new(),
+            last_by_key: BTreeMap::new(),
+            allowed_total: 0,
+            suppressed_total: 0,
+        }
+    }
+
+    /// Drops window entries older than `now − window`.
+    fn prune(&mut self, now: SimTime) {
+        while let Some(&t) = self.recent.front() {
+            if now.saturating_since(t) > self.window {
+                self.recent.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Whether the global budget is currently spent (observe-only mode).
+    pub fn observe_only(&mut self, now: SimTime) -> bool {
+        self.prune(now);
+        self.recent.len() as u32 >= self.max_actions
+    }
+
+    /// Asks permission to act on `key` at `now`. An `Allowed` verdict
+    /// *records* the action — call only when the action will execute.
+    pub fn admit(&mut self, now: SimTime, key: &str) -> GuardVerdict {
+        self.prune(now);
+        if self.recent.len() as u32 >= self.max_actions {
+            self.suppressed_total += 1;
+            return GuardVerdict::BudgetExhausted;
+        }
+        if let Some(&last) = self.last_by_key.get(key) {
+            if now.saturating_since(last) < self.cooldown {
+                self.suppressed_total += 1;
+                return GuardVerdict::Cooldown;
+            }
+        }
+        self.recent.push_back(now);
+        self.last_by_key.insert(key.to_string(), now);
+        self.allowed_total += 1;
+        GuardVerdict::Allowed
+    }
+
+    pub fn allowed_total(&self) -> u64 {
+        self.allowed_total
+    }
+
+    pub fn suppressed_total(&self) -> u64 {
+        self.suppressed_total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn cooldown_blocks_rapid_repeat_on_same_key() {
+        let mut g = FlapGuard::new(SimDuration::from_secs(30), SimDuration::from_secs(300), 10);
+        let t0 = SimTime::from_secs(100);
+        assert_eq!(g.admit(t0, "node-0"), GuardVerdict::Allowed);
+        assert_eq!(
+            g.admit(t0 + SimDuration::from_secs(10), "node-0"),
+            GuardVerdict::Cooldown
+        );
+        // A different key is independent.
+        assert_eq!(
+            g.admit(t0 + SimDuration::from_secs(10), "node-1"),
+            GuardVerdict::Allowed
+        );
+        // At exactly the cooldown boundary the key frees up.
+        assert_eq!(
+            g.admit(t0 + SimDuration::from_secs(30), "node-0"),
+            GuardVerdict::Allowed
+        );
+    }
+
+    #[test]
+    fn budget_exhaustion_degrades_to_observe_only_then_drains() {
+        let mut g = FlapGuard::new(SimDuration::ZERO, SimDuration::from_secs(60), 2);
+        let t0 = SimTime::from_secs(10);
+        assert_eq!(g.admit(t0, "a"), GuardVerdict::Allowed);
+        assert_eq!(g.admit(t0, "b"), GuardVerdict::Allowed);
+        assert!(g.observe_only(t0));
+        assert_eq!(g.admit(t0, "c"), GuardVerdict::BudgetExhausted);
+        // 61 s later the window drained and actions resume.
+        let t1 = t0 + SimDuration::from_secs(61);
+        assert!(!g.observe_only(t1));
+        assert_eq!(g.admit(t1, "c"), GuardVerdict::Allowed);
+        assert_eq!(g.allowed_total(), 3);
+        assert_eq!(g.suppressed_total(), 1);
+    }
+
+    proptest! {
+        /// Over ANY request sequence, every sliding window of length
+        /// `window` contains at most `max_actions` allowed actions.
+        #[test]
+        fn window_budget_never_exceeded(
+            max_actions in 1u32..6,
+            window_s in 1u64..120,
+            reqs in proptest::collection::vec((0u64..30, 0u8..5), 1..200),
+        ) {
+            let window = SimDuration::from_secs(window_s);
+            let mut g = FlapGuard::new(SimDuration::ZERO, window, max_actions);
+            let mut now = SimTime::ZERO;
+            let mut allowed: Vec<SimTime> = Vec::new();
+            for (gap_s, key) in reqs {
+                now += SimDuration::from_secs(gap_s);
+                if g.admit(now, &format!("k{key}")) == GuardVerdict::Allowed {
+                    allowed.push(now);
+                }
+            }
+            for (i, &t0) in allowed.iter().enumerate() {
+                let inside = allowed[i..]
+                    .iter()
+                    .filter(|&&t| t.saturating_since(t0) <= window)
+                    .count();
+                prop_assert!(
+                    inside <= max_actions as usize,
+                    "window starting {t0:?} holds {inside} > {max_actions}"
+                );
+            }
+        }
+
+        /// No key is ever allowed twice within its cooldown, no matter
+        /// how the requests interleave across keys.
+        #[test]
+        fn per_key_cooldown_always_respected(
+            cooldown_s in 1u64..60,
+            reqs in proptest::collection::vec((0u64..20, 0u8..4), 1..200),
+        ) {
+            let cooldown = SimDuration::from_secs(cooldown_s);
+            let mut g = FlapGuard::new(cooldown, SimDuration::from_secs(3600), u32::MAX >> 1);
+            let mut now = SimTime::ZERO;
+            let mut last: BTreeMap<u8, SimTime> = BTreeMap::new();
+            for (gap_s, key) in reqs {
+                now += SimDuration::from_secs(gap_s);
+                if g.admit(now, &format!("k{key}")) == GuardVerdict::Allowed {
+                    if let Some(&prev) = last.get(&key) {
+                        prop_assert!(
+                            now.saturating_since(prev) >= cooldown,
+                            "key {key} allowed {prev:?} then {now:?} inside cooldown"
+                        );
+                    }
+                    last.insert(key, now);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,321 @@
+//! Closed-loop self-healing for the KubeShare control plane.
+//!
+//! Three pieces, composed by the host once per scrape tick:
+//!
+//! * [`detect::Detector`] — online anomaly detection over the
+//!   [`ks_telemetry::Tsdb`]: per-series EWMA baselines with z-score
+//!   thresholds, plus plain rate ceilings, with warmup/persistence so a
+//!   single-sample spike never pages;
+//! * [`controller::Controller`] — maps verdicts and SLO burn onto a
+//!   graded action ladder (tighten admission → cordon → drain), every
+//!   action causally traced back to the anomaly that triggered it;
+//! * [`guard::FlapGuard`] — per-target cooldown and a global sliding
+//!   window action budget; exhaustion degrades the loop to observe-only
+//!   rather than oscillating.
+//!
+//! The crate deliberately depends only on `sim-core` and `telemetry` —
+//! actions are plain values the host executes against the control plane
+//! (`KubeShareSystem::cordon_node` / `drain_vgpu`,
+//! `Gateway::set_admission_scale`), which keeps the decision logic
+//! replayable and testable on synthetic series. The chaos soak wiring
+//! lives in `ks-bench` (`--bin remediation`).
+
+pub mod controller;
+pub mod detect;
+pub mod guard;
+
+pub use controller::{Action, Controller, ControllerConfig};
+pub use detect::{Anomaly, DetectRule, Detector, Signal};
+pub use guard::{FlapGuard, GuardVerdict};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ks_sim_core::time::{SimDuration, SimTime};
+    use ks_telemetry::{Scraper, SloStatus, Telemetry};
+
+    const SEC: SimDuration = SimDuration::from_secs(1);
+
+    /// One z-score rule over per-node crash counters: rate over the last
+    /// second (= one scrape), |z| > 4, warmup 5, persist 2.
+    fn crash_rule() -> DetectRule {
+        DetectRule::zscore(
+            "node_crash_burn",
+            "ks_node_failures_total",
+            Signal::RateZScore { window: SEC },
+            4.0,
+        )
+    }
+
+    /// Advances one scrape tick: bumps the counter by `delta`, scrapes,
+    /// evaluates. Returns the verdicts of this evaluation.
+    fn tick(
+        t: &Telemetry,
+        scraper: &mut Scraper,
+        det: &mut Detector,
+        now: &mut SimTime,
+        delta: u64,
+    ) -> Vec<Anomaly> {
+        *now += SEC;
+        t.counter("ks_node_failures_total", &[("node", "n0")])
+            .add(delta);
+        scraper.force(*now, t);
+        det.evaluate(*now, scraper.tsdb())
+    }
+
+    #[test]
+    fn step_change_fires_once_after_persistence() {
+        let t = Telemetry::enabled();
+        let mut scraper = Scraper::new(SEC, 512);
+        let mut det = Detector::new(vec![crash_rule()]);
+        let mut now = SimTime::ZERO;
+        // Steady baseline: 1 crash/s for 10 ticks.
+        for _ in 0..10 {
+            assert!(tick(&t, &mut scraper, &mut det, &mut now, 1).is_empty());
+        }
+        // Step to 11/s. First breaching tick: persistence not yet met.
+        assert!(tick(&t, &mut scraper, &mut det, &mut now, 11).is_empty());
+        // Second breaching tick: fires exactly one verdict.
+        let fired = tick(&t, &mut scraper, &mut det, &mut now, 11);
+        assert_eq!(fired.len(), 1);
+        let a = &fired[0];
+        assert_eq!(a.rule, "node_crash_burn");
+        assert_eq!(a.label("node"), Some("n0"));
+        assert!(a.z > 4.0, "step must look surprising: z = {}", a.z);
+        assert!((a.value - 11.0).abs() < 1e-9);
+        // Latched: the continuing breach does not re-fire...
+        for _ in 0..5 {
+            assert!(tick(&t, &mut scraper, &mut det, &mut now, 11).is_empty());
+        }
+        // ...and the frozen baseline still finds the step surprising
+        // (the EWMA never absorbed the breaching samples).
+        assert_eq!(det.fired_total(), 1);
+        // After the burn ends and `clear` healthy ticks pass, a second
+        // burn fires again.
+        for _ in 0..4 {
+            let _ = tick(&t, &mut scraper, &mut det, &mut now, 1);
+        }
+        let _ = tick(&t, &mut scraper, &mut det, &mut now, 20);
+        let refired = tick(&t, &mut scraper, &mut det, &mut now, 20);
+        assert_eq!(refired.len(), 1, "re-arms after clearing");
+    }
+
+    #[test]
+    fn single_sample_spike_does_not_fire() {
+        let t = Telemetry::enabled();
+        let mut scraper = Scraper::new(SEC, 512);
+        let mut det = Detector::new(vec![crash_rule()]);
+        let mut now = SimTime::ZERO;
+        for _ in 0..10 {
+            assert!(tick(&t, &mut scraper, &mut det, &mut now, 1).is_empty());
+        }
+        // One wild tick, then back to baseline: persistence (2) never
+        // reached, so nothing fires — ever.
+        assert!(tick(&t, &mut scraper, &mut det, &mut now, 50).is_empty());
+        for _ in 0..10 {
+            assert!(tick(&t, &mut scraper, &mut det, &mut now, 1).is_empty());
+        }
+        assert_eq!(det.fired_total(), 0);
+    }
+
+    #[test]
+    fn slow_drift_stays_unsurprising() {
+        let t = Telemetry::enabled();
+        let mut scraper = Scraper::new(SEC, 512);
+        let mut det = Detector::new(vec![DetectRule::zscore(
+            "queue_depth_shift",
+            "ks_queue_depth",
+            Signal::GaugeZScore { window: SEC },
+            4.0,
+        )]);
+        let mut now = SimTime::ZERO;
+        // A gauge drifting up 1% per tick: the EWMA tracks it and the
+        // z-score never crosses the threshold.
+        let mut level = 10.0;
+        for _ in 0..200 {
+            now += SEC;
+            level *= 1.01;
+            t.gauge("ks_queue_depth", &[]).set(level);
+            scraper.force(now, &t);
+            let fired = det.evaluate(now, scraper.tsdb());
+            assert!(fired.is_empty(), "drift fired at level {level:.2}");
+        }
+        assert_eq!(det.fired_total(), 0);
+    }
+
+    #[test]
+    fn detection_survives_ring_buffer_eviction() {
+        let t = Telemetry::enabled();
+        // Tiny per-series capacity: the baseline phase alone overflows
+        // the ring several times over.
+        let mut scraper = Scraper::new(SEC, 8);
+        let mut det = Detector::new(vec![crash_rule()]);
+        let mut now = SimTime::ZERO;
+        for _ in 0..50 {
+            assert!(tick(&t, &mut scraper, &mut det, &mut now, 1).is_empty());
+        }
+        assert!(
+            scraper.tsdb().evicted() > 0,
+            "test must actually cross eviction"
+        );
+        let _ = tick(&t, &mut scraper, &mut det, &mut now, 11);
+        let fired = tick(&t, &mut scraper, &mut det, &mut now, 11);
+        assert_eq!(fired.len(), 1, "eviction must not blind the detector");
+    }
+
+    #[test]
+    fn threshold_rule_fires_without_baseline() {
+        let t = Telemetry::enabled();
+        let mut scraper = Scraper::new(SEC, 64);
+        let mut det = Detector::new(vec![DetectRule::threshold(
+            "guarantee_violations",
+            "ks_violations_total",
+            SEC,
+            0.0,
+        )]);
+        let mut now = SimTime::ZERO;
+        for _ in 0..3 {
+            now += SEC;
+            scraper.force(now, &t);
+            t.counter("ks_violations_total", &[]).add(0);
+            assert!(det.evaluate(now, scraper.tsdb()).is_empty());
+        }
+        for i in 0..2 {
+            now += SEC;
+            t.counter("ks_violations_total", &[]).inc();
+            scraper.force(now, &t);
+            let fired = det.evaluate(now, scraper.tsdb());
+            assert_eq!(fired.len(), usize::from(i == 1), "persist = 2");
+        }
+    }
+
+    fn anomaly(rule: &'static str, key: &'static str, val: &str, at: SimTime) -> Anomaly {
+        Anomaly {
+            rule,
+            metric: "m",
+            labels: vec![(key.to_string(), val.to_string())],
+            value: 1.0,
+            z: 9.0,
+            at,
+        }
+    }
+
+    #[test]
+    fn controller_cordons_then_uncordons_with_hysteresis() {
+        let cfg = ControllerConfig {
+            clear_after: 3,
+            cooldown: SimDuration::ZERO,
+            ..ControllerConfig::default()
+        };
+        let mut c = Controller::new(cfg, Telemetry::enabled());
+        let mut now = SimTime::from_secs(100);
+        let a = anomaly("node_crash_burn", "node", "n0", now);
+        let acts = c.step(now, std::slice::from_ref(&a), &[]);
+        assert_eq!(
+            acts,
+            vec![Action::CordonNode {
+                node: "n0".to_string()
+            }]
+        );
+        // Re-verdicts on a cordoned node do not re-cordon.
+        now += SEC;
+        assert!(c.step(now, std::slice::from_ref(&a), &[]).is_empty());
+        assert_eq!(c.cordoned_nodes(), vec!["n0"]);
+        // Two healthy ticks: not enough. The third lifts the cordon.
+        for i in 0..3 {
+            now += SEC;
+            let acts = c.step(now, &[], &[]);
+            if i < 2 {
+                assert!(acts.is_empty(), "hysteresis not yet met at tick {i}");
+            } else {
+                assert_eq!(
+                    acts,
+                    vec![Action::UncordonNode {
+                        node: "n0".to_string()
+                    }]
+                );
+            }
+        }
+        assert!(c.cordoned_nodes().is_empty());
+    }
+
+    #[test]
+    fn disabled_controller_emits_nothing() {
+        let cfg = ControllerConfig {
+            enabled: false,
+            ..ControllerConfig::default()
+        };
+        let mut c = Controller::new(cfg, Telemetry::enabled());
+        let now = SimTime::from_secs(5);
+        let burn = SloStatus {
+            rule: "handoff_wait_p99",
+            breaching: true,
+            newly_fired: true,
+        };
+        let acts = c.step(
+            now,
+            &[
+                anomaly("node_crash_burn", "node", "n0", now),
+                anomaly("vgpu_throughput_drop", "gpu", "GPU-0", now),
+            ],
+            &[burn],
+        );
+        assert!(acts.is_empty());
+        assert_eq!(c.actions_taken(), 0);
+    }
+
+    #[test]
+    fn budget_exhaustion_goes_observe_only() {
+        let cfg = ControllerConfig {
+            cooldown: SimDuration::ZERO,
+            budget_window: SimDuration::from_secs(600),
+            max_actions: 2,
+            ..ControllerConfig::default()
+        };
+        let mut c = Controller::new(cfg, Telemetry::enabled());
+        let now = SimTime::from_secs(10);
+        let verdicts: Vec<Anomaly> = (0..4)
+            .map(|i| {
+                let node: &'static str = ["n0", "n1", "n2", "n3"][i];
+                anomaly("node_crash_burn", "node", node, now)
+            })
+            .collect();
+        let acts = c.step(now, &verdicts, &[]);
+        assert_eq!(acts.len(), 2, "budget caps the action burst");
+        // Further verdicts inside the window: observe-only, no actions.
+        let more = vec![anomaly("node_crash_burn", "node", "n9", now + SEC)];
+        assert!(c.step(now + SEC, &more, &[]).is_empty());
+    }
+
+    #[test]
+    fn slo_burn_tightens_then_relaxes() {
+        let cfg = ControllerConfig {
+            clear_after: 2,
+            cooldown: SimDuration::ZERO,
+            tighten_scale: 0.25,
+            ..ControllerConfig::default()
+        };
+        let mut c = Controller::new(cfg, Telemetry::enabled());
+        let mut now = SimTime::from_secs(50);
+        let burn = |b: bool| SloStatus {
+            rule: "handoff_wait_p99",
+            breaching: b,
+            newly_fired: b,
+        };
+        let acts = c.step(now, &[], &[burn(true)]);
+        assert_eq!(acts, vec![Action::TightenAdmission { scale: 0.25 }]);
+        assert!(c.is_tightened());
+        // Still burning: no repeat action.
+        now += SEC;
+        assert!(c.step(now, &[], &[burn(true)]).is_empty());
+        // Two clear evaluations relax.
+        now += SEC;
+        assert!(c.step(now, &[], &[burn(false)]).is_empty());
+        now += SEC;
+        assert_eq!(
+            c.step(now, &[], &[burn(false)]),
+            vec![Action::RelaxAdmission]
+        );
+        assert!(!c.is_tightened());
+    }
+}

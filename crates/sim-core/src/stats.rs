@@ -127,6 +127,86 @@ impl OnlineStats {
     }
 }
 
+/// Exponentially weighted moving average and variance, for online
+/// anomaly scoring over streaming series.
+///
+/// Each observation folds in with weight `alpha` (recent-biased); the
+/// variance recursion is the standard exponentially weighted form
+/// `var ← (1 − α)·(var + α·δ²)` where `δ = x − mean_before`. The first
+/// observation seeds the mean with zero variance. [`Ewma::z_score`]
+/// answers "how surprising is `x` against the learned baseline" with a
+/// caller-supplied standard-deviation floor so flat series do not make
+/// every tiny wiggle infinitely surprising.
+#[derive(Debug, Clone)]
+pub struct Ewma {
+    alpha: f64,
+    count: u64,
+    mean: f64,
+    var: f64,
+}
+
+impl Ewma {
+    /// Creates an accumulator with smoothing factor `alpha` in `(0, 1]`.
+    pub fn new(alpha: f64) -> Self {
+        assert!(
+            alpha > 0.0 && alpha <= 1.0,
+            "alpha must be in (0, 1], got {alpha}"
+        );
+        Ewma {
+            alpha,
+            count: 0,
+            mean: 0.0,
+            var: 0.0,
+        }
+    }
+
+    /// Folds in one observation.
+    pub fn push(&mut self, x: f64) {
+        debug_assert!(x.is_finite(), "non-finite observation: {x}");
+        if self.count == 0 {
+            self.mean = x;
+            self.var = 0.0;
+        } else {
+            let delta = x - self.mean;
+            let incr = self.alpha * delta;
+            self.mean += incr;
+            self.var = (1.0 - self.alpha) * (self.var + delta * incr);
+        }
+        self.count += 1;
+    }
+
+    /// Observations folded in so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Current exponentially weighted mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Current exponentially weighted variance (0 until two observations).
+    pub fn variance(&self) -> f64 {
+        self.var.max(0.0)
+    }
+
+    /// Current exponentially weighted standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Standard score of `x` against the learned baseline, with the
+    /// standard deviation floored at `min_std` (> 0) to bound surprise
+    /// on near-constant series. Returns 0 before any observation.
+    pub fn z_score(&self, x: f64, min_std: f64) -> f64 {
+        debug_assert!(min_std > 0.0, "min_std must be positive");
+        if self.count == 0 {
+            return 0.0;
+        }
+        (x - self.mean) / self.std_dev().max(min_std)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -185,6 +265,74 @@ mod tests {
         assert!((left.variance() - whole.variance()).abs() < 1e-9);
         assert_eq!(left.min(), whole.min());
         assert_eq!(left.max(), whole.max());
+    }
+
+    #[test]
+    fn ewma_constant_series_learns_mean_with_zero_variance() {
+        let mut e = Ewma::new(0.3);
+        for _ in 0..50 {
+            e.push(4.0);
+        }
+        assert_eq!(e.count(), 50);
+        assert!((e.mean() - 4.0).abs() < 1e-12);
+        assert!(e.variance() < 1e-12);
+        // Flat series: the floor keeps the z finite and proportional.
+        assert!((e.z_score(4.5, 0.1) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ewma_step_change_scores_high_then_adapts() {
+        let mut e = Ewma::new(0.2);
+        // Baseline around 10 with small noise.
+        for i in 0..100 {
+            e.push(10.0 + if i % 2 == 0 { 0.5 } else { -0.5 });
+        }
+        let z_step = e.z_score(20.0, 0.01);
+        assert!(z_step > 6.0, "step should be surprising, z={z_step}");
+        // After the detector would fire, continued pushes adapt the mean.
+        for _ in 0..100 {
+            e.push(20.0);
+        }
+        assert!((e.mean() - 20.0).abs() < 0.5);
+        assert!(e.z_score(20.0, 0.01).abs() < 1.0);
+    }
+
+    #[test]
+    fn ewma_slow_drift_stays_unsurprising() {
+        let mut e = Ewma::new(0.2);
+        let mut x = 10.0;
+        let mut max_z: f64 = 0.0;
+        for _ in 0..500 {
+            let z = e.z_score(x, 0.05);
+            if e.count() > 10 {
+                max_z = max_z.max(z.abs());
+            }
+            e.push(x);
+            x += 0.01; // drift far slower than the EWMA adapts
+        }
+        assert!(max_z < 3.0, "drift should track, max z={max_z}");
+    }
+
+    #[test]
+    fn ewma_alpha_one_tracks_last_value_exactly() {
+        let mut e = Ewma::new(1.0);
+        for x in [3.0, -7.0, 42.0] {
+            e.push(x);
+            assert_eq!(e.mean(), x);
+            assert!(e.variance() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn ewma_before_first_observation_z_is_zero() {
+        let e = Ewma::new(0.5);
+        assert_eq!(e.z_score(1e9, 0.01), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in (0, 1]")]
+    fn ewma_rejects_zero_alpha() {
+        let _ = Ewma::new(0.0);
     }
 
     #[test]

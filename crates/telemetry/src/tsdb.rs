@@ -97,6 +97,26 @@ impl Tsdb {
         self.series.len()
     }
 
+    /// Sorted, deduplicated metric names across all retained series, so
+    /// detector rules can be declarative over discovered series instead
+    /// of hard-coded name lists.
+    pub fn series_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.series.values().map(|s| s.name.clone()).collect();
+        names.sort();
+        names.dedup();
+        names
+    }
+
+    /// `(name, labels)` of every retained series, in deterministic
+    /// series-id order — enumerates the labelled instances of each
+    /// metric (e.g. one entry per `gpu` value of a per-vGPU counter).
+    pub fn series_entries(&self) -> Vec<(String, Vec<(String, String)>)> {
+        self.series
+            .values()
+            .map(|s| (s.name.clone(), s.labels.clone()))
+            .collect()
+    }
+
     /// Total points evicted by ring caps (memory-bound proof in tests).
     pub fn evicted(&self) -> u64 {
         self.series.values().map(|s| s.evicted).sum()
@@ -466,6 +486,34 @@ mod tests {
         // Queries confined to retained history still work.
         let r = db.rate("ks_x_total", &[], w(2), s(9)).unwrap();
         assert!((r - 1.0).abs() < 1e-9, "{r}");
+    }
+
+    #[test]
+    fn series_names_are_sorted_and_deduplicated() {
+        let t = Telemetry::enabled();
+        t.counter("ks_b_total", &[("kind", "x")]).inc();
+        t.counter("ks_b_total", &[("kind", "y")]).inc();
+        t.counter("ks_a_total", &[]).inc();
+        t.gauge("ks_c", &[]).set(1.0);
+        let mut db = Tsdb::new(8);
+        db.ingest(s(1), &t.snapshot());
+        assert_eq!(db.series_names(), vec!["ks_a_total", "ks_b_total", "ks_c"]);
+        // Entries enumerate labelled instances; the two ks_b labellings
+        // are distinct entries with their label sets intact.
+        let entries = db.series_entries();
+        assert_eq!(entries.len(), 4);
+        let b_labels: Vec<_> = entries
+            .iter()
+            .filter(|(n, _)| n == "ks_b_total")
+            .map(|(_, l)| l.clone())
+            .collect();
+        assert_eq!(
+            b_labels,
+            vec![
+                vec![("kind".to_string(), "x".to_string())],
+                vec![("kind".to_string(), "y".to_string())],
+            ]
+        );
     }
 
     #[test]

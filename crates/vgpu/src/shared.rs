@@ -136,6 +136,11 @@ pub struct SharedGpu {
     next_client: u64,
     next_tag: u64,
     next_swap_ptr: u64,
+    /// Multiplier applied to every kernel burst's duration (≥ 1.0).
+    /// 1.0 = healthy; a degraded physical GPU (thermal throttling, ECC
+    /// retirement) stretches kernels by this factor. Set by the chaos
+    /// layer's `VgpuDegrade` fault; composes with the swap penalty.
+    degraded_factor: f64,
     telemetry: Telemetry,
 }
 
@@ -156,8 +161,33 @@ impl SharedGpu {
             next_client: 1,
             next_tag: 1,
             next_swap_ptr: 0,
+            degraded_factor: 1.0,
             telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Sets the degradation multiplier (≥ 1.0; 1.0 restores full speed).
+    /// Kernels already on the device finish at their submitted duration;
+    /// only subsequent submissions stretch. Mirrored into the
+    /// `ks_vgpu_degradation_factor{gpu}` gauge so detectors can verify
+    /// their inference against ground truth in tests.
+    pub fn set_degraded(&mut self, factor: f64) {
+        assert!(
+            factor.is_finite() && factor >= 1.0,
+            "degradation factor must be >= 1.0, got {factor}"
+        );
+        self.degraded_factor = factor;
+        if self.telemetry.is_enabled() {
+            let uuid = self.device.uuid().to_string();
+            self.telemetry
+                .gauge("ks_vgpu_degradation_factor", &[("gpu", &uuid)])
+                .set(factor);
+        }
+    }
+
+    /// The degradation multiplier in force (1.0 = healthy).
+    pub fn degraded_factor(&self) -> f64 {
+        self.degraded_factor
     }
 
     /// Attaches a telemetry handle. Metrics from this device (and its
@@ -565,7 +595,9 @@ impl SharedGpu {
         } else {
             0.0
         };
-        let dur = burst.dur.mul_f64(self.swap.kernel_factor(swapped_fraction));
+        let dur = burst
+            .dur
+            .mul_f64(self.swap.kernel_factor(swapped_fraction) * self.degraded_factor);
         let dev_tag = KernelTag(self.next_tag);
         self.next_tag += 1;
         self.tags.insert(dev_tag.0, (client, burst.tag));
@@ -663,6 +695,46 @@ mod tests {
                 VgpuNotice::BurstDone { client: c, tag: 7 }
             )]
         );
+    }
+
+    #[test]
+    fn degraded_gpu_stretches_kernels_until_restored() {
+        let mut eng = new_harness(IsolationMode::NONE, 100);
+        let c = eng.world.gpu.attach(ShareSpec::exclusive());
+        assert_eq!(eng.world.gpu.degraded_factor(), 1.0);
+        eng.world.gpu.set_degraded(3.0);
+        let mut out = Vec::new();
+        eng.world
+            .gpu
+            .submit_burst(SimTime::ZERO, c, SimDuration::from_millis(50), 1, &mut out);
+        seed(&mut eng, out);
+        eng.run_to_completion(1000);
+        // 50ms burst stretched 3× by the degradation.
+        assert_eq!(
+            eng.world.notices,
+            vec![(
+                SimTime::from_millis(150),
+                VgpuNotice::BurstDone { client: c, tag: 1 }
+            )]
+        );
+        // Restore: subsequent bursts run at full speed again.
+        eng.world.gpu.set_degraded(1.0);
+        let now = eng.now();
+        let mut out = Vec::new();
+        eng.world
+            .gpu
+            .submit_burst(now, c, SimDuration::from_millis(50), 2, &mut out);
+        seed(&mut eng, out);
+        eng.run_to_completion(1000);
+        let (done_at, _) = *eng.world.notices.last().unwrap();
+        assert_eq!(done_at.saturating_since(now), SimDuration::from_millis(50));
+    }
+
+    #[test]
+    #[should_panic(expected = "degradation factor")]
+    fn degraded_factor_below_one_is_rejected() {
+        let mut eng = new_harness(IsolationMode::NONE, 100);
+        eng.world.gpu.set_degraded(0.5);
     }
 
     #[test]
