@@ -31,17 +31,37 @@ pub struct PlacementReport {
 impl PlacementReport {
     /// GPUs with total demand > 1.0 (over-committed → interference).
     pub fn overcommitted_gpus(&self) -> usize {
-        self.gpu_load.iter().filter(|&&l| l > 1.0 + 1e-9).count()
+        ks_partition::frag::overcommitted(&self.gpu_load)
     }
 
     /// GPUs with any load (must stay powered/reserved).
     pub fn active_gpus(&self) -> usize {
-        self.gpu_load.iter().filter(|&&l| l > 1e-9).count()
+        ks_partition::frag::active(&self.gpu_load)
     }
 
     /// Largest per-GPU load.
     pub fn max_load(&self) -> f64 {
-        self.gpu_load.iter().copied().fold(0.0, f64::max)
+        ks_partition::frag::max_load(&self.gpu_load)
+    }
+
+    /// Pool fragmentation of the placement: free capacity that no single
+    /// further container could claim, as a fraction of all free capacity.
+    /// Time-sliced devices make any residual reachable, so this is 0 for
+    /// loads at or under 1.0 — the measure's spatial bite shows up in
+    /// [`ks_partition::pool_fragmentation`]'s partitioned views.
+    pub fn fragmentation(&self) -> f64 {
+        let views: Vec<ks_partition::DeviceFreeView> = self
+            .gpu_load
+            .iter()
+            .map(|&l| {
+                let free = (1.0 - l).max(0.0);
+                ks_partition::DeviceFreeView {
+                    free,
+                    largest_alloc: free,
+                }
+            })
+            .collect();
+        ks_partition::pool_fragmentation(&views)
     }
 }
 

@@ -269,6 +269,7 @@ impl SimEvent<KsWorld> for KsWorldEvent {
                     locality: spec.locality.clone(),
                     tenant: None,
                     priority: 0,
+                    substrate: ks_partition::Substrate::TimeSlice,
                 };
                 let name = spec.name.clone();
                 let mut out = Vec::new();

@@ -24,6 +24,7 @@ pub mod fig8;
 pub mod fig9;
 pub mod gateway_load;
 pub mod metrics_demo;
+pub mod partition;
 pub mod remediation;
 pub mod sched_scale;
 pub mod table1;

@@ -321,9 +321,13 @@ impl World {
                 node.clone()
             }
             Action::DrainVgpu { gpu } => {
-                let id = GpuId::named(gpu.clone());
-                self.ks.drain_vgpu(now, &id, out, &mut notes);
-                self.degraded.remove(&id);
+                // A `"gpu#sN"` target scopes the drain to one slice of a
+                // spatially partitioned device; a plain id drains the whole
+                // vGPU. Either way the *device* leaves the degraded set —
+                // severity is a device-level property.
+                self.ks.drain_target(now, gpu, out, &mut notes);
+                let base = gpu.split_once("#s").map_or(gpu.as_str(), |(g, _)| g);
+                self.degraded.remove(&GpuId::named(base));
                 gpu.clone()
             }
             // No gateway fronts this soak; admission tightening is

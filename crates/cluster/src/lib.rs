@@ -42,6 +42,6 @@ pub use device_plugin::{
     NvidiaGpuPlugin, UnitAssignPolicy,
 };
 pub use latency::LatencyModel;
-pub use scheduler::{KubeScheduler, NodeView, ScorePolicy};
+pub use scheduler::{KubeScheduler, NodeView, ScorePolicy, SpatialSlices};
 pub use sim::{ClusterConfig, ClusterEmit, ClusterEvent, ClusterNotice, ClusterSim, GpuPluginKind};
 pub use store::{Namespaced, Store, WatchEvent, Watcher};

@@ -79,6 +79,18 @@ impl OrdF64 {
     }
 }
 
+/// Spatial-partition capacity advertised by a node: slice slots across
+/// its MIG-style partitioned GPUs. `None` on [`NodeView`] means the node
+/// advertises no spatial substrate and scoring is exactly as before the
+/// partition subsystem existed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpatialSlices {
+    /// Unoccupied slice slots across the node's partitioned GPUs.
+    pub free_slots: u64,
+    /// Total slice slots across the node's partitioned GPUs.
+    pub total_slots: u64,
+}
+
 /// Node snapshot the scheduler filters and scores.
 #[derive(Debug, Clone)]
 pub struct NodeView {
@@ -88,9 +100,27 @@ pub struct NodeView {
     pub allocatable: ResourceList,
     /// Resources already requested by bound pods.
     pub allocated: ResourceList,
+    /// Slice-slot capacity of partitioned GPUs on the node, if any. An
+    /// extra scoring axis only — slot *placement* feasibility belongs to
+    /// the partition tables upstream.
+    pub spatial: Option<SpatialSlices>,
 }
 
 impl NodeView {
+    /// A view with no spatial substrate (the pre-partition shape).
+    pub fn new(
+        name: impl Into<String>,
+        allocatable: ResourceList,
+        allocated: ResourceList,
+    ) -> Self {
+        NodeView {
+            name: name.into(),
+            allocatable,
+            allocated,
+            spatial: None,
+        }
+    }
+
     /// Remaining capacity.
     pub fn free(&self) -> ResourceList {
         self.allocatable.checked_sub(&self.allocated)
@@ -168,6 +198,16 @@ impl KubeScheduler {
                 n += 1.0;
             }
         }
+        // Spatial substrate: free slice slots are one more capacity axis,
+        // so nodes whose partitioned GPUs are emptier score freer. Nodes
+        // without partitioned GPUs skip the axis and score exactly as
+        // before the partition subsystem existed.
+        if let Some(s) = node.spatial {
+            if s.total_slots > 0 {
+                sum += s.free_slots as f64 / s.total_slots as f64;
+                n += 1.0;
+            }
+        }
         let free_frac = if n > 0.0 { sum / n } else { 0.0 };
         match self.policy {
             ScorePolicy::LeastAllocated => free_frac,
@@ -182,12 +222,11 @@ mod tests {
     use crate::api::resources::NVIDIA_GPU;
 
     fn node(name: &str, gpu_cap: u64, gpu_used: u64) -> NodeView {
-        NodeView {
-            name: name.into(),
-            allocatable: ResourceList::cpu_mem(36_000, 244 << 30)
-                .with_extended(NVIDIA_GPU, gpu_cap),
-            allocated: ResourceList::cpu_mem(0, 0).with_extended(NVIDIA_GPU, gpu_used),
-        }
+        NodeView::new(
+            name,
+            ResourceList::cpu_mem(36_000, 244 << 30).with_extended(NVIDIA_GPU, gpu_cap),
+            ResourceList::cpu_mem(0, 0).with_extended(NVIDIA_GPU, gpu_used),
+        )
     }
 
     fn gpu_req(n: u64) -> ResourceList {
@@ -230,6 +269,32 @@ mod tests {
         let s = KubeScheduler::new(ScorePolicy::LeastAllocated);
         let nodes = vec![node("a", 4, 1), node("b", 4, 1)];
         assert_eq!(s.pick_node(&gpu_req(1), &nodes), Some(0));
+    }
+
+    #[test]
+    fn spatial_slots_are_a_scoring_axis() {
+        let s = KubeScheduler::new(ScorePolicy::LeastAllocated);
+        // Identical nodes except for slice occupancy on their partitioned
+        // GPUs: the one with free slots scores freer and wins the spread.
+        let mut full = node("a", 4, 1);
+        full.spatial = Some(SpatialSlices {
+            free_slots: 0,
+            total_slots: 7,
+        });
+        let mut empty = node("b", 4, 1);
+        empty.spatial = Some(SpatialSlices {
+            free_slots: 7,
+            total_slots: 7,
+        });
+        let nodes = vec![full, empty];
+        let picked = s.pick_node(&gpu_req(1), &nodes).unwrap();
+        assert_eq!(nodes[picked].name, "b");
+        // A node with no spatial substrate scores exactly as one whose
+        // field is absent — the axis only exists when advertised.
+        let plain = node("c", 4, 1);
+        let mut none = node("c", 4, 1);
+        none.spatial = None;
+        assert_eq!(s.node_score(&plain), s.node_score(&none));
     }
 
     #[test]

@@ -19,7 +19,7 @@ use crate::api::resources::ResourceList;
 use crate::api::ObjectMeta;
 use crate::device_plugin::{DeviceManager, FractionalGpuPlugin, NvidiaGpuPlugin, UnitAssignPolicy};
 use crate::latency::LatencyModel;
-use crate::scheduler::{KubeScheduler, NodeView, OrdF64, SchedMode, ScorePolicy};
+use crate::scheduler::{KubeScheduler, NodeView, OrdF64, SchedMode, ScorePolicy, SpatialSlices};
 use crate::store::Store;
 
 /// Which GPU device plugin every node runs.
@@ -140,6 +140,11 @@ struct NodeState {
     /// (`None` while down). Stored so removal never recomputes — the index
     /// stays correct regardless of mutation order.
     score_key: Option<OrdF64>,
+    /// Slice-slot capacity of partitioned GPUs on this node, advertised by
+    /// the control plane through [`ClusterSim::set_spatial_slices`]. `None`
+    /// (the default) leaves scoring exactly as before the partition
+    /// subsystem existed.
+    spatial: Option<SpatialSlices>,
 }
 
 /// The simulated control plane. See module docs.
@@ -211,6 +216,7 @@ impl ClusterSim {
                     up: true,
                     cordoned: false,
                     score_key: None,
+                    spatial: None,
                 }
             })
             .collect();
@@ -251,6 +257,29 @@ impl ClusterSim {
         self.sched_mode = mode;
     }
 
+    /// Advertises (or updates) a node's spatial slice capacity: the
+    /// control plane mirrors its partition tables here so node scoring
+    /// sees slice occupancy as one more capacity axis. `total == 0`
+    /// withdraws the advertisement. Returns `false` for unknown nodes.
+    /// The node is re-filed in the rank index under its new score, so both
+    /// node-selection modes keep placing identically.
+    pub fn set_spatial_slices(&mut self, node: &str, free_slots: u64, total_slots: u64) -> bool {
+        let Some(idx) = self.node_idx(node) else {
+            return false;
+        };
+        let spatial = (total_slots > 0).then_some(SpatialSlices {
+            free_slots: free_slots.min(total_slots),
+            total_slots,
+        });
+        if self.nodes[idx].spatial == spatial {
+            return true;
+        }
+        self.rank_unindex(idx);
+        self.nodes[idx].spatial = spatial;
+        self.rank_index(idx);
+        true
+    }
+
     /// Files an up node in the rank index under its current score and
     /// adds its free capacity to the cluster-wide total.
     fn rank_index(&mut self, idx: usize) {
@@ -264,6 +293,7 @@ impl ClusterSim {
             name: n.name.clone(),
             allocatable: n.allocatable.clone(),
             allocated: n.allocated.clone(),
+            spatial: n.spatial,
         });
         self.free_total = self.free_total.checked_add(&free);
         let key = OrdF64::of(score);
@@ -310,6 +340,7 @@ impl ClusterSim {
                 name: n.name.clone(),
                 allocatable: n.allocatable.clone(),
                 allocated: n.allocated.clone(),
+                spatial: n.spatial,
             });
             let key = OrdF64::of(score);
             if n.score_key != Some(key) {
@@ -708,6 +739,7 @@ impl ClusterSim {
                 name: n.name.clone(),
                 allocatable: n.allocatable.clone(),
                 allocated: n.allocated.clone(),
+                spatial: n.spatial,
             });
         }
         (idxs, views)

@@ -24,6 +24,7 @@
 pub use ks_cluster::scheduler::SchedMode;
 
 use ks_cluster::api::Uid;
+use ks_partition::{Profile, Substrate, TableState, SLOTS_PER_GPU};
 
 use crate::gpuid::GpuId;
 use crate::locality::Locality;
@@ -47,6 +48,11 @@ pub enum Decision {
     Assign(GpuId),
     /// Create a new vGPU with this (fresh) GPUID and bind to it.
     NewDevice(GpuId),
+    /// Spatial only: no legal slice start hosts the request anywhere, but
+    /// this partitioned device holds enough *total* free slots — capacity
+    /// stranded purely by slice geometry. The caller should drain and
+    /// reconfigure the device, then retry the request.
+    Reconfigure(GpuId),
     /// Constraints cannot be satisfied (paper's `return -1`).
     Reject(RejectReason),
 }
@@ -95,7 +101,9 @@ pub fn fit_residual(req: &SchedRequest, pool: &VgpuPool, gpuid: &GpuId) -> Optio
 pub fn schedule(req: &SchedRequest, pool: &mut VgpuPool) -> Decision {
     // ---- Step 1: affinity (lines 1–14) ----
     if let Some(aff) = &req.locality.affinity {
-        let target = pool.devices().find(|d| !d.releasing && d.aff.contains(aff));
+        let target = pool
+            .devices()
+            .find(|d| !d.releasing && !d.is_spatial() && d.aff.contains(aff));
         if let Some(d) = target {
             if !excl_matches(&req.locality.exclusion, &d.excl) {
                 return Decision::Reject(RejectReason::ExclusionConflict);
@@ -110,7 +118,10 @@ pub fn schedule(req: &SchedRequest, pool: &mut VgpuPool) -> Decision {
         }
         // No device carries the label yet: prefer an idle device so the
         // affinity group has maximal room (lines 9–14).
-        if let Some(d) = pool.devices().find(|d| !d.releasing && d.is_idle()) {
+        if let Some(d) = pool
+            .devices()
+            .find(|d| !d.releasing && !d.is_spatial() && d.is_idle())
+        {
             return Decision::Assign(d.id.clone());
         }
         return Decision::NewDevice(pool.fresh_id());
@@ -120,8 +131,8 @@ pub fn schedule(req: &SchedRequest, pool: &mut VgpuPool) -> Decision {
     let candidates: Vec<&PoolDevice> = pool
         .devices()
         .filter(|d| {
-            if d.releasing {
-                return false; // being handed back to Kubernetes
+            if d.releasing || d.is_spatial() {
+                return false; // handed back, or on the spatial substrate
             }
             if d.is_idle() {
                 return true; // clean device: constraints are vacuous
@@ -237,6 +248,177 @@ pub fn schedule_with(mode: SchedMode, req: &SchedRequest, pool: &mut VgpuPool) -
     }
 }
 
+/// A device's (free, reachable) capacity fractions for the pool
+/// fragmentation score — `largest_alloc == free` on time-sliced devices,
+/// the largest placeable profile on partitioned ones.
+fn free_view(d: &PoolDevice) -> (f64, f64) {
+    match &d.partition {
+        Some(t) => (
+            f64::from(t.free_slots()) / f64::from(SLOTS_PER_GPU),
+            f64::from(t.largest_placeable_slots()) / f64::from(SLOTS_PER_GPU),
+        ),
+        None => (d.util_free, d.util_free),
+    }
+}
+
+/// The spatial analogue of Algorithm 1: bind the request to a dedicated
+/// MIG-style slice instead of a token lease.
+///
+/// * **Step 1** — affinity, as in the reference: a partitioned device
+///   already carrying the label is binding (reject on conflicts or when
+///   no legal start hosts the group member's profile); otherwise prefer
+///   an empty partitioned device so the group has maximal room.
+/// * **Step 2** — filter: non-releasing partitioned devices passing the
+///   exclusion/anti-affinity predicates (empty devices are clean) whose
+///   active table can place the profile.
+/// * **Step 3** — placement by *fragmentation score*: pick the candidate
+///   whose hypothetical placement leaves the pool least fragmented
+///   ([`ks_partition::pool_fragmentation`] after the alloc), smallest id
+///   on ties. Where best-fit packs residuals, this packs *geometry*:
+///   it avoids placements that strand slots no profile can start on.
+///
+/// When no legal start exists anywhere but some active device holds
+/// enough total free slots, the verdict is [`Decision::Reconfigure`] —
+/// the capacity exists and only the layout blocks it, so the caller
+/// should pay the explicit reconfiguration cost rather than burn a whole
+/// new physical GPU.
+pub fn schedule_spatial(req: &SchedRequest, pool: &mut VgpuPool) -> Decision {
+    let demand = req.util.max(req.mem);
+    let Some(profile) = Profile::smallest_covering(demand) else {
+        return Decision::Reject(RejectReason::InsufficientCapacity);
+    };
+
+    // ---- Step 1: affinity ----
+    if let Some(aff) = &req.locality.affinity {
+        let target = pool.spatial_devices().find(|d| d.aff.contains(aff));
+        if let Some(d) = target {
+            if !excl_matches(&req.locality.exclusion, &d.excl) {
+                return Decision::Reject(RejectReason::ExclusionConflict);
+            }
+            if anti_aff_conflicts(&req.locality.anti_affinity, d) {
+                return Decision::Reject(RejectReason::AntiAffinityConflict);
+            }
+            if !d
+                .partition
+                .as_ref()
+                .expect("spatial device")
+                .can_place(profile)
+            {
+                return Decision::Reject(RejectReason::InsufficientCapacity);
+            }
+            return Decision::Assign(d.id.clone());
+        }
+        if let Some(d) = pool.spatial_devices().find(|d| {
+            d.is_idle()
+                && d.partition
+                    .as_ref()
+                    .expect("spatial device")
+                    .can_place(profile)
+        }) {
+            return Decision::Assign(d.id.clone());
+        }
+        return Decision::NewDevice(pool.fresh_id());
+    }
+
+    // ---- Step 2: filter ----
+    let passes = |d: &PoolDevice| {
+        d.is_idle()
+            || (excl_matches(&req.locality.exclusion, &d.excl)
+                && !anti_aff_conflicts(&req.locality.anti_affinity, d))
+    };
+
+    // ---- Step 3: fragmentation-aware placement ----
+    // Pool-wide (free, reachable) totals over every schedulable device of
+    // either substrate; each candidate's score is an O(1) delta on them.
+    let mut free_total = 0.0;
+    let mut reach_total = 0.0;
+    for d in pool.devices().filter(|d| !d.releasing) {
+        let (f, r) = free_view(d);
+        free_total += f;
+        reach_total += r;
+    }
+    let frac = profile.frac();
+    let mut best: Option<(f64, GpuId)> = None;
+    for d in pool.spatial_devices() {
+        if !passes(d) {
+            continue;
+        }
+        let table = d.partition.as_ref().expect("spatial device");
+        if !table.can_place(profile) {
+            continue;
+        }
+        let (_, reach_before) = free_view(d);
+        let mut after = table.clone();
+        after.alloc(profile).expect("can_place checked");
+        let reach_after = f64::from(after.largest_placeable_slots()) / f64::from(SLOTS_PER_GPU);
+        let free_after = free_total - frac;
+        let score = if free_after <= 1e-9 {
+            0.0
+        } else {
+            (1.0 - (reach_total - reach_before + reach_after) / free_after).clamp(0.0, 1.0)
+        };
+        let better = match &best {
+            None => true,
+            Some((bs, bid)) => match score.total_cmp(bs) {
+                std::cmp::Ordering::Less => true,
+                std::cmp::Ordering::Equal => d.id < *bid,
+                std::cmp::Ordering::Greater => false,
+            },
+        };
+        if better {
+            best = Some((score, d.id.clone()));
+        }
+    }
+    if let Some((_, id)) = best {
+        return Decision::Assign(id);
+    }
+
+    // No legal start anywhere. If an active device holds enough total
+    // free slots the capacity is merely stranded by geometry: propose a
+    // reconfiguration of the roomiest such device (smallest id on ties).
+    let mut target: Option<(u8, GpuId)> = None;
+    for d in pool.spatial_devices() {
+        if !passes(d) {
+            continue;
+        }
+        let table = d.partition.as_ref().expect("spatial device");
+        if table.state() != TableState::Active || table.free_slots() < profile.slots() {
+            continue;
+        }
+        let better = match &target {
+            None => true,
+            Some((fs, tid)) => {
+                table.free_slots() > *fs || (table.free_slots() == *fs && d.id < *tid)
+            }
+        };
+        if better {
+            target = Some((table.free_slots(), d.id.clone()));
+        }
+    }
+    if let Some((_, id)) = target {
+        return Decision::Reconfigure(id);
+    }
+    Decision::NewDevice(pool.fresh_id())
+}
+
+/// Runs the scheduler for a request on a given [`Substrate`]: requests
+/// that want a spatial slice go through [`schedule_spatial`]; everything
+/// else takes the token-lease path [`schedule_with`] *unchanged* — a
+/// `TimeSlice`-only workload is decision-identical to the pre-substrate
+/// scheduler (enforced by `tests/substrate_differential.rs`).
+pub fn schedule_substrate(
+    mode: SchedMode,
+    substrate: Substrate,
+    req: &SchedRequest,
+    pool: &mut VgpuPool,
+) -> Decision {
+    if substrate.wants_spatial(req.util, req.mem) {
+        schedule_spatial(req, pool)
+    } else {
+        schedule_with(mode, req, pool)
+    }
+}
+
 /// One pending sharePod in a scheduling batch.
 #[derive(Debug, Clone)]
 pub struct BatchEntry {
@@ -269,7 +451,8 @@ pub fn schedule_batch(
                     pool.insert_creating(id.clone());
                     Some(id.clone())
                 }
-                Decision::Reject(_) => None,
+                // The time-slice path never proposes a reconfiguration.
+                Decision::Reconfigure(_) | Decision::Reject(_) => None,
             };
             if let Some(id) = target {
                 pool.attach(
@@ -620,6 +803,211 @@ mod tests {
         // And a zero/zero request best-fits the tightest device.
         let d = both_modes(build, &req(0.0, 0.0));
         assert_eq!(d, Decision::Assign(ids[0].clone()));
+    }
+
+    // ---- spatial substrate ----
+
+    /// Pool with `n` ready *partitioned* devices.
+    fn spatial_pool(n: usize) -> (VgpuPool, Vec<GpuId>) {
+        let mut p = VgpuPool::new();
+        let ids = (0..n)
+            .map(|i| {
+                let id = p.fresh_id();
+                p.insert_creating_spatial(id.clone());
+                p.mark_ready(&id, format!("node-{}", i / 4), format!("GPU-{i}"));
+                id
+            })
+            .collect();
+        (p, ids)
+    }
+
+    fn slice(p: &mut VgpuPool, id: &GpuId, uid: u64, profile: Profile) {
+        p.attach_slice(
+            id,
+            Uid(uid),
+            profile,
+            profile.frac(),
+            profile.frac(),
+            None,
+            None,
+            None,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn time_slice_scheduler_never_sees_spatial_devices() {
+        let (mut p, _sids) = spatial_pool(2);
+        // Both paths must create a new device rather than touch a
+        // partitioned one, in every mode.
+        for decide in [schedule, schedule_indexed] {
+            match decide(&req(0.5, 0.5), &mut p) {
+                Decision::NewDevice(_) => {}
+                d => panic!("expected NewDevice, got {d:?}"),
+            }
+            let r = req_loc(0.5, 0.5, Locality::none().with_affinity("g"));
+            match decide(&r, &mut p) {
+                Decision::NewDevice(_) => {}
+                d => panic!("expected NewDevice, got {d:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn spatial_placement_minimizes_pool_fragmentation() {
+        let (mut p, ids) = spatial_pool(2);
+        // Device 0 already hosts a P4 (slots 0-3): a P3 completes it
+        // exactly; putting the P3 on the empty device 1 would strand its
+        // P4 start. The fragmentation score must pack device 0.
+        slice(&mut p, &ids[0], 1, Profile::P4);
+        assert_eq!(
+            schedule_spatial(&req(3.0 / 7.0, 0.1), &mut p),
+            Decision::Assign(ids[0].clone())
+        );
+    }
+
+    #[test]
+    fn spatial_demand_rounds_up_to_profile() {
+        let (mut p, ids) = spatial_pool(1);
+        // 0.3 → P3. After binding, only 4 slots remain.
+        assert_eq!(
+            schedule_spatial(&req(0.3, 0.1), &mut p),
+            Decision::Assign(ids[0].clone())
+        );
+        slice(&mut p, &ids[0], 1, Profile::P3);
+        let d = p.get(&ids[0]).unwrap();
+        assert_eq!(d.partition.as_ref().unwrap().free_slots(), 4);
+        // Demand beyond a whole device is unsatisfiable.
+        assert_eq!(
+            schedule_spatial(&req(1.2, 0.1), &mut p),
+            Decision::Reject(RejectReason::InsufficientCapacity)
+        );
+    }
+
+    #[test]
+    fn stranded_capacity_triggers_reconfigure_verdict() {
+        let (mut p, ids) = spatial_pool(1);
+        // Fill the grid with seven 1-slot tenants, then free all but the
+        // ones on slots 0 and 4 — the P3/P4 anchor slots. Five slots are
+        // free yet no 3-slot (or larger) profile has a legal start.
+        for uid in 1..=7u64 {
+            slice(&mut p, &ids[0], uid, Profile::P1);
+        }
+        let keep: Vec<Uid> = [0u8, 4]
+            .iter()
+            .map(|&s| p.slice_tenant(&ids[0], s).unwrap())
+            .collect();
+        for uid in 1..=7u64 {
+            if !keep.contains(&Uid(uid)) {
+                p.detach(&ids[0], Uid(uid));
+            }
+        }
+        let table = p.get(&ids[0]).unwrap().partition.as_ref().unwrap();
+        assert_eq!(table.free_slots(), 5);
+        assert!(!table.can_place(Profile::P3));
+        // A 3-slot demand: capacity exists, only geometry blocks it.
+        assert_eq!(
+            schedule_spatial(&req(0.4, 0.1), &mut p),
+            Decision::Reconfigure(ids[0].clone())
+        );
+        // A 1-slot demand still fits in place — no reconfig churn.
+        assert!(matches!(
+            schedule_spatial(&req(0.1, 0.1), &mut p),
+            Decision::Assign(_)
+        ));
+    }
+
+    #[test]
+    fn spatial_affinity_binds_to_group_device() {
+        let (mut p, ids) = spatial_pool(2);
+        p.attach_slice(
+            &ids[1],
+            Uid(1),
+            Profile::P2,
+            0.2,
+            0.2,
+            Some("grp"),
+            None,
+            None,
+        )
+        .unwrap();
+        let r = req_loc(0.2, 0.2, Locality::none().with_affinity("grp"));
+        assert_eq!(
+            schedule_spatial(&r, &mut p),
+            Decision::Assign(ids[1].clone())
+        );
+        // A group member too large for the remaining grid is rejected.
+        let r_big = req_loc(1.0, 1.0, Locality::none().with_affinity("grp"));
+        assert_eq!(
+            schedule_spatial(&r_big, &mut p),
+            Decision::Reject(RejectReason::InsufficientCapacity)
+        );
+    }
+
+    #[test]
+    fn spatial_exclusion_separates_tenants() {
+        let (mut p, ids) = spatial_pool(2);
+        p.attach_slice(
+            &ids[0],
+            Uid(1),
+            Profile::P2,
+            0.2,
+            0.2,
+            None,
+            None,
+            Some("tenant-a"),
+        )
+        .unwrap();
+        let r = req_loc(0.2, 0.2, Locality::none().with_exclusion("tenant-b"));
+        assert_eq!(
+            schedule_spatial(&r, &mut p),
+            Decision::Assign(ids[1].clone())
+        );
+    }
+
+    #[test]
+    fn substrate_dispatch_routes_by_waste() {
+        let (mut p, ids) = spatial_pool(1);
+        // TimeSlice ignores the partitioned device entirely.
+        assert!(matches!(
+            schedule_substrate(
+                SchedMode::Reference,
+                Substrate::TimeSlice,
+                &req(0.5, 0.5),
+                &mut p
+            ),
+            Decision::NewDevice(_)
+        ));
+        // Spatial binds a slice.
+        assert_eq!(
+            schedule_substrate(
+                SchedMode::Reference,
+                Substrate::Spatial,
+                &req(0.5, 0.5),
+                &mut p
+            ),
+            Decision::Assign(ids[0].clone())
+        );
+        // Hybrid: 0.5 → P4 (waste 1/14) goes spatial; 0.6 → P7 (waste
+        // 0.4) falls back to the token path.
+        assert_eq!(
+            schedule_substrate(
+                SchedMode::Reference,
+                Substrate::Hybrid,
+                &req(0.5, 0.1),
+                &mut p
+            ),
+            Decision::Assign(ids[0].clone())
+        );
+        assert!(matches!(
+            schedule_substrate(
+                SchedMode::Reference,
+                Substrate::Hybrid,
+                &req(0.6, 0.1),
+                &mut p
+            ),
+            Decision::NewDevice(_)
+        ));
     }
 
     #[test]

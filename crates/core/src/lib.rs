@@ -34,10 +34,11 @@ pub mod sharepod;
 pub mod system;
 
 pub use algorithm::{
-    schedule, schedule_batch, schedule_indexed, schedule_with, BatchEntry, Decision, RejectReason,
-    SchedMode, SchedRequest,
+    schedule, schedule_batch, schedule_indexed, schedule_spatial, schedule_substrate,
+    schedule_with, BatchEntry, Decision, RejectReason, SchedMode, SchedRequest,
 };
 pub use gpuid::GpuId;
+pub use ks_partition::{Profile, Substrate};
 pub use locality::Locality;
 pub use pool::{PoolDevice, VgpuPhase, VgpuPool};
 pub use replicaset::{ReplicaSetController, ReplicaSetId, ReplicaSetSpec};

@@ -35,6 +35,10 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use ks_cluster::api::Uid;
 use ks_cluster::scheduler::OrdF64;
+use ks_partition::{
+    DeviceFreeView, PartitionError, PartitionTable, Profile, TableState, SLOTS_PER_GPU,
+};
+use ks_sim_core::time::{SimDuration, SimTime};
 use serde::Serialize;
 
 use crate::gpuid::GpuId;
@@ -76,6 +80,13 @@ pub struct PoolDevice {
     /// Set once DevMgr decided to release the GPU back to Kubernetes; the
     /// anchor pod is being torn down and no new sharePod may bind here.
     pub releasing: bool,
+    /// Spatial substrate: the MIG-style slice layout when this device is
+    /// partitioned, `None` for the paper's time-sliced devices. The
+    /// `util_free`/`mem_free` residuals mirror `free_slots / 7` exactly so
+    /// node-capacity accounting and gauges work unchanged.
+    pub partition: Option<PartitionTable>,
+    /// Slice tenants: sharePod → start slot of the slice it occupies.
+    pub slice_of: BTreeMap<Uid, u8>,
 }
 
 impl PoolDevice {
@@ -92,7 +103,14 @@ impl PoolDevice {
             excl: None,
             attached: BTreeMap::new(),
             releasing: false,
+            partition: None,
+            slice_of: BTreeMap::new(),
         }
+    }
+
+    /// Whether this device runs the spatial substrate (is partitioned).
+    pub fn is_spatial(&self) -> bool {
+        self.partition.is_some()
     }
 
     /// True if no sharePod is scheduled on the device (the algorithm's
@@ -127,6 +145,11 @@ struct PoolIndexes {
     aff_index: BTreeMap<String, BTreeSet<GpuId>>,
     /// Node → devices hosted there (releasing devices included).
     by_node: BTreeMap<String, BTreeSet<GpuId>>,
+    /// Non-releasing partitioned devices, in id order. Spatial devices
+    /// live *only* here (plus `by_node`): they are invisible to the
+    /// time-slice fit/idle/affinity indexes, so Algorithm 1's token-lease
+    /// path never sees them and the release policy never reclaims them.
+    spatial: BTreeSet<GpuId>,
 }
 
 impl PoolIndexes {
@@ -140,6 +163,12 @@ impl PoolIndexes {
         }
         if d.releasing {
             // Invisible to the scheduler: no capacity/idle/affinity entries.
+            return;
+        }
+        if d.partition.is_some() {
+            // Spatial devices are scheduled through the partition path,
+            // never the time-slice fit/idle/affinity indexes.
+            self.spatial.insert(d.id.clone());
             return;
         }
         let key = OrdF64::of(d.fit_key());
@@ -175,6 +204,10 @@ impl PoolIndexes {
             }
         }
         if d.releasing {
+            return;
+        }
+        if d.partition.is_some() {
+            self.spatial.remove(&d.id);
             return;
         }
         let key = OrdF64::of(d.fit_key());
@@ -252,6 +285,21 @@ impl VgpuPool {
         self.devices.insert(id, d);
     }
 
+    /// Adds a new *partitioned* vGPU in `Creating` phase under the given
+    /// id: its anchor pod claims a whole physical GPU which is carved
+    /// into the MIG-style slice grid instead of time-sliced.
+    ///
+    /// # Panics
+    /// Panics if the id already exists.
+    pub fn insert_creating_spatial(&mut self, id: GpuId) {
+        assert!(!self.devices.contains_key(&id), "vGPU {id} already in pool");
+        let mut d = PoolDevice::fresh(id.clone());
+        d.partition = Some(PartitionTable::new());
+        self.tally[d.phase as usize] += 1;
+        self.ix.insert(&d);
+        self.devices.insert(id, d);
+    }
+
     /// Marks a creating vGPU ready: physical GPU acquired.
     pub fn mark_ready(&mut self, id: &GpuId, node: String, uuid: String) {
         let d = self.devices.get_mut(id).expect("vGPU in pool");
@@ -285,6 +333,10 @@ impl VgpuPool {
     ) {
         let d = self.devices.get_mut(id).expect("vGPU in pool");
         assert!(
+            !d.is_spatial(),
+            "token-lease attach on partitioned vGPU {id}; use attach_slice"
+        );
+        assert!(
             d.util_free + 1e-9 >= request && d.mem_free + 1e-9 >= mem,
             "over-committing vGPU {id}: free=({:.3},{:.3}) need=({request:.3},{mem:.3})",
             d.util_free,
@@ -310,9 +362,65 @@ impl VgpuPool {
         self.ix.insert(d);
     }
 
+    /// Binds a sharePod to a dedicated slice on a partitioned vGPU. The
+    /// slice profile is placed at the fragmentation-aware best start;
+    /// labels accumulate exactly as in [`VgpuPool::attach`]. Returns the
+    /// start slot, or the partition error (`NoFit` when no legal start
+    /// hosts the profile, `BadState` while draining/reconfiguring).
+    #[allow(clippy::too_many_arguments)] // mirrors attach's request tuple
+    pub fn attach_slice(
+        &mut self,
+        id: &GpuId,
+        sharepod: Uid,
+        profile: Profile,
+        request: f64,
+        mem: f64,
+        aff: Option<&str>,
+        anti_aff: Option<&str>,
+        excl: Option<&str>,
+    ) -> Result<u8, PartitionError> {
+        let d = self.devices.get_mut(id).expect("vGPU in pool");
+        assert!(!d.releasing, "binding to releasing vGPU {id}");
+        let table = d
+            .partition
+            .as_ref()
+            .expect("attach_slice on time-sliced vGPU");
+        if table.state() != TableState::Active {
+            return Err(PartitionError::BadState);
+        }
+        if !table.can_place(profile) {
+            return Err(PartitionError::NoFit);
+        }
+        self.ix.remove(d);
+        let table = d.partition.as_mut().expect("checked above");
+        let start = table.alloc(profile).expect("can_place checked");
+        let free = f64::from(table.free_slots()) / f64::from(SLOTS_PER_GPU);
+        d.util_free = free;
+        d.mem_free = free;
+        d.slice_of.insert(sharepod, start);
+        if let Some(a) = aff {
+            d.aff.insert(a.to_string());
+        }
+        if let Some(a) = anti_aff {
+            d.anti_aff.insert(a.to_string());
+        }
+        d.excl = excl.map(str::to_string);
+        d.attached.insert(sharepod, (request, mem));
+        if d.phase != VgpuPhase::Creating {
+            self.tally[d.phase as usize] -= 1;
+            d.phase = VgpuPhase::Active;
+            self.tally[d.phase as usize] += 1;
+        }
+        let d = &self.devices[id];
+        self.ix.insert(d);
+        Ok(start)
+    }
+
     /// Detaches a sharePod, restoring capacity. Returns `true` if the vGPU
     /// became idle (labels are cleared then, so an idle device is clean for
-    /// any future tenant).
+    /// any future tenant). On a partitioned device this frees the tenant's
+    /// slice (legal while active or draining), so the generic teardown
+    /// paths — node failure, pod deletion, drain — work unchanged.
     pub fn detach(&mut self, id: &GpuId, sharepod: Uid) -> bool {
         let d = self.devices.get_mut(id).expect("vGPU in pool");
         self.ix.remove(d);
@@ -320,8 +428,16 @@ impl VgpuPool {
             .attached
             .remove(&sharepod)
             .expect("sharePod attached to vGPU");
-        d.util_free = (d.util_free + request).min(1.0);
-        d.mem_free = (d.mem_free + mem).min(1.0);
+        if let Some(table) = d.partition.as_mut() {
+            let start = d.slice_of.remove(&sharepod).expect("slice tenant");
+            table.free(start).expect("resident slice");
+            let free = f64::from(table.free_slots()) / f64::from(SLOTS_PER_GPU);
+            d.util_free = free;
+            d.mem_free = free;
+        } else {
+            d.util_free = (d.util_free + request).min(1.0);
+            d.mem_free = (d.mem_free + mem).min(1.0);
+        }
         let became_idle = d.attached.is_empty();
         if became_idle {
             // Full restore, exactly: an idle device has no tenants, so its
@@ -342,6 +458,98 @@ impl VgpuPool {
         let d = &self.devices[id];
         self.ix.insert(d);
         became_idle
+    }
+
+    /// Starts a partition reconfiguration on a spatial device: the table
+    /// goes `Active → Draining` and the resident slice tenants are
+    /// returned for the caller to requeue (each requeue's detach frees
+    /// its slice; once empty, call
+    /// [`VgpuPool::note_partition_drained`]).
+    pub fn begin_partition_drain(&mut self, id: &GpuId) -> Result<Vec<Uid>, PartitionError> {
+        let d = self.devices.get_mut(id).expect("vGPU in pool");
+        let table = d
+            .partition
+            .as_mut()
+            .expect("partition drain on time-sliced vGPU");
+        table.begin_reconfig()?;
+        Ok(d.attached.keys().copied().collect())
+    }
+
+    /// Records that a spatial device's drain completed; the new layout
+    /// activates no earlier than `now + cost`. Returns the activation
+    /// time.
+    pub fn note_partition_drained(
+        &mut self,
+        id: &GpuId,
+        now: SimTime,
+        cost: SimDuration,
+    ) -> Result<SimTime, PartitionError> {
+        let d = self.devices.get_mut(id).expect("vGPU in pool");
+        let table = d
+            .partition
+            .as_mut()
+            .expect("partition drain on time-sliced vGPU");
+        table.note_drained(now, cost)
+    }
+
+    /// Completes a spatial device's reconfiguration at or after the
+    /// activation time recorded by [`VgpuPool::note_partition_drained`].
+    pub fn activate_partition(&mut self, id: &GpuId, now: SimTime) -> Result<(), PartitionError> {
+        let d = self.devices.get_mut(id).expect("vGPU in pool");
+        let table = d
+            .partition
+            .as_mut()
+            .expect("partition activate on time-sliced vGPU");
+        table.activate(now)
+    }
+
+    /// Non-releasing partitioned devices in id order — the candidate set
+    /// of the spatial placement path.
+    pub fn spatial_devices(&self) -> impl Iterator<Item = &PoolDevice> {
+        self.ix.spatial.iter().map(move |id| &self.devices[id])
+    }
+
+    /// Number of non-releasing partitioned devices.
+    pub fn spatial_count(&self) -> usize {
+        self.ix.spatial.len()
+    }
+
+    /// The sharePod occupying the slice that starts at `start` on a
+    /// partitioned device, if any.
+    pub fn slice_tenant(&self, id: &GpuId, start: u8) -> Option<Uid> {
+        self.devices.get(id).and_then(|d| {
+            d.slice_of
+                .iter()
+                .find(|&(_, &s)| s == start)
+                .map(|(&u, _)| u)
+        })
+    }
+
+    /// Pool-level fragmentation over all schedulable (non-releasing)
+    /// devices: the fraction of free capacity no single allocation can
+    /// claim ([`ks_partition::pool_fragmentation`]). Time-sliced devices
+    /// contribute `largest_alloc == free` (any residual is reachable);
+    /// partitioned ones contribute their largest placeable profile — 0
+    /// mid-reconfig, so draining devices raise the gauge until they come
+    /// back.
+    pub fn fragmentation(&self) -> f64 {
+        let views: Vec<DeviceFreeView> = self
+            .devices
+            .values()
+            .filter(|d| !d.releasing)
+            .map(|d| match &d.partition {
+                Some(t) => DeviceFreeView {
+                    free: f64::from(t.free_slots()) / f64::from(SLOTS_PER_GPU),
+                    largest_alloc: f64::from(t.largest_placeable_slots())
+                        / f64::from(SLOTS_PER_GPU),
+                },
+                None => DeviceFreeView {
+                    free: d.util_free,
+                    largest_alloc: d.util_free,
+                },
+            })
+            .collect();
+        ks_partition::pool_fragmentation(&views)
     }
 
     /// Marks a vGPU as being released: it stays in the pool (its anchor is
@@ -446,6 +654,25 @@ impl VgpuPool {
                 self.tally
             ));
         }
+        for d in self.devices.values() {
+            let Some(t) = &d.partition else { continue };
+            t.verify().map_err(|e| format!("device {}: {e}", d.id))?;
+            if d.slice_of.len() != t.slice_count() {
+                return Err(format!(
+                    "device {}: {} slice tenants but {} slices",
+                    d.id,
+                    d.slice_of.len(),
+                    t.slice_count()
+                ));
+            }
+            let free = f64::from(t.free_slots()) / f64::from(SLOTS_PER_GPU);
+            if d.util_free != free || d.mem_free != free {
+                return Err(format!(
+                    "device {}: residual mirror ({}, {}) != {free} free slots",
+                    d.id, d.util_free, d.mem_free
+                ));
+            }
+        }
         let fresh = PoolIndexes::rebuild(&self.devices);
         if fresh == self.ix {
             return Ok(());
@@ -480,6 +707,11 @@ impl VgpuPool {
                 "by_node",
                 format!("{:?}", self.ix.by_node),
                 format!("{:?}", fresh.by_node),
+            ),
+            (
+                "spatial",
+                format!("{:?}", self.ix.spatial),
+                format!("{:?}", fresh.spatial),
             ),
         ] {
             if got != want {
@@ -677,6 +909,131 @@ mod tests {
         let (mut p, ids) = pool_with_ready(1);
         p.attach(&ids[0], Uid(1), 0.2, 0.2, None, None, None);
         p.remove(&ids[0]);
+    }
+
+    fn spatial_pool_with_ready(n: usize) -> (VgpuPool, Vec<GpuId>) {
+        let mut p = VgpuPool::new();
+        let ids: Vec<GpuId> = (0..n)
+            .map(|i| {
+                let id = p.fresh_id();
+                p.insert_creating_spatial(id.clone());
+                p.mark_ready(&id, format!("node-{i}"), format!("GPU-{i}"));
+                id
+            })
+            .collect();
+        (p, ids)
+    }
+
+    #[test]
+    fn spatial_devices_hide_from_time_slice_indexes() {
+        let (mut p, ids) = spatial_pool_with_ready(1);
+        assert_eq!(p.spatial_count(), 1);
+        assert_eq!(p.first_unattached(), None);
+        assert_eq!(p.idle_count(), 0);
+        assert_eq!(p.plain_fit_range(0.0).count(), 0);
+        p.attach_slice(
+            &ids[0],
+            Uid(1),
+            Profile::P2,
+            0.2,
+            0.2,
+            Some("g"),
+            None,
+            None,
+        )
+        .unwrap();
+        assert_eq!(p.affinity_target("g"), None);
+        // Still visible by node for failure handling.
+        assert_eq!(p.devices_on_node("node-0").next(), Some(&ids[0]));
+        p.verify_indexes().unwrap();
+    }
+
+    #[test]
+    fn slice_attach_detach_mirrors_residuals() {
+        let (mut p, ids) = spatial_pool_with_ready(1);
+        let start = p
+            .attach_slice(&ids[0], Uid(1), Profile::P3, 0.4, 0.3, None, None, None)
+            .unwrap();
+        assert_eq!(p.slice_tenant(&ids[0], start), Some(Uid(1)));
+        let d = p.get(&ids[0]).unwrap();
+        assert_eq!(d.util_free, 4.0 / 7.0);
+        assert_eq!(d.phase, VgpuPhase::Active);
+        assert!(p.detach(&ids[0], Uid(1)), "becomes idle");
+        let d = p.get(&ids[0]).unwrap();
+        assert_eq!(d.util_free, 1.0);
+        assert_eq!(d.phase, VgpuPhase::Idle);
+        assert_eq!(p.slice_tenant(&ids[0], start), None);
+        p.verify_indexes().unwrap();
+    }
+
+    #[test]
+    fn slice_no_fit_reported_not_panicked() {
+        let (mut p, ids) = spatial_pool_with_ready(1);
+        p.attach_slice(&ids[0], Uid(1), Profile::P7, 1.0, 1.0, None, None, None)
+            .unwrap();
+        assert_eq!(
+            p.attach_slice(&ids[0], Uid(2), Profile::P1, 0.1, 0.1, None, None, None),
+            Err(PartitionError::NoFit)
+        );
+        p.verify_indexes().unwrap();
+    }
+
+    #[test]
+    fn partition_reconfig_round_trip() {
+        let (mut p, ids) = spatial_pool_with_ready(1);
+        p.attach_slice(&ids[0], Uid(1), Profile::P2, 0.25, 0.25, None, None, None)
+            .unwrap();
+        let tenants = p.begin_partition_drain(&ids[0]).unwrap();
+        assert_eq!(tenants, vec![Uid(1)]);
+        // No new slice while draining.
+        assert_eq!(
+            p.attach_slice(&ids[0], Uid(2), Profile::P1, 0.1, 0.1, None, None, None),
+            Err(PartitionError::BadState)
+        );
+        p.detach(&ids[0], Uid(1));
+        let now = SimTime::from_secs(3);
+        let cost = SimDuration::from_secs(2);
+        let until = p.note_partition_drained(&ids[0], now, cost).unwrap();
+        assert_eq!(
+            p.activate_partition(&ids[0], now),
+            Err(PartitionError::NotReady)
+        );
+        p.activate_partition(&ids[0], until).unwrap();
+        assert!(p
+            .attach_slice(&ids[0], Uid(3), Profile::P7, 1.0, 1.0, None, None, None)
+            .is_ok());
+        p.verify_indexes().unwrap();
+    }
+
+    #[test]
+    fn fragmentation_blends_substrates() {
+        // One whole time-sliced device: unfragmented.
+        let (mut p, _) = pool_with_ready(1);
+        assert_eq!(p.fragmentation(), 0.0);
+        // Add a partitioned device with a stranded-slot layout: a P2 at
+        // slots 2-3 leaves 5 free slots with only a P3 placeable.
+        let sid = p.fresh_id();
+        p.insert_creating_spatial(sid.clone());
+        p.mark_ready(&sid, "node-s".into(), "GPU-s".into());
+        p.attach_slice(&sid, Uid(9), Profile::P2, 0.25, 0.25, None, None, None)
+            .unwrap();
+        // Force the fragmented layout the best-start heuristic avoids.
+        {
+            // free = 1 + 5/7, reachable = 1 + largest/7.
+            let f = p.fragmentation();
+            let d = p.get(&sid).unwrap();
+            let largest = d.partition.as_ref().unwrap().largest_placeable_slots();
+            let expect = 1.0 - (1.0 + f64::from(largest) / 7.0) / (1.0 + 5.0 / 7.0);
+            assert!((f - expect).abs() < 1e-12, "got {f}, want {expect}");
+        }
+        p.verify_indexes().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "use attach_slice")]
+    fn token_attach_on_spatial_panics() {
+        let (mut p, ids) = spatial_pool_with_ready(1);
+        p.attach(&ids[0], Uid(1), 0.2, 0.2, None, None, None);
     }
 
     #[test]

@@ -7,6 +7,7 @@
 
 use ks_cluster::api::pod::PodSpec;
 use ks_cluster::api::{ObjectMeta, Uid};
+use ks_partition::Substrate;
 use ks_vgpu::ShareSpec;
 use serde::{Deserialize, Serialize};
 
@@ -33,6 +34,12 @@ pub struct SharePodSpec {
     /// drains pending sharePods highest-priority first, and the gateway's
     /// preemption policy only ever evicts strictly lower classes.
     pub priority: u8,
+    /// Sharing substrate for this workload: time-sliced token leases
+    /// (default), a dedicated spatial slice, or hybrid (scheduler picks by
+    /// profile-rounding waste). Absent in serialized specs predating the
+    /// partition subsystem — `Substrate` deserializes `null` as
+    /// `TimeSlice`, so old specs keep their exact behaviour.
+    pub substrate: Substrate,
 }
 
 impl SharePodSpec {
@@ -46,6 +53,7 @@ impl SharePodSpec {
             locality: Locality::none(),
             tenant: None,
             priority: 0,
+            substrate: Substrate::TimeSlice,
         }
     }
 
@@ -70,6 +78,12 @@ impl SharePodSpec {
     /// Sets the priority class (builder style).
     pub fn with_priority(mut self, priority: u8) -> Self {
         self.priority = priority;
+        self
+    }
+
+    /// Selects the sharing substrate (builder style).
+    pub fn with_substrate(mut self, substrate: Substrate) -> Self {
+        self.substrate = substrate;
         self
     }
 }
@@ -176,5 +190,22 @@ mod tests {
         assert_eq!(json["locality"]["affinity"], "grp1");
         let back: SharePodSpec = serde_json::from_value(json).unwrap();
         assert_eq!(back, s);
+    }
+
+    #[test]
+    fn substrate_round_trips_and_defaults_to_time_slice() {
+        let s = spec().with_substrate(Substrate::Hybrid);
+        let json = serde_json::to_value(&s).unwrap();
+        assert_eq!(json["substrate"], "hybrid");
+        let back: SharePodSpec = serde_json::from_value(json).unwrap();
+        assert_eq!(back.substrate, Substrate::Hybrid);
+        // A pre-partition spec (no `substrate` key) lands on TimeSlice:
+        // missing fields deserialize as null, and null means time-slice.
+        let mut old = serde_json::to_value(&spec()).unwrap();
+        if let serde_json::Value::Map(entries) = &mut old {
+            entries.retain(|(k, _)| k != "substrate");
+        }
+        let back: SharePodSpec = serde_json::from_value(old).unwrap();
+        assert_eq!(back.substrate, Substrate::TimeSlice);
     }
 }

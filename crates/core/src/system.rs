@@ -33,7 +33,9 @@ use ks_sim_core::time::{SimDuration, SimTime};
 use ks_telemetry::{SpanId, Telemetry, TraceCtx};
 use ks_vgpu::ShareSpec;
 
-use crate::algorithm::{fit_residual, schedule_with, Decision, SchedMode, SchedRequest};
+use ks_partition::Profile;
+
+use crate::algorithm::{fit_residual, schedule_substrate, Decision, SchedMode, SchedRequest};
 use crate::gpuid::GpuId;
 use crate::pool::VgpuPool;
 use crate::sharepod::{SharePod, SharePodPhase, SharePodSpec};
@@ -83,6 +85,11 @@ pub struct KsConfig {
     /// decision-identical (enforced by the differential oracle); `Indexed`
     /// serves placement from the pool's capacity indexes.
     pub sched_mode: SchedMode,
+    /// Wall time a spatial partition reconfiguration takes once the device
+    /// is drained (MIG-style instance teardown + re-creation). The device
+    /// accepts no slices from drain start until this much after the last
+    /// tenant leaves.
+    pub partition_reconfig_cost: SimDuration,
 }
 
 /// Crash semantics for a sharePod's backing container (mirrors the pod
@@ -107,6 +114,7 @@ impl Default for KsConfig {
             anchor_max_retries: 5,
             restart_policy: RestartPolicy::Never,
             sched_mode: SchedMode::default(),
+            partition_reconfig_cost: SimDuration::from_secs(2),
         }
     }
 }
@@ -184,6 +192,12 @@ pub enum KsEvent {
     /// anchor for the vGPU behind this ticket again.
     RetryAnchor {
         /// Ticket into the anchor-retry table.
+        ticket: u64,
+    },
+    /// A drained partition's reconfiguration window elapsed; activate the
+    /// new layout on the vGPU behind this ticket.
+    PartitionActivate {
+        /// Ticket into the reconfiguration table.
         ticket: u64,
     },
 }
@@ -304,6 +318,9 @@ pub struct KubeShareSystem {
     idle_tickets: HashMap<u64, GpuId>,
     /// Anchor-retry tickets → the vGPU whose anchor is being relaunched.
     retry_tickets: HashMap<u64, GpuId>,
+    /// Partition-reconfiguration tickets → the draining vGPU and the open
+    /// `partition/reconfig` span to close at activation.
+    reconfig_tickets: HashMap<u64, (GpuId, SpanId)>,
     /// Per-vGPU anchor launch attempts and the node preference to relaunch
     /// with; cleared once the anchor reports in.
     anchor_retry: HashMap<GpuId, AnchorRetry>,
@@ -366,6 +383,7 @@ impl KubeShareSystem {
             waiting: HashMap::new(),
             idle_tickets: HashMap::new(),
             retry_tickets: HashMap::new(),
+            reconfig_tickets: HashMap::new(),
             anchor_retry: HashMap::new(),
             next_ticket: 0,
             chaos: None,
@@ -447,8 +465,9 @@ impl KubeShareSystem {
 
     /// Mirrors the vGPU pool composition and the scheduler's pending-work
     /// depth into gauges. Called after every event that can move pool or
-    /// queue state; reads the incrementally-maintained tallies, so it is
-    /// O(waiting map) — not a pool/store rescan — per event.
+    /// queue state; reads the incrementally-maintained tallies (plus one
+    /// pool walk for the fragmentation gauge when spatial devices exist),
+    /// so a pure time-slice run never rescans the pool or store per event.
     fn record_gauges(&self) {
         if !self.telemetry.is_enabled() {
             return;
@@ -469,6 +488,14 @@ impl KubeShareSystem {
         self.telemetry
             .gauge("ks_sched_awaiting_vgpu_sharepods", &[])
             .set(waiting as f64);
+        // Pool-level fragmentation: the one O(pool) scan here, and only
+        // when spatial devices exist — a pure time-slice pool always reads
+        // 0 and skips the walk.
+        if self.pool.spatial_count() > 0 {
+            self.telemetry
+                .gauge("ks_pool_fragmentation", &[])
+                .set(self.pool.fragmentation());
+        }
     }
 
     /// Counts one GPUID churn event (`vgpu_created` / `vgpu_released` /
@@ -728,6 +755,7 @@ impl KubeShareSystem {
                 }
             }
             KsEvent::RetryAnchor { ticket } => self.on_retry_anchor(now, ticket, out, notices),
+            KsEvent::PartitionActivate { ticket } => self.on_partition_activate(now, ticket),
         }
         self.record_gauges();
     }
@@ -937,6 +965,89 @@ impl KubeShareSystem {
         displaced
     }
 
+    /// Drains the tenant of a single slice on a partitioned vGPU: the
+    /// slice's sharePod is stopped, detached — freeing only its slice —
+    /// and re-queued through Algorithm 1; every other slice on the device
+    /// keeps running. This is the remediation path for a degraded slice:
+    /// spatial isolation means the fault stops at the slice boundary, so
+    /// retiring the whole device (as [`KubeShareSystem::drain_vgpu`] does)
+    /// would displace healthy tenants for nothing. Returns the number of
+    /// sharePods displaced (0 when the vGPU is unknown, not partitioned,
+    /// releasing, or the slice has no tenant).
+    pub fn drain_slice(
+        &mut self,
+        now: SimTime,
+        gpuid: &GpuId,
+        start: u8,
+        out: &mut KsEmit,
+        notices: &mut Vec<KsNotice>,
+    ) -> usize {
+        let Some(device) = self.pool.get(gpuid) else {
+            return 0;
+        };
+        if device.releasing || !device.is_spatial() {
+            return 0;
+        }
+        let node = device.node.clone();
+        let uuid = device.uuid.clone();
+        let Some(sp) = self.pool.slice_tenant(gpuid, start) else {
+            return 0;
+        };
+        if let (Some(node), Some(uuid)) = (node, uuid) {
+            notices.push(KsNotice::SharePodStopped {
+                sp,
+                gpuid: gpuid.clone(),
+                node,
+                uuid,
+            });
+        }
+        let became_idle = self.pool.detach(gpuid, sp);
+        let pod = self.sharepods.get(sp).and_then(|s| s.status.pod_uid);
+        self.requeue_sharepod(now, sp, out, notices);
+        if let Some(pod) = pod {
+            self.preempted_pods.insert(pod);
+            let mut cluster_out = Vec::new();
+            let mut cluster_notes = Vec::new();
+            self.cluster
+                .delete_pod(now, pod, &mut cluster_out, &mut cluster_notes);
+            lift(cluster_out, out);
+            self.process_cluster_notices(now, cluster_notes, out, notices);
+        }
+        if let Some(w) = self.waiting.get_mut(gpuid) {
+            w.retain(|&u| u != sp);
+        }
+        if became_idle {
+            self.apply_pool_policy(now, gpuid, out, notices);
+        }
+        if self.telemetry.is_enabled() {
+            self.telemetry
+                .counter("ks_vgpu_slice_drains_total", &[])
+                .inc();
+        }
+        self.record_gauges();
+        1
+    }
+
+    /// Remediation entry point that understands both substrates: a plain
+    /// `"<gpuid>"` target drains the whole vGPU, while `"<gpuid>#sN"`
+    /// drains only slice `N` on a partitioned vGPU. Returns the number of
+    /// sharePods displaced.
+    pub fn drain_target(
+        &mut self,
+        now: SimTime,
+        target: &str,
+        out: &mut KsEmit,
+        notices: &mut Vec<KsNotice>,
+    ) -> usize {
+        match target.split_once("#s") {
+            Some((gpu, slot)) => match slot.parse::<u8>() {
+                Ok(start) => self.drain_slice(now, &GpuId::named(gpu), start, out, notices),
+                Err(_) => 0,
+            },
+            None => self.drain_vgpu(now, &GpuId::named(target), out, notices),
+        }
+    }
+
     /// Crashes a single pod (container exit / OOM kill) and routes the
     /// consequences through the KubeShare controllers.
     pub fn crash_pod(
@@ -982,6 +1093,21 @@ impl KubeShareSystem {
         out: &mut KsEmit,
         notices: &mut Vec<KsNotice>,
     ) {
+        self.requeue_sharepod_at(now, sp, now + self.cfg.sched_latency, out, notices);
+    }
+
+    /// [`KubeShareSystem::requeue_sharepod`] with an explicit decision
+    /// time: partition reconfiguration re-decides its displaced tenants
+    /// only once the new layout is active, so they do not stampede onto
+    /// fresh physical GPUs while the capacity they need is mid-reshape.
+    fn requeue_sharepod_at(
+        &mut self,
+        now: SimTime,
+        sp: Uid,
+        decide_at: SimTime,
+        out: &mut KsEmit,
+        notices: &mut Vec<KsNotice>,
+    ) {
         let Some(sharepod) = self.sharepods.get(sp) else {
             return;
         };
@@ -1017,7 +1143,7 @@ impl KubeShareSystem {
                 self.telemetry.span_end(now, pod_span, &[]);
             }
         }
-        out.push((now + self.cfg.sched_latency, KsEvent::SchedDecide { sp }));
+        out.push((decide_at, KsEvent::SchedDecide { sp }));
     }
 
     /// Evicts a sharePod to make room for higher-priority work (the
@@ -1228,10 +1354,18 @@ impl KubeShareSystem {
             // non-existent GPUID asks DevMgr to create one (paper §4.4).
             Some(id) => match self.pool.get(id) {
                 Some(d) => {
-                    if !d.releasing
-                        && d.util_free + 1e-9 >= spec.share.request
-                        && d.mem_free + 1e-9 >= spec.share.mem
-                    {
+                    let fits = if let Some(table) = &d.partition {
+                        // Pinning to a partitioned vGPU asks for a slice:
+                        // the demand's covering profile must have a legal
+                        // start in the current layout.
+                        Profile::smallest_covering(spec.share.request.max(spec.share.mem))
+                            .map(|p| table.can_place(p))
+                            .unwrap_or(false)
+                    } else {
+                        d.util_free + 1e-9 >= spec.share.request
+                            && d.mem_free + 1e-9 >= spec.share.mem
+                    };
+                    if !d.releasing && fits {
                         Decision::Assign(id.clone())
                     } else {
                         Decision::Reject(crate::algorithm::RejectReason::InsufficientCapacity)
@@ -1245,7 +1379,7 @@ impl KubeShareSystem {
                     mem: spec.share.mem,
                     locality: spec.locality.clone(),
                 };
-                schedule_with(self.cfg.sched_mode, &req, &mut self.pool)
+                schedule_substrate(self.cfg.sched_mode, spec.substrate, &req, &mut self.pool)
             }
         };
         let decide_ns = decide_start.elapsed().as_nanos() as f64;
@@ -1263,6 +1397,7 @@ impl KubeShareSystem {
             let outcome = match &decision {
                 Decision::Assign(_) => "assign",
                 Decision::NewDevice(_) => "new_device",
+                Decision::Reconfigure(_) => "reconfigure",
                 Decision::Reject(_) => "reject",
             };
             self.telemetry
@@ -1287,7 +1422,9 @@ impl KubeShareSystem {
                 }
             }
             let target = match &decision {
-                Decision::Assign(g) | Decision::NewDevice(g) => g.to_string(),
+                Decision::Assign(g) | Decision::NewDevice(g) | Decision::Reconfigure(g) => {
+                    g.to_string()
+                }
                 Decision::Reject(r) => format!("{r:?}"),
             };
             let ctx = self.sp_ctx(sp);
@@ -1354,7 +1491,14 @@ impl KubeShareSystem {
                     });
                     return;
                 }
-                self.pool.insert_creating(gpuid.clone());
+                if spec
+                    .substrate
+                    .wants_spatial(spec.share.request, spec.share.mem)
+                {
+                    self.pool.insert_creating_spatial(gpuid.clone());
+                } else {
+                    self.pool.insert_creating(gpuid.clone());
+                }
                 // DevMgr work for this vGPU is on behalf of the sharePod
                 // whose decision demanded it.
                 let ctx = self.sp_ctx(sp);
@@ -1369,21 +1513,60 @@ impl KubeShareSystem {
                     self.bind(now, sp, &spec, gpuid, out);
                 }
             }
+            Decision::Reconfigure(gpuid) => {
+                self.reconfigure_partition(now, sp, gpuid, out, notices);
+            }
         }
     }
 
     /// Records the sharePod on the vGPU; creates the backing pod now (ready
-    /// vGPU) or parks it until the anchor reports the UUID.
+    /// vGPU) or parks it until the anchor reports the UUID. On a
+    /// partitioned vGPU the demand binds to a dedicated slice; the path is
+    /// picked by the *device's* substrate, so an explicit-GPUID pin to a
+    /// partitioned device gets a slice regardless of the spec's substrate.
     fn bind(&mut self, now: SimTime, sp: Uid, spec: &SharePodSpec, gpuid: GpuId, out: &mut KsEmit) {
-        self.pool.attach(
-            &gpuid,
-            sp,
-            spec.share.request,
-            spec.share.mem,
-            spec.locality.affinity.as_deref(),
-            spec.locality.anti_affinity.as_deref(),
-            spec.locality.exclusion.as_deref(),
-        );
+        let is_spatial = self
+            .pool
+            .get(&gpuid)
+            .map(|d| d.is_spatial())
+            .unwrap_or(false);
+        if is_spatial {
+            let demand = spec.share.request.max(spec.share.mem);
+            let bound = Profile::smallest_covering(demand).and_then(|profile| {
+                self.pool
+                    .attach_slice(
+                        &gpuid,
+                        sp,
+                        profile,
+                        spec.share.request,
+                        spec.share.mem,
+                        spec.locality.affinity.as_deref(),
+                        spec.locality.anti_affinity.as_deref(),
+                        spec.locality.exclusion.as_deref(),
+                    )
+                    .ok()
+            });
+            if bound.is_none() {
+                // The slice the decision counted on was taken (or the
+                // table started draining) between decide and bind: stay
+                // Pending and re-decide against fresh state.
+                self.sharepods.mutate(sp, |s| {
+                    s.status.message = Some("slice bind raced; re-deciding".into());
+                });
+                out.push((now + self.cfg.sched_latency, KsEvent::SchedDecide { sp }));
+                return;
+            }
+        } else {
+            self.pool.attach(
+                &gpuid,
+                sp,
+                spec.share.request,
+                spec.share.mem,
+                spec.locality.affinity.as_deref(),
+                spec.locality.anti_affinity.as_deref(),
+                spec.locality.exclusion.as_deref(),
+            );
+        }
         let ready = self
             .pool
             .get(&gpuid)
@@ -1429,6 +1612,137 @@ impl KubeShareSystem {
             );
             self.sp_trace.get_mut(&sp).expect("just checked").pod_span = span;
         }
+    }
+
+    /// Applies a [`Decision::Reconfigure`] verdict: the capacity the
+    /// request needs exists on `gpuid` but the slice layout strands it, so
+    /// pay the explicit reconfiguration cost instead of burning a fresh
+    /// physical GPU. The device drains (tenants are stopped and displaced
+    /// exactly as in a vGPU drain, but the device survives), the new
+    /// layout activates `partition_reconfig_cost` later, and the
+    /// triggering sharePod plus every displaced tenant re-decide only once
+    /// it is live — re-deciding earlier would stampede them onto new
+    /// devices while the capacity they need is mid-reshape.
+    fn reconfigure_partition(
+        &mut self,
+        now: SimTime,
+        sp: Uid,
+        gpuid: GpuId,
+        out: &mut KsEmit,
+        notices: &mut Vec<KsNotice>,
+    ) {
+        let mut tenants = match self.pool.begin_partition_drain(&gpuid) {
+            Ok(t) => t,
+            Err(_) => {
+                // The table left `Active` between decide and apply (a
+                // concurrent reconfiguration); park the sharePod for a
+                // fresh pass against the settled pool.
+                self.sharepods.mutate(sp, |s| {
+                    s.status.message = Some("partition busy; re-deciding".into());
+                });
+                out.push((now + self.cfg.sched_latency, KsEvent::SchedDecide { sp }));
+                return;
+            }
+        };
+        tenants.sort();
+        let span = if self.telemetry.is_enabled() {
+            self.telemetry
+                .counter("ks_partition_reconfigs_total", &[])
+                .inc();
+            let ctx = self.sp_ctx(sp);
+            self.telemetry.span_begin_in(
+                now,
+                ctx,
+                "partition",
+                "reconfig",
+                &[
+                    ("gpuid", gpuid.to_string()),
+                    ("displaced", tenants.len().to_string()),
+                ],
+            )
+        } else {
+            SpanId::NONE
+        };
+        let (node, uuid) = self
+            .pool
+            .get(&gpuid)
+            .map(|d| (d.node.clone(), d.uuid.clone()))
+            .unwrap_or((None, None));
+        let mut displaced = tenants.clone();
+        for w in self.waiting.remove(&gpuid).unwrap_or_default() {
+            if !displaced.contains(&w) {
+                displaced.push(w);
+            }
+        }
+        for &t in &tenants {
+            if let (Some(node), Some(uuid)) = (node.clone(), uuid.clone()) {
+                notices.push(KsNotice::SharePodStopped {
+                    sp: t,
+                    gpuid: gpuid.clone(),
+                    node,
+                    uuid,
+                });
+            }
+            self.pool.detach(&gpuid, t);
+            // Backing-pod teardown mirrors preemption: the eventual
+            // deletion notice must not terminate the requeued sharePod.
+            let pod = self.sharepods.get(t).and_then(|s| s.status.pod_uid);
+            if let Some(pod) = pod {
+                self.preempted_pods.insert(pod);
+                let mut cluster_out = Vec::new();
+                let mut cluster_notes = Vec::new();
+                self.cluster
+                    .delete_pod(now, pod, &mut cluster_out, &mut cluster_notes);
+                lift(cluster_out, out);
+                self.process_cluster_notices(now, cluster_notes, out, notices);
+            }
+        }
+        let until = self
+            .pool
+            .note_partition_drained(&gpuid, now, self.cfg.partition_reconfig_cost)
+            .expect("all tenants just detached");
+        let ticket = self.next_ticket;
+        self.next_ticket += 1;
+        self.reconfig_tickets.insert(ticket, (gpuid, span));
+        out.push((until, KsEvent::PartitionActivate { ticket }));
+        let decide_at = until + self.cfg.sched_latency;
+        for t in displaced {
+            self.requeue_sharepod_at(now, t, decide_at, out, notices);
+        }
+        // The triggering sharePod never left Pending; a fresh schedule
+        // span covers its wait for the new layout.
+        self.sharepods.mutate(sp, |s| {
+            s.status.message = Some("awaiting partition reconfiguration".into());
+        });
+        if self.telemetry.is_enabled() && self.sp_trace.contains_key(&sp) {
+            let ctx = self.sp_ctx(sp);
+            let sched_span = self
+                .telemetry
+                .span_begin_in(now, ctx, "sched", "schedule", &[]);
+            self.sp_trace.get_mut(&sp).expect("just checked").sched_span = sched_span;
+        }
+        out.push((decide_at, KsEvent::SchedDecide { sp }));
+        self.record_gauges();
+    }
+
+    /// A reconfiguration window elapsed: activate the new layout if the
+    /// device is still around (it may have died with its node mid-window).
+    fn on_partition_activate(&mut self, now: SimTime, ticket: u64) {
+        let Some((gpuid, span)) = self.reconfig_tickets.remove(&ticket) else {
+            return;
+        };
+        // The device may have died with its node mid-window, and in the
+        // extreme its GPUID may even have been reused by a time-sliced
+        // replacement — only a still-partitioned device activates.
+        let outcome = match self.pool.get(&gpuid) {
+            Some(d) if d.is_spatial() => match self.pool.activate_partition(&gpuid, now) {
+                Ok(()) => "activated",
+                Err(_) => "stale",
+            },
+            _ => "device_lost",
+        };
+        self.telemetry
+            .span_end(now, span, &[("outcome", outcome.to_string())]);
     }
 
     // ---- KubeShare-DevMgr ----
@@ -2986,6 +3300,164 @@ mod tests {
             SharePodPhase::Rejected
         );
         assert!(eng.world.ks.pool().is_empty(), "no leaked Creating vGPU");
+    }
+
+    fn spatial_spec(request: f64, mem: f64) -> SharePodSpec {
+        sp_spec(request, 1.0, mem).with_substrate(ks_partition::Substrate::Spatial)
+    }
+
+    #[test]
+    fn fragmented_partition_reconfigures_and_rebinds() {
+        let mut eng = engine(1, 1);
+        let telemetry = ks_telemetry::Telemetry::enabled();
+        eng.world.ks.set_telemetry(telemetry.clone());
+        // Three P2 tenants pack one partitioned device (defrag-greedy
+        // placement lands them at starts 4, 0, 2).
+        let sps: Vec<Uid> = (0..3)
+            .map(|i| submit(&mut eng, &format!("p2-{i}"), spatial_spec(0.25, 0.2)))
+            .collect();
+        eng.run_to_completion(20_000);
+        let gpu = eng
+            .world
+            .ks
+            .sharepod(sps[0])
+            .unwrap()
+            .status
+            .bound_gpuid
+            .clone()
+            .unwrap();
+        let starts: Vec<u8> = sps
+            .iter()
+            .map(|&sp| {
+                let s = eng.world.ks.sharepod(sp).unwrap();
+                assert_eq!(s.status.phase, SharePodPhase::Running);
+                assert_eq!(s.status.bound_gpuid.as_ref(), Some(&gpu));
+                eng.world.ks.pool().get(&gpu).unwrap().slice_of[&sp]
+            })
+            .collect();
+        assert_eq!(starts, vec![4, 0, 2]);
+
+        // Strand the middle tenant: free starts 0 and 4, keeping slot 2-3
+        // resident. A P4 (slots 0-3) now has no legal start even though 5
+        // of 7 slots are free.
+        let now = eng.now();
+        let mut out = Vec::new();
+        let mut notes = Vec::new();
+        eng.world
+            .ks
+            .delete_sharepod(now, sps[1], &mut out, &mut notes);
+        eng.world
+            .ks
+            .delete_sharepod(now, sps[0], &mut out, &mut notes);
+        seed(&mut eng, out);
+        eng.run_to_completion(40_000);
+
+        // The P4 request triggers a reshape instead of demanding new
+        // hardware (there is none: 1 node x 1 GPU).
+        let big = submit(&mut eng, "big", spatial_spec(0.5, 0.5));
+        eng.run_to_completion(120_000);
+
+        for sp in [big, sps[2]] {
+            let s = eng.world.ks.sharepod(sp).unwrap();
+            assert_eq!(s.status.phase, SharePodPhase::Running, "sp {sp:?}");
+            assert_eq!(s.status.bound_gpuid.as_ref(), Some(&gpu));
+        }
+        let device = eng.world.ks.pool().get(&gpu).unwrap();
+        assert_eq!(device.slice_of.len(), 2);
+        assert!(device.slice_of.contains_key(&big));
+        assert!(device.slice_of.contains_key(&sps[2]));
+        let snap = telemetry.snapshot();
+        assert_eq!(
+            snap.counter_value("ks_partition_reconfigs_total", &[]),
+            Some(1)
+        );
+        assert!(snap.gauge_value("ks_pool_fragmentation", &[]).is_some());
+        // The displaced tenant was stopped exactly once during the drain.
+        let stops = eng
+            .world
+            .notices
+            .iter()
+            .filter(|(_, n)| matches!(n, KsNotice::SharePodStopped { sp, .. } if *sp == sps[2]))
+            .count();
+        assert_eq!(stops, 1);
+        eng.world.ks.pool().verify_indexes().unwrap();
+        eng.world.ks.verify_sp_tally().unwrap();
+    }
+
+    #[test]
+    fn drain_slice_displaces_only_the_slice_tenant() {
+        let mut eng = engine(1, 1);
+        let telemetry = ks_telemetry::Telemetry::enabled();
+        eng.world.ks.set_telemetry(telemetry.clone());
+        let a = submit(&mut eng, "a", spatial_spec(0.5, 0.5)); // P4 @ 0
+        let b = submit(&mut eng, "b", spatial_spec(0.4, 0.3)); // P3 @ 4
+        eng.run_to_completion(20_000);
+        let gpu = eng
+            .world
+            .ks
+            .sharepod(a)
+            .unwrap()
+            .status
+            .bound_gpuid
+            .clone()
+            .unwrap();
+        assert_eq!(eng.world.ks.pool().get(&gpu).unwrap().slice_of[&a], 0);
+        assert_eq!(eng.world.ks.pool().get(&gpu).unwrap().slice_of[&b], 4);
+
+        let now = eng.now();
+        let mut out = Vec::new();
+        let mut notes = Vec::new();
+        // Slice-scoped target: only the tenant at start 4 is displaced.
+        let drained = eng
+            .world
+            .ks
+            .drain_target(now, &format!("{gpu}#s4"), &mut out, &mut notes);
+        assert_eq!(drained, 1);
+        // Empty slice, malformed slot, unknown device: all no-ops.
+        assert_eq!(
+            eng.world
+                .ks
+                .drain_target(now, &format!("{gpu}#s5"), &mut out, &mut notes),
+            0
+        );
+        assert_eq!(
+            eng.world
+                .ks
+                .drain_target(now, &format!("{gpu}#sbad"), &mut out, &mut notes),
+            0
+        );
+        assert_eq!(
+            eng.world
+                .ks
+                .drain_target(now, "nope#s0", &mut out, &mut notes),
+            0
+        );
+        for n in notes {
+            eng.world.notices.push((now, n));
+        }
+        seed(&mut eng, out);
+        eng.run_to_completion(60_000);
+
+        // The co-tenant never stopped; the drained tenant re-ran and is
+        // back on the only device that fits it.
+        assert!(!eng
+            .world
+            .notices
+            .iter()
+            .any(|(_, n)| matches!(n, KsNotice::SharePodStopped { sp, .. } if *sp == a)));
+        let sa = eng.world.ks.sharepod(a).unwrap();
+        assert_eq!(sa.status.phase, SharePodPhase::Running);
+        assert_eq!(sa.status.bound_gpuid.as_ref(), Some(&gpu));
+        let sb = eng.world.ks.sharepod(b).unwrap();
+        assert_eq!(sb.status.phase, SharePodPhase::Running);
+        assert_eq!(eng.world.ks.pool().get(&gpu).unwrap().slice_of[&b], 4);
+        let snap = telemetry.snapshot();
+        assert_eq!(
+            snap.counter_value("ks_vgpu_slice_drains_total", &[]),
+            Some(1)
+        );
+        eng.world.ks.pool().verify_indexes().unwrap();
+        eng.world.ks.verify_sp_tally().unwrap();
     }
 
     #[test]

@@ -69,6 +69,8 @@ fn drive(reqs: &[GenReq]) -> (VgpuPool, Vec<Option<kubeshare::GpuId>>) {
                 Some(id)
             }
             Decision::Reject(_) => None,
+            // `schedule` is the time-slice path; it never reconfigures.
+            Decision::Reconfigure(_) => unreachable!("time-slice path proposed a reconfigure"),
         };
         if let Some(id) = &id {
             pool.attach(

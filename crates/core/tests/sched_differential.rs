@@ -117,6 +117,8 @@ fn apply(pool: &mut VgpuPool, uid: Uid, r: &GenReq, decision: &Decision) {
             id.clone()
         }
         Decision::Reject(_) => return,
+        // Time-slice-only differential: neither mode reconfigures.
+        Decision::Reconfigure(_) => unreachable!("time-slice path proposed a reconfigure"),
     };
     pool.attach(
         &id,
@@ -160,7 +162,7 @@ fn step(
             if !matches!(decision, Decision::Reject(_)) {
                 let id = match &decision {
                     Decision::Assign(id) | Decision::NewDevice(id) => id.clone(),
-                    Decision::Reject(_) => unreachable!(),
+                    Decision::Reject(_) | Decision::Reconfigure(_) => unreachable!(),
                 };
                 live.push((uid, id));
             }

@@ -1,0 +1,97 @@
+//! The pool-level fragmentation measure, shared by the Fig. 3 baseline
+//! demo (`ks-baselines`) and the spatial scheduler's placement score.
+//!
+//! Fragmentation asks: *of the capacity that is free, how much is actually
+//! allocatable as one unit?* On a time-sliced device any fraction up to
+//! the residual is allocatable, so a lone device never fragments — the
+//! paper's Fig. 3 waste comes from demands *split across* devices. On a
+//! partitioned device the profile grid bites: five free slots on which no
+//! 4-slot profile can start are 1/5 unusable for a P4 tenant.
+
+/// One device's contribution to the pool measure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceFreeView {
+    /// Free capacity as a fraction of the device (0..=1).
+    pub free: f64,
+    /// Largest single allocation the device can host right now, as a
+    /// fraction of the device. For a time-sliced device this equals
+    /// `free`; for a partitioned one it is the largest placeable
+    /// profile's fraction (0 while draining or reconfiguring).
+    pub largest_alloc: f64,
+}
+
+/// Pool fragmentation in `[0, 1]`: `1 − Σ largest_alloc / Σ free`.
+/// 0 when every free fraction is reachable by a single allocation (or
+/// nothing is free at all); approaches 1 as free capacity becomes
+/// unaddressable.
+pub fn pool_fragmentation(views: &[DeviceFreeView]) -> f64 {
+    let free: f64 = views.iter().map(|v| v.free).sum();
+    if free <= 1e-9 {
+        return 0.0;
+    }
+    let reachable: f64 = views.iter().map(|v| v.largest_alloc).sum();
+    (1.0 - reachable / free).clamp(0.0, 1.0)
+}
+
+/// GPUs whose summed load exceeds 1.0 (over-committed), with the same
+/// `1e-9` epsilon the Fig. 3 baseline demo has always used.
+pub fn overcommitted(gpu_load: &[f64]) -> usize {
+    gpu_load.iter().filter(|&&l| l > 1.0 + 1e-9).count()
+}
+
+/// GPUs carrying any load at all (same epsilon as the baseline demo).
+pub fn active(gpu_load: &[f64]) -> usize {
+    gpu_load.iter().filter(|&&l| l > 1e-9).count()
+}
+
+/// The most heavily loaded GPU's load.
+pub fn max_load(gpu_load: &[f64]) -> f64 {
+    gpu_load.iter().fold(0.0_f64, |m, &l| m.max(l))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_unfragmented_pools_score_zero() {
+        assert_eq!(pool_fragmentation(&[]), 0.0);
+        let whole = DeviceFreeView {
+            free: 1.0,
+            largest_alloc: 1.0,
+        };
+        assert_eq!(pool_fragmentation(&[whole, whole]), 0.0);
+        // Fully packed pool: nothing free, by definition unfragmented.
+        let full = DeviceFreeView {
+            free: 0.0,
+            largest_alloc: 0.0,
+        };
+        assert_eq!(pool_fragmentation(&[full]), 0.0);
+    }
+
+    #[test]
+    fn stranded_slots_raise_the_score() {
+        // 5/7 free but only a 3-slot profile placeable.
+        let v = DeviceFreeView {
+            free: 5.0 / 7.0,
+            largest_alloc: 3.0 / 7.0,
+        };
+        let f = pool_fragmentation(&[v]);
+        assert!((f - 0.4).abs() < 1e-9, "got {f}");
+        // A draining device strands everything it has free.
+        let draining = DeviceFreeView {
+            free: 0.5,
+            largest_alloc: 0.0,
+        };
+        assert_eq!(pool_fragmentation(&[draining]), 1.0);
+    }
+
+    #[test]
+    fn load_stats_match_baseline_epsilons() {
+        let loads = [0.0, 1.0, 1.0 + 1e-10, 1.2, 1e-10];
+        assert_eq!(overcommitted(&loads), 1);
+        assert_eq!(active(&loads), 3);
+        assert!((max_load(&loads) - 1.2).abs() < 1e-12);
+        assert_eq!(max_load(&[]), 0.0);
+    }
+}

@@ -1,0 +1,40 @@
+//! MIG-style spatial partitioning for the KubeShare reproduction.
+//!
+//! The source paper (HPDC '20) shares GPUs in *time*: fractional token
+//! leases over a whole device. This crate supplies the second substrate a
+//! real fleet runs on — *space*: a device is carved into fixed slice
+//! profiles (1/7 … 7/7 of compute and memory, the A100 MIG grid), each
+//! slice hosting exactly one tenant with hardware-grade isolation. The
+//! online placement and fragmentation problem follows Zambianco et al.
+//! ("An Online Fragmentation-Aware GPU Scheduler for Multi-Tenant
+//! MIG-based Clouds"); the isolation payoff follows Yang et al.
+//! ("Performance Isolation and Semantic Determinism in Efficient GPU
+//! Spatial Sharing").
+//!
+//! Three pieces:
+//!
+//! * [`profile`] — the fixed profile set ([`Profile`]) with its legal
+//!   start positions on the 7-slot grid (the source of real-world
+//!   fragmentation: a 4-slot slice may only start at slot 0);
+//! * [`table`] — the per-device [`PartitionTable`]: legal-layout
+//!   validation (no overlap, legal starts), fragmentation-aware start
+//!   selection, and the explicit reconfiguration protocol — a reconfig
+//!   *drains* every resident slice before the new (empty) layout
+//!   activates, with the drain → activate delay modeled on the DES clock;
+//! * [`frag`] — the pool-level fragmentation measure shared by the
+//!   Fig. 3 baseline demo and the scheduler's placement score.
+//!
+//! Like every state machine in this workspace the types are passive: they
+//! validate and record, the embedding world owns the event queue.
+
+#![warn(missing_docs)]
+
+pub mod frag;
+pub mod profile;
+pub mod substrate;
+pub mod table;
+
+pub use frag::{pool_fragmentation, DeviceFreeView};
+pub use profile::{Profile, SLOTS_PER_GPU};
+pub use substrate::Substrate;
+pub use table::{PartitionError, PartitionTable, TableState};

@@ -1,0 +1,101 @@
+//! The sharing-substrate axis a sharePod selects.
+
+use crate::profile::Profile;
+
+/// Largest quantisation waste (profile fraction minus demand) Hybrid mode
+/// tolerates before falling back to time-slicing: one grid slot. A 0.6
+/// demand would burn a whole device as a spatial slice (P7, waste 0.4 >
+/// 1/7), so Hybrid time-slices it; a 0.5 demand rides a P4 slice (waste
+/// 1/14) and gains hardware isolation for free.
+pub const HYBRID_WASTE_MAX: f64 = 1.0 / 7.0;
+
+/// How a sharePod's GPU share is carved out of a physical device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Substrate {
+    /// The paper's substrate: fractional token leases over a whole,
+    /// time-multiplexed device. The default — absent from serialized
+    /// specs written before this axis existed.
+    #[default]
+    TimeSlice,
+    /// A dedicated MIG-style slice: the request binds to a fixed
+    /// [`Profile`] on a partitioned device; no cross-tenant interference,
+    /// but demand is rounded up to the profile grid.
+    Spatial,
+    /// Per-request policy: spatial when the profile grid wastes at most
+    /// [`HYBRID_WASTE_MAX`] of the device, time-sliced otherwise.
+    Hybrid,
+}
+
+// Hand-written (de)serialization: the substrate field is new, so specs
+// serialized before it existed carry no key at all — deserialization must
+// treat a missing/`null` value as the default, which `derive` cannot
+// express without `#[serde(default)]` support.
+impl serde::Serialize for Substrate {
+    fn to_value(&self) -> serde::Value {
+        let tag = match self {
+            Substrate::TimeSlice => "time_slice",
+            Substrate::Spatial => "spatial",
+            Substrate::Hybrid => "hybrid",
+        };
+        serde::Value::Str(tag.to_string())
+    }
+}
+
+impl serde::Deserialize for Substrate {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        match v {
+            // Field absent (pre-substrate spec) or explicit null.
+            serde::Value::Null => Ok(Substrate::TimeSlice),
+            _ => match v.as_str() {
+                Some("time_slice") => Ok(Substrate::TimeSlice),
+                Some("spatial") => Ok(Substrate::Spatial),
+                Some("hybrid") => Ok(Substrate::Hybrid),
+                _ => Err(serde::Error::expected("substrate tag", v)),
+            },
+        }
+    }
+}
+
+impl Substrate {
+    /// Whether a request with the given per-axis demands takes the
+    /// spatial path under this substrate. Deterministic in the demands
+    /// alone, so the scheduler and the binder always agree.
+    pub fn wants_spatial(self, util: f64, mem: f64) -> bool {
+        match self {
+            Substrate::TimeSlice => false,
+            Substrate::Spatial => true,
+            Substrate::Hybrid => {
+                let demand = util.max(mem);
+                Profile::smallest_covering(demand)
+                    .is_some_and(|p| p.waste(demand) <= HYBRID_WASTE_MAX + 1e-9)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hybrid_routes_by_quantisation_waste() {
+        // 0.5 → P4, waste 1/14 ≤ 1/7: spatial.
+        assert!(Substrate::Hybrid.wants_spatial(0.5, 0.2));
+        // 0.6 → P7, waste 0.4 > 1/7: time-slice.
+        assert!(!Substrate::Hybrid.wants_spatial(0.6, 0.1));
+        // Exact grid points are spatial (zero waste).
+        assert!(Substrate::Hybrid.wants_spatial(3.0 / 7.0, 3.0 / 7.0));
+        assert!(Substrate::Hybrid.wants_spatial(1.0, 1.0));
+    }
+
+    #[test]
+    fn fixed_substrates_ignore_demand() {
+        assert!(!Substrate::TimeSlice.wants_spatial(0.5, 0.5));
+        assert!(Substrate::Spatial.wants_spatial(0.6, 0.6));
+    }
+
+    #[test]
+    fn default_is_time_slice() {
+        assert_eq!(Substrate::default(), Substrate::TimeSlice);
+    }
+}

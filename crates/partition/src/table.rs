@@ -1,0 +1,437 @@
+//! Per-device partition table: legal layouts and the reconfig protocol.
+
+use std::collections::BTreeMap;
+
+use ks_sim_core::time::{SimDuration, SimTime};
+
+use crate::profile::{Profile, SLOTS_PER_GPU};
+
+/// Lifecycle of a device's partition layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TableState {
+    /// Slices may be allocated and freed.
+    Active,
+    /// A reconfiguration was requested: existing slices are being drained
+    /// (freed as their tenants requeue); no new slice may be allocated.
+    Draining,
+    /// All slices drained; the device is rewriting its partition layout
+    /// and comes back [`TableState::Active`] no earlier than `until`.
+    Reconfiguring {
+        /// DES time at which [`PartitionTable::activate`] becomes legal.
+        until: SimTime,
+    },
+}
+
+/// Why a partition-table operation was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PartitionError {
+    /// No legal start position can host the profile in the current layout.
+    NoFit,
+    /// The start slot is not in the profile's allowed-start set.
+    IllegalStart,
+    /// The requested slots overlap an existing slice.
+    Overlap,
+    /// No slice starts at the given slot.
+    NoSuchSlice,
+    /// The operation is illegal in the table's current state (e.g.
+    /// allocating while draining, re-draining an active table).
+    BadState,
+    /// `note_drained` called while slices are still resident.
+    NotDrained,
+    /// `activate` called before the reconfiguration delay elapsed.
+    NotReady,
+}
+
+impl std::fmt::Display for PartitionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            PartitionError::NoFit => "no legal start position fits the profile",
+            PartitionError::IllegalStart => "start slot not allowed for profile",
+            PartitionError::Overlap => "slots overlap an existing slice",
+            PartitionError::NoSuchSlice => "no slice starts at that slot",
+            PartitionError::BadState => "operation illegal in current table state",
+            PartitionError::NotDrained => "slices still resident",
+            PartitionError::NotReady => "reconfiguration delay not elapsed",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for PartitionError {}
+
+/// A device's slice layout: which profile occupies which start slot, plus
+/// the reconfiguration state machine.
+///
+/// Reconfig protocol (all on the embedding world's DES clock):
+///
+/// 1. [`PartitionTable::begin_reconfig`] — `Active → Draining`; the world
+///    requeues every resident tenant, freeing its slice;
+/// 2. [`PartitionTable::note_drained`] — once empty, `Draining →
+///    Reconfiguring { until: now + cost }`;
+/// 3. [`PartitionTable::activate`] — at or after `until`, `Reconfiguring
+///    → Active` with an empty grid.
+///
+/// Allocation is only legal while `Active`; freeing is legal while
+/// `Active` or `Draining` (that *is* the drain).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionTable {
+    /// Resident slices: start slot → profile.
+    slices: BTreeMap<u8, Profile>,
+    state: TableState,
+    reconfigs: u64,
+}
+
+impl Default for PartitionTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PartitionTable {
+    /// An empty, active table.
+    pub fn new() -> Self {
+        PartitionTable {
+            slices: BTreeMap::new(),
+            state: TableState::Active,
+            reconfigs: 0,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> TableState {
+        self.state
+    }
+
+    /// Resident slices in start order.
+    pub fn slices(&self) -> impl Iterator<Item = (u8, Profile)> + '_ {
+        self.slices.iter().map(|(&s, &p)| (s, p))
+    }
+
+    /// Number of resident slices.
+    pub fn slice_count(&self) -> usize {
+        self.slices.len()
+    }
+
+    /// Completed + in-flight reconfigurations since creation.
+    pub fn reconfigs(&self) -> u64 {
+        self.reconfigs
+    }
+
+    /// Grid slots occupied by resident slices.
+    pub fn used_slots(&self) -> u8 {
+        self.slices.values().map(|p| p.slots()).sum()
+    }
+
+    /// Grid slots not covered by any slice.
+    pub fn free_slots(&self) -> u8 {
+        SLOTS_PER_GPU - self.used_slots()
+    }
+
+    /// Occupancy bitmask: bit `i` set when slot `i` is covered.
+    fn occupancy(&self) -> u8 {
+        let mut mask = 0u8;
+        for (&start, &p) in &self.slices {
+            mask |= Self::span_mask(start, p.slots());
+        }
+        mask
+    }
+
+    fn span_mask(start: u8, slots: u8) -> u8 {
+        ((1u16 << slots) - 1).wrapping_shl(u32::from(start)) as u8
+    }
+
+    fn starts_free(mask: u8, start: u8, profile: Profile) -> bool {
+        mask & Self::span_mask(start, profile.slots()) == 0
+    }
+
+    /// Legal start slots for `profile` in the current layout (allowed by
+    /// the profile's geometry AND not overlapping a resident slice),
+    /// independent of the table state.
+    pub fn legal_starts(&self, profile: Profile) -> impl Iterator<Item = u8> + '_ {
+        let mask = self.occupancy();
+        profile
+            .allowed_starts()
+            .iter()
+            .copied()
+            .filter(move |&s| Self::starts_free(mask, s, profile))
+    }
+
+    /// Whether an allocation of `profile` would succeed right now
+    /// (requires an active table and a legal start).
+    pub fn can_place(&self, profile: Profile) -> bool {
+        self.state == TableState::Active && self.legal_starts(profile).next().is_some()
+    }
+
+    /// Slot width of the largest profile placeable in the current layout,
+    /// 0 when nothing fits or the table is not active. This is the
+    /// "largest allocatable unit" the fragmentation measure compares
+    /// against raw free capacity.
+    pub fn largest_placeable_slots(&self) -> u8 {
+        if self.state != TableState::Active {
+            return 0;
+        }
+        Profile::ALL
+            .into_iter()
+            .rev()
+            .find(|&p| self.legal_starts(p).next().is_some())
+            .map(|p| p.slots())
+            .unwrap_or(0)
+    }
+
+    /// The start [`PartitionTable::alloc`] would pick for `profile`:
+    /// among legal starts, the one whose post-placement layout keeps the
+    /// largest profile placeable (defragmentation-greedy, the heuristic
+    /// of Zambianco et al.), lowest start on ties. `None` when no legal
+    /// start exists or the table is not active.
+    pub fn best_start(&self, profile: Profile) -> Option<u8> {
+        if self.state != TableState::Active {
+            return None;
+        }
+        let mask = self.occupancy();
+        let mut best: Option<(u8, u8)> = None; // (largest_after, start), start ascending
+        for &s in profile.allowed_starts() {
+            if !Self::starts_free(mask, s, profile) {
+                continue;
+            }
+            let after = mask | Self::span_mask(s, profile.slots());
+            let largest_after = Profile::ALL
+                .into_iter()
+                .rev()
+                .find(|&q| {
+                    q.allowed_starts()
+                        .iter()
+                        .any(|&qs| Self::starts_free(after, qs, q))
+                })
+                .map(|q| q.slots())
+                .unwrap_or(0);
+            let better = match best {
+                None => true,
+                // Strictly larger post-placement headroom wins; the first
+                // (lowest) start at a given headroom is kept.
+                Some((bl, _)) => largest_after > bl,
+            };
+            if better {
+                best = Some((largest_after, s));
+            }
+        }
+        best.map(|(_, s)| s)
+    }
+
+    /// Allocates a slice of `profile` at [`PartitionTable::best_start`].
+    /// Returns the start slot.
+    pub fn alloc(&mut self, profile: Profile) -> Result<u8, PartitionError> {
+        if self.state != TableState::Active {
+            return Err(PartitionError::BadState);
+        }
+        let start = self.best_start(profile).ok_or(PartitionError::NoFit)?;
+        self.slices.insert(start, profile);
+        Ok(start)
+    }
+
+    /// Allocates a slice of `profile` at an explicit start slot
+    /// (validated against geometry and overlap).
+    pub fn alloc_at(&mut self, start: u8, profile: Profile) -> Result<(), PartitionError> {
+        if self.state != TableState::Active {
+            return Err(PartitionError::BadState);
+        }
+        if !profile.allowed_starts().contains(&start) {
+            return Err(PartitionError::IllegalStart);
+        }
+        if !Self::starts_free(self.occupancy(), start, profile) {
+            return Err(PartitionError::Overlap);
+        }
+        self.slices.insert(start, profile);
+        Ok(())
+    }
+
+    /// Frees the slice starting at `start`. Legal while `Active` (tenant
+    /// left) or `Draining` (the reconfig drain itself).
+    pub fn free(&mut self, start: u8) -> Result<Profile, PartitionError> {
+        if matches!(self.state, TableState::Reconfiguring { .. }) {
+            return Err(PartitionError::BadState);
+        }
+        self.slices
+            .remove(&start)
+            .ok_or(PartitionError::NoSuchSlice)
+    }
+
+    /// Starts a reconfiguration: `Active → Draining`. The caller must now
+    /// requeue every resident tenant (freeing its slice) and then call
+    /// [`PartitionTable::note_drained`].
+    pub fn begin_reconfig(&mut self) -> Result<(), PartitionError> {
+        if self.state != TableState::Active {
+            return Err(PartitionError::BadState);
+        }
+        self.state = TableState::Draining;
+        self.reconfigs += 1;
+        Ok(())
+    }
+
+    /// Records that the drain completed: `Draining → Reconfiguring`.
+    /// Refused while slices remain. Returns the activation time
+    /// `now + cost`.
+    pub fn note_drained(
+        &mut self,
+        now: SimTime,
+        cost: SimDuration,
+    ) -> Result<SimTime, PartitionError> {
+        if self.state != TableState::Draining {
+            return Err(PartitionError::BadState);
+        }
+        if !self.slices.is_empty() {
+            return Err(PartitionError::NotDrained);
+        }
+        let until = now + cost;
+        self.state = TableState::Reconfiguring { until };
+        Ok(until)
+    }
+
+    /// Completes the reconfiguration: `Reconfiguring → Active` with an
+    /// empty grid. Refused before `until` — drain-before-activate
+    /// ordering is load-bearing and proptested.
+    pub fn activate(&mut self, now: SimTime) -> Result<(), PartitionError> {
+        match self.state {
+            TableState::Reconfiguring { until } => {
+                if now < until {
+                    return Err(PartitionError::NotReady);
+                }
+                debug_assert!(self.slices.is_empty(), "reconfiguring table with slices");
+                self.state = TableState::Active;
+                Ok(())
+            }
+            _ => Err(PartitionError::BadState),
+        }
+    }
+
+    /// Structural invariants: every slice starts at a legal slot, no two
+    /// slices overlap, used + free slots cover the grid exactly, and a
+    /// reconfiguring table is empty. Returns the first violation.
+    pub fn verify(&self) -> Result<(), String> {
+        let mut mask = 0u8;
+        for (&start, &p) in &self.slices {
+            if !p.allowed_starts().contains(&start) {
+                return Err(format!("slice {p} at illegal start {start}"));
+            }
+            let span = Self::span_mask(start, p.slots());
+            if mask & span != 0 {
+                return Err(format!("slice {p} at {start} overlaps"));
+            }
+            mask |= span;
+        }
+        if u32::from(self.used_slots()) + u32::from(self.free_slots()) != u32::from(SLOTS_PER_GPU) {
+            return Err("slot conservation violated".into());
+        }
+        if mask.count_ones() != u32::from(self.used_slots()) {
+            return Err("occupancy mask disagrees with used_slots".into());
+        }
+        if matches!(self.state, TableState::Reconfiguring { .. }) && !self.slices.is_empty() {
+            return Err("reconfiguring table still holds slices".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_free_round_trip() {
+        let mut t = PartitionTable::new();
+        let s = t.alloc(Profile::P3).unwrap();
+        assert_eq!(t.used_slots(), 3);
+        assert_eq!(t.free(s).unwrap(), Profile::P3);
+        assert_eq!(t.used_slots(), 0);
+        t.verify().unwrap();
+    }
+
+    #[test]
+    fn best_start_keeps_large_profiles_placeable() {
+        // An empty grid: placing a P3 at slot 4 (not 0) keeps P4 (start 0)
+        // placeable — the defrag-greedy pick.
+        let mut t = PartitionTable::new();
+        assert_eq!(t.best_start(Profile::P3), Some(4));
+        t.alloc(Profile::P3).unwrap();
+        assert!(t.can_place(Profile::P4));
+        // With 0-3 taken, a P1 at 6 keeps P2 placeable at 4-5; a P1 at
+        // 4 or 5 would shrink the largest placeable profile to P1.
+        let mut t = PartitionTable::new();
+        t.alloc(Profile::P4).unwrap(); // occupies 0-3
+        assert_eq!(t.best_start(Profile::P1), Some(6));
+        // Ties on headroom resolve to the lowest start: with 0-5 taken
+        // only slot 6 remains at all.
+        t.alloc_at(4, Profile::P2).unwrap();
+        assert_eq!(t.best_start(Profile::P1), Some(6));
+    }
+
+    #[test]
+    fn fragmentation_arises_from_start_geometry() {
+        let mut t = PartitionTable::new();
+        t.alloc_at(2, Profile::P2).unwrap(); // slots 2,3
+                                             // Five slots free but P4 (start 0 only) cannot place.
+        assert_eq!(t.free_slots(), 5);
+        assert!(!t.can_place(Profile::P4));
+        assert_eq!(t.largest_placeable_slots(), 3); // P3 at 4
+        t.verify().unwrap();
+    }
+
+    #[test]
+    fn overlap_and_illegal_start_refused() {
+        let mut t = PartitionTable::new();
+        t.alloc_at(0, Profile::P2).unwrap();
+        assert_eq!(t.alloc_at(0, Profile::P1), Err(PartitionError::Overlap));
+        assert_eq!(
+            t.alloc_at(1, Profile::P2),
+            Err(PartitionError::IllegalStart)
+        );
+        assert_eq!(
+            t.alloc_at(3, Profile::P4),
+            Err(PartitionError::IllegalStart)
+        );
+    }
+
+    #[test]
+    fn reconfig_protocol_orders_drain_before_activate() {
+        let mut t = PartitionTable::new();
+        let s = t.alloc(Profile::P2).unwrap();
+        t.begin_reconfig().unwrap();
+        assert_eq!(t.state(), TableState::Draining);
+        // No allocation while draining.
+        assert_eq!(t.alloc(Profile::P1), Err(PartitionError::BadState));
+        // Cannot declare drained with a resident slice.
+        let now = SimTime::from_secs(10);
+        let cost = SimDuration::from_secs(1);
+        assert_eq!(t.note_drained(now, cost), Err(PartitionError::NotDrained));
+        t.free(s).unwrap();
+        let until = t.note_drained(now, cost).unwrap();
+        assert_eq!(until, now + cost);
+        // Cannot activate early.
+        assert_eq!(t.activate(now), Err(PartitionError::NotReady));
+        t.activate(until).unwrap();
+        assert_eq!(t.state(), TableState::Active);
+        assert_eq!(t.reconfigs(), 1);
+        assert!(t.can_place(Profile::P7));
+        t.verify().unwrap();
+    }
+
+    #[test]
+    fn free_refused_while_reconfiguring() {
+        let mut t = PartitionTable::new();
+        t.begin_reconfig().unwrap();
+        t.note_drained(SimTime::ZERO, SimDuration::from_secs(1))
+            .unwrap();
+        assert_eq!(t.free(0), Err(PartitionError::BadState));
+        assert_eq!(t.begin_reconfig(), Err(PartitionError::BadState));
+    }
+
+    #[test]
+    fn full_grid_refuses_everything() {
+        let mut t = PartitionTable::new();
+        t.alloc(Profile::P7).unwrap();
+        assert_eq!(t.free_slots(), 0);
+        for p in Profile::ALL {
+            assert!(!t.can_place(p));
+        }
+        assert_eq!(t.largest_placeable_slots(), 0);
+    }
+}

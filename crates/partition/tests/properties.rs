@@ -1,0 +1,143 @@
+//! Property tests for the partition-table invariants the scheduler leans
+//! on: no slice overlap, slot conservation across arbitrary op sequences,
+//! and strict drain-before-activate ordering in the reconfig protocol.
+
+use ks_partition::{PartitionError, PartitionTable, Profile, TableState, SLOTS_PER_GPU};
+use ks_sim_core::time::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Alloc(Profile),
+    /// Free the i-th resident slice (mod count).
+    Free(u8),
+    BeginReconfig,
+    NoteDrained,
+    /// Advance the clock by this many milliseconds, then try to activate.
+    Activate(u64),
+}
+
+fn profile_strategy() -> impl Strategy<Value = Profile> {
+    (0u8..5).prop_map(|i| Profile::ALL[usize::from(i)])
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => profile_strategy().prop_map(Op::Alloc),
+        3 => (0u8..16).prop_map(Op::Free),
+        1 => Just(Op::BeginReconfig),
+        1 => Just(Op::NoteDrained),
+        2 => (0u64..3000).prop_map(Op::Activate),
+    ]
+}
+
+const COST: SimDuration = SimDuration::from_millis(1500);
+
+proptest! {
+    /// Any op sequence keeps the structural invariants: `verify()` passes
+    /// after every step, allocations never overlap, and used + free slots
+    /// always cover the grid.
+    #[test]
+    fn invariants_hold_under_any_op_sequence(ops in proptest::collection::vec(op_strategy(), 1..60)) {
+        let mut t = PartitionTable::new();
+        let mut now = SimTime::ZERO;
+        let mut resident: usize = 0;
+        for op in ops {
+            match op {
+                Op::Alloc(p) => match t.alloc(p) {
+                    Ok(start) => {
+                        prop_assert!(p.allowed_starts().contains(&start));
+                        resident += 1;
+                    }
+                    Err(e) => prop_assert!(matches!(
+                        e,
+                        PartitionError::NoFit | PartitionError::BadState
+                    )),
+                },
+                Op::Free(i) => {
+                    let starts: Vec<u8> = t.slices().map(|(s, _)| s).collect();
+                    if !starts.is_empty() {
+                        let s = starts[usize::from(i) % starts.len()];
+                        if t.free(s).is_ok() {
+                            resident -= 1;
+                        }
+                    }
+                }
+                Op::BeginReconfig => {
+                    let _ = t.begin_reconfig();
+                }
+                Op::NoteDrained => {
+                    let before = t.state();
+                    match t.note_drained(now, COST) {
+                        Ok(until) => {
+                            prop_assert_eq!(before, TableState::Draining);
+                            prop_assert_eq!(resident, 0, "drained with tenants");
+                            prop_assert_eq!(until, now + COST);
+                        }
+                        Err(e) => prop_assert!(matches!(
+                            e,
+                            PartitionError::BadState | PartitionError::NotDrained
+                        )),
+                    }
+                }
+                Op::Activate(ms) => {
+                    now += SimDuration::from_millis(ms);
+                    let before = t.state();
+                    match t.activate(now) {
+                        Ok(()) => {
+                            let TableState::Reconfiguring { until } = before else {
+                                panic!("activated outside reconfig (was {before:?})");
+                            };
+                            prop_assert!(now >= until, "activated before the delay elapsed");
+                            prop_assert_eq!(t.free_slots(), SLOTS_PER_GPU);
+                        }
+                        Err(e) => prop_assert!(matches!(
+                            e,
+                            PartitionError::BadState | PartitionError::NotReady
+                        )),
+                    }
+                }
+            }
+            // Slot conservation + overlap-freedom + state consistency.
+            t.verify().unwrap_or_else(|e| panic!("invariant broken: {e}"));
+            prop_assert_eq!(t.slice_count(), resident);
+            let used: u8 = t.slices().map(|(_, p)| p.slots()).sum();
+            prop_assert_eq!(used, t.used_slots());
+            prop_assert_eq!(t.used_slots() + t.free_slots(), SLOTS_PER_GPU);
+        }
+    }
+
+    /// Whatever fits by `can_place` really allocates, and what allocates
+    /// was claimed placeable: the advertised capacity is exact.
+    #[test]
+    fn can_place_is_exact(profiles in proptest::collection::vec(profile_strategy(), 1..12)) {
+        let mut t = PartitionTable::new();
+        for p in profiles {
+            let claimed = t.can_place(p);
+            let got = t.alloc(p);
+            prop_assert_eq!(claimed, got.is_ok());
+        }
+        t.verify().unwrap_or_else(|e| panic!("invariant broken: {e}"));
+    }
+
+    /// A full drain + reconfig always restores a whole, clean grid.
+    #[test]
+    fn reconfig_recovers_full_capacity(profiles in proptest::collection::vec(profile_strategy(), 0..8)) {
+        let mut t = PartitionTable::new();
+        for p in profiles {
+            let _ = t.alloc(p);
+        }
+        t.begin_reconfig().unwrap();
+        let starts: Vec<u8> = t.slices().map(|(s, _)| s).collect();
+        for s in starts {
+            t.free(s).unwrap();
+        }
+        let now = SimTime::from_secs(5);
+        let until = t.note_drained(now, COST).unwrap();
+        prop_assert_eq!(t.activate(now), Err(PartitionError::NotReady));
+        t.activate(until).unwrap();
+        prop_assert!(t.can_place(Profile::P7));
+        prop_assert_eq!(t.free_slots(), SLOTS_PER_GPU);
+        t.verify().unwrap_or_else(|e| panic!("invariant broken: {e}"));
+    }
+}

@@ -25,12 +25,14 @@ pub mod cuda;
 pub mod policy;
 pub mod realtime;
 pub mod shared;
+pub mod slice;
 pub mod spec;
 pub mod swap;
 pub mod window;
 
 pub use backend::{BackendError, BackendTimer, TokenBackend, TokenState, VgpuConfig};
 pub use shared::{IsolationMode, SharedGpu, VgpuEmit, VgpuEvent, VgpuNotice};
+pub use slice::{SliceBackend, SliceError};
 pub use spec::{ShareSpec, SpecError};
 pub use swap::SwapPolicy;
 pub use window::{ClientId, UsageWindow};
