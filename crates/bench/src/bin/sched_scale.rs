@@ -1,7 +1,10 @@
 //! Scheduler scaling benchmark: drains a pending SharePod queue through
 //! Algorithm 1 in `Reference` and `Indexed` modes on identical seeded
-//! pools, reports decisions/sec, and writes the `BENCH_sched.json`
-//! trajectory. Exits non-zero if the two modes ever diverge.
+//! pools, reports decisions/sec (including a lane with the flight
+//! recorder capturing full provenance), and writes the
+//! `BENCH_sched.json` trajectory. Exits non-zero if the modes ever
+//! diverge, if the recorder changes any decision, or if provenance
+//! capture costs more than 5 % throughput at the largest sweep point.
 //!
 //! Usage: `cargo run -p ks-bench --release --bin sched_scale --
 //! [--gpus N] [--pods N] [--seed N] [--out PATH]`. Without `--gpus` the
@@ -50,6 +53,8 @@ fn main() {
             "reference dec/s",
             "indexed dec/s",
             "auto dec/s",
+            "recorded dec/s",
+            "rec cost",
             "auto picks",
             "speedup",
             "divergences",
@@ -62,9 +67,11 @@ fn main() {
             format!("{:.0}", p.reference_dps),
             format!("{:.0}", p.indexed_dps),
             format!("{:.0}", p.auto_dps),
+            format!("{:.0}", p.recorded_dps),
+            format!("{:.1}%", p.recorder_overhead * 100.0),
             p.chosen_mode.clone(),
             format!("{}x", f1(p.speedup)),
-            p.divergences.to_string(),
+            (p.divergences + p.recorder_divergences).to_string(),
             p.final_devices.to_string(),
         ]);
     }
@@ -78,5 +85,22 @@ fn main() {
     if divergences > 0 {
         eprintln!("FAIL: {divergences} decision divergences between Reference and Indexed modes");
         std::process::exit(1);
+    }
+    let rec_divergences: usize = points.iter().map(|p| p.recorder_divergences).sum();
+    if rec_divergences > 0 {
+        eprintln!("FAIL: {rec_divergences} decisions changed with the flight recorder enabled");
+        std::process::exit(1);
+    }
+    // The overhead bound is enforced at the largest sweep point, where a
+    // single drain runs long enough for the timing to be stable.
+    if let Some(p) = points.iter().max_by_key(|p| p.gpus) {
+        if p.recorder_overhead > ks_bench::sched_scale::OVERHEAD_BOUND {
+            eprintln!(
+                "FAIL: provenance capture cost {:.1}% throughput at {} GPUs (bound 5%)",
+                p.recorder_overhead * 100.0,
+                p.gpus
+            );
+            std::process::exit(1);
+        }
     }
 }

@@ -1,0 +1,680 @@
+//! Explain-smoke harness: drive seeded workloads that engineer **all
+//! five decision-outcome classes**, then prove the flight recorder can
+//! explain a sharePod of each class with a complete, well-formed record
+//! chain.
+//!
+//! Three sub-scenarios, each with its own system and recorder:
+//!
+//! 1. **workload** — a mixed-substrate fleet (time-slice, spatial,
+//!    hybrid) oversubscribing the cluster, with a priority-2 stripe.
+//!    Produces `placed`/`new_device` (early arrivals), `rejected`
+//!    (priority-0 overflow once the physical GPUs are gone), and `held`
+//!    (priority-2 arrivals parked `awaiting_preemption` while
+//!    lower-priority work holds capacity).
+//! 2. **reconfigure** — the stranded-capacity recipe from the Algorithm 1
+//!    tests replayed at system level: fill a single device with seven
+//!    1/7-slices, delete every tenant except the two anchoring the larger
+//!    profiles' start slots, then ask for a 3/7 profile. Five slots are
+//!    free but none is a legal start — the scheduler orders a partition
+//!    reshape instead of burning a fresh GPU, and the recorder captures
+//!    both the `schedule → reconfigure` verdict and the
+//!    `reconfigure` execution record.
+//! 3. **remediation** — a synthetic crash-burn anomaly through the
+//!    remediation controller produces a trace-joined `action` record.
+//!
+//! Self-verifying (failures collected, the bin exits non-zero): every
+//! class must be sampled; every sampled explanation must render to
+//! parseable JSON with a non-empty record chain; every typed reason must
+//! round-trip the [`ReasonCode`] taxonomy; the per-reason
+//! `ks_sched_rejections_total` counters must agree exactly with the
+//! recorded `schedule` decisions; the ring must not have evicted (the
+//! harness sizes it to hold the full run); and re-running the workload
+//! with the recorder disabled must land every sharePod in the identical
+//! phase on the identical vGPU (the recorder is observation, never
+//! policy).
+
+use std::collections::BTreeMap;
+
+use ks_cluster::api::pod::PodSpec;
+use ks_cluster::api::{ResourceList, Uid};
+use ks_remediation::{Anomaly, Controller, ControllerConfig};
+use ks_sim_core::prelude::*;
+use ks_telemetry::provenance::{DecisionKind, ReasonCode};
+use ks_telemetry::{FlightRecorder, Telemetry};
+use ks_vgpu::ShareSpec;
+use kubeshare::sharepod::SharePodSpec;
+use kubeshare::system::{KsConfig, KsEmit, KsEvent, KsNotice};
+use kubeshare::{KubeShareSystem, Locality, Substrate};
+
+use serde::Serialize;
+
+/// Explain-smoke configuration.
+#[derive(Debug, Clone)]
+pub struct ExplainConfig {
+    /// Nodes in the workload fleet.
+    pub nodes: usize,
+    /// GPUs per node (the fleet has `nodes * gpus_per_node` devices).
+    pub gpus_per_node: u32,
+    /// SharePods submitted against the workload fleet.
+    pub pods: usize,
+    /// Workload seed (demand draws).
+    pub seed: u64,
+}
+
+impl Default for ExplainConfig {
+    fn default() -> Self {
+        ExplainConfig {
+            nodes: 32,
+            gpus_per_node: 8,
+            pods: 600,
+            seed: 7,
+        }
+    }
+}
+
+/// One sampled explanation: a sharePod of the given outcome class with
+/// its rendered record chain in both machine and human form.
+#[derive(Debug, Clone, Serialize)]
+pub struct ClassSample {
+    /// Outcome class (`placed`, `rejected`, `held`, `reconfigure`,
+    /// `action`).
+    pub class: String,
+    /// Which sub-scenario produced it.
+    pub scenario: String,
+    /// The explained sharePod uid (0 for subject-less remediation
+    /// records, which join by trace instead).
+    pub sp: u64,
+    /// Records in the explanation chain.
+    pub records: usize,
+    /// `Explanation::to_json` output.
+    pub json: String,
+    /// `Explanation::render_text` output.
+    pub text: String,
+}
+
+/// Count of schedule decisions refused or held per typed reason.
+#[derive(Debug, Clone, Serialize)]
+pub struct ReasonCount {
+    /// The [`ReasonCode`] label.
+    pub reason: String,
+    /// Schedule records carrying it.
+    pub count: u64,
+}
+
+/// The explain-smoke report.
+#[derive(Debug, Clone, Serialize)]
+pub struct ExplainReport {
+    /// Nodes in the workload fleet.
+    pub nodes: usize,
+    /// GPUs per node.
+    pub gpus_per_node: u32,
+    /// SharePods submitted.
+    pub pods: usize,
+    /// Seed.
+    pub seed: u64,
+    /// Total records captured across all three recorders.
+    pub decisions: u64,
+    /// Workload `schedule`-kind records.
+    pub schedule_records: u64,
+    /// Workload sharePods placed (incl. on a fresh vGPU).
+    pub placed: u64,
+    /// Workload sharePods rejected.
+    pub rejected: u64,
+    /// Workload sharePods held awaiting preemption.
+    pub held: u64,
+    /// Reconfigure-kind records in the stranding scenario.
+    pub reconfigures: u64,
+    /// Remediation action records.
+    pub remediation_actions: u64,
+    /// Per-reason counts over the workload's schedule records.
+    pub rejection_reasons: Vec<ReasonCount>,
+    /// One explanation per outcome class.
+    pub samples: Vec<ClassSample>,
+    /// Whether the recorder-off rerun landed every sharePod identically.
+    pub identical_without_recorder: bool,
+    /// Violated bounds; empty means the smoke passed.
+    pub failures: Vec<String>,
+}
+
+/// Timestamp-ordered event pump: a tiny synchronous driver for scenarios
+/// that interleave direct control-plane calls (submit, delete) with the
+/// system's own scheduled events, where the full DES engine would get in
+/// the way of the phase structure.
+struct EventPump {
+    heap: std::collections::BinaryHeap<std::cmp::Reverse<(SimTime, u64)>>,
+    slab: BTreeMap<u64, KsEvent>,
+    seq: u64,
+}
+
+impl EventPump {
+    fn new() -> Self {
+        EventPump {
+            heap: std::collections::BinaryHeap::new(),
+            slab: BTreeMap::new(),
+            seq: 0,
+        }
+    }
+
+    fn extend(&mut self, out: KsEmit) {
+        for (at, ev) in out {
+            self.seq += 1;
+            self.heap.push(std::cmp::Reverse((at, self.seq)));
+            self.slab.insert(self.seq, ev);
+        }
+    }
+
+    /// Drains the queue in (time, FIFO) order, feeding follow-up events
+    /// back in. Returns the clock after the last event.
+    fn run(&mut self, sys: &mut KubeShareSystem, notices: &mut Vec<KsNotice>) -> SimTime {
+        let mut now = SimTime::ZERO;
+        while let Some(std::cmp::Reverse((at, id))) = self.heap.pop() {
+            let ev = self.slab.remove(&id).expect("event in slab");
+            now = at;
+            let mut out = Vec::new();
+            sys.handle(at, ev, &mut out, notices);
+            self.extend(out);
+        }
+        now
+    }
+}
+
+/// The workload stripe for pod `i`: mixed substrates, demand heavy
+/// enough to oversubscribe, and a priority-2 stripe that arrives parked
+/// once capacity is gone.
+fn workload_spec(i: usize, rng: &mut SimRng) -> SharePodSpec {
+    let demand = (rng.uniform_range(0.3, 0.9) * 100.0).round() / 100.0;
+    let substrate = match i % 10 {
+        0..=5 => Substrate::TimeSlice,
+        6..=7 => Substrate::Spatial,
+        _ => Substrate::Hybrid,
+    };
+    let priority = if i % 9 == 8 { 2 } else { 0 };
+    SharePodSpec::new(
+        PodSpec::new("train:2.1", ResourceList::cpu_mem(500, 1 << 30)),
+        ShareSpec::new(demand, 1.0, demand).expect("valid share"),
+    )
+    .with_substrate(substrate)
+    .with_priority(priority)
+    .with_tenant(if priority > 0 { "gold" } else { "batch" })
+}
+
+/// A member of the `demo-group` affinity group. The seed establishes
+/// the group (and its exclusion label) on a device; probes carrying a
+/// conflicting anti-affinity or exclusion label then draw typed rejects
+/// (`anti_affinity_conflict`, `affinity_excluded`) — the bare system's
+/// time-slice path never rejects on raw capacity (it proposes a fresh
+/// vGPU and lets physical exhaustion surface as an anchor wait), so
+/// locality conflicts are the deterministic rejection source. `solo`
+/// adds the anti-affinity label `solo`: the device inherits it from the
+/// seed, so a second `solo` member conflicts with the first.
+fn affinity_spec(exclusion: &str, solo: bool) -> SharePodSpec {
+    let mut loc = Locality::none()
+        .with_affinity("demo-group")
+        .with_exclusion(exclusion);
+    if solo {
+        loc = loc.with_anti_affinity("solo");
+    }
+    SharePodSpec::new(
+        PodSpec::new("train:2.1", ResourceList::cpu_mem(500, 1 << 30)),
+        ShareSpec::new(0.2, 1.0, 0.2).expect("valid share"),
+    )
+    .with_locality(loc)
+}
+
+/// A spatial sharePod of the given GPU fraction (request == memory).
+fn spatial_spec(demand: f64) -> SharePodSpec {
+    SharePodSpec::new(
+        PodSpec::new("train:2.1", ResourceList::cpu_mem(500, 1 << 30)),
+        ShareSpec::new(demand, 1.0, demand).expect("valid share"),
+    )
+    .with_substrate(Substrate::Spatial)
+}
+
+/// Runs the oversubscribed mixed-substrate workload. Returns the settled
+/// system plus its recorder and telemetry.
+fn run_workload(
+    cfg: &ExplainConfig,
+    with_recorder: bool,
+) -> (KubeShareSystem, FlightRecorder, Telemetry) {
+    let mut sys = KubeShareSystem::new(
+        crate::harness::cluster_config(cfg.nodes, cfg.gpus_per_node),
+        KsConfig::default(),
+    );
+    let telemetry = Telemetry::enabled();
+    sys.set_telemetry(telemetry.clone());
+    // Sized so a full run (schedule + node-rank + admission records per
+    // pod, plus requeue churn) never evicts: eviction would break the
+    // counter/record agreement check, so it is asserted, not tolerated.
+    let recorder = if with_recorder {
+        FlightRecorder::with_capacity(cfg.pods * 16)
+    } else {
+        FlightRecorder::disabled()
+    };
+    sys.set_recorder(recorder.clone());
+
+    let mut rng = SimRng::seed_from_u64(cfg.seed);
+    let mut pump = EventPump::new();
+    let mut notices = Vec::new();
+    // Submissions are spread 50 ms apart; the pump interleaves each
+    // pod's decide with later arrivals' events by timestamp. (The store
+    // inserts happen up front, but Algorithm 1 reads only the pool and
+    // the subject's own spec, so pre-registration does not perturb
+    // decisions.)
+    for i in 0..cfg.pods {
+        let at = SimTime::ZERO + SimDuration::from_millis(50 * i as u64);
+        let mut out = Vec::new();
+        sys.submit_sharepod(at, format!("sp-{i}"), workload_spec(i, &mut rng), &mut out);
+        pump.extend(out);
+    }
+    // Affinity-group seed at t=0 (the cluster is empty, so it lands and
+    // stamps its labels on a device), then two conflicting probes well
+    // after the seed's vGPU is up.
+    let mut out = Vec::new();
+    sys.submit_sharepod(
+        SimTime::ZERO,
+        "aff-seed",
+        affinity_spec("tenant-a", true),
+        &mut out,
+    );
+    sys.submit_sharepod(
+        SimTime::ZERO + SimDuration::from_secs(60),
+        "aff-anti",
+        affinity_spec("tenant-a", true),
+        &mut out,
+    );
+    sys.submit_sharepod(
+        SimTime::ZERO + SimDuration::from_secs(61),
+        "aff-excl",
+        affinity_spec("tenant-b", false),
+        &mut out,
+    );
+    pump.extend(out);
+    pump.run(&mut sys, &mut notices);
+    (sys, recorder, telemetry)
+}
+
+/// Phase + binding per sharePod: the decision fingerprint compared
+/// across recorder-on and recorder-off runs.
+fn placements(sys: &KubeShareSystem) -> BTreeMap<u64, (String, String)> {
+    sys.sharepods()
+        .iter()
+        .map(|(uid, sp)| {
+            let gpu = sp
+                .status
+                .bound_gpuid
+                .as_ref()
+                .map(|g| g.to_string())
+                .unwrap_or_default();
+            (uid.0, (format!("{:?}", sp.status.phase), gpu))
+        })
+        .collect()
+}
+
+/// Runs the stranded-capacity recipe on a 1-node × 1-GPU fleet and
+/// returns the system, its recorder, and the sharePod whose request
+/// triggered the reshape.
+fn run_reconfigure() -> (KubeShareSystem, FlightRecorder, Uid) {
+    let mut sys = KubeShareSystem::new(crate::harness::cluster_config(1, 1), KsConfig::default());
+    let telemetry = Telemetry::enabled();
+    sys.set_telemetry(telemetry.clone());
+    let recorder = FlightRecorder::enabled();
+    sys.set_recorder(recorder.clone());
+
+    let mut pump = EventPump::new();
+    let mut notices = Vec::new();
+    let mut submitted = Vec::new();
+    for i in 0..7 {
+        let at = SimTime::ZERO + SimDuration::from_secs(i as u64);
+        let mut out = Vec::new();
+        let sp = sys.submit_sharepod(at, format!("slice-{i}"), spatial_spec(0.14), &mut out);
+        submitted.push(sp);
+        pump.extend(out);
+    }
+    let mut now = pump.run(&mut sys, &mut notices);
+
+    // Keep the tenants anchoring slots 0 and 4 — the start slots the
+    // larger profiles need — and delete the rest. Five of seven slots
+    // are then free, but no legal 3/7 placement exists: capacity is
+    // stranded by geometry, not exhausted.
+    let gpu = sys
+        .pool()
+        .devices()
+        .next()
+        .expect("device created")
+        .id
+        .clone();
+    let keep: Vec<Uid> = [0u8, 4]
+        .iter()
+        .filter_map(|&slot| sys.pool().slice_tenant(&gpu, slot))
+        .collect();
+    for &sp in &submitted {
+        if !keep.contains(&sp) {
+            now += SimDuration::from_secs(1);
+            let mut out = Vec::new();
+            sys.delete_sharepod(now, sp, &mut out, &mut notices);
+            pump.extend(out);
+        }
+    }
+    pump.run(&mut sys, &mut notices);
+
+    now += SimDuration::from_secs(5);
+    let mut out = Vec::new();
+    let trigger = sys.submit_sharepod(now, "wants-p3", spatial_spec(0.4), &mut out);
+    pump.extend(out);
+    pump.run(&mut sys, &mut notices);
+    (sys, recorder, trigger)
+}
+
+/// Drives one synthetic crash-burn anomaly through the remediation
+/// controller with a recorder attached.
+fn run_remediation() -> FlightRecorder {
+    let telemetry = Telemetry::enabled();
+    let mut ctrl = Controller::new(ControllerConfig::default(), telemetry);
+    let recorder = FlightRecorder::enabled();
+    ctrl.set_recorder(recorder.clone());
+    let at = SimTime::ZERO + SimDuration::from_secs(30);
+    let anomaly = Anomaly {
+        rule: "node_crash_burn",
+        metric: "ks_node_failures_total",
+        labels: vec![("node".to_string(), "node-0".to_string())],
+        value: 3.0,
+        z: 0.0,
+        at,
+    };
+    let actions = ctrl.step(at, &[anomaly], &[]);
+    assert!(
+        !actions.is_empty(),
+        "crash-burn anomaly must produce a remediation action"
+    );
+    recorder
+}
+
+/// Samples the lowest-uid sharePod whose `schedule` record has the given
+/// outcome class, and renders its explanation.
+fn sample_class(
+    recorder: &FlightRecorder,
+    scenario: &str,
+    classes: &[&str],
+    label: &str,
+    failures: &mut Vec<String>,
+) -> Option<ClassSample> {
+    let sp = recorder
+        .records()
+        .iter()
+        .filter(|r| r.kind == DecisionKind::Schedule && classes.contains(&r.outcome.class()))
+        .map(|r| r.sp)
+        .min();
+    let Some(sp) = sp else {
+        failures.push(format!(
+            "no {label} outcome in the {scenario} scenario — the workload \
+             shape no longer engineers this class"
+        ));
+        return None;
+    };
+    explain_into_sample(recorder, scenario, label, sp, failures)
+}
+
+/// Renders + validates one explanation.
+fn explain_into_sample(
+    recorder: &FlightRecorder,
+    scenario: &str,
+    label: &str,
+    sp: u64,
+    failures: &mut Vec<String>,
+) -> Option<ClassSample> {
+    let Some(expl) = recorder.explain(sp) else {
+        failures.push(format!(
+            "{scenario}: explain({sp}) returned nothing for a {label} sharePod"
+        ));
+        return None;
+    };
+    let json = expl.to_json();
+    let text = expl.render_text();
+    if expl.records.is_empty() {
+        failures.push(format!(
+            "{scenario}: explain({sp}) has an empty record chain"
+        ));
+    }
+    match serde_json::from_str::<serde_json::Value>(&json) {
+        Ok(v) => {
+            let n = v["records"].as_array().map(|a| a.len()).unwrap_or_default();
+            if n != expl.records.len() {
+                failures.push(format!(
+                    "{scenario}: explain({sp}) JSON carries {n} records, chain has {}",
+                    expl.records.len()
+                ));
+            }
+        }
+        Err(e) => failures.push(format!(
+            "{scenario}: explain({sp}) rendered unparseable JSON: {e}"
+        )),
+    }
+    Some(ClassSample {
+        class: label.to_string(),
+        scenario: scenario.to_string(),
+        sp,
+        records: expl.records.len(),
+        json,
+        text,
+    })
+}
+
+/// Runs the full explain smoke. See the module docs for what is driven
+/// and what is asserted.
+pub fn run(cfg: &ExplainConfig) -> ExplainReport {
+    let mut failures = Vec::new();
+
+    // --- scenario 1: oversubscribed mixed-substrate workload. ---
+    let (sys, recorder, telemetry) = run_workload(cfg, true);
+    let records = recorder.records();
+    if recorder.evicted() > 0 {
+        failures.push(format!(
+            "workload ring evicted {} records — the harness capacity \
+             no longer covers a full run",
+            recorder.evicted()
+        ));
+    }
+
+    let sched: Vec<_> = records
+        .iter()
+        .filter(|r| r.kind == DecisionKind::Schedule)
+        .collect();
+    let count_class = |classes: &[&str]| {
+        sched
+            .iter()
+            .filter(|r| classes.contains(&r.outcome.class()))
+            .count() as u64
+    };
+    let placed = count_class(&["placed", "new_device"]);
+    let rejected = count_class(&["rejected"]);
+    let held = count_class(&["held"]);
+
+    // Typed reasons must round-trip the taxonomy, and the per-reason
+    // schedule-record counts must equal the metrics the same decisions
+    // incremented — one taxonomy, two read paths, no drift.
+    let mut by_reason: BTreeMap<&'static str, u64> = BTreeMap::new();
+    for r in &sched {
+        if let Some(reason) = r.outcome.reason() {
+            if ReasonCode::from_label(reason.label()) != Some(reason) {
+                failures.push(format!(
+                    "reason {:?} does not round-trip its label {:?}",
+                    reason,
+                    reason.label()
+                ));
+            }
+            *by_reason.entry(reason.label()).or_default() += 1;
+        }
+    }
+    for (label, count) in &by_reason {
+        let counted = telemetry
+            .counter("ks_sched_rejections_total", &[("reason", label)])
+            .get();
+        if counted != *count {
+            failures.push(format!(
+                "ks_sched_rejections_total{{reason={label}}} = {counted}, \
+                 but {count} schedule records carry that reason"
+            ));
+        }
+    }
+
+    let mut samples = Vec::new();
+    samples.extend(sample_class(
+        &recorder,
+        "workload",
+        &["placed", "new_device"],
+        "placed",
+        &mut failures,
+    ));
+    samples.extend(sample_class(
+        &recorder,
+        "workload",
+        &["rejected"],
+        "rejected",
+        &mut failures,
+    ));
+    samples.extend(sample_class(
+        &recorder,
+        "workload",
+        &["held"],
+        "held",
+        &mut failures,
+    ));
+
+    // --- recorder-off identity: observation must never be policy. ---
+    let fingerprint_on = placements(&sys);
+    let (sys_off, _, _) = run_workload(cfg, false);
+    let fingerprint_off = placements(&sys_off);
+    let identical = fingerprint_on == fingerprint_off;
+    if !identical {
+        let diverged = fingerprint_on
+            .iter()
+            .filter(|(sp, v)| fingerprint_off.get(sp) != Some(v))
+            .count();
+        failures.push(format!(
+            "recorder-off rerun diverged on {diverged} of {} sharePods — \
+             the recorder leaked into scheduling policy",
+            fingerprint_on.len()
+        ));
+    }
+
+    // --- scenario 2: stranded capacity forcing a partition reshape. ---
+    let (_sys_r, rec_reconf, trigger) = run_reconfigure();
+    let reconfigures = rec_reconf
+        .records()
+        .iter()
+        .filter(|r| r.kind == DecisionKind::Reconfigure)
+        .count() as u64;
+    if reconfigures == 0 {
+        failures.push(
+            "stranding recipe produced no reconfigure record — five free \
+             slots should have stranded the 3/7 profile"
+                .to_string(),
+        );
+    }
+    samples.extend(explain_into_sample(
+        &rec_reconf,
+        "reconfigure",
+        "reconfigure",
+        trigger.0,
+        &mut failures,
+    ));
+    if let Some(s) = samples.last() {
+        if s.class == "reconfigure" && !s.text.contains("reconfigure") {
+            failures.push(format!(
+                "explain({}) does not mention the reconfigure verdict",
+                trigger.0
+            ));
+        }
+    }
+
+    // --- scenario 3: remediation action provenance. ---
+    let rec_rem = run_remediation();
+    let remediation_actions = rec_rem
+        .records()
+        .iter()
+        .filter(|r| r.kind == DecisionKind::Remediation)
+        .count() as u64;
+    if remediation_actions == 0 {
+        failures.push("controller took an action but recorded no provenance".to_string());
+    }
+    // Remediation records are subject-less (sp = 0) and join by the
+    // anomaly's trace.
+    samples.extend(explain_into_sample(
+        &rec_rem,
+        "remediation",
+        "action",
+        0,
+        &mut failures,
+    ));
+
+    let expected = ["placed", "rejected", "held", "reconfigure", "action"];
+    for class in expected {
+        if !samples.iter().any(|s| s.class == class) {
+            failures.push(format!("outcome class {class} was never sampled"));
+        }
+    }
+
+    ExplainReport {
+        nodes: cfg.nodes,
+        gpus_per_node: cfg.gpus_per_node,
+        pods: cfg.pods,
+        seed: cfg.seed,
+        decisions: recorder.recorded() + rec_reconf.recorded() + rec_rem.recorded(),
+        schedule_records: sched.len() as u64,
+        placed,
+        rejected,
+        held,
+        reconfigures,
+        remediation_actions,
+        rejection_reasons: by_reason
+            .into_iter()
+            .map(|(reason, count)| ReasonCount {
+                reason: reason.to_string(),
+                count,
+            })
+            .collect(),
+        samples,
+        identical_without_recorder: identical,
+        failures,
+    }
+}
+
+/// Serializes the report (sample JSON embedded as strings).
+pub fn to_json(report: &ExplainReport) -> String {
+    serde_json::to_string_pretty(report).expect("report serializes")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> ExplainConfig {
+        ExplainConfig {
+            nodes: 2,
+            gpus_per_node: 2,
+            pods: 36,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn all_five_classes_explained_and_bounds_hold() {
+        let report = run(&small());
+        assert!(
+            report.failures.is_empty(),
+            "explain smoke failed: {:?}",
+            report.failures
+        );
+        assert_eq!(report.samples.len(), 5);
+        assert!(report.identical_without_recorder);
+        assert!(report.placed > 0 && report.rejected > 0 && report.held > 0);
+        assert!(report.reconfigures > 0 && report.remediation_actions > 0);
+    }
+
+    #[test]
+    fn same_seed_same_report() {
+        let a = run(&small());
+        let b = run(&small());
+        assert_eq!(to_json(&a), to_json(&b));
+    }
+}

@@ -12,6 +12,7 @@ pub mod report;
 
 pub mod ablation;
 pub mod chaos;
+pub mod explain;
 pub mod fig10;
 pub mod fig11;
 pub mod fig12;

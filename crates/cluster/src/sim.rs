@@ -10,7 +10,8 @@
 use std::collections::HashMap;
 
 use ks_sim_core::time::SimTime;
-use ks_telemetry::{Telemetry, TraceCtx};
+use ks_telemetry::provenance::{DecisionKind, Outcome, ReasonCode, SchedProv};
+use ks_telemetry::{FlightRecorder, Telemetry, TraceCtx};
 
 use crate::api::meta::{Uid, UidAllocator};
 use crate::api::node::NodeConfig;
@@ -158,6 +159,9 @@ pub struct ClusterSim {
     /// Pods that found no node; retried whenever capacity frees.
     unschedulable: Vec<Uid>,
     telemetry: Telemetry,
+    /// Flight recorder for node-rank decision provenance (disabled by
+    /// default; [`ClusterSim::set_recorder`]).
+    recorder: FlightRecorder,
     /// Causal trace contexts for pods created on behalf of a traced
     /// operation (KubeShare anchors and backing pods).
     pod_trace: HashMap<Uid, TraceCtx>,
@@ -228,6 +232,7 @@ impl ClusterSim {
             nodes,
             unschedulable: Vec::new(),
             telemetry: Telemetry::disabled(),
+            recorder: FlightRecorder::disabled(),
             pod_trace: HashMap::new(),
             sched_mode: SchedMode::default(),
             node_rank: std::collections::BTreeSet::new(),
@@ -384,6 +389,19 @@ impl ClusterSim {
     pub fn set_telemetry(&mut self, telemetry: Telemetry) {
         self.pods.instrument(telemetry.clone(), "pods");
         self.telemetry = telemetry;
+    }
+
+    /// Attaches a flight recorder: every node-selection decision taken by
+    /// `on_schedule` is captured as a [`DecisionKind::NodeRank`] record
+    /// keyed by the pod uid. Provenance is computed read-only *after* the
+    /// decision, so attaching a recorder never changes placements.
+    pub fn set_recorder(&mut self, recorder: FlightRecorder) {
+        self.recorder = recorder;
+    }
+
+    /// The attached flight recorder (disabled by default).
+    pub fn recorder(&self) -> &FlightRecorder {
+        &self.recorder
     }
 
     /// Attaches a causal trace context to a pod: its lifecycle events join
@@ -783,6 +801,10 @@ impl ClusterSim {
             },
         };
 
+        if self.recorder.is_enabled() {
+            self.record_node_rank(now, uid, &requests, pinned.as_deref(), node_idx);
+        }
+
         match node_idx {
             Some(idx) => {
                 let node_name = self.nodes[idx].name.clone();
@@ -807,6 +829,76 @@ impl ClusterSim {
                 self.note_phase(now, uid, "unschedulable");
             }
         }
+    }
+
+    /// Captures one [`DecisionKind::NodeRank`] record for a node-selection
+    /// decision: every up node as a scored candidate, the chosen node
+    /// marked, unschedulable rendered as `Rejected(NoCapacity)`. Called
+    /// strictly *after* the decision and *before* any state mutation, and
+    /// only when a recorder is attached — it reads cluster state without
+    /// touching it, so placements are bit-identical recorder on or off.
+    fn record_node_rank(
+        &self,
+        now: SimTime,
+        uid: Uid,
+        requests: &ResourceList,
+        pinned: Option<&str>,
+        node_idx: Option<usize>,
+    ) {
+        let mut prov = SchedProv::on();
+        match pinned {
+            Some(name) => prov.note(|| format!("pod pinned to node {name}")),
+            None => prov.note(|| {
+                format!(
+                    "ranked {} up node(s) under {:?}",
+                    self.node_rank.len(),
+                    self.sched_mode.resolve(self.nodes.len())
+                )
+            }),
+        }
+        let (_, views) = self.up_views();
+        for view in &views {
+            let fits = requests.fits_in(&view.allocatable.checked_sub(&view.allocated));
+            let rule = if fits { "node_score" } else { "node_unfit" };
+            prov.candidate_with(rule, self.scheduler.node_score(view), || view.name.clone());
+        }
+        let outcome = match node_idx {
+            Some(idx) => {
+                let n = &self.nodes[idx];
+                let score = self.scheduler.node_score(&NodeView {
+                    name: n.name.clone(),
+                    allocatable: n.allocatable.clone(),
+                    allocated: n.allocated.clone(),
+                    spatial: n.spatial,
+                });
+                let rule = if pinned.is_some() {
+                    "pinned"
+                } else {
+                    "node_score"
+                };
+                prov.choose(&n.name, rule, score);
+                Outcome::Placed {
+                    target: n.name.as_str().into(),
+                }
+            }
+            None => {
+                prov.reject(ReasonCode::NoCapacity);
+                prov.note(|| "no up node fits the request".to_string());
+                Outcome::Rejected {
+                    reason: ReasonCode::NoCapacity,
+                }
+            }
+        };
+        // Pod uids live in a different keyspace from sharePod uids, so the
+        // record is keyed by the causal trace alone (`sp` = 0); the pod
+        // identity rides in `fields`. For KubeShare anchor and backing
+        // pods the trace is the owning sharePod's, which is exactly the
+        // join `FlightRecorder::explain` uses to pull node-rank records
+        // into a sharePod's decision chain.
+        let trace = self.pod_trace(uid).trace;
+        let mut rec = prov.into_record(now, 0, trace, DecisionKind::NodeRank, outcome);
+        rec.fields.push(("pod".to_string(), uid.to_string()));
+        self.recorder.record(rec);
     }
 
     fn on_bind(

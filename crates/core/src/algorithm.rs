@@ -25,6 +25,8 @@ pub use ks_cluster::scheduler::SchedMode;
 
 use ks_cluster::api::Uid;
 use ks_partition::{Profile, Substrate, TableState, SLOTS_PER_GPU};
+use ks_sim_core::time::SimTime;
+use ks_telemetry::provenance::{DecisionKind, FlightRecorder, Outcome, ReasonCode, SchedProv};
 
 use crate::gpuid::GpuId;
 use crate::locality::Locality;
@@ -99,21 +101,35 @@ pub fn fit_residual(req: &SchedRequest, pool: &VgpuPool, gpuid: &GpuId) -> Optio
 /// Runs Algorithm 1. Pure with respect to pool *contents*; only consumes a
 /// fresh id from the pool's id counter when a new device is needed.
 pub fn schedule(req: &SchedRequest, pool: &mut VgpuPool) -> Decision {
+    schedule_prov(req, pool, &mut SchedProv::off())
+}
+
+/// [`schedule`] with a provenance collector. The collector is a pure
+/// observer: every capture call is gated on its enablement and mutates
+/// nothing the algorithm reads, so decisions are identical with `prov` on
+/// or off (enforced by the differential oracles).
+pub fn schedule_prov(req: &SchedRequest, pool: &mut VgpuPool, prov: &mut SchedProv) -> Decision {
     // ---- Step 1: affinity (lines 1–14) ----
     if let Some(aff) = &req.locality.affinity {
         let target = pool
             .devices()
             .find(|d| !d.releasing && !d.is_spatial() && d.aff.contains(aff));
         if let Some(d) = target {
+            prov.candidate_with("affinity", d.fit_key(), || d.id.as_str());
+            prov.note(|| format!("affinity '{aff}' binds to {}", d.id));
             if !excl_matches(&req.locality.exclusion, &d.excl) {
+                prov.reject(ReasonCode::AffinityExcluded);
                 return Decision::Reject(RejectReason::ExclusionConflict);
             }
             if anti_aff_conflicts(&req.locality.anti_affinity, d) {
+                prov.reject(ReasonCode::AntiAffinityConflict);
                 return Decision::Reject(RejectReason::AntiAffinityConflict);
             }
             if !has_capacity(req, d) {
+                prov.reject(ReasonCode::AffinityNoCapacity);
                 return Decision::Reject(RejectReason::InsufficientCapacity);
             }
+            prov.choose(d.id.as_str(), "affinity", d.fit_key());
             return Decision::Assign(d.id.clone());
         }
         // No device carries the label yet: prefer an idle device so the
@@ -122,8 +138,12 @@ pub fn schedule(req: &SchedRequest, pool: &mut VgpuPool) -> Decision {
             .devices()
             .find(|d| !d.releasing && !d.is_spatial() && d.is_idle())
         {
+            prov.candidate_with("idle", d.fit_key(), || d.id.as_str());
+            prov.choose(d.id.as_str(), "idle", d.fit_key());
+            prov.note(|| format!("no device carries affinity '{aff}'; seed group on idle device"));
             return Decision::Assign(d.id.clone());
         }
+        prov.note(|| format!("no device carries affinity '{aff}' and none idle; new device"));
         return Decision::NewDevice(pool.fresh_id());
     }
 
@@ -142,6 +162,13 @@ pub fn schedule(req: &SchedRequest, pool: &mut VgpuPool) -> Decision {
                 && has_capacity(req, d)
         })
         .collect();
+    prov.note(|| {
+        format!(
+            "filter: {} of {} devices pass",
+            candidates.len(),
+            pool.len()
+        )
+    });
 
     // ---- Step 3: placement (lines 21–26) ----
     // The fit metric is the residual after placement, `fit_key − (u+m)`;
@@ -149,6 +176,16 @@ pub fn schedule(req: &SchedRequest, pool: &mut VgpuPool) -> Decision {
     // device's fit key alone selects the same device — and does it with
     // float comparisons that an ordered index reproduces bit-for-bit.
     // Best fit among devices without affinity labels…
+    if prov.is_on() {
+        for d in &candidates {
+            let rule = if d.aff.is_empty() {
+                "best_fit"
+            } else {
+                "worst_fit"
+            };
+            prov.candidate_with(rule, d.fit_key(), || d.id.as_str());
+        }
+    }
     let best = candidates
         .iter()
         .filter(|d| d.aff.is_empty())
@@ -158,6 +195,8 @@ pub fn schedule(req: &SchedRequest, pool: &mut VgpuPool) -> Decision {
                 .then_with(|| a.id.cmp(&b.id))
         });
     if let Some(d) = best {
+        prov.choose(d.id.as_str(), "best_fit", d.fit_key());
+        prov.note_static("best_fit over plain devices (min fit key, id tie-break)");
         return Decision::Assign(d.id.clone());
     }
     // …worst fit among devices with affinity labels…
@@ -170,9 +209,12 @@ pub fn schedule(req: &SchedRequest, pool: &mut VgpuPool) -> Decision {
                 .then_with(|| b.id.cmp(&a.id))
         });
     if let Some(d) = worst {
+        prov.choose(d.id.as_str(), "worst_fit", d.fit_key());
+        prov.note_static("worst_fit over affinity devices (max fit key, id tie-break)");
         return Decision::Assign(d.id.clone());
     }
     // …else a brand-new vGPU.
+    prov.note_static("no existing device passes; new device");
     Decision::NewDevice(pool.fresh_id())
 }
 
@@ -195,24 +237,47 @@ const FIT_RANGE_MARGIN: f64 = 1e-8;
 ///   fit key (ascending id within a key), so the first survivor is the
 ///   reference's maximum with the same smallest-id tie-break.
 pub fn schedule_indexed(req: &SchedRequest, pool: &mut VgpuPool) -> Decision {
+    schedule_indexed_prov(req, pool, &mut SchedProv::off())
+}
+
+/// [`schedule_indexed`] with a provenance collector. Candidates captured
+/// are the devices the range scans actually examined before the first
+/// survivor — faithful to this implementation's work, which may differ
+/// from the reference path's candidate set even though the chosen device
+/// never does.
+pub fn schedule_indexed_prov(
+    req: &SchedRequest,
+    pool: &mut VgpuPool,
+    prov: &mut SchedProv,
+) -> Decision {
     // ---- Step 1: affinity ----
     if let Some(aff) = &req.locality.affinity {
         if let Some(id) = pool.affinity_target(aff) {
             let d = pool.get(id).expect("indexed device in pool");
+            prov.candidate_with("affinity", d.fit_key(), || d.id.as_str());
+            prov.note_static("affinity label binds to its existing carrier (see candidates)");
             if !excl_matches(&req.locality.exclusion, &d.excl) {
+                prov.reject(ReasonCode::AffinityExcluded);
                 return Decision::Reject(RejectReason::ExclusionConflict);
             }
             if anti_aff_conflicts(&req.locality.anti_affinity, d) {
+                prov.reject(ReasonCode::AntiAffinityConflict);
                 return Decision::Reject(RejectReason::AntiAffinityConflict);
             }
             if !has_capacity(req, d) {
+                prov.reject(ReasonCode::AffinityNoCapacity);
                 return Decision::Reject(RejectReason::InsufficientCapacity);
             }
+            prov.choose(d.id.as_str(), "affinity", d.fit_key());
             return Decision::Assign(d.id.clone());
         }
         if let Some(id) = pool.first_unattached() {
-            return Decision::Assign(id.clone());
+            let id = id.clone();
+            prov.choose(id.as_str(), "idle", 2.0);
+            prov.note_static("no device carries the affinity label; seed group on idle device");
+            return Decision::Assign(id);
         }
+        prov.note_static("no device carries the affinity label and none idle; new device");
         return Decision::NewDevice(pool.fresh_id());
     }
 
@@ -227,12 +292,98 @@ pub fn schedule_indexed(req: &SchedRequest, pool: &mut VgpuPool) -> Decision {
                 && !anti_aff_conflicts(&req.locality.anti_affinity, d)
                 && has_capacity(req, d))
     };
-    if let Some(d) = pool.plain_fit_range(min_fit).find(|d| passes(d)) {
-        return Decision::Assign(d.id.clone());
+    // The scans below are the only per-device work at cluster scale, so
+    // the disabled-collector path runs them with no instrumentation at
+    // all — not even a counter — and the capturing path stages `(fit
+    // key, id)` pairs into a small stack buffer (hot lines, pipelined
+    // stores), building the collector's candidate records in a burst
+    // after the loop. Writing the 48-byte candidate records inside the
+    // pointer-chasing scan instead stalls the store buffer for ~130 ns
+    // per captured candidate at the 10k-GPU sweep point, and the winner's
+    // capture slot is tracked so the string-searching
+    // [`SchedProv::choose`] is skipped.
+    if !prov.is_on() {
+        for d in pool.plain_fit_range(min_fit) {
+            if passes(d) {
+                return Decision::Assign(d.id.clone());
+            }
+        }
+        for d in pool.labeled_fit_range_desc(min_fit) {
+            if passes(d) {
+                return Decision::Assign(d.id.clone());
+            }
+        }
+        return Decision::NewDevice(pool.fresh_id());
     }
-    if let Some(d) = pool.labeled_fit_range_desc(min_fit).find(|d| passes(d)) {
-        return Decision::Assign(d.id.clone());
+    let mut chosen: Option<(GpuId, f64)> = None;
+    let mut winner_slot: Option<usize> = None;
+    let mut scanned = 0usize;
+    let mut seen: [(f64, &str); SchedProv::MAX_CANDIDATES] = Default::default();
+    let mut cap = 0usize;
+    let room = prov.scan_room();
+    for d in pool.plain_fit_range(min_fit) {
+        scanned += 1;
+        let pushed = cap < room;
+        if pushed {
+            seen[cap] = (d.fit_key(), d.id.as_str());
+            cap += 1;
+        }
+        if passes(d) {
+            chosen = Some((d.id.clone(), d.fit_key()));
+            if pushed {
+                winner_slot = Some(cap - 1);
+            }
+            break;
+        }
     }
+    prov.add_considered(scanned);
+    for &(key, id) in &seen[..cap] {
+        prov.scan_push("best_fit", key, id);
+    }
+    if let Some((id, key)) = &chosen {
+        match winner_slot {
+            Some(i) => prov.choose_at(i, "best_fit", *key),
+            None => prov.choose_append(id.as_str(), "best_fit", *key),
+        }
+        prov.note_static("best_fit: first survivor of ascending plain-fit scan");
+    }
+    if let Some((id, _)) = chosen {
+        return Decision::Assign(id);
+    }
+    scanned = 0;
+    winner_slot = None;
+    let mut cap = 0usize;
+    let room = prov.scan_room();
+    for d in pool.labeled_fit_range_desc(min_fit) {
+        scanned += 1;
+        let pushed = cap < room;
+        if pushed {
+            seen[cap] = (d.fit_key(), d.id.as_str());
+            cap += 1;
+        }
+        if passes(d) {
+            chosen = Some((d.id.clone(), d.fit_key()));
+            if pushed {
+                winner_slot = Some(cap - 1);
+            }
+            break;
+        }
+    }
+    prov.add_considered(scanned);
+    for &(key, id) in &seen[..cap] {
+        prov.scan_push("worst_fit", key, id);
+    }
+    if let Some((id, key)) = &chosen {
+        match winner_slot {
+            Some(i) => prov.choose_at(i, "worst_fit", *key),
+            None => prov.choose_append(id.as_str(), "worst_fit", *key),
+        }
+        prov.note_static("worst_fit: first survivor of descending labeled-fit scan");
+    }
+    if let Some((id, _)) = chosen {
+        return Decision::Assign(id);
+    }
+    prov.note_static("no indexed device in fit range passes; new device");
     Decision::NewDevice(pool.fresh_id())
 }
 
@@ -242,9 +393,19 @@ pub fn schedule_indexed(req: &SchedRequest, pool: &mut VgpuPool) -> Decision {
 /// indexed path mid-stream — both implementations are decision-identical,
 /// so the switch is invisible in the decision trace.
 pub fn schedule_with(mode: SchedMode, req: &SchedRequest, pool: &mut VgpuPool) -> Decision {
+    schedule_with_prov(mode, req, pool, &mut SchedProv::off())
+}
+
+/// [`schedule_with`] with a provenance collector.
+pub fn schedule_with_prov(
+    mode: SchedMode,
+    req: &SchedRequest,
+    pool: &mut VgpuPool,
+    prov: &mut SchedProv,
+) -> Decision {
     match mode.resolve(pool.len()) {
-        SchedMode::Reference => schedule(req, pool),
-        SchedMode::Indexed | SchedMode::Auto => schedule_indexed(req, pool),
+        SchedMode::Reference => schedule_prov(req, pool, prov),
+        SchedMode::Indexed | SchedMode::Auto => schedule_indexed_prov(req, pool, prov),
     }
 }
 
@@ -283,29 +444,50 @@ fn free_view(d: &PoolDevice) -> (f64, f64) {
 /// should pay the explicit reconfiguration cost rather than burn a whole
 /// new physical GPU.
 pub fn schedule_spatial(req: &SchedRequest, pool: &mut VgpuPool) -> Decision {
+    schedule_spatial_prov(req, pool, &mut SchedProv::off())
+}
+
+/// [`schedule_spatial`] with a provenance collector capturing the
+/// fragmentation score of every placeable candidate.
+pub fn schedule_spatial_prov(
+    req: &SchedRequest,
+    pool: &mut VgpuPool,
+    prov: &mut SchedProv,
+) -> Decision {
     let demand = req.util.max(req.mem);
     let Some(profile) = Profile::smallest_covering(demand) else {
+        prov.reject(ReasonCode::DemandOverCapacity);
+        prov.note(|| format!("demand {demand:.3} exceeds a whole device; no covering profile"));
         return Decision::Reject(RejectReason::InsufficientCapacity);
     };
+    prov.note(|| format!("demand {demand:.3} rounds up to profile {profile:?}"));
 
     // ---- Step 1: affinity ----
     if let Some(aff) = &req.locality.affinity {
         let target = pool.spatial_devices().find(|d| d.aff.contains(aff));
         if let Some(d) = target {
+            prov.candidate_with("affinity", 0.0, || d.id.as_str());
+            prov.note(|| format!("affinity '{aff}' binds to {}", d.id));
             if !excl_matches(&req.locality.exclusion, &d.excl) {
+                prov.reject(ReasonCode::AffinityExcluded);
                 return Decision::Reject(RejectReason::ExclusionConflict);
             }
             if anti_aff_conflicts(&req.locality.anti_affinity, d) {
+                prov.reject(ReasonCode::AntiAffinityConflict);
                 return Decision::Reject(RejectReason::AntiAffinityConflict);
             }
-            if !d
-                .partition
-                .as_ref()
-                .expect("spatial device")
-                .can_place(profile)
-            {
+            let table = d.partition.as_ref().expect("spatial device");
+            if !table.can_place(profile) {
+                // Enough raw slots but no legal start is geometry
+                // stranding; fewer slots than the profile is capacity.
+                prov.reject(if table.free_slots() >= profile.slots() {
+                    ReasonCode::SliceGeometryStranded
+                } else {
+                    ReasonCode::AffinityNoCapacity
+                });
                 return Decision::Reject(RejectReason::InsufficientCapacity);
             }
+            prov.choose(d.id.as_str(), "affinity", 0.0);
             return Decision::Assign(d.id.clone());
         }
         if let Some(d) = pool.spatial_devices().find(|d| {
@@ -315,8 +497,12 @@ pub fn schedule_spatial(req: &SchedRequest, pool: &mut VgpuPool) -> Decision {
                     .expect("spatial device")
                     .can_place(profile)
         }) {
+            prov.candidate_with("idle", 0.0, || d.id.as_str());
+            prov.choose(d.id.as_str(), "idle", 0.0);
+            prov.note(|| format!("no device carries affinity '{aff}'; seed group on idle device"));
             return Decision::Assign(d.id.clone());
         }
+        prov.note(|| format!("no device carries affinity '{aff}' and none idle; new device"));
         return Decision::NewDevice(pool.fresh_id());
     }
 
@@ -357,6 +543,7 @@ pub fn schedule_spatial(req: &SchedRequest, pool: &mut VgpuPool) -> Decision {
         } else {
             (1.0 - (reach_total - reach_before + reach_after) / free_after).clamp(0.0, 1.0)
         };
+        prov.candidate_with("frag_score", score, || d.id.as_str());
         let better = match &best {
             None => true,
             Some((bs, bid)) => match score.total_cmp(bs) {
@@ -369,7 +556,11 @@ pub fn schedule_spatial(req: &SchedRequest, pool: &mut VgpuPool) -> Decision {
             best = Some((score, d.id.clone()));
         }
     }
-    if let Some((_, id)) = best {
+    if let Some((score, id)) = best {
+        prov.choose(id.as_str(), "frag_score", score);
+        prov.note(|| {
+            "frag_score: placement leaving the pool least fragmented (id tie-break)".to_string()
+        });
         return Decision::Assign(id);
     }
 
@@ -385,6 +576,9 @@ pub fn schedule_spatial(req: &SchedRequest, pool: &mut VgpuPool) -> Decision {
         if table.state() != TableState::Active || table.free_slots() < profile.slots() {
             continue;
         }
+        prov.candidate_with("reconfigure", f64::from(table.free_slots()), || {
+            d.id.as_str().to_string()
+        });
         let better = match &target {
             None => true,
             Some((fs, tid)) => {
@@ -395,9 +589,19 @@ pub fn schedule_spatial(req: &SchedRequest, pool: &mut VgpuPool) -> Decision {
             target = Some((table.free_slots(), d.id.clone()));
         }
     }
-    if let Some((_, id)) = target {
+    if let Some((fs, id)) = target {
+        prov.choose(id.as_str(), "reconfigure", f64::from(fs));
+        prov.reject(ReasonCode::SliceGeometryStranded);
+        prov.note(|| {
+            format!(
+                "no legal {}-slot start anywhere, but {fs} free slots are \
+                 stranded by geometry; reconfigure the roomiest device",
+                profile.slots()
+            )
+        });
         return Decision::Reconfigure(id);
     }
+    prov.note_static("no legal start and no stranded capacity; new device");
     Decision::NewDevice(pool.fresh_id())
 }
 
@@ -412,10 +616,52 @@ pub fn schedule_substrate(
     req: &SchedRequest,
     pool: &mut VgpuPool,
 ) -> Decision {
+    schedule_substrate_prov(mode, substrate, req, pool, &mut SchedProv::off())
+}
+
+/// [`schedule_substrate`] with a provenance collector.
+pub fn schedule_substrate_prov(
+    mode: SchedMode,
+    substrate: Substrate,
+    req: &SchedRequest,
+    pool: &mut VgpuPool,
+    prov: &mut SchedProv,
+) -> Decision {
     if substrate.wants_spatial(req.util, req.mem) {
-        schedule_spatial(req, pool)
+        prov.note_static("substrate routes to the spatial (slice) path");
+        schedule_spatial_prov(req, pool, prov)
     } else {
-        schedule_with(mode, req, pool)
+        schedule_with_prov(mode, req, pool, prov)
+    }
+}
+
+/// Maps a [`Decision`] and its collector to a provenance [`Outcome`],
+/// preferring the collector's precise [`ReasonCode`] over the coarse
+/// [`RejectReason`] when both exist.
+pub fn outcome_of(decision: &Decision, prov: &SchedProv) -> Outcome {
+    match decision {
+        Decision::Assign(id) => Outcome::Placed {
+            target: id.as_str().into(),
+        },
+        Decision::NewDevice(id) => Outcome::NewDevice {
+            target: id.as_str().into(),
+        },
+        Decision::Reconfigure(id) => Outcome::Reconfigure {
+            target: id.as_str().into(),
+        },
+        Decision::Reject(r) => Outcome::Rejected {
+            reason: prov.reason().unwrap_or(coarse_reason(r)),
+        },
+    }
+}
+
+/// The coarse fallback mapping for rejections recorded without a precise
+/// collector-noted code.
+pub fn coarse_reason(r: &RejectReason) -> ReasonCode {
+    match r {
+        RejectReason::ExclusionConflict => ReasonCode::AffinityExcluded,
+        RejectReason::AntiAffinityConflict => ReasonCode::AntiAffinityConflict,
+        RejectReason::InsufficientCapacity => ReasonCode::NoCapacity,
     }
 }
 
@@ -464,6 +710,57 @@ pub fn schedule_batch(
                     e.req.locality.anti_affinity.as_deref(),
                     e.req.locality.exclusion.as_deref(),
                 );
+            }
+            (e.uid, decision)
+        })
+        .collect()
+}
+
+/// [`schedule_batch`] with every decision's provenance appended to a
+/// [`FlightRecorder`]. With a disabled recorder this is decision-identical
+/// to [`schedule_batch`] at the cost of one branch per entry — the
+/// recorder-overhead guard in `ks-bench sched_scale` times exactly this
+/// pair.
+pub fn schedule_batch_recorded(
+    mode: SchedMode,
+    entries: &[BatchEntry],
+    pool: &mut VgpuPool,
+    at: SimTime,
+    recorder: &FlightRecorder,
+) -> Vec<(Uid, Decision)> {
+    // One scratch collector and one recorder session for the whole
+    // batch: `record_scratch` clones only the visible candidates/chain
+    // into the ring slot and resets the collector, and the session holds
+    // the recorder lock across the drain, so the per-decision cost is
+    // flat regardless of record size or ring depth.
+    let mut prov = SchedProv::for_recorder(recorder);
+    let mut session = recorder.session();
+    entries
+        .iter()
+        .map(|e| {
+            let decision = schedule_with_prov(mode, &e.req, pool, &mut prov);
+            let target = match &decision {
+                Decision::Assign(id) => Some(id.clone()),
+                Decision::NewDevice(id) => {
+                    pool.insert_creating(id.clone());
+                    Some(id.clone())
+                }
+                Decision::Reconfigure(_) | Decision::Reject(_) => None,
+            };
+            if let Some(id) = target {
+                pool.attach(
+                    &id,
+                    e.uid,
+                    e.req.util,
+                    e.req.mem,
+                    e.req.locality.affinity.as_deref(),
+                    e.req.locality.anti_affinity.as_deref(),
+                    e.req.locality.exclusion.as_deref(),
+                );
+            }
+            if recorder.is_enabled() {
+                let outcome = outcome_of(&decision, &prov);
+                session.record_scratch(at, e.uid.0, 0, DecisionKind::Schedule, outcome, &mut prov);
             }
             (e.uid, decision)
         })

@@ -30,12 +30,15 @@ use ks_cluster::api::{ObjectMeta, ResourceList, Uid, UidAllocator, NVIDIA_GPU};
 use ks_cluster::sim::{ClusterConfig, ClusterEvent, ClusterNotice, ClusterSim};
 use ks_cluster::store::Store;
 use ks_sim_core::time::{SimDuration, SimTime};
-use ks_telemetry::{SpanId, Telemetry, TraceCtx};
+use ks_telemetry::provenance::{DecisionKind, Outcome, ReasonCode, SchedProv};
+use ks_telemetry::{FlightRecorder, LogLevel, Logger, SpanId, Telemetry, TraceCtx};
 use ks_vgpu::ShareSpec;
 
 use ks_partition::Profile;
 
-use crate::algorithm::{fit_residual, schedule_substrate, Decision, SchedMode, SchedRequest};
+use crate::algorithm::{
+    fit_residual, outcome_of, schedule_substrate_prov, Decision, SchedMode, SchedRequest,
+};
 use crate::gpuid::GpuId;
 use crate::pool::VgpuPool;
 use crate::sharepod::{SharePod, SharePodPhase, SharePodSpec};
@@ -329,6 +332,11 @@ pub struct KubeShareSystem {
     /// world drives its time-based streams.
     chaos: Option<ChaosInjector>,
     telemetry: Telemetry,
+    /// Decision-provenance flight recorder (disabled by default; zero-cost
+    /// off, a pure observer on).
+    recorder: FlightRecorder,
+    /// Structured log stream correlated to sharePod traces.
+    logger: Logger,
     /// Per-sharePod causal trace state (populated only when telemetry is
     /// enabled; removed when the trace closes on a terminal transition).
     sp_trace: HashMap<Uid, SpTrace>,
@@ -388,6 +396,8 @@ impl KubeShareSystem {
             next_ticket: 0,
             chaos: None,
             telemetry: Telemetry::disabled(),
+            recorder: FlightRecorder::disabled(),
+            logger: Logger::disabled(),
             sp_trace: HashMap::new(),
             anchor_ctx: HashMap::new(),
             sp_pending: 0,
@@ -414,6 +424,74 @@ impl KubeShareSystem {
             c.set_telemetry(telemetry.clone());
         }
         self.telemetry = telemetry;
+    }
+
+    /// Installs a decision-provenance flight recorder and propagates it to
+    /// the cluster layer (kube-scheduler node-rank records). A disabled
+    /// recorder (the default) costs one branch per decision.
+    pub fn set_recorder(&mut self, recorder: FlightRecorder) {
+        self.cluster.set_recorder(recorder.clone());
+        self.recorder = recorder;
+    }
+
+    /// The installed flight recorder (disabled handle by default).
+    pub fn recorder(&self) -> &FlightRecorder {
+        &self.recorder
+    }
+
+    /// Installs a structured-log sink for scheduler lifecycle events.
+    pub fn set_logger(&mut self, logger: Logger) {
+        self.logger = logger;
+    }
+
+    /// The installed structured-log sink (disabled handle by default).
+    pub fn logger(&self) -> &Logger {
+        &self.logger
+    }
+
+    /// Appends one scheduling provenance record keyed to `sp`'s trace and
+    /// mirrors the typed reason into `ks_sched_rejections_total{reason}`
+    /// and the structured log. The counter and log run off the *reason*,
+    /// which [`SchedProv`] tracks even when candidate capture is off — so
+    /// metrics agree with records whether or not a recorder is installed.
+    fn record_sched_outcome(&self, now: SimTime, sp: Uid, prov: SchedProv, outcome: Outcome) {
+        if let Some(reason) = outcome.reason() {
+            if self.telemetry.is_enabled() {
+                self.telemetry
+                    .counter("ks_sched_rejections_total", &[("reason", reason.label())])
+                    .inc();
+            }
+        }
+        let trace = self.sp_ctx(sp).trace;
+        if self.logger.is_enabled() {
+            let level = match &outcome {
+                Outcome::Placed { .. } | Outcome::NewDevice { .. } => LogLevel::Info,
+                _ => LogLevel::Warn,
+            };
+            self.logger.log(
+                now,
+                level,
+                "sched",
+                trace,
+                || match (outcome.target(), outcome.reason()) {
+                    (Some(t), _) => format!("sharePod {sp}: {} on {t}", outcome.class()),
+                    (None, Some(r)) => {
+                        format!("sharePod {sp}: {} ({})", outcome.class(), r.label())
+                    }
+                    (None, None) => format!("sharePod {sp}: {}", outcome.class()),
+                },
+                || vec![("sp".into(), sp.to_string())],
+            );
+        }
+        if self.recorder.is_enabled() {
+            self.recorder.record(prov.into_record(
+                now,
+                sp.0,
+                trace,
+                DecisionKind::Schedule,
+                outcome,
+            ));
+        }
     }
 
     /// Sets a sharePod's phase through the tally bookkeeping that backs
@@ -1202,6 +1280,32 @@ impl KubeShareSystem {
             s.status.pod_uid = None;
             s.status.message = Some("preempted".into());
         });
+        // Victim-side provenance: the eviction is a decision about this
+        // sharePod, keyed to its trace like any scheduling record.
+        let victim_ctx = self.sp_ctx(sp);
+        if self.recorder.is_enabled() {
+            let target = gpuid
+                .as_ref()
+                .map(|g| g.as_str().to_string())
+                .unwrap_or_default();
+            self.recorder.record(SchedProv::on().into_record(
+                now,
+                sp.0,
+                victim_ctx.trace,
+                DecisionKind::PreemptVictim,
+                Outcome::Evicted {
+                    target: target.into(),
+                },
+            ));
+        }
+        self.logger.log(
+            now,
+            LogLevel::Warn,
+            "sched",
+            victim_ctx.trace,
+            || format!("sharePod {sp}: evicted for higher-priority work"),
+            || vec![("sp".into(), sp.to_string())],
+        );
         notices.push(KsNotice::SharePodPreempted { sp, gpuid });
         if self.telemetry.is_enabled() {
             self.telemetry
@@ -1348,6 +1452,7 @@ impl KubeShareSystem {
         }
         let submitted = sharepod.meta.created_at;
         let spec = sharepod.spec.clone();
+        let mut prov = SchedProv::for_recorder(&self.recorder);
         let decide_start = std::time::Instant::now();
         let decision = match &spec.gpuid {
             // Explicit GPUID: an existing vGPU binds directly; a
@@ -1365,13 +1470,21 @@ impl KubeShareSystem {
                         d.util_free + 1e-9 >= spec.share.request
                             && d.mem_free + 1e-9 >= spec.share.mem
                     };
+                    prov.candidate_with("pinned", d.fit_key(), || d.id.as_str().to_string());
                     if !d.releasing && fits {
+                        prov.choose(d.id.as_str(), "pinned", d.fit_key());
+                        prov.note(|| format!("spec pins GPUID {id}; it fits"));
                         Decision::Assign(id.clone())
                     } else {
+                        prov.reject(ReasonCode::PinnedUnfit);
+                        prov.note(|| format!("spec pins GPUID {id}; it cannot host the demand"));
                         Decision::Reject(crate::algorithm::RejectReason::InsufficientCapacity)
                     }
                 }
-                None => Decision::NewDevice(id.clone()),
+                None => {
+                    prov.note(|| format!("spec pins unknown GPUID {id}; DevMgr will create it"));
+                    Decision::NewDevice(id.clone())
+                }
             },
             None => {
                 let req = SchedRequest {
@@ -1379,7 +1492,13 @@ impl KubeShareSystem {
                     mem: spec.share.mem,
                     locality: spec.locality.clone(),
                 };
-                schedule_substrate(self.cfg.sched_mode, spec.substrate, &req, &mut self.pool)
+                schedule_substrate_prov(
+                    self.cfg.sched_mode,
+                    spec.substrate,
+                    &req,
+                    &mut self.pool,
+                    &mut prov,
+                )
             }
         };
         let decide_ns = decide_start.elapsed().as_nanos() as f64;
@@ -1451,14 +1570,43 @@ impl KubeShareSystem {
             }
         }
 
+        // Evaluate the awaiting-preemption holds once, up front, so the
+        // provenance outcome recorded below and the control flow in the
+        // match agree exactly (including for `drain_pending` entries,
+        // which take this same path — the typed reason is never dropped
+        // mid-batch).
+        let parks = match &decision {
+            // A priority class above the floor does not take "no" while
+            // strictly lower-priority work holds pool capacity: it stays
+            // Pending so the front door's preemption pump can evict on
+            // its behalf and re-decide. Priority-0 workloads (everything
+            // pre-gateway) keep the paper's reject semantics.
+            Decision::Reject(_) => spec.priority > 0 && self.has_attached_below(spec.priority),
+            // Same hold for a new vGPU: it needs a free physical GPU, and
+            // the algorithm cannot see that the cluster is out of them.
+            // Rather than park a high-priority sharePod behind an anchor
+            // that cannot start, keep it Pending so preemption can free
+            // existing capacity for it.
+            Decision::NewDevice(_) => {
+                spec.priority > 0
+                    && !self.has_spare_physical_gpu()
+                    && self.has_attached_below(spec.priority)
+            }
+            _ => false,
+        };
+        let outcome = if parks {
+            prov.reject(ReasonCode::AwaitingPreemption);
+            Outcome::Held {
+                reason: ReasonCode::AwaitingPreemption,
+            }
+        } else {
+            outcome_of(&decision, &prov)
+        };
+        self.record_sched_outcome(now, sp, prov, outcome);
+
         match decision {
             Decision::Reject(reason) => {
-                // A priority class above the floor does not take "no" while
-                // strictly lower-priority work holds pool capacity: it stays
-                // Pending so the front door's preemption pump can evict on
-                // its behalf and re-decide. Priority-0 workloads (everything
-                // pre-gateway) keep the paper's reject semantics.
-                if spec.priority > 0 && self.has_attached_below(spec.priority) {
+                if parks {
                     self.sharepods.mutate(sp, |s| {
                         s.status.message = Some("awaiting preemption".to_string());
                     });
@@ -1477,15 +1625,7 @@ impl KubeShareSystem {
                 self.bind(now, sp, &spec, gpuid, out);
             }
             Decision::NewDevice(gpuid) => {
-                // Same hold as the reject arm: a new vGPU needs a free
-                // physical GPU, and the algorithm cannot see that the
-                // cluster is out of them. Rather than park a high-priority
-                // sharePod behind an anchor that cannot start, keep it
-                // Pending so preemption can free existing capacity for it.
-                if spec.priority > 0
-                    && !self.has_spare_physical_gpu()
-                    && self.has_attached_below(spec.priority)
-                {
+                if parks {
                     self.sharepods.mutate(sp, |s| {
                         s.status.message = Some("awaiting preemption".to_string());
                     });
@@ -1645,6 +1785,41 @@ impl KubeShareSystem {
             }
         };
         tenants.sort();
+        // Reconfigure provenance: which device is being reshaped, on whose
+        // behalf, and who gets displaced for it.
+        let reconfig_ctx = self.sp_ctx(sp);
+        if self.recorder.is_enabled() {
+            let mut rec = SchedProv::on().into_record(
+                now,
+                sp.0,
+                reconfig_ctx.trace,
+                DecisionKind::Reconfigure,
+                Outcome::Reconfigure {
+                    target: gpuid.as_str().into(),
+                },
+            );
+            rec.fields
+                .push(("displaced".into(), tenants.len().to_string()));
+            self.recorder.record(rec);
+        }
+        self.logger.log(
+            now,
+            LogLevel::Warn,
+            "partition",
+            reconfig_ctx.trace,
+            || {
+                format!(
+                    "sharePod {sp}: reconfiguring {gpuid} (displacing {} tenants)",
+                    tenants.len()
+                )
+            },
+            || {
+                vec![
+                    ("sp".into(), sp.to_string()),
+                    ("gpuid".into(), gpuid.to_string()),
+                ]
+            },
+        );
         let span = if self.telemetry.is_enabled() {
             self.telemetry
                 .counter("ks_partition_reconfigs_total", &[])

@@ -357,3 +357,128 @@ fn fixed_seed_oracle_1000_cases_zero_divergence() {
     }
     assert_eq!(divergences, 0, "indexed scheduler diverged from reference");
 }
+
+// ---- provenance mode axis (DESIGN.md §15) ----
+//
+// The flight recorder must be a pure observer: scheduling with a live
+// recorder attached is decision- and pool-bit-identical to scheduling
+// without one.
+
+mod recorder_axis {
+    use super::*;
+    use ks_sim_core::time::SimTime;
+    use ks_telemetry::provenance::{DecisionKind, SchedProv};
+    use ks_telemetry::FlightRecorder;
+    use kubeshare::algorithm::{outcome_of, schedule_with_prov};
+
+    /// `step` with the decision path instrumented: a hoisted scratch
+    /// collector feeding a live flight recorder, exactly as
+    /// `schedule_batch_recorded` wires it. Non-submit ops are shared with
+    /// the uninstrumented driver.
+    fn step_recorded(
+        pool: &mut VgpuPool,
+        live: &mut Vec<(Uid, GpuId)>,
+        next_uid: &mut u64,
+        rec: &FlightRecorder,
+        prov: &mut SchedProv,
+        op: &Op,
+    ) -> Option<Decision> {
+        let Op::Submit(r) = op else {
+            return step(pool, live, next_uid, SchedMode::Indexed, op);
+        };
+        let req = sched_request(r);
+        let decision = schedule_with_prov(SchedMode::Indexed, &req, pool, prov);
+        *next_uid += 1;
+        let uid = Uid(*next_uid);
+        apply(pool, uid, r, &decision);
+        let outcome = outcome_of(&decision, prov);
+        rec.record_scratch(
+            SimTime::ZERO,
+            uid.0,
+            0,
+            DecisionKind::Schedule,
+            outcome,
+            prov,
+        );
+        if let Decision::Assign(id) | Decision::NewDevice(id) = &decision {
+            live.push((uid, id.clone()));
+        }
+        Some(decision)
+    }
+
+    /// Asserts two pools are bit-identical, field by field.
+    fn assert_pools_identical(a: &VgpuPool, b: &VgpuPool) {
+        assert_eq!(a.len(), b.len(), "pool sizes diverged");
+        for (x, y) in a.devices().zip(b.devices()) {
+            assert_eq!(x.id, y.id);
+            assert_eq!(x.util_free.to_bits(), y.util_free.to_bits(), "{}", x.id);
+            assert_eq!(x.mem_free.to_bits(), y.mem_free.to_bits(), "{}", x.id);
+            assert_eq!(x.aff, y.aff);
+            assert_eq!(x.anti_aff, y.anti_aff);
+            assert_eq!(x.excl, y.excl);
+            assert_eq!(x.attached, y.attached);
+            assert_eq!(x.phase, y.phase);
+            assert_eq!(x.releasing, y.releasing);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(300))]
+
+        /// Over any interleaving, recorder-on scheduling equals
+        /// recorder-off per step, the final pools are bit-identical, and
+        /// every submit left exactly one record.
+        #[test]
+        fn recorder_on_matches_recorder_off(
+            ops in proptest::collection::vec(gen_op(), 1..80),
+        ) {
+            let mut off_pool = VgpuPool::new();
+            let mut on_pool = VgpuPool::new();
+            let (mut off_live, mut on_live) = (Vec::new(), Vec::new());
+            let (mut off_uid, mut on_uid) = (0u64, 0u64);
+            let rec = FlightRecorder::with_capacity(256);
+            let mut prov = SchedProv::for_recorder(&rec);
+            for (i, op) in ops.iter().enumerate() {
+                let d_off =
+                    step(&mut off_pool, &mut off_live, &mut off_uid, SchedMode::Indexed, op);
+                let d_on =
+                    step_recorded(&mut on_pool, &mut on_live, &mut on_uid, &rec, &mut prov, op);
+                prop_assert_eq!(&d_off, &d_on, "divergence at op {} ({:?})", i, op);
+            }
+            assert_pools_identical(&off_pool, &on_pool);
+            on_pool.verify_indexes().unwrap();
+            let submits = ops.iter().filter(|o| matches!(o, Op::Submit(_))).count();
+            prop_assert_eq!(rec.recorded(), submits as u64);
+        }
+    }
+
+    /// Fixed-seed lane of the same axis: the CI-pinned cases replay with
+    /// a live recorder and must not perturb a single decision.
+    #[test]
+    fn fixed_seed_oracle_recorder_axis_zero_divergence() {
+        let mut rng = Lcg(0x4b756265_53686172 ^ 0x15); // §15
+        for case in 0..300 {
+            let n_ops = 10 + (rng.next() % 60) as usize;
+            let ops: Vec<Op> = (0..n_ops).map(|_| rng.op()).collect();
+            let mut off_pool = VgpuPool::new();
+            let mut on_pool = VgpuPool::new();
+            let (mut off_live, mut on_live) = (Vec::new(), Vec::new());
+            let (mut off_uid, mut on_uid) = (0u64, 0u64);
+            let rec = FlightRecorder::with_capacity(64);
+            let mut prov = SchedProv::for_recorder(&rec);
+            for (i, op) in ops.iter().enumerate() {
+                let d_off = step(
+                    &mut off_pool,
+                    &mut off_live,
+                    &mut off_uid,
+                    SchedMode::Indexed,
+                    op,
+                );
+                let d_on =
+                    step_recorded(&mut on_pool, &mut on_live, &mut on_uid, &rec, &mut prov, op);
+                assert_eq!(d_off, d_on, "case {case} diverged at op {i} ({op:?})");
+            }
+            assert_pools_identical(&off_pool, &on_pool);
+        }
+    }
+}

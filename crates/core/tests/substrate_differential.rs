@@ -370,3 +370,94 @@ fn fixed_seed_oracle_spatial_devices_invisible_to_time_slice() {
         }
     }
 }
+
+// ---- provenance mode axis (DESIGN.md §15) ----
+//
+// The substrate dispatcher must also be recorder-transparent: routing
+// TimeSlice work through `schedule_substrate_prov` with a live flight
+// recorder is decision- and pool-bit-identical to the uninstrumented
+// dispatcher, even with populated spatial devices in the pool.
+
+mod recorder_axis {
+    use super::*;
+    use ks_sim_core::time::SimTime;
+    use ks_telemetry::provenance::{DecisionKind, SchedProv};
+    use ks_telemetry::FlightRecorder;
+    use kubeshare::algorithm::{outcome_of, schedule_substrate_prov};
+
+    /// `step` for the substrate path with provenance capture wired in.
+    fn step_recorded(
+        pool: &mut VgpuPool,
+        live: &mut Vec<(Uid, GpuId)>,
+        next_uid: &mut u64,
+        mode: SchedMode,
+        rec: &FlightRecorder,
+        prov: &mut SchedProv,
+        op: &Op,
+    ) -> Option<Decision> {
+        let Op::Submit(r) = op else {
+            return step(pool, live, next_uid, Path::TimeSliceSubstrate(mode), op);
+        };
+        let req = sched_request(r);
+        let decision = schedule_substrate_prov(mode, Substrate::TimeSlice, &req, pool, prov);
+        *next_uid += 1;
+        let uid = Uid(*next_uid);
+        apply(pool, uid, r, &decision);
+        let outcome = outcome_of(&decision, prov);
+        rec.record_scratch(
+            SimTime::ZERO,
+            uid.0,
+            0,
+            DecisionKind::Schedule,
+            outcome,
+            prov,
+        );
+        if let Decision::Assign(id) | Decision::NewDevice(id) = &decision {
+            live.push((uid, id.clone()));
+        }
+        Some(decision)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(200))]
+
+        /// Recorder-on substrate scheduling equals recorder-off per step
+        /// in both modes; final time-slice devices are bit-identical.
+        #[test]
+        fn substrate_recorder_on_matches_off(
+            ops in proptest::collection::vec(gen_op(), 1..80),
+        ) {
+            for mode in [SchedMode::Reference, SchedMode::Indexed] {
+                let mut off_pool = VgpuPool::new();
+                let mut on_pool = VgpuPool::new();
+                let (mut off_live, mut on_live) = (Vec::new(), Vec::new());
+                let (mut off_uid, mut on_uid) = (0u64, 0u64);
+                let rec = FlightRecorder::with_capacity(128);
+                let mut prov = SchedProv::for_recorder(&rec);
+                for (i, op) in ops.iter().enumerate() {
+                    let d_off = step(
+                        &mut off_pool,
+                        &mut off_live,
+                        &mut off_uid,
+                        Path::TimeSliceSubstrate(mode),
+                        op,
+                    );
+                    let d_on = step_recorded(
+                        &mut on_pool,
+                        &mut on_live,
+                        &mut on_uid,
+                        mode,
+                        &rec,
+                        &mut prov,
+                        op,
+                    );
+                    prop_assert_eq!(&d_off, &d_on, "divergence at op {} ({:?})", i, op);
+                }
+                assert_time_slice_devices_identical(&off_pool, &on_pool);
+                on_pool.verify_indexes().unwrap();
+                let submits = ops.iter().filter(|o| matches!(o, Op::Submit(_))).count();
+                prop_assert_eq!(rec.recorded(), submits as u64);
+            }
+        }
+    }
+}

@@ -24,7 +24,8 @@ use std::collections::{BTreeMap, HashMap};
 
 use ks_cluster::api::{Uid, NVIDIA_GPU};
 use ks_sim_core::time::SimTime;
-use ks_telemetry::Telemetry;
+use ks_telemetry::provenance::{DecisionKind, Outcome, ReasonCode, SchedProv};
+use ks_telemetry::{FlightRecorder, LogLevel, Logger, Telemetry};
 use kubeshare::gpuid::GpuId;
 use kubeshare::sharepod::{SharePodPhase, SharePodSpec};
 use kubeshare::system::{KsEmit, KsEvent, KsNotice, KubeShareSystem};
@@ -181,6 +182,8 @@ pub struct Gateway<A: Authenticator> {
     meter: Meter,
     stats: GatewayStats,
     telemetry: Telemetry,
+    recorder: FlightRecorder,
+    logger: Logger,
 }
 
 impl<A: Authenticator> Gateway<A> {
@@ -199,6 +202,8 @@ impl<A: Authenticator> Gateway<A> {
             meter: Meter::new(),
             stats: GatewayStats::default(),
             telemetry: Telemetry::disabled(),
+            recorder: FlightRecorder::disabled(),
+            logger: Logger::disabled(),
         }
     }
 
@@ -208,6 +213,31 @@ impl<A: Authenticator> Gateway<A> {
         self.system.set_telemetry(telemetry.clone());
         self.meter.set_telemetry(telemetry.clone());
         self.telemetry = telemetry;
+    }
+
+    /// Installs a decision-provenance flight recorder on the gateway
+    /// (admission and preemption-target records) and the whole wrapped
+    /// stack (scheduling, node-rank, victim, reconfigure records).
+    pub fn set_recorder(&mut self, recorder: FlightRecorder) {
+        self.system.set_recorder(recorder.clone());
+        self.recorder = recorder;
+    }
+
+    /// The installed flight recorder (disabled handle by default).
+    pub fn recorder(&self) -> &FlightRecorder {
+        &self.recorder
+    }
+
+    /// Installs a structured-log sink on the gateway and the wrapped
+    /// system stack.
+    pub fn set_logger(&mut self, logger: Logger) {
+        self.system.set_logger(logger.clone());
+        self.logger = logger;
+    }
+
+    /// The installed structured-log sink (disabled handle by default).
+    pub fn logger(&self) -> &Logger {
+        &self.logger
     }
 
     /// Read access to the wrapped control plane.
@@ -316,6 +346,65 @@ impl<A: Authenticator> Gateway<A> {
         }
     }
 
+    /// Captures one front-door gate outcome as a
+    /// [`DecisionKind::Admission`] record plus a log line. `sp` is 0 for
+    /// requests refused before a sharePod existed — those records carry
+    /// the tenant in `fields` and are found by scanning, not by
+    /// `explain(sp)`.
+    #[allow(clippy::too_many_arguments)]
+    fn record_admission(
+        &self,
+        now: SimTime,
+        sp: u64,
+        trace: u64,
+        tenant: &str,
+        tier: &str,
+        outcome: Outcome,
+        extra: Vec<(String, String)>,
+    ) {
+        if self.logger.is_enabled() {
+            let level = match &outcome {
+                Outcome::Rejected { .. } => LogLevel::Warn,
+                _ => LogLevel::Info,
+            };
+            let class = outcome.class();
+            let reason = outcome.reason();
+            self.logger.log(
+                now,
+                level,
+                "gateway",
+                trace,
+                || match reason {
+                    Some(r) => format!(
+                        "tenant {tenant} ({tier}): admission {class} ({})",
+                        r.label()
+                    ),
+                    None => format!("tenant {tenant} ({tier}): admission {class}"),
+                },
+                || {
+                    let mut f = vec![
+                        ("tenant".to_string(), tenant.to_string()),
+                        ("tier".to_string(), tier.to_string()),
+                    ];
+                    f.extend(extra.iter().cloned());
+                    f
+                },
+            );
+        }
+        if self.recorder.is_enabled() {
+            let mut prov = SchedProv::on();
+            if let Some(r) = outcome.reason() {
+                prov.reject(r);
+            }
+            prov.note(|| format!("front-door gates for tenant {tenant} (tier {tier})"));
+            let mut rec = prov.into_record(now, sp, trace, DecisionKind::Admission, outcome);
+            rec.fields.push(("tenant".to_string(), tenant.to_string()));
+            rec.fields.push(("tier".to_string(), tier.to_string()));
+            rec.fields.extend(extra);
+            self.recorder.record(rec);
+        }
+    }
+
     /// Submits a request through the full pipeline: auth → rate limit →
     /// quota → Algorithm 1 (or the admission queue).
     pub fn submit(
@@ -335,6 +424,17 @@ impl<A: Authenticator> Gateway<A> {
         let Some((tenant, tier)) = self.auth.authenticate(token) else {
             self.stats.rejected_auth += 1;
             self.count_reject("unknown", RejectReason::Unauthenticated);
+            self.record_admission(
+                now,
+                0,
+                0,
+                "unknown",
+                "unknown",
+                Outcome::Rejected {
+                    reason: ReasonCode::Unauthenticated,
+                },
+                Vec::new(),
+            );
             return SubmitOutcome::Rejected {
                 reason: RejectReason::Unauthenticated,
             };
@@ -353,6 +453,17 @@ impl<A: Authenticator> Gateway<A> {
         if !st.bucket.try_take(now, 1.0) {
             self.stats.rejected_rate += 1;
             self.count_reject(tier.label(), RejectReason::RateLimited);
+            self.record_admission(
+                now,
+                0,
+                0,
+                &tenant,
+                tier.label(),
+                Outcome::Rejected {
+                    reason: ReasonCode::RateLimited,
+                },
+                Vec::new(),
+            );
             return SubmitOutcome::Rejected {
                 reason: RejectReason::RateLimited,
             };
@@ -381,6 +492,17 @@ impl<A: Authenticator> Gateway<A> {
                 st.queued += 1;
                 let ticket = self.next_ticket;
                 self.next_ticket += 1;
+                self.record_admission(
+                    now,
+                    0,
+                    0,
+                    &tenant,
+                    tier.label(),
+                    Outcome::Held {
+                        reason: ReasonCode::QuotaParked,
+                    },
+                    vec![("ticket".to_string(), ticket.to_string())],
+                );
                 self.queue.insert(
                     (u8::MAX - tier.priority(), ticket),
                     QueuedReq {
@@ -400,6 +522,17 @@ impl<A: Authenticator> Gateway<A> {
             }
             self.stats.rejected_queue_full += 1;
             self.count_reject(tier.label(), RejectReason::QueueFull);
+            self.record_admission(
+                now,
+                0,
+                0,
+                &tenant,
+                tier.label(),
+                Outcome::Rejected {
+                    reason: ReasonCode::QueueFull,
+                },
+                Vec::new(),
+            );
             return SubmitOutcome::Rejected {
                 reason: RejectReason::QueueFull,
             };
@@ -474,6 +607,19 @@ impl<A: Authenticator> Gateway<A> {
         let sp = self
             .system
             .submit_sharepod_in(now, tenant.clone(), name, spec, out);
+        let trace = self.system.sharepod_trace(sp).map(|c| c.trace).unwrap_or(0);
+        self.record_admission(
+            now,
+            sp.0,
+            trace,
+            &tenant,
+            tier.label(),
+            Outcome::Action {
+                name: "admitted".to_string(),
+                target: sp.to_string().into(),
+            },
+            vec![("waited_secs".to_string(), format!("{waited_secs:.3}"))],
+        );
         self.sp_info.insert(
             sp,
             SpInfo {
@@ -684,7 +830,7 @@ impl<A: Authenticator> Gateway<A> {
         let mut victims_left = self.cfg.max_victims_per_pump;
         let mut preempted = 0usize;
 
-        'pending: for (prio, _, req_u, req_m) in pending {
+        'pending: for (prio, starved, req_u, req_m) in pending {
             if victims_left == 0 {
                 break;
             }
@@ -706,6 +852,13 @@ impl<A: Authenticator> Gateway<A> {
             }
             // Starved: find the device where evicting the fewest
             // strictly-lower-priority tenants makes room.
+            let mut prov = SchedProv::for_recorder(&self.recorder);
+            prov.note(|| {
+                format!(
+                    "sharePod {starved} (priority {prio}) starved: \
+                     no vGPU fits {req_u:.2} util / {req_m:.2} mem and no free physical GPU"
+                )
+            });
             let mut best: Option<(usize, GpuId, Vec<Uid>)> = None;
             for d in self.system.pool().devices() {
                 if d.releasing || d.uuid.is_none() {
@@ -735,6 +888,10 @@ impl<A: Authenticator> Gateway<A> {
                     chosen.push(uid);
                 }
                 if u_free + 1e-9 >= req_u && m_free + 1e-9 >= req_m && !chosen.is_empty() {
+                    // Candidate score is evictions needed (fewer wins).
+                    prov.candidate_with("evictions_needed", chosen.len() as f64, || {
+                        d.id.as_str().to_string()
+                    });
                     let better = best
                         .as_ref()
                         .map(|(n, id, _)| chosen.len() < *n || (chosen.len() == *n && d.id < *id))
@@ -747,8 +904,28 @@ impl<A: Authenticator> Gateway<A> {
             let Some((_, dev, victims)) = best else {
                 // Not even a full sweep of one device helps; leave the
                 // sharePod pending for a later tick.
+                if self.recorder.is_enabled() {
+                    prov.reject(ReasonCode::AwaitingPreemption);
+                    prov.note(|| "no device can be freed by evicting lower classes".to_string());
+                    let trace = self
+                        .system
+                        .sharepod_trace(starved)
+                        .map(|c| c.trace)
+                        .unwrap_or(0);
+                    self.recorder.record(prov.into_record(
+                        now,
+                        starved.0,
+                        trace,
+                        DecisionKind::PreemptVictim,
+                        Outcome::Held {
+                            reason: ReasonCode::AwaitingPreemption,
+                        },
+                    ));
+                }
                 continue 'pending;
             };
+            prov.choose(dev.as_str(), "fewest_evictions", victims.len() as f64);
+            let mut evicted: Vec<Uid> = Vec::new();
             for uid in victims {
                 if victims_left == 0 {
                     break;
@@ -769,6 +946,7 @@ impl<A: Authenticator> Gateway<A> {
                     victims_left -= 1;
                     preempted += 1;
                     self.stats.preemptions += 1;
+                    evicted.push(uid);
                     if self.telemetry.is_enabled() {
                         let vtier = self
                             .sp_info
@@ -780,6 +958,51 @@ impl<A: Authenticator> Gateway<A> {
                             .inc();
                     }
                 }
+            }
+            if self.recorder.is_enabled() {
+                let trace = self
+                    .system
+                    .sharepod_trace(starved)
+                    .map(|c| c.trace)
+                    .unwrap_or(0);
+                let mut rec = prov.into_record(
+                    now,
+                    starved.0,
+                    trace,
+                    DecisionKind::PreemptVictim,
+                    Outcome::Action {
+                        name: "preempt".to_string(),
+                        target: dev.as_str().into(),
+                    },
+                );
+                rec.fields.push((
+                    "victims".to_string(),
+                    evicted
+                        .iter()
+                        .map(|u| u.to_string())
+                        .collect::<Vec<_>>()
+                        .join(","),
+                ));
+                self.recorder.record(rec);
+            }
+            if self.logger.is_enabled() {
+                self.logger.log(
+                    now,
+                    LogLevel::Warn,
+                    "gateway",
+                    self.system
+                        .sharepod_trace(starved)
+                        .map(|c| c.trace)
+                        .unwrap_or(0),
+                    || {
+                        format!(
+                            "preempted {} tenant(s) on {} for starved sharePod {starved}",
+                            evicted.len(),
+                            dev.as_str()
+                        )
+                    },
+                    || vec![("device".to_string(), dev.as_str().to_string())],
+                );
             }
             // Claim the freed room if the device survived (it may be
             // releasing now if the evictions idled it under an on-demand

@@ -32,7 +32,8 @@
 use std::collections::BTreeMap;
 
 use ks_sim_core::time::{SimDuration, SimTime};
-use ks_telemetry::{SloStatus, SpanId, Telemetry, TraceCtx};
+use ks_telemetry::provenance::{DecisionKind, Outcome, SchedProv};
+use ks_telemetry::{FlightRecorder, SloStatus, SpanId, Telemetry, TraceCtx};
 
 use crate::detect::Anomaly;
 use crate::guard::{FlapGuard, GuardVerdict};
@@ -122,6 +123,9 @@ struct OpenRemediation {
 pub struct Controller {
     cfg: ControllerConfig,
     telemetry: Telemetry,
+    /// Flight recorder for [`DecisionKind::Remediation`] records, keyed
+    /// by each anomaly's root trace (disabled by default).
+    recorder: FlightRecorder,
     guard: FlapGuard,
     /// Nodes we cordoned, awaiting health to uncordon.
     cordoned: BTreeMap<String, OpenRemediation>,
@@ -141,11 +145,52 @@ impl Controller {
         Controller {
             cfg,
             telemetry,
+            recorder: FlightRecorder::disabled(),
             guard,
             cordoned: BTreeMap::new(),
             tightened: None,
             actions_taken: 0,
         }
+    }
+
+    /// Installs a decision-provenance flight recorder: every emitted
+    /// action leaves a [`DecisionKind::Remediation`] record joined to the
+    /// triggering anomaly's trace. Recording happens after each action is
+    /// decided, so the control loop is decision-identical recorder on or
+    /// off.
+    pub fn set_recorder(&mut self, recorder: FlightRecorder) {
+        self.recorder = recorder;
+    }
+
+    /// The installed flight recorder (disabled handle by default).
+    pub fn recorder(&self) -> &FlightRecorder {
+        &self.recorder
+    }
+
+    /// Captures one emitted action as a provenance record under the
+    /// anomaly's trace (`sp` is 0: remediation acts on infrastructure,
+    /// not on one sharePod).
+    fn record_action(&self, now: SimTime, ctx: TraceCtx, action: &Action, why: &str) {
+        if !self.recorder.is_enabled() {
+            return;
+        }
+        let target = match action {
+            Action::CordonNode { node } | Action::UncordonNode { node } => node.clone(),
+            Action::DrainVgpu { gpu } => gpu.clone(),
+            Action::TightenAdmission { .. } | Action::RelaxAdmission => "gateway".to_string(),
+        };
+        let mut prov = SchedProv::on();
+        prov.note(|| format!("remediation: {} ({why})", action.label()));
+        self.recorder.record(prov.into_record(
+            now,
+            0,
+            ctx.trace,
+            DecisionKind::Remediation,
+            Outcome::Action {
+                name: action.label().to_string(),
+                target: target.into(),
+            },
+        ));
     }
 
     pub fn actions_taken(&self) -> u64 {
@@ -259,9 +304,11 @@ impl Controller {
                 healthy_streak: 0,
             },
         );
-        actions.push(Action::CordonNode {
+        let action = Action::CordonNode {
             node: node.to_string(),
-        });
+        };
+        self.record_action(now, ctx, &action, "anomaly verdict on node");
+        actions.push(action);
     }
 
     fn try_drain(&mut self, now: SimTime, gpu: &str, ctx: TraceCtx, actions: &mut Vec<Action>) {
@@ -277,9 +324,11 @@ impl Controller {
             &[("gpu", gpu.to_string())],
         );
         self.telemetry.span_end(now, span, &[]);
-        actions.push(Action::DrainVgpu {
+        let action = Action::DrainVgpu {
             gpu: gpu.to_string(),
-        });
+        };
+        self.record_action(now, ctx, &action, "anomaly verdict on vGPU");
+        actions.push(action);
     }
 
     fn advance_cordons(&mut self, now: SimTime, anomalies: &[Anomaly], actions: &mut Vec<Action>) {
@@ -312,7 +361,9 @@ impl Controller {
                 "uncordon",
                 &[("node", node.clone())],
             );
-            actions.push(Action::UncordonNode { node });
+            let action = Action::UncordonNode { node };
+            self.record_action(now, open.ctx, &action, "healthy streak reached clear_after");
+            actions.push(action);
         }
     }
 
@@ -354,9 +405,11 @@ impl Controller {
                     ctx,
                     healthy_streak: 0,
                 });
-                actions.push(Action::TightenAdmission {
+                let action = Action::TightenAdmission {
                     scale: self.cfg.tighten_scale,
-                });
+                };
+                self.record_action(now, ctx, &action, "SLO burning");
+                actions.push(action);
             }
             Some(open) if burning => open.healthy_streak = 0,
             Some(open) => {
@@ -366,6 +419,12 @@ impl Controller {
                     let open = self.tightened.take().expect("matched Some");
                     self.telemetry
                         .span_end(now, open.span, &[("outcome", "relaxed".to_string())]);
+                    self.record_action(
+                        now,
+                        open.ctx,
+                        &Action::RelaxAdmission,
+                        "SLO healthy streak reached clear_after",
+                    );
                     actions.push(Action::RelaxAdmission);
                 }
             }

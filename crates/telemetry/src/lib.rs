@@ -37,6 +37,8 @@
 
 pub mod causal;
 pub mod export;
+pub mod log;
+pub mod provenance;
 pub mod registry;
 pub mod slo;
 pub mod snapshot;
@@ -48,6 +50,11 @@ use std::sync::Arc;
 use ks_sim_core::time::SimTime;
 
 pub use causal::TraceTree;
+pub use log::{LogEvent, LogLevel, Logger};
+pub use provenance::{
+    CandidateScore, DecisionKind, DecisionRecord, Explanation, FlightRecorder, Outcome, ReasonCode,
+    SchedProv,
+};
 pub use registry::{Counter, Gauge, Histo, Registry};
 pub use slo::{SloCondition, SloEngine, SloRule, SloStatus};
 pub use snapshot::{MetricsSnapshot, Sample, SampleValue};

@@ -1,0 +1,325 @@
+//! Leveled structured logging correlated to causal traces.
+//!
+//! A [`Logger`] is a cloneable handle with the same zero-cost-when-disabled
+//! discipline as [`crate::Telemetry`]: disabled, every call is one `Option`
+//! branch. Enabled, events pass a relaxed-atomic level filter, then land in
+//! a bounded ring (oldest dropped and counted). Each [`LogEvent`] carries
+//! the emitting subsystem, a message, typed key/value fields, and the trace
+//! id of the subject's `TraceCtx`, so log lines join spans and
+//! [`crate::provenance::DecisionRecord`]s on the same key. The stream
+//! exports as JSON lines for external ingestion.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Arc;
+
+use ks_sim_core::time::SimTime;
+use parking_lot::Mutex;
+use serde::Serialize;
+
+/// Log severity, ordered `Debug < Info < Warn < Error`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LogLevel {
+    /// Fine-grained diagnostics.
+    Debug,
+    /// Normal operational events (placements, admissions).
+    Info,
+    /// Degraded but handled (rejections, holds, preemptions).
+    Warn,
+    /// Something is wrong.
+    Error,
+}
+
+impl LogLevel {
+    /// Stable label, identical to the serde rendering.
+    pub fn label(self) -> &'static str {
+        match self {
+            LogLevel::Debug => "debug",
+            LogLevel::Info => "info",
+            LogLevel::Warn => "warn",
+            LogLevel::Error => "error",
+        }
+    }
+
+    // The vendored serde stand-in has no `#[serde(rename_all)]`.
+    fn from_u8(v: u8) -> LogLevel {
+        match v {
+            0 => LogLevel::Debug,
+            1 => LogLevel::Info,
+            2 => LogLevel::Warn,
+            _ => LogLevel::Error,
+        }
+    }
+}
+
+impl Serialize for LogLevel {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Str(self.label().to_string())
+    }
+}
+
+/// One structured log event.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct LogEvent {
+    /// Simulation time of the event.
+    pub at: SimTime,
+    /// Severity.
+    pub level: LogLevel,
+    /// Emitting subsystem (`sched`, `gateway`, `partition`, ...).
+    pub subsystem: &'static str,
+    /// Human-readable message.
+    pub message: String,
+    /// Trace id of the subject's `TraceCtx` (0 = uncorrelated).
+    pub trace: u64,
+    /// Structured key/value context.
+    pub fields: Vec<(String, String)>,
+}
+
+struct LoggerState {
+    ring: VecDeque<LogEvent>,
+    dropped: u64,
+}
+
+struct LoggerInner {
+    capacity: usize,
+    min_level: AtomicU8,
+    state: Mutex<LoggerState>,
+}
+
+/// Bounded, leveled structured-log sink.
+#[derive(Clone, Default)]
+pub struct Logger {
+    inner: Option<Arc<LoggerInner>>,
+}
+
+impl Logger {
+    /// Default event-ring capacity.
+    pub const DEFAULT_CAPACITY: usize = 65_536;
+
+    /// The no-op handle.
+    pub fn disabled() -> Self {
+        Logger { inner: None }
+    }
+
+    /// A live logger at [`LogLevel::Info`] with the default capacity.
+    pub fn enabled() -> Self {
+        Self::with_capacity(Self::DEFAULT_CAPACITY, LogLevel::Info)
+    }
+
+    /// A live logger with explicit capacity and minimum level.
+    pub fn with_capacity(capacity: usize, min_level: LogLevel) -> Self {
+        assert!(capacity > 0, "logger capacity must be positive");
+        Logger {
+            inner: Some(Arc::new(LoggerInner {
+                capacity,
+                min_level: AtomicU8::new(min_level as u8),
+                state: Mutex::new(LoggerState {
+                    ring: VecDeque::with_capacity(capacity.min(1024)),
+                    dropped: 0,
+                }),
+            })),
+        }
+    }
+
+    /// Whether this handle records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// The current minimum level ([`LogLevel::Error`] when disabled, so
+    /// callers gating expensive field construction skip it).
+    pub fn min_level(&self) -> LogLevel {
+        self.inner
+            .as_ref()
+            .map(|i| LogLevel::from_u8(i.min_level.load(Ordering::Relaxed)))
+            .unwrap_or(LogLevel::Error)
+    }
+
+    /// Raises or lowers the minimum level at runtime.
+    pub fn set_min_level(&self, level: LogLevel) {
+        if let Some(i) = &self.inner {
+            i.min_level.store(level as u8, Ordering::Relaxed);
+        }
+    }
+
+    /// Whether an event at `level` would be kept — gate expensive field
+    /// construction on this.
+    pub fn would_log(&self, level: LogLevel) -> bool {
+        match &self.inner {
+            None => false,
+            Some(i) => level as u8 >= i.min_level.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Emits one event. Fields are built lazily only if the event passes
+    /// the level filter. The oldest event is dropped (and counted) when
+    /// the ring is full.
+    pub fn log(
+        &self,
+        at: SimTime,
+        level: LogLevel,
+        subsystem: &'static str,
+        trace: u64,
+        message: impl FnOnce() -> String,
+        fields: impl FnOnce() -> Vec<(String, String)>,
+    ) {
+        let Some(i) = &self.inner else { return };
+        if (level as u8) < i.min_level.load(Ordering::Relaxed) {
+            return;
+        }
+        let event = LogEvent {
+            at,
+            level,
+            subsystem,
+            message: message(),
+            trace,
+            fields: fields(),
+        };
+        let mut s = i.state.lock();
+        if s.ring.len() >= i.capacity {
+            s.ring.pop_front();
+            s.dropped += 1;
+        }
+        s.ring.push_back(event);
+    }
+
+    /// Retained events, oldest first.
+    pub fn events(&self) -> Vec<LogEvent> {
+        self.inner
+            .as_ref()
+            .map(|i| i.state.lock().ring.iter().cloned().collect())
+            .unwrap_or_default()
+    }
+
+    /// Retained events correlated to one trace id.
+    pub fn for_trace(&self, trace: u64) -> Vec<LogEvent> {
+        self.inner
+            .as_ref()
+            .map(|i| {
+                i.state
+                    .lock()
+                    .ring
+                    .iter()
+                    .filter(|e| e.trace != 0 && e.trace == trace)
+                    .cloned()
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Events retained.
+    pub fn len(&self) -> usize {
+        self.inner
+            .as_ref()
+            .map(|i| i.state.lock().ring.len())
+            .unwrap_or(0)
+    }
+
+    /// Whether the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events dropped after the ring filled.
+    pub fn dropped(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map(|i| i.state.lock().dropped)
+            .unwrap_or(0)
+    }
+
+    /// JSON-lines export (one serialized [`LogEvent`] per line), the
+    /// interchange format for external log ingestion.
+    pub fn to_json_lines(&self) -> String {
+        let mut out = String::new();
+        for e in self.events() {
+            out.push_str(&serde_json::to_string(&e).expect("serializable"));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl std::fmt::Debug for Logger {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Logger")
+            .field("enabled", &self.is_enabled())
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_logger_is_inert() {
+        let l = Logger::disabled();
+        l.log(
+            SimTime::ZERO,
+            LogLevel::Error,
+            "t",
+            0,
+            || "x".into(),
+            Vec::new,
+        );
+        assert!(l.events().is_empty());
+        assert!(!l.would_log(LogLevel::Error));
+    }
+
+    #[test]
+    fn level_filter_gates_lazily() {
+        let l = Logger::with_capacity(16, LogLevel::Warn);
+        let mut built = false;
+        l.log(
+            SimTime::ZERO,
+            LogLevel::Info,
+            "t",
+            0,
+            || {
+                built = true;
+                "filtered".into()
+            },
+            Vec::new,
+        );
+        assert!(!built, "message closure must not run below min level");
+        l.log(
+            SimTime::ZERO,
+            LogLevel::Warn,
+            "t",
+            0,
+            || "kept".into(),
+            Vec::new,
+        );
+        assert_eq!(l.len(), 1);
+        l.set_min_level(LogLevel::Debug);
+        assert!(l.would_log(LogLevel::Debug));
+    }
+
+    #[test]
+    fn ring_bounds_and_trace_join() {
+        let l = Logger::with_capacity(3, LogLevel::Debug);
+        for i in 0..5u64 {
+            l.log(
+                SimTime::from_millis(i),
+                LogLevel::Info,
+                "sched",
+                i % 2,
+                || format!("event {i}"),
+                || vec![("i".into(), i.to_string())],
+            );
+        }
+        assert_eq!(l.len(), 3);
+        assert_eq!(l.dropped(), 2);
+        // trace 0 means uncorrelated: never returned by for_trace.
+        assert!(l.for_trace(0).is_empty());
+        // Retained window is i=2,3,4; only i=3 carries trace 1.
+        assert_eq!(l.for_trace(1).len(), 1);
+        let lines = l.to_json_lines();
+        assert_eq!(lines.trim().lines().count(), 3);
+        let v: serde_json::Value = serde_json::from_str(lines.lines().next().unwrap()).unwrap();
+        assert_eq!(v["level"], "info");
+        assert_eq!(v["subsystem"], "sched");
+    }
+}

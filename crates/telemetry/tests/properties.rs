@@ -187,3 +187,80 @@ proptest! {
         }
     }
 }
+
+// ---- flight recorder properties (DESIGN.md §15) ----
+
+mod flight_recorder_props {
+    use ks_sim_core::time::SimTime;
+    use ks_telemetry::provenance::{DecisionKind, Outcome, SchedProv, SmallStr};
+    use ks_telemetry::FlightRecorder;
+    use proptest::prelude::*;
+
+    /// Records one synthetic schedule decision for `sp`.
+    fn push(rec: &FlightRecorder, sp: u64, considered: usize) {
+        let mut prov = SchedProv::for_recorder(rec);
+        prov.add_considered(considered);
+        prov.choose_append("vgpu-1", "best_fit", 0.5);
+        rec.record_scratch(
+            SimTime::ZERO,
+            sp,
+            1000 + sp,
+            DecisionKind::Schedule,
+            Outcome::Placed {
+                target: SmallStr::from("vgpu-1"),
+            },
+            &mut prov,
+        );
+    }
+
+    proptest! {
+        /// The ring never retains more than `capacity` records no matter
+        /// how many are pushed; retained + evicted always equals pushed;
+        /// the survivors are exactly the newest `min(n, capacity)` in
+        /// oldest-first seq order.
+        #[test]
+        fn ring_is_bounded_any_capacity(
+            capacity in 1usize..48,
+            sps in proptest::collection::vec(0u64..6, 0..200),
+        ) {
+            let rec = FlightRecorder::with_capacity(capacity);
+            for (i, sp) in sps.iter().enumerate() {
+                push(&rec, *sp, i);
+            }
+            let n = sps.len();
+            let retained = rec.records();
+            prop_assert!(retained.len() <= capacity, "ring exceeded capacity");
+            prop_assert_eq!(retained.len(), n.min(capacity));
+            prop_assert_eq!(rec.recorded(), n as u64);
+            prop_assert_eq!(rec.evicted(), (n - n.min(capacity)) as u64);
+            for (k, r) in retained.iter().enumerate() {
+                prop_assert_eq!(r.seq, (n - retained.len() + k + 1) as u64);
+            }
+        }
+
+        /// `for_sharepod` preserves per-sharePod record order: it returns
+        /// the retained records of that sharePod exactly in submission
+        /// (seq) order, and joins the same trace id every time.
+        #[test]
+        fn per_sharepod_order_preserved(
+            capacity in 1usize..48,
+            sps in proptest::collection::vec(0u64..6, 0..200),
+        ) {
+            let rec = FlightRecorder::with_capacity(capacity);
+            for (i, sp) in sps.iter().enumerate() {
+                push(&rec, *sp, i);
+            }
+            let retained = rec.records();
+            for sp in 0u64..6 {
+                let per = rec.for_sharepod(sp);
+                let expect: Vec<u64> =
+                    retained.iter().filter(|r| r.sp == sp).map(|r| r.seq).collect();
+                let got: Vec<u64> = per.iter().map(|r| r.seq).collect();
+                prop_assert_eq!(got, expect, "sharePod {} out of order", sp);
+                prop_assert!(per.windows(2).all(|w| w[0].seq < w[1].seq));
+                prop_assert!(per.iter().all(|r| r.trace == 1000 + sp));
+                prop_assert_eq!(rec.for_trace(1000 + sp).len(), per.len());
+            }
+        }
+    }
+}

@@ -64,6 +64,12 @@ impl Serialize for str {
     }
 }
 
+impl Serialize for std::borrow::Cow<'_, str> {
+    fn to_value(&self) -> Value {
+        Value::Str(self.as_ref().to_string())
+    }
+}
+
 impl<T: Serialize + ?Sized> Serialize for &T {
     fn to_value(&self) -> Value {
         (**self).to_value()
